@@ -1,0 +1,203 @@
+// Command bugstudy regenerates every table and figure of the paper from
+// the study database and the corpus-measured detector results.
+//
+// Usage:
+//
+//	bugstudy -all
+//	bugstudy -table 2
+//	bugstudy -figure 1
+//	bugstudy -section unsafe|removals|interior|memfix|blkfix|nblkfix|detectors|mining
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rustprobe"
+	"rustprobe/internal/corpus"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/uaf"
+	"rustprobe/internal/report"
+	"rustprobe/internal/study"
+)
+
+func main() {
+	var (
+		table   = flag.Int("table", 0, "print table N (1-4)")
+		figure  = flag.Int("figure", 0, "print figure N (1-2)")
+		section = flag.String("section", "", "print a text-section report")
+		all     = flag.Bool("all", false, "print everything")
+		csvOut  = flag.String("csv", "", "write a figure's data series as CSV: figure1 or figure2")
+	)
+	flag.Parse()
+
+	db := study.Build()
+	printed := false
+
+	emitTable := func(n int) {
+		printed = true
+		switch n {
+		case 1:
+			fmt.Print(report.Table1(db))
+		case 2:
+			fmt.Print(report.Table2(db))
+		case 3:
+			fmt.Print(report.Table3(db))
+		case 4:
+			fmt.Print(report.Table4(db))
+		default:
+			fmt.Fprintf(os.Stderr, "bugstudy: no table %d\n", n)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	emitFigure := func(n int) {
+		printed = true
+		switch n {
+		case 1:
+			fmt.Print(report.Figure1())
+		case 2:
+			fmt.Print(report.Figure2(db))
+		default:
+			fmt.Fprintf(os.Stderr, "bugstudy: no figure %d\n", n)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	emitSection := func(name string) {
+		printed = true
+		switch name {
+		case "unsafe":
+			fmt.Print(report.UnsafeUsageSection())
+		case "removals":
+			fmt.Print(report.RemovalSection())
+		case "interior":
+			fmt.Print(report.InteriorSection())
+		case "memfix":
+			fmt.Print(report.MemFixSection(db))
+		case "blkfix":
+			fmt.Print(report.BlkFixSection(db))
+		case "nblkfix":
+			fmt.Print(report.NBlkFixSection(db))
+		case "detectors":
+			uafTP, uafFP, dlTP, dlFP := measureDetectors()
+			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP))
+		case "insights":
+			fmt.Print(report.InsightsSection())
+		case "mining":
+			commits := corpus.SyntheticCommits(db)
+			_, funnel := study.Mine(commits)
+			fmt.Printf("Section 3. Commit mining funnel.\n")
+			fmt.Printf("  commits scanned   %5d\n", funnel.Total)
+			fmt.Printf("  keyword survivors %5d\n", funnel.Filtered)
+			fmt.Printf("  by class: memory %d, blocking %d, non-blocking %d\n",
+				funnel.ByClass[study.MemoryBug], funnel.ByClass[study.BlockingBug], funnel.ByClass[study.NonBlockingBug])
+		default:
+			fmt.Fprintf(os.Stderr, "bugstudy: unknown section %q\n", name)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *csvOut != "" {
+		emitCSV(db, *csvOut)
+		return
+	}
+
+	if *all {
+		for n := 1; n <= 4; n++ {
+			emitTable(n)
+		}
+		for n := 1; n <= 2; n++ {
+			emitFigure(n)
+		}
+		for _, s := range []string{"unsafe", "removals", "interior", "memfix", "blkfix", "nblkfix", "insights", "mining", "detectors"} {
+			emitSection(s)
+		}
+		return
+	}
+	if *table != 0 {
+		emitTable(*table)
+	}
+	if *figure != 0 {
+		emitFigure(*figure)
+	}
+	if *section != "" {
+		emitSection(*section)
+	}
+	if !printed {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// emitCSV writes a figure's underlying series for external plotting.
+func emitCSV(db *study.Database, which string) {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch which {
+	case "figure1":
+		w.Write([]string{"version", "date", "feature_changes", "kloc"})
+		for _, r := range study.ReleaseHistory {
+			w.Write([]string{r.Version, r.Date.Format("2006-01-02"),
+				strconv.Itoa(r.Changes), strconv.Itoa(r.KLOC)})
+		}
+	case "figure2":
+		projs := append(append([]study.Project{}, study.Projects...), study.Advisories)
+		header := []string{"quarter"}
+		for _, p := range projs {
+			header = append(header, p.String())
+		}
+		w.Write(header)
+		for _, b := range db.Figure2Buckets() {
+			row := []string{fmt.Sprintf("%d-Q%d", b.Start.Year(), (int(b.Start.Month())-1)/3+1)}
+			for _, p := range projs {
+				row = append(row, strconv.Itoa(b.Counts[p]))
+			}
+			w.Write(row)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bugstudy: unknown csv target %q (figure1, figure2)\n", which)
+		os.Exit(1)
+	}
+}
+
+// measureDetectors runs the two §7 detectors over the evaluation corpus
+// and splits findings into true/false positives by the corpus's naming
+// convention (fp_* functions are the planted false-positive patterns;
+// *_fixed and other clean variants count as false positives for the
+// double-lock detector).
+func measureDetectors() (uafTP, uafFP, dlTP, dlFP int) {
+	res, err := rustprobe.AnalyzeCorpus("detector-eval")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctx := res.Context()
+	for _, f := range uaf.New().Run(ctx) {
+		if f.Kind != detect.KindUseAfterFree {
+			continue
+		}
+		if strings.Contains(f.Function, "fp_") {
+			uafFP++
+		} else {
+			uafTP++
+		}
+	}
+	for _, f := range doublelock.New().Run(ctx) {
+		if f.Kind != detect.KindDoubleLock {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") {
+			dlFP++
+		} else {
+			dlTP++
+		}
+	}
+	return
+}

@@ -1,0 +1,168 @@
+// Command rustprobe parses Rust-subset sources, lowers them to MIR, and
+// runs the paper's static bug detectors over them.
+//
+// Usage:
+//
+//	rustprobe [flags] [path ...]
+//
+//	rustprobe file.rs                 # run all detectors on one file
+//	rustprobe -detect uaf,double-lock src/
+//	rustprobe -corpus detector-eval   # run on the embedded §7 corpus
+//	rustprobe -mir 'Engine::step' file.rs   # dump a function's MIR
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rustprobe"
+	"rustprobe/internal/interp"
+	"rustprobe/internal/visualize"
+)
+
+func main() {
+	var (
+		detectors = flag.String("detect", "", "comma-separated detector names (default: all); available: "+strings.Join(rustprobe.DetectorNames(), ", "))
+		corpusGrp = flag.String("corpus", "", "analyze an embedded corpus group (detector-eval, patterns, unsafe, all) instead of paths")
+		mirDump   = flag.String("mir", "", "dump the MIR of the named function and exit")
+		explain   = flag.String("explain", "", "render the named function's source annotated with lifetime events (acquire/implicit-unlock/drop) and exit")
+		dynamic   = flag.Bool("dynamic", false, "run the bounded dynamic explorer (Miri-style) instead of the static detectors")
+		asJSON    = flag.Bool("json", false, "emit findings as JSON")
+		list      = flag.Bool("list", false, "list available detectors and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range rustprobe.DetectorNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	res, err := load(*corpusGrp, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *mirDump != "" {
+		body := res.MIR(*mirDump)
+		if body == nil {
+			fmt.Fprintf(os.Stderr, "rustprobe: no function %q; available:\n", *mirDump)
+			for _, fd := range res.Program.SortedFuncs() {
+				fmt.Fprintf(os.Stderr, "  %s\n", fd.Qualified)
+			}
+			os.Exit(1)
+		}
+		fmt.Print(body.String())
+		return
+	}
+
+	if *explain != "" {
+		body := res.MIR(*explain)
+		if body == nil {
+			fmt.Fprintf(os.Stderr, "rustprobe: no function %q\n", *explain)
+			os.Exit(1)
+		}
+		fmt.Print(visualize.Render(body, res.Fset))
+		for lock, rng := range visualize.CriticalSections(body, res.Fset) {
+			fmt.Printf("critical section of %q: lines %d-%d\n", lock, rng[0], rng[1])
+		}
+		return
+	}
+
+	if *dynamic {
+		total := 0
+		for _, r := range interp.RunAll(res.Bodies, interp.Config{}) {
+			for _, e := range r.Errors {
+				pos := res.Fset.Position(e.Span.Start)
+				fmt.Printf("%s: %s\n", pos, e)
+				total++
+			}
+		}
+		fmt.Printf("%d dynamic error(s)\n", total)
+		if total > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var names []string
+	if *detectors != "" {
+		names = strings.Split(*detectors, ",")
+	}
+	findings := res.Detect(names...)
+	if *asJSON {
+		emitJSON(res, findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.Format(res.Fset))
+		}
+		fmt.Printf("%d finding(s)\n", len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// jsonFinding is the machine-readable finding shape.
+type jsonFinding struct {
+	Kind     string   `json:"kind"`
+	Severity string   `json:"severity"`
+	Function string   `json:"function"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+func emitJSON(res *rustprobe.Result, findings []rustprobe.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		pos := res.Fset.Position(f.Span.Start)
+		out = append(out, jsonFinding{
+			Kind:     string(f.Kind),
+			Severity: f.Severity.String(),
+			Function: f.Function,
+			File:     pos.File,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  f.Message,
+			Notes:    f.Notes,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+func load(corpusGrp string, paths []string) (*rustprobe.Result, error) {
+	if corpusGrp != "" {
+		return rustprobe.AnalyzeCorpus(corpusGrp)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("rustprobe: no input; pass .rs files, a directory, or -corpus")
+	}
+	files := map[string]string{}
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if info.IsDir() {
+			return rustprobe.AnalyzeDir(p)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		files[p] = string(data)
+	}
+	return rustprobe.AnalyzeFiles(files)
+}

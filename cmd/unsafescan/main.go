@@ -1,0 +1,115 @@
+// Command unsafescan reproduces the paper's §4 unsafe-usage study over a
+// directory of Rust-subset sources (or the embedded corpus): counts of
+// unsafe regions/functions/traits, operation-kind and purpose breakdowns,
+// removable markers, and the interior-unsafe encapsulation audit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rustprobe"
+	"rustprobe/internal/advisor"
+	"rustprobe/internal/unsafety"
+)
+
+func main() {
+	corpusGrp := flag.String("corpus", "", "scan an embedded corpus group instead of paths")
+	verbose := flag.Bool("v", false, "list every usage site")
+	advise := flag.Bool("advise", false, "emit prioritized advice (paper section 8) from the scan and the detectors")
+	diff := flag.Bool("diff", false, "compare two directories (before after): classify unsafe removals as in paper section 4.2")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: unsafescan -diff <before-dir> <after-dir>")
+			os.Exit(1)
+		}
+		before, err := rustprobe.AnalyzeDir(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		after, err := rustprobe.AnalyzeDir(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep := unsafety.CompareScans(before.ScanUnsafe(), after.ScanUnsafe())
+		fmt.Print(rep.String())
+		return
+	}
+
+	var res *rustprobe.Result
+	var err error
+	if *corpusGrp != "" {
+		res, err = rustprobe.AnalyzeCorpus(*corpusGrp)
+	} else if flag.NArg() == 1 {
+		res, err = rustprobe.AnalyzeDir(flag.Arg(0))
+	} else {
+		err = fmt.Errorf("usage: unsafescan [-v] <dir> | unsafescan -corpus <group>")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := res.ScanUnsafe()
+	fmt.Printf("unsafe usages: %d (%d regions, %d fns, %d traits; %d unsafe impls)\n",
+		rep.TotalUsages(), rep.Regions, rep.Fns, rep.Traits, rep.Impls)
+
+	fmt.Println("operations:")
+	ops := rep.CountOps()
+	for _, k := range []unsafety.OpKind{unsafety.OpRawPointer, unsafety.OpStaticMut, unsafety.OpCallUnsafe, unsafety.OpUnsafeTrait, unsafety.OpUnionField, unsafety.OpNoOp} {
+		if ops[k] > 0 {
+			fmt.Printf("  %-16s %d\n", k, ops[k])
+		}
+	}
+	fmt.Println("purposes:")
+	purposes := rep.CountPurposes()
+	for _, p := range []unsafety.Purpose{unsafety.PurposeReuse, unsafety.PurposePerf, unsafety.PurposeSharing, unsafety.PurposeOther} {
+		if purposes[p] > 0 {
+			fmt.Printf("  %-16s %d\n", p, purposes[p])
+		}
+	}
+
+	removable := rep.Removable()
+	fmt.Printf("removable markers (no unsafe operation inside): %d\n", len(removable))
+	for _, u := range removable {
+		pos := res.Fset.Position(u.Span.Start)
+		label := ""
+		if u.CtorLabel {
+			label = " (constructor label)"
+		}
+		fmt.Printf("  %s %s%s\n", pos, u.Function, label)
+	}
+
+	fmt.Printf("interior-unsafe functions: %d (%d without explicit checks)\n",
+		len(rep.InteriorFns), len(rep.UncheckedInterior()))
+	for _, f := range rep.InteriorFns {
+		check := "unchecked"
+		if f.ExplicitCheck {
+			check = "checked"
+		}
+		fmt.Printf("  %-32s %s (%d unsafe region(s))\n", f.Name, check, f.UnsafeRegions)
+	}
+
+	if *advise {
+		findings := res.Detect()
+		advice := advisor.Advise(rep, findings)
+		fmt.Println("\nadvice:")
+		for _, a := range advice {
+			fmt.Println("  " + a.Format(res.Fset))
+		}
+		fmt.Println(advisor.Summary(advice))
+	}
+
+	if *verbose {
+		fmt.Println("all usages:")
+		for _, u := range rep.Usages {
+			pos := res.Fset.Position(u.Span.Start)
+			fmt.Printf("  %s %-7s %-14s ops=%v\n", pos, u.Kind, u.Purpose, u.Ops)
+		}
+	}
+}

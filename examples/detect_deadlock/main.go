@@ -1,0 +1,36 @@
+// detect_deadlock reproduces §7.2: the double-lock detector over the
+// parity-ethereum-style corpus (six bugs across intra-procedural,
+// inter-procedural, match-scrutinee, if-condition, RwLock-upgrade and
+// loop shapes), plus the conflicting-lock-order companion detector.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rustprobe"
+)
+
+func main() {
+	res, err := rustprobe.AnalyzeCorpus("detector-eval")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("double-lock findings:")
+	dl := res.Detect("double-lock")
+	for _, f := range dl {
+		fmt.Println("  " + f.Format(res.Fset))
+	}
+	fmt.Printf("paper (§7.2): 6 bugs, 0 false positives; measured: %d findings\n\n", len(dl))
+
+	// The AB-BA companion analysis over the pattern corpus.
+	pat, err := rustprobe.AnalyzeCorpus("patterns")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conflicting-lock-order findings on the pattern corpus:")
+	for _, f := range pat.Detect("conflicting-lock-order") {
+		fmt.Println("  " + f.Format(pat.Fset))
+	}
+}

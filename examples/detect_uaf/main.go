@@ -1,0 +1,36 @@
+// detect_uaf walks the paper's §7.1 evaluation: it runs the
+// use-after-free detector over the embedded Redox-style corpus and
+// separates the four true positives from the three planted
+// false-positive patterns, mirroring Table-free §7.1 numbers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rustprobe"
+)
+
+func main() {
+	res, err := rustprobe.AnalyzeCorpus("detector-eval")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	findings := res.Detect("use-after-free")
+	var tp, fp int
+	fmt.Println("use-after-free findings on the evaluation corpus:")
+	for _, f := range findings {
+		tag := "TRUE POSITIVE "
+		if strings.Contains(f.Function, "fp_") {
+			tag = "FALSE POSITIVE"
+			fp++
+		} else {
+			tp++
+		}
+		fmt.Printf("  [%s] %s\n", tag, f.Format(res.Fset))
+	}
+	fmt.Printf("\npaper (§7.1): 4 previously-unknown bugs, 3 false positives\n")
+	fmt.Printf("measured:     %d previously-unknown bugs, %d false positives\n", tp, fp)
+}

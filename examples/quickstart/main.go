@@ -1,0 +1,45 @@
+// Quickstart: analyze a Rust snippet with the public API and print every
+// finding. This is the double-lock bug of the paper's Figure 8 (TiKV):
+// the read guard acquired in the match scrutinee lives until the end of
+// the match, so the write() in the Ok arm deadlocks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rustprobe"
+)
+
+const src = `
+struct Inner { m: i32 }
+
+fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+
+pub fn do_request(client: Arc<RwLock<Inner>>) {
+    match connect(client.read().unwrap().m) {
+        Ok(mbrs) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}
+`
+
+func main() {
+	res, err := rustprobe.AnalyzeSource("figure8.rs", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	findings := res.Detect()
+	fmt.Printf("rustprobe found %d issue(s):\n\n", len(findings))
+	for _, f := range findings {
+		fmt.Println(f.Format(res.Fset))
+	}
+
+	// The MIR behind the diagnosis: guard drops at the end of the match.
+	fmt.Println("\nLowered MIR of do_request:")
+	fmt.Print(res.MIR("do_request").String())
+}

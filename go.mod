@@ -1,0 +1,3 @@
+module rustprobe
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package advisor turns analysis results into the actionable guidance of
+// the paper's §8 discussion: when unsafe is justified, how to encapsulate
+// it properly, and how to convert it to safe code. It consumes the §4
+// scanner's report and the detectors' findings and emits prioritized
+// advice items, each tied to the paper suggestion it implements.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/source"
+	"rustprobe/internal/study"
+	"rustprobe/internal/unsafety"
+)
+
+// Priority ranks advice.
+type Priority int
+
+// Priorities, high to low.
+const (
+	PriorityFix     Priority = iota // confirmed bug: fix now
+	PriorityAudit                   // likely unsound: audit
+	PriorityCleanup                 // hygiene: improves encapsulation
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityFix:
+		return "FIX"
+	case PriorityAudit:
+		return "AUDIT"
+	default:
+		return "CLEANUP"
+	}
+}
+
+// Advice is one recommendation.
+type Advice struct {
+	Priority   Priority
+	Span       source.Span
+	Subject    string // function or type the advice targets
+	Text       string
+	Suggestion string // paper suggestion id ("S1".."S8"), if any
+}
+
+// Format renders the advice with a resolved position.
+func (a Advice) Format(fset *source.FileSet) string {
+	pos := fset.Position(a.Span.Start)
+	tag := ""
+	if a.Suggestion != "" {
+		tag = fmt.Sprintf(" [paper %s]", a.Suggestion)
+	}
+	return fmt.Sprintf("%s: %s: %s: %s%s", pos, a.Priority, a.Subject, a.Text, tag)
+}
+
+// Advise produces prioritized advice from a scan report and findings.
+func Advise(rep *unsafety.Report, findings []detect.Finding) []Advice {
+	var out []Advice
+
+	// 1. Confirmed findings become FIX items with the fix idiom the
+	// paper's fix-strategy study (§5.2, §6.1) associates with the class.
+	for _, f := range findings {
+		text, sug := fixAdvice(f)
+		out = append(out, Advice{
+			Priority:   PriorityFix,
+			Span:       f.Span,
+			Subject:    f.Function,
+			Text:       text,
+			Suggestion: sug,
+		})
+	}
+
+	// 2. Unchecked interior-unsafe functions: either add the check or
+	// mark the function unsafe (Suggestion 3).
+	for _, fn := range rep.UncheckedInterior() {
+		out = append(out, Advice{
+			Priority: PriorityAudit,
+			Span:     fn.Span,
+			Subject:  fn.Name,
+			Text: "interior-unsafe function has no explicit precondition check; " +
+				"add a check before the unsafe region or mark the function `unsafe` " +
+				"so callers own the obligation",
+			Suggestion: "S3",
+		})
+	}
+
+	// 3. Removable unsafe markers: keep the constructor-labelling idiom
+	// (it is the paper's §4.1 good practice), drop the rest (Suggestion 1).
+	for _, u := range rep.Removable() {
+		if u.CtorLabel {
+			out = append(out, Advice{
+				Priority: PriorityCleanup,
+				Span:     u.Span,
+				Subject:  u.Function,
+				Text: "constructor-labelling idiom recognized: the unsafe marker encodes an " +
+					"invariant later methods rely on — keep it, and document the invariant",
+				Suggestion: "S1",
+			})
+			continue
+		}
+		out = append(out, Advice{
+			Priority: PriorityCleanup,
+			Span:     u.Span,
+			Subject:  u.Function,
+			Text: "no operation in this unsafe marker requires unsafe; remove it or shrink " +
+				"it to the smallest region that does",
+			Suggestion: "S1",
+		})
+	}
+
+	// 4. Multi-region interior-unsafe functions: consolidate (Suggestion 2).
+	for _, fn := range rep.InteriorFns {
+		if fn.UnsafeRegions >= 3 {
+			out = append(out, Advice{
+				Priority: PriorityCleanup,
+				Span:     fn.Span,
+				Subject:  fn.Name,
+				Text: fmt.Sprintf("%d separate unsafe regions in one function; hoist the shared "+
+					"precondition into one checked interior-unsafe helper", fn.UnsafeRegions),
+				Suggestion: "S2",
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority < out[j].Priority
+		}
+		return out[i].Span.Start < out[j].Span.Start
+	})
+	return out
+}
+
+// fixAdvice maps a finding kind to the fix idiom the studied patches used.
+func fixAdvice(f detect.Finding) (string, string) {
+	switch f.Kind {
+	case detect.KindDoubleLock:
+		return "double lock: end the first critical section before re-acquiring — bind the " +
+			"guard-using expression to a `let` (the guard then dies at the statement end) or " +
+			"call drop(guard) explicitly (21 of the paper's 59 blocking bugs were fixed by " +
+			"adjusting guard lifetime)", "S7"
+	case detect.KindLockOrder:
+		return "conflicting lock order: pick one global acquisition order and rewrite the " +
+			"minority path (7 of the paper's Mutex bugs)", "S6"
+	case detect.KindUseAfterFree:
+		return "use-after-free: extend the owner's lifetime past the last pointer use — bind " +
+			"the temporary to a named local that outlives the dereference (the paper's " +
+			"'adjust lifetime' strategy, 22 of 70 memory fixes)", "S5"
+	case detect.KindInvalidFree:
+		return "invalid free: initialize through ptr::write instead of assignment so the " +
+			"garbage previous value is not dropped (the Figure 6 fix)", ""
+	case detect.KindDoubleFree:
+		return "double free: transfer ownership with a move (t2 = t1) instead of ptr::read, " +
+			"or mem::forget the original", ""
+	case detect.KindUninitRead:
+		return "uninitialized read: zero-fill or ptr::write the allocation before the first read", ""
+	case detect.KindInteriorMut:
+		if strings.Contains(f.Message, "check-then-act") {
+			return "non-atomic check-then-act: fold the load/branch/store into one " +
+				"compare_and_swap (the Figure 9 fix)", "S8"
+		}
+		return "unsynchronized interior mutability on a shared type: guard the mutation with " +
+			"a self-rooted lock, or take &mut self so the compiler enforces exclusivity", "S8"
+	default:
+		return "review this finding", ""
+	}
+}
+
+// Summary counts advice by priority and cites the catalog entries used.
+func Summary(advice []Advice) string {
+	counts := map[Priority]int{}
+	sugs := map[string]bool{}
+	for _, a := range advice {
+		counts[a.Priority]++
+		if a.Suggestion != "" {
+			sugs[a.Suggestion] = true
+		}
+	}
+	var ids []string
+	for id := range sugs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var cited []string
+	for _, id := range ids {
+		if in := study.InsightByID(id); in != nil {
+			cited = append(cited, fmt.Sprintf("%s (§%s)", id, in.Section))
+		}
+	}
+	return fmt.Sprintf("%d to fix, %d to audit, %d cleanups; paper suggestions applied: %s",
+		counts[PriorityFix], counts[PriorityAudit], counts[PriorityCleanup],
+		strings.Join(cited, ", "))
+}

@@ -1,0 +1,129 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/uaf"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+	"rustprobe/internal/unsafety"
+)
+
+func analyze(t *testing.T, src string) (*unsafety.Report, []detect.Finding, *source.FileSet) {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	var findings []detect.Finding
+	findings = append(findings, uaf.New().Run(ctx)...)
+	findings = append(findings, doublelock.New().Run(ctx)...)
+	return unsafety.Scan(prog), findings, fset
+}
+
+const mixedSrc = `
+struct S { v: i32 }
+
+fn double_lock(mu: Mutex<S>) {
+    let a = mu.lock().unwrap();
+    let b = mu.lock().unwrap();
+}
+
+struct Buf { data: Vec<u8>, len: usize }
+impl Buf {
+    fn get_fast(&self, i: usize) -> u8 {
+        unsafe { *self.data.get_unchecked(i) }
+    }
+    pub unsafe fn from_parts(data: Vec<u8>) -> Buf {
+        Buf { data: data, len: 0 }
+    }
+}
+
+pub unsafe fn pointless() {
+    let x = 1 + 2;
+    report(x);
+}
+`
+
+func TestAdvicePriorities(t *testing.T) {
+	rep, findings, fset := analyze(t, mixedSrc)
+	advice := Advise(rep, findings)
+	if len(advice) < 4 {
+		t.Fatalf("advice = %d items: %+v", len(advice), advice)
+	}
+	// Findings first.
+	if advice[0].Priority != PriorityFix {
+		t.Errorf("first advice = %v, want FIX", advice[0].Priority)
+	}
+	if !strings.Contains(advice[0].Text, "double lock") {
+		t.Errorf("fix text = %q", advice[0].Text)
+	}
+	// Priorities are monotone.
+	for i := 1; i < len(advice); i++ {
+		if advice[i].Priority < advice[i-1].Priority {
+			t.Errorf("advice not sorted by priority at %d", i)
+		}
+	}
+	// Sanity: positions resolve.
+	for _, a := range advice {
+		if !strings.Contains(a.Format(fset), "test.rs") {
+			t.Errorf("format missing position: %s", a.Format(fset))
+		}
+	}
+}
+
+func TestAdviceKinds(t *testing.T) {
+	rep, findings, _ := analyze(t, mixedSrc)
+	advice := Advise(rep, findings)
+	var sawUnchecked, sawCtor, sawRemovable bool
+	for _, a := range advice {
+		switch {
+		case strings.Contains(a.Text, "no explicit precondition check"):
+			sawUnchecked = true
+			if a.Suggestion != "S3" {
+				t.Errorf("unchecked advice suggestion = %q", a.Suggestion)
+			}
+		case strings.Contains(a.Text, "constructor-labelling"):
+			sawCtor = true
+		case strings.Contains(a.Text, "remove it or shrink"):
+			sawRemovable = true
+		}
+	}
+	if !sawUnchecked || !sawCtor || !sawRemovable {
+		t.Errorf("missing advice kinds: unchecked=%v ctor=%v removable=%v", sawUnchecked, sawCtor, sawRemovable)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	rep, findings, _ := analyze(t, mixedSrc)
+	advice := Advise(rep, findings)
+	s := Summary(advice)
+	if !strings.Contains(s, "to fix") || !strings.Contains(s, "S3") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestFixAdviceCoversAllKinds(t *testing.T) {
+	kinds := []detect.Kind{
+		detect.KindDoubleLock, detect.KindLockOrder, detect.KindUseAfterFree,
+		detect.KindInvalidFree, detect.KindDoubleFree, detect.KindUninitRead,
+		detect.KindInteriorMut,
+	}
+	for _, k := range kinds {
+		text, _ := fixAdvice(detect.Finding{Kind: k})
+		if text == "" || text == "review this finding" {
+			t.Errorf("kind %s has no tailored advice", k)
+		}
+	}
+}

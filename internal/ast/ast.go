@@ -1,0 +1,1034 @@
+// Package ast defines the abstract syntax tree for the Rust subset parsed
+// by rustprobe. The tree intentionally mirrors rustc's AST nomenclature
+// (Item, Expr, Pat, ...) so the paper's MIR-level analyses read naturally.
+package ast
+
+import "rustprobe/internal/source"
+
+// Node is implemented by every syntax node.
+type Node interface {
+	Span() source.Span
+}
+
+// ---------------------------------------------------------------------------
+// Crate and items
+
+// Crate is one parsed source file.
+type Crate struct {
+	FileName string
+	Items    []Item
+	Sp       source.Span
+}
+
+// Span implements Node.
+func (c *Crate) Span() source.Span { return c.Sp }
+
+// Item is a top-level (or impl/trait-nested) declaration.
+type Item interface {
+	Node
+	itemNode()
+}
+
+// Attr is a parsed `#[...]` attribute; the content is kept as raw text.
+type Attr struct {
+	Name string // first path segment inside the brackets, e.g. "derive"
+	Text string // full bracketed text
+	Sp   source.Span
+}
+
+// Span implements Node.
+func (a *Attr) Span() source.Span { return a.Sp }
+
+// Visibility is a simplified pub-ness flag.
+type Visibility int
+
+// Visibility values.
+const (
+	VisPrivate Visibility = iota
+	VisPub
+	VisPubCrate
+)
+
+// GenericParam is a declared lifetime or type parameter.
+type GenericParam struct {
+	Name       string // includes leading ' for lifetimes
+	IsLifetime bool
+	Bounds     []string // textual trait bounds, e.g. "Send"
+	Sp         source.Span
+}
+
+// FnDecl is a function signature.
+type FnDecl struct {
+	Params []*Param
+	Ret    Type // nil means unit
+}
+
+// Param is one function parameter. For a `self` receiver, Name is "self"
+// and SelfKind records the receiver form.
+type Param struct {
+	Name     string
+	Pat      Pat // nil for plain-ident / self params
+	Ty       Type
+	SelfKind SelfKind
+	Sp       source.Span
+}
+
+// SelfKind classifies the `self` receiver form of a method.
+type SelfKind int
+
+// SelfKind values.
+const (
+	SelfNone   SelfKind = iota // not a receiver
+	SelfValue                  // self
+	SelfRef                    // &self
+	SelfRefMut                 // &mut self
+)
+
+// FnItem is a function or method definition.
+type FnItem struct {
+	Attrs    []*Attr
+	Vis      Visibility
+	Unsafety bool // declared `unsafe fn`
+	Name     string
+	Generics []*GenericParam
+	Decl     *FnDecl
+	Body     *BlockExpr // nil for trait method declarations without bodies
+	Sp       source.Span
+}
+
+func (f *FnItem) itemNode() {}
+
+// Span implements Node.
+func (f *FnItem) Span() source.Span { return f.Sp }
+
+// FieldDef is a named struct/enum-variant field.
+type FieldDef struct {
+	Vis  Visibility
+	Name string
+	Ty   Type
+	Sp   source.Span
+}
+
+// StructItem is a struct definition (named-field or tuple form).
+type StructItem struct {
+	Attrs    []*Attr
+	Vis      Visibility
+	Name     string
+	Generics []*GenericParam
+	Fields   []*FieldDef
+	IsTuple  bool
+	IsUnit   bool
+	Sp       source.Span
+}
+
+func (s *StructItem) itemNode() {}
+
+// Span implements Node.
+func (s *StructItem) Span() source.Span { return s.Sp }
+
+// VariantDef is one enum variant.
+type VariantDef struct {
+	Name    string
+	Fields  []*FieldDef // tuple fields get names "0","1",...
+	IsTuple bool
+	IsUnit  bool
+	Sp      source.Span
+}
+
+// EnumItem is an enum definition.
+type EnumItem struct {
+	Attrs    []*Attr
+	Vis      Visibility
+	Name     string
+	Generics []*GenericParam
+	Variants []*VariantDef
+	Sp       source.Span
+}
+
+func (e *EnumItem) itemNode() {}
+
+// Span implements Node.
+func (e *EnumItem) Span() source.Span { return e.Sp }
+
+// ImplItem is an `impl` block, inherent (TraitName == "") or trait.
+type ImplItem struct {
+	Attrs     []*Attr
+	Unsafety  bool // `unsafe impl`
+	Generics  []*GenericParam
+	TraitName string // "" for inherent impls
+	SelfTy    Type
+	Items     []Item
+	Sp        source.Span
+}
+
+func (i *ImplItem) itemNode() {}
+
+// Span implements Node.
+func (i *ImplItem) Span() source.Span { return i.Sp }
+
+// TraitItem is a trait definition.
+type TraitItem struct {
+	Attrs    []*Attr
+	Vis      Visibility
+	Unsafety bool // `unsafe trait`
+	Name     string
+	Generics []*GenericParam
+	Items    []Item
+	Sp       source.Span
+}
+
+func (t *TraitItem) itemNode() {}
+
+// Span implements Node.
+func (t *TraitItem) Span() source.Span { return t.Sp }
+
+// StaticItem is a `static` or `const` item.
+type StaticItem struct {
+	Attrs   []*Attr
+	Vis     Visibility
+	IsConst bool
+	Mut     bool // `static mut`
+	Name    string
+	Ty      Type
+	Init    Expr
+	Sp      source.Span
+}
+
+func (s *StaticItem) itemNode() {}
+
+// Span implements Node.
+func (s *StaticItem) Span() source.Span { return s.Sp }
+
+// UseItem is a `use` declaration, path kept textually.
+type UseItem struct {
+	Vis  Visibility
+	Path string
+	Sp   source.Span
+}
+
+func (u *UseItem) itemNode() {}
+
+// Span implements Node.
+func (u *UseItem) Span() source.Span { return u.Sp }
+
+// ModItem is an inline module.
+type ModItem struct {
+	Vis   Visibility
+	Name  string
+	Items []Item
+	Sp    source.Span
+}
+
+func (m *ModItem) itemNode() {}
+
+// Span implements Node.
+func (m *ModItem) Span() source.Span { return m.Sp }
+
+// TypeAliasItem is `type X = T;`.
+type TypeAliasItem struct {
+	Vis  Visibility
+	Name string
+	Ty   Type
+	Sp   source.Span
+}
+
+func (t *TypeAliasItem) itemNode() {}
+
+// Span implements Node.
+func (t *TypeAliasItem) Span() source.Span { return t.Sp }
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is a syntactic type.
+type Type interface {
+	Node
+	typeNode()
+}
+
+// PathType is a (possibly generic) named type like `Vec<T>` or
+// `std::sync::Arc<Mutex<i32>>`.
+type PathType struct {
+	Segments  []string
+	Args      []Type   // generic type arguments of the final segment
+	Lifetimes []string // lifetime arguments of the final segment
+	Sp        source.Span
+}
+
+func (p *PathType) typeNode() {}
+
+// Span implements Node.
+func (p *PathType) Span() source.Span { return p.Sp }
+
+// Name returns the final path segment.
+func (p *PathType) Name() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	return p.Segments[len(p.Segments)-1]
+}
+
+// RefType is `&'a mut T`.
+type RefType struct {
+	Lifetime string
+	Mut      bool
+	Elem     Type
+	Sp       source.Span
+}
+
+func (r *RefType) typeNode() {}
+
+// Span implements Node.
+func (r *RefType) Span() source.Span { return r.Sp }
+
+// RawPtrType is `*const T` or `*mut T`.
+type RawPtrType struct {
+	Mut  bool
+	Elem Type
+	Sp   source.Span
+}
+
+func (r *RawPtrType) typeNode() {}
+
+// Span implements Node.
+func (r *RawPtrType) Span() source.Span { return r.Sp }
+
+// TupleType is `(A, B, ...)`; empty means unit.
+type TupleType struct {
+	Elems []Type
+	Sp    source.Span
+}
+
+func (t *TupleType) typeNode() {}
+
+// Span implements Node.
+func (t *TupleType) Span() source.Span { return t.Sp }
+
+// SliceType is `[T]`.
+type SliceType struct {
+	Elem Type
+	Sp   source.Span
+}
+
+func (s *SliceType) typeNode() {}
+
+// Span implements Node.
+func (s *SliceType) Span() source.Span { return s.Sp }
+
+// ArrayType is `[T; N]` with the length kept as an expression.
+type ArrayType struct {
+	Elem Type
+	Len  Expr
+	Sp   source.Span
+}
+
+func (a *ArrayType) typeNode() {}
+
+// Span implements Node.
+func (a *ArrayType) Span() source.Span { return a.Sp }
+
+// FnPtrType is `fn(A) -> B`.
+type FnPtrType struct {
+	Params []Type
+	Ret    Type
+	Sp     source.Span
+}
+
+func (f *FnPtrType) typeNode() {}
+
+// Span implements Node.
+func (f *FnPtrType) Span() source.Span { return f.Sp }
+
+// InferType is `_` in type position.
+type InferType struct {
+	Sp source.Span
+}
+
+func (i *InferType) typeNode() {}
+
+// Span implements Node.
+func (i *InferType) Span() source.Span { return i.Sp }
+
+// DynType is `dyn Trait` or `impl Trait` in type position.
+type DynType struct {
+	TraitName string
+	Sp        source.Span
+}
+
+func (d *DynType) typeNode() {}
+
+// Span implements Node.
+func (d *DynType) Span() source.Span { return d.Sp }
+
+// ---------------------------------------------------------------------------
+// Patterns
+
+// Pat is a match/let pattern.
+type Pat interface {
+	Node
+	patNode()
+}
+
+// BindPat binds a name, optionally by-reference or mutably, with an
+// optional subpattern (`x @ p`).
+type BindPat struct {
+	Name string
+	Ref  bool
+	Mut  bool
+	Sub  Pat
+	Sp   source.Span
+}
+
+func (b *BindPat) patNode() {}
+
+// Span implements Node.
+func (b *BindPat) Span() source.Span { return b.Sp }
+
+// WildPat is `_`.
+type WildPat struct {
+	Sp source.Span
+}
+
+func (w *WildPat) patNode() {}
+
+// Span implements Node.
+func (w *WildPat) Span() source.Span { return w.Sp }
+
+// LitPat matches a literal.
+type LitPat struct {
+	Value Expr
+	Sp    source.Span
+}
+
+func (l *LitPat) patNode() {}
+
+// Span implements Node.
+func (l *LitPat) Span() source.Span { return l.Sp }
+
+// PathPat matches a unit variant or const, e.g. `None`.
+type PathPat struct {
+	Segments []string
+	Sp       source.Span
+}
+
+func (p *PathPat) patNode() {}
+
+// Span implements Node.
+func (p *PathPat) Span() source.Span { return p.Sp }
+
+// Name returns the final path segment.
+func (p *PathPat) Name() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	return p.Segments[len(p.Segments)-1]
+}
+
+// TupleStructPat matches `Some(x)` / `Ok(v)` style patterns.
+type TupleStructPat struct {
+	Segments []string
+	Elems    []Pat
+	Sp       source.Span
+}
+
+func (t *TupleStructPat) patNode() {}
+
+// Span implements Node.
+func (t *TupleStructPat) Span() source.Span { return t.Sp }
+
+// Name returns the final path segment.
+func (t *TupleStructPat) Name() string {
+	if len(t.Segments) == 0 {
+		return ""
+	}
+	return t.Segments[len(t.Segments)-1]
+}
+
+// StructPat matches `Point { x, y }`.
+type StructPat struct {
+	Segments []string
+	Fields   []StructPatField
+	Rest     bool // `..`
+	Sp       source.Span
+}
+
+// StructPatField is one `name: pat` element of a StructPat.
+type StructPatField struct {
+	Name string
+	Pat  Pat
+}
+
+func (s *StructPat) patNode() {}
+
+// Span implements Node.
+func (s *StructPat) Span() source.Span { return s.Sp }
+
+// TuplePat matches `(a, b)`.
+type TuplePat struct {
+	Elems []Pat
+	Sp    source.Span
+}
+
+func (t *TuplePat) patNode() {}
+
+// Span implements Node.
+func (t *TuplePat) Span() source.Span { return t.Sp }
+
+// RefPat matches `&p` / `&mut p`.
+type RefPat struct {
+	Mut bool
+	Sub Pat
+	Sp  source.Span
+}
+
+func (r *RefPat) patNode() {}
+
+// Span implements Node.
+func (r *RefPat) Span() source.Span { return r.Sp }
+
+// OrPat matches `p | q`.
+type OrPat struct {
+	Alts []Pat
+	Sp   source.Span
+}
+
+func (o *OrPat) patNode() {}
+
+// Span implements Node.
+func (o *OrPat) Span() source.Span { return o.Sp }
+
+// RangePat matches `a..=b` in pattern position.
+type RangePat struct {
+	Lo, Hi Expr
+	Sp     source.Span
+}
+
+func (r *RangePat) patNode() {}
+
+// Span implements Node.
+func (r *RangePat) Span() source.Span { return r.Sp }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a block-level statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// LetStmt is `let pat: Ty = init;` with optional `else` block.
+type LetStmt struct {
+	Pat  Pat
+	Ty   Type // may be nil
+	Init Expr // may be nil
+	Else *BlockExpr
+	Sp   source.Span
+}
+
+func (l *LetStmt) stmtNode() {}
+
+// Span implements Node.
+func (l *LetStmt) Span() source.Span { return l.Sp }
+
+// ExprStmt is an expression statement; Semi records whether it was
+// terminated by a semicolon (a block's final non-semi expression is its
+// value).
+type ExprStmt struct {
+	X    Expr
+	Semi bool
+	Sp   source.Span
+}
+
+func (e *ExprStmt) stmtNode() {}
+
+// Span implements Node.
+func (e *ExprStmt) Span() source.Span { return e.Sp }
+
+// ItemStmt nests an item inside a block.
+type ItemStmt struct {
+	It Item
+	Sp source.Span
+}
+
+func (i *ItemStmt) stmtNode() {}
+
+// Span implements Node.
+func (i *ItemStmt) Span() source.Span { return i.Sp }
+
+// EmptyStmt is a stray `;`.
+type EmptyStmt struct {
+	Sp source.Span
+}
+
+func (e *EmptyStmt) stmtNode() {}
+
+// Span implements Node.
+func (e *EmptyStmt) Span() source.Span { return e.Sp }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// LitKind classifies literal expressions.
+type LitKind int
+
+// LitKind values.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitBool
+	LitStr
+	LitChar
+	LitByte
+	LitByteStr
+)
+
+// LitExpr is a literal.
+type LitExpr struct {
+	Kind LitKind
+	Text string // raw source text
+	Sp   source.Span
+}
+
+func (l *LitExpr) exprNode() {}
+
+// Span implements Node.
+func (l *LitExpr) Span() source.Span { return l.Sp }
+
+// PathExpr is a (possibly qualified) name: `x`, `Vec::new`, `Seal::None`.
+type PathExpr struct {
+	Segments []string
+	Generics []Type // turbofish `::<T>` args, if any
+	Sp       source.Span
+}
+
+func (p *PathExpr) exprNode() {}
+
+// Span implements Node.
+func (p *PathExpr) Span() source.Span { return p.Sp }
+
+// Name returns the final path segment.
+func (p *PathExpr) Name() string {
+	if len(p.Segments) == 0 {
+		return ""
+	}
+	return p.Segments[len(p.Segments)-1]
+}
+
+// IsLocal reports whether the path is a bare single-segment name.
+func (p *PathExpr) IsLocal() bool { return len(p.Segments) == 1 }
+
+// UnOp is a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	UnNeg   UnOp = iota // -x
+	UnNot               // !x
+	UnDeref             // *x
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op UnOp
+	X  Expr
+	Sp source.Span
+}
+
+func (u *UnaryExpr) exprNode() {}
+
+// Span implements Node.
+func (u *UnaryExpr) Span() source.Span { return u.Sp }
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinRem
+	BinAnd // &&
+	BinOr  // ||
+	BinBitAnd
+	BinBitOr
+	BinBitXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+)
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+	Sp   source.Span
+}
+
+func (b *BinaryExpr) exprNode() {}
+
+// Span implements Node.
+func (b *BinaryExpr) Span() source.Span { return b.Sp }
+
+// BorrowExpr is `&x` / `&mut x`.
+type BorrowExpr struct {
+	Mut bool
+	X   Expr
+	Sp  source.Span
+}
+
+func (b *BorrowExpr) exprNode() {}
+
+// Span implements Node.
+func (b *BorrowExpr) Span() source.Span { return b.Sp }
+
+// AssignExpr is `lhs = rhs` or a compound assignment when Op != nil.
+type AssignExpr struct {
+	L, R Expr
+	Op   *BinOp // nil for plain `=`
+	Sp   source.Span
+}
+
+func (a *AssignExpr) exprNode() {}
+
+// Span implements Node.
+func (a *AssignExpr) Span() source.Span { return a.Sp }
+
+// CallExpr is `f(a, b)`.
+type CallExpr struct {
+	Fn   Expr
+	Args []Expr
+	Sp   source.Span
+}
+
+func (c *CallExpr) exprNode() {}
+
+// Span implements Node.
+func (c *CallExpr) Span() source.Span { return c.Sp }
+
+// MethodCallExpr is `recv.name::<T>(args)`.
+type MethodCallExpr struct {
+	Recv     Expr
+	Name     string
+	Generics []Type
+	Args     []Expr
+	Sp       source.Span
+}
+
+func (m *MethodCallExpr) exprNode() {}
+
+// Span implements Node.
+func (m *MethodCallExpr) Span() source.Span { return m.Sp }
+
+// MacroCallExpr is `name!(...)`; arguments are parsed as expressions when
+// they are comma-separated expressions (vec!, println!, panic!, write!).
+type MacroCallExpr struct {
+	Name string
+	Args []Expr
+	Raw  string // raw text between the delimiters
+	Sp   source.Span
+}
+
+func (m *MacroCallExpr) exprNode() {}
+
+// Span implements Node.
+func (m *MacroCallExpr) Span() source.Span { return m.Sp }
+
+// FieldExpr is `x.f` or `x.0`.
+type FieldExpr struct {
+	X    Expr
+	Name string
+	Sp   source.Span
+}
+
+func (f *FieldExpr) exprNode() {}
+
+// Span implements Node.
+func (f *FieldExpr) Span() source.Span { return f.Sp }
+
+// IndexExpr is `x[i]`.
+type IndexExpr struct {
+	X, Index Expr
+	Sp       source.Span
+}
+
+func (i *IndexExpr) exprNode() {}
+
+// Span implements Node.
+func (i *IndexExpr) Span() source.Span { return i.Sp }
+
+// CastExpr is `x as T`.
+type CastExpr struct {
+	X  Expr
+	Ty Type
+	Sp source.Span
+}
+
+func (c *CastExpr) exprNode() {}
+
+// Span implements Node.
+func (c *CastExpr) Span() source.Span { return c.Sp }
+
+// BlockExpr is `{ stmts; tail }`; Unsafety marks `unsafe { ... }`.
+type BlockExpr struct {
+	Unsafety bool
+	Stmts    []Stmt
+	Sp       source.Span
+}
+
+func (b *BlockExpr) exprNode() {}
+
+// Span implements Node.
+func (b *BlockExpr) Span() source.Span { return b.Sp }
+
+// Tail returns the trailing non-semicolon expression of the block, or nil.
+func (b *BlockExpr) Tail() Expr {
+	if len(b.Stmts) == 0 {
+		return nil
+	}
+	if es, ok := b.Stmts[len(b.Stmts)-1].(*ExprStmt); ok && !es.Semi {
+		return es.X
+	}
+	return nil
+}
+
+// IfExpr is `if cond { } else { }`; Let is non-nil for `if let pat = expr`.
+type IfExpr struct {
+	LetPat Pat // nil unless `if let`
+	Cond   Expr
+	Then   *BlockExpr
+	Else   Expr // *BlockExpr, *IfExpr, or nil
+	Sp     source.Span
+}
+
+func (i *IfExpr) exprNode() {}
+
+// Span implements Node.
+func (i *IfExpr) Span() source.Span { return i.Sp }
+
+// MatchArm is one `pat (if guard) => body` arm.
+type MatchArm struct {
+	Pat   Pat
+	Guard Expr
+	Body  Expr
+	Sp    source.Span
+}
+
+// MatchExpr is `match scrutinee { arms }`.
+type MatchExpr struct {
+	Scrutinee Expr
+	Arms      []*MatchArm
+	Sp        source.Span
+}
+
+func (m *MatchExpr) exprNode() {}
+
+// Span implements Node.
+func (m *MatchExpr) Span() source.Span { return m.Sp }
+
+// WhileExpr is `while cond { }`; LetPat non-nil for `while let`.
+type WhileExpr struct {
+	LetPat Pat
+	Cond   Expr
+	Body   *BlockExpr
+	Label  string
+	Sp     source.Span
+}
+
+func (w *WhileExpr) exprNode() {}
+
+// Span implements Node.
+func (w *WhileExpr) Span() source.Span { return w.Sp }
+
+// LoopExpr is `loop { }`.
+type LoopExpr struct {
+	Body  *BlockExpr
+	Label string
+	Sp    source.Span
+}
+
+func (l *LoopExpr) exprNode() {}
+
+// Span implements Node.
+func (l *LoopExpr) Span() source.Span { return l.Sp }
+
+// ForExpr is `for pat in iter { }`.
+type ForExpr struct {
+	Pat   Pat
+	Iter  Expr
+	Body  *BlockExpr
+	Label string
+	Sp    source.Span
+}
+
+func (f *ForExpr) exprNode() {}
+
+// Span implements Node.
+func (f *ForExpr) Span() source.Span { return f.Sp }
+
+// ReturnExpr is `return x?`.
+type ReturnExpr struct {
+	X  Expr // may be nil
+	Sp source.Span
+}
+
+func (r *ReturnExpr) exprNode() {}
+
+// Span implements Node.
+func (r *ReturnExpr) Span() source.Span { return r.Sp }
+
+// BreakExpr is `break 'label value?`.
+type BreakExpr struct {
+	Label string
+	X     Expr
+	Sp    source.Span
+}
+
+func (b *BreakExpr) exprNode() {}
+
+// Span implements Node.
+func (b *BreakExpr) Span() source.Span { return b.Sp }
+
+// ContinueExpr is `continue 'label?`.
+type ContinueExpr struct {
+	Label string
+	Sp    source.Span
+}
+
+func (c *ContinueExpr) exprNode() {}
+
+// Span implements Node.
+func (c *ContinueExpr) Span() source.Span { return c.Sp }
+
+// StructExpr is `Name { f: e, ..base }`.
+type StructExpr struct {
+	Segments []string
+	Fields   []StructExprField
+	Base     Expr // `..base`, may be nil
+	Sp       source.Span
+}
+
+// StructExprField is one `name: value` initializer.
+type StructExprField struct {
+	Name  string
+	Value Expr
+}
+
+func (s *StructExpr) exprNode() {}
+
+// Span implements Node.
+func (s *StructExpr) Span() source.Span { return s.Sp }
+
+// Name returns the final path segment of the struct name.
+func (s *StructExpr) Name() string {
+	if len(s.Segments) == 0 {
+		return ""
+	}
+	return s.Segments[len(s.Segments)-1]
+}
+
+// TupleExpr is `(a, b)`; a single-element tuple requires a trailing comma,
+// which the parser distinguishes from parenthesization.
+type TupleExpr struct {
+	Elems []Expr
+	Sp    source.Span
+}
+
+func (t *TupleExpr) exprNode() {}
+
+// Span implements Node.
+func (t *TupleExpr) Span() source.Span { return t.Sp }
+
+// ArrayExpr is `[a, b]` or `[v; n]` (Repeat non-nil).
+type ArrayExpr struct {
+	Elems  []Expr
+	Repeat Expr // count for `[v; n]`
+	Sp     source.Span
+}
+
+func (a *ArrayExpr) exprNode() {}
+
+// Span implements Node.
+func (a *ArrayExpr) Span() source.Span { return a.Sp }
+
+// RangeExpr is `a..b`, `a..=b`, `..b`, `a..`, `..`.
+type RangeExpr struct {
+	Lo, Hi    Expr
+	Inclusive bool
+	Sp        source.Span
+}
+
+func (r *RangeExpr) exprNode() {}
+
+// Span implements Node.
+func (r *RangeExpr) Span() source.Span { return r.Sp }
+
+// ClosureExpr is `move? |params| body`.
+type ClosureExpr struct {
+	Move   bool
+	Params []*Param
+	Body   Expr
+	Sp     source.Span
+}
+
+func (c *ClosureExpr) exprNode() {}
+
+// Span implements Node.
+func (c *ClosureExpr) Span() source.Span { return c.Sp }
+
+// TryExpr is `x?`.
+type TryExpr struct {
+	X  Expr
+	Sp source.Span
+}
+
+func (t *TryExpr) exprNode() {}
+
+// Span implements Node.
+func (t *TryExpr) Span() source.Span { return t.Sp }
+
+// AwaitExpr is `x.await` (accepted, treated as a no-op wrapper).
+type AwaitExpr struct {
+	X  Expr
+	Sp source.Span
+}
+
+func (a *AwaitExpr) exprNode() {}
+
+// Span implements Node.
+func (a *AwaitExpr) Span() source.Span { return a.Sp }
+
+// ParenExpr preserves explicit grouping.
+type ParenExpr struct {
+	X  Expr
+	Sp source.Span
+}
+
+func (p *ParenExpr) exprNode() {}
+
+// Span implements Node.
+func (p *ParenExpr) Span() source.Span { return p.Sp }
+
+// Unparen strips ParenExpr wrappers.
+func Unparen(e Expr) Expr {
+	for {
+		p, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,785 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the crate back to Rust-subset source. The output
+// re-parses to a structurally identical tree (modulo spans); the parser
+// tests pin that round-trip.
+func Print(c *Crate) string {
+	p := &printer{}
+	for i, it := range c.Items {
+		if i > 0 {
+			p.nl()
+		}
+		p.item(it)
+	}
+	return p.b.String()
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	p := &printer{}
+	p.expr(e)
+	return p.b.String()
+}
+
+// PrintType renders one type.
+func PrintType(t Type) string {
+	p := &printer{}
+	p.typ(t)
+	return p.b.String()
+}
+
+// PrintPat renders one pattern.
+func PrintPat(pat Pat) string {
+	p := &printer{}
+	p.pat(pat)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) w(s string)                   { p.b.WriteString(s) }
+func (p *printer) f(format string, args ...any) { fmt.Fprintf(&p.b, format, args...) }
+
+func (p *printer) nl() {
+	p.w("\n")
+	p.w(strings.Repeat("    ", p.indent))
+}
+
+func (p *printer) vis(v Visibility) {
+	switch v {
+	case VisPub:
+		p.w("pub ")
+	case VisPubCrate:
+		p.w("pub(crate) ")
+	}
+}
+
+func (p *printer) generics(gs []*GenericParam) {
+	if len(gs) == 0 {
+		return
+	}
+	p.w("<")
+	for i, g := range gs {
+		if i > 0 {
+			p.w(", ")
+		}
+		p.w(g.Name)
+		if len(g.Bounds) > 0 {
+			p.w(": ")
+			p.w(strings.Join(g.Bounds, " + "))
+		}
+	}
+	p.w(">")
+}
+
+func (p *printer) item(it Item) {
+	switch it := it.(type) {
+	case *FnItem:
+		p.fnItem(it)
+	case *StructItem:
+		p.vis(it.Vis)
+		p.f("struct %s", it.Name)
+		p.generics(it.Generics)
+		switch {
+		case it.IsUnit:
+			p.w(";")
+		case it.IsTuple:
+			p.w("(")
+			for i, f := range it.Fields {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.vis(f.Vis)
+				p.typ(f.Ty)
+			}
+			p.w(");")
+		default:
+			p.w(" {")
+			p.indent++
+			for _, f := range it.Fields {
+				p.nl()
+				p.vis(f.Vis)
+				p.f("%s: ", f.Name)
+				p.typ(f.Ty)
+				p.w(",")
+			}
+			p.indent--
+			p.nl()
+			p.w("}")
+		}
+	case *EnumItem:
+		p.vis(it.Vis)
+		p.f("enum %s", it.Name)
+		p.generics(it.Generics)
+		p.w(" {")
+		p.indent++
+		for _, v := range it.Variants {
+			p.nl()
+			p.w(v.Name)
+			switch {
+			case v.IsTuple:
+				p.w("(")
+				for i, f := range v.Fields {
+					if i > 0 {
+						p.w(", ")
+					}
+					p.typ(f.Ty)
+				}
+				p.w(")")
+			case !v.IsUnit:
+				p.w(" { ")
+				for i, f := range v.Fields {
+					if i > 0 {
+						p.w(", ")
+					}
+					p.f("%s: ", f.Name)
+					p.typ(f.Ty)
+				}
+				p.w(" }")
+			}
+			p.w(",")
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *ImplItem:
+		if it.Unsafety {
+			p.w("unsafe ")
+		}
+		p.w("impl")
+		p.generics(it.Generics)
+		p.w(" ")
+		if it.TraitName != "" {
+			p.f("%s for ", it.TraitName)
+		}
+		p.typ(it.SelfTy)
+		p.w(" {")
+		p.indent++
+		for _, sub := range it.Items {
+			p.nl()
+			p.item(sub)
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *TraitItem:
+		p.vis(it.Vis)
+		if it.Unsafety {
+			p.w("unsafe ")
+		}
+		p.f("trait %s", it.Name)
+		p.generics(it.Generics)
+		p.w(" {")
+		p.indent++
+		for _, sub := range it.Items {
+			p.nl()
+			p.item(sub)
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *StaticItem:
+		p.vis(it.Vis)
+		if it.IsConst {
+			p.w("const ")
+		} else {
+			p.w("static ")
+		}
+		if it.Mut {
+			p.w("mut ")
+		}
+		p.w(it.Name)
+		if it.Ty != nil {
+			p.w(": ")
+			p.typ(it.Ty)
+		}
+		if it.Init != nil {
+			p.w(" = ")
+			p.expr(it.Init)
+		}
+		p.w(";")
+	case *UseItem:
+		p.vis(it.Vis)
+		p.f("use %s;", it.Path)
+	case *ModItem:
+		p.vis(it.Vis)
+		p.f("mod %s {", it.Name)
+		p.indent++
+		for _, sub := range it.Items {
+			p.nl()
+			p.item(sub)
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *TypeAliasItem:
+		p.vis(it.Vis)
+		p.f("type %s = ", it.Name)
+		p.typ(it.Ty)
+		p.w(";")
+	}
+}
+
+func (p *printer) fnItem(it *FnItem) {
+	p.vis(it.Vis)
+	if it.Unsafety {
+		p.w("unsafe ")
+	}
+	p.f("fn %s", it.Name)
+	p.generics(it.Generics)
+	p.w("(")
+	for i, prm := range it.Decl.Params {
+		if i > 0 {
+			p.w(", ")
+		}
+		switch prm.SelfKind {
+		case SelfValue:
+			p.w("self")
+		case SelfRef:
+			p.w("&self")
+		case SelfRefMut:
+			p.w("&mut self")
+		default:
+			if prm.Pat != nil && prm.Name == "" {
+				p.pat(prm.Pat)
+			} else {
+				p.w(prm.Name)
+			}
+			if prm.Ty != nil {
+				p.w(": ")
+				p.typ(prm.Ty)
+			}
+		}
+	}
+	p.w(")")
+	if it.Decl.Ret != nil {
+		p.w(" -> ")
+		p.typ(it.Decl.Ret)
+	}
+	if it.Body == nil {
+		p.w(";")
+		return
+	}
+	p.w(" ")
+	p.block(it.Body)
+}
+
+func (p *printer) typ(t Type) {
+	switch t := t.(type) {
+	case nil:
+		p.w("_")
+	case *PathType:
+		p.w(strings.Join(t.Segments, "::"))
+		if len(t.Args) > 0 || len(t.Lifetimes) > 0 {
+			p.w("<")
+			n := 0
+			for _, lt := range t.Lifetimes {
+				if n > 0 {
+					p.w(", ")
+				}
+				p.w(lt)
+				n++
+			}
+			for _, a := range t.Args {
+				if n > 0 {
+					p.w(", ")
+				}
+				p.typ(a)
+				n++
+			}
+			p.w(">")
+		}
+	case *RefType:
+		p.w("&")
+		if t.Lifetime != "" {
+			p.w(t.Lifetime)
+			p.w(" ")
+		}
+		if t.Mut {
+			p.w("mut ")
+		}
+		p.typ(t.Elem)
+	case *RawPtrType:
+		if t.Mut {
+			p.w("*mut ")
+		} else {
+			p.w("*const ")
+		}
+		p.typ(t.Elem)
+	case *TupleType:
+		p.w("(")
+		for i, e := range t.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.typ(e)
+		}
+		if len(t.Elems) == 1 {
+			p.w(",")
+		}
+		p.w(")")
+	case *SliceType:
+		p.w("[")
+		p.typ(t.Elem)
+		p.w("]")
+	case *ArrayType:
+		p.w("[")
+		p.typ(t.Elem)
+		p.w("; ")
+		p.expr(t.Len)
+		p.w("]")
+	case *FnPtrType:
+		p.w("fn(")
+		for i, prm := range t.Params {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.typ(prm)
+		}
+		p.w(")")
+		if t.Ret != nil {
+			p.w(" -> ")
+			p.typ(t.Ret)
+		}
+	case *InferType:
+		p.w("_")
+	case *DynType:
+		p.f("dyn %s", t.TraitName)
+	}
+}
+
+func (p *printer) pat(pat Pat) {
+	switch pat := pat.(type) {
+	case *BindPat:
+		if pat.Ref {
+			p.w("ref ")
+		}
+		if pat.Mut {
+			p.w("mut ")
+		}
+		p.w(pat.Name)
+		if pat.Sub != nil {
+			p.w(" @ ")
+			p.pat(pat.Sub)
+		}
+	case *WildPat:
+		p.w("_")
+	case *LitPat:
+		p.expr(pat.Value)
+	case *PathPat:
+		p.w(strings.Join(pat.Segments, "::"))
+	case *TupleStructPat:
+		p.w(strings.Join(pat.Segments, "::"))
+		p.w("(")
+		for i, e := range pat.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.pat(e)
+		}
+		p.w(")")
+	case *StructPat:
+		p.w(strings.Join(pat.Segments, "::"))
+		p.w(" { ")
+		for i, f := range pat.Fields {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.f("%s: ", f.Name)
+			p.pat(f.Pat)
+		}
+		if pat.Rest {
+			if len(pat.Fields) > 0 {
+				p.w(", ")
+			}
+			p.w("..")
+		}
+		p.w(" }")
+	case *TuplePat:
+		p.w("(")
+		for i, e := range pat.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.pat(e)
+		}
+		if len(pat.Elems) == 1 {
+			p.w(",")
+		}
+		p.w(")")
+	case *RefPat:
+		p.w("&")
+		if pat.Mut {
+			p.w("mut ")
+		}
+		p.pat(pat.Sub)
+	case *OrPat:
+		for i, a := range pat.Alts {
+			if i > 0 {
+				p.w(" | ")
+			}
+			p.pat(a)
+		}
+	case *RangePat:
+		if pat.Lo != nil {
+			p.expr(pat.Lo)
+		}
+		p.w("..=")
+		if pat.Hi != nil {
+			p.expr(pat.Hi)
+		}
+	}
+}
+
+// postfixOperand prints e as the receiver of a postfix operation (field,
+// method, index, try), parenthesizing prefix forms like `*p` so the
+// grouping survives re-parsing.
+func (p *printer) postfixOperand(e Expr) {
+	switch Unparen(e).(type) {
+	case *UnaryExpr, *BorrowExpr, *CastExpr, *RangeExpr, *ClosureExpr:
+		p.w("(")
+		p.expr(Unparen(e))
+		p.w(")")
+	default:
+		p.expr(e)
+	}
+}
+
+var binOpText = map[BinOp]string{
+	BinAdd: "+", BinSub: "-", BinMul: "*", BinDiv: "/", BinRem: "%",
+	BinAnd: "&&", BinOr: "||", BinBitAnd: "&", BinBitOr: "|", BinBitXor: "^",
+	BinShl: "<<", BinShr: ">>", BinEq: "==", BinNe: "!=",
+	BinLt: "<", BinLe: "<=", BinGt: ">", BinGe: ">=",
+}
+
+func (p *printer) block(b *BlockExpr) {
+	if b.Unsafety {
+		p.w("unsafe ")
+	}
+	p.w("{")
+	p.indent++
+	for _, st := range b.Stmts {
+		p.nl()
+		p.stmt(st)
+	}
+	p.indent--
+	p.nl()
+	p.w("}")
+}
+
+func (p *printer) stmt(st Stmt) {
+	switch st := st.(type) {
+	case *LetStmt:
+		p.w("let ")
+		p.pat(st.Pat)
+		if st.Ty != nil {
+			p.w(": ")
+			p.typ(st.Ty)
+		}
+		if st.Init != nil {
+			p.w(" = ")
+			p.expr(st.Init)
+		}
+		if st.Else != nil {
+			p.w(" else ")
+			p.block(st.Else)
+		}
+		p.w(";")
+	case *ExprStmt:
+		p.expr(st.X)
+		if st.Semi {
+			p.w(";")
+		}
+	case *ItemStmt:
+		p.item(st.It)
+	case *EmptyStmt:
+		p.w(";")
+	}
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *LitExpr:
+		p.w(e.Text)
+	case *PathExpr:
+		p.w(strings.Join(e.Segments, "::"))
+		if len(e.Generics) > 0 {
+			p.w("::<")
+			for i, g := range e.Generics {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.typ(g)
+			}
+			p.w(">")
+		}
+	case *UnaryExpr:
+		switch e.Op {
+		case UnNeg:
+			p.w("-")
+		case UnNot:
+			p.w("!")
+		case UnDeref:
+			p.w("*")
+		}
+		p.expr(e.X)
+	case *BinaryExpr:
+		p.w("(")
+		p.expr(e.L)
+		p.f(" %s ", binOpText[e.Op])
+		p.expr(e.R)
+		p.w(")")
+	case *BorrowExpr:
+		p.w("&")
+		if e.Mut {
+			p.w("mut ")
+		}
+		p.expr(e.X)
+	case *AssignExpr:
+		p.expr(e.L)
+		if e.Op != nil {
+			p.f(" %s= ", binOpText[*e.Op])
+		} else {
+			p.w(" = ")
+		}
+		p.expr(e.R)
+	case *CallExpr:
+		p.postfixOperand(e.Fn)
+		p.w("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a)
+		}
+		p.w(")")
+	case *MethodCallExpr:
+		p.postfixOperand(e.Recv)
+		p.f(".%s", e.Name)
+		if len(e.Generics) > 0 {
+			p.w("::<")
+			for i, g := range e.Generics {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.typ(g)
+			}
+			p.w(">")
+		}
+		p.w("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(a)
+		}
+		p.w(")")
+	case *MacroCallExpr:
+		p.f("%s!(", e.Name)
+		if len(e.Args) > 0 {
+			for i, a := range e.Args {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.expr(a)
+			}
+		} else {
+			p.w(e.Raw)
+		}
+		p.w(")")
+	case *FieldExpr:
+		p.postfixOperand(e.X)
+		p.f(".%s", e.Name)
+	case *IndexExpr:
+		p.postfixOperand(e.X)
+		p.w("[")
+		p.expr(e.Index)
+		p.w("]")
+	case *CastExpr:
+		p.w("(")
+		p.expr(e.X)
+		p.w(" as ")
+		p.typ(e.Ty)
+		p.w(")")
+	case *BlockExpr:
+		p.block(e)
+	case *IfExpr:
+		p.w("if ")
+		if e.LetPat != nil {
+			p.w("let ")
+			p.pat(e.LetPat)
+			p.w(" = ")
+		}
+		p.expr(e.Cond)
+		p.w(" ")
+		p.block(e.Then)
+		if e.Else != nil {
+			p.w(" else ")
+			p.expr(e.Else)
+		}
+	case *MatchExpr:
+		p.w("match ")
+		p.expr(e.Scrutinee)
+		p.w(" {")
+		p.indent++
+		for _, arm := range e.Arms {
+			p.nl()
+			p.pat(arm.Pat)
+			if arm.Guard != nil {
+				p.w(" if ")
+				p.expr(arm.Guard)
+			}
+			p.w(" => ")
+			p.expr(arm.Body)
+			p.w(",")
+		}
+		p.indent--
+		p.nl()
+		p.w("}")
+	case *WhileExpr:
+		if e.Label != "" {
+			p.f("%s: ", e.Label)
+		}
+		p.w("while ")
+		if e.LetPat != nil {
+			p.w("let ")
+			p.pat(e.LetPat)
+			p.w(" = ")
+		}
+		p.expr(e.Cond)
+		p.w(" ")
+		p.block(e.Body)
+	case *LoopExpr:
+		if e.Label != "" {
+			p.f("%s: ", e.Label)
+		}
+		p.w("loop ")
+		p.block(e.Body)
+	case *ForExpr:
+		if e.Label != "" {
+			p.f("%s: ", e.Label)
+		}
+		p.w("for ")
+		p.pat(e.Pat)
+		p.w(" in ")
+		p.expr(e.Iter)
+		p.w(" ")
+		p.block(e.Body)
+	case *ReturnExpr:
+		p.w("return")
+		if e.X != nil {
+			p.w(" ")
+			p.expr(e.X)
+		}
+	case *BreakExpr:
+		p.w("break")
+		if e.Label != "" {
+			p.f(" %s", e.Label)
+		}
+		if e.X != nil {
+			p.w(" ")
+			p.expr(e.X)
+		}
+	case *ContinueExpr:
+		p.w("continue")
+		if e.Label != "" {
+			p.f(" %s", e.Label)
+		}
+	case *StructExpr:
+		p.w(strings.Join(e.Segments, "::"))
+		p.w(" { ")
+		for i, f := range e.Fields {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.f("%s: ", f.Name)
+			p.expr(f.Value)
+		}
+		if e.Base != nil {
+			if len(e.Fields) > 0 {
+				p.w(", ")
+			}
+			p.w("..")
+			p.expr(e.Base)
+		}
+		p.w(" }")
+	case *TupleExpr:
+		p.w("(")
+		for i, el := range e.Elems {
+			if i > 0 {
+				p.w(", ")
+			}
+			p.expr(el)
+		}
+		if len(e.Elems) == 1 {
+			p.w(",")
+		}
+		p.w(")")
+	case *ArrayExpr:
+		p.w("[")
+		if e.Repeat != nil {
+			p.expr(e.Elems[0])
+			p.w("; ")
+			p.expr(e.Repeat)
+		} else {
+			for i, el := range e.Elems {
+				if i > 0 {
+					p.w(", ")
+				}
+				p.expr(el)
+			}
+		}
+		p.w("]")
+	case *RangeExpr:
+		if e.Lo != nil {
+			p.expr(e.Lo)
+		}
+		if e.Inclusive {
+			p.w("..=")
+		} else {
+			p.w("..")
+		}
+		if e.Hi != nil {
+			p.expr(e.Hi)
+		}
+	case *ClosureExpr:
+		if e.Move {
+			p.w("move ")
+		}
+		p.w("|")
+		for i, prm := range e.Params {
+			if i > 0 {
+				p.w(", ")
+			}
+			if prm.Pat != nil && prm.Name == "" {
+				p.pat(prm.Pat)
+			} else {
+				p.w(prm.Name)
+			}
+			if prm.Ty != nil {
+				p.w(": ")
+				p.typ(prm.Ty)
+			}
+		}
+		p.w("| ")
+		p.expr(e.Body)
+	case *TryExpr:
+		p.postfixOperand(e.X)
+		p.w("?")
+	case *AwaitExpr:
+		p.postfixOperand(e.X)
+		p.w(".await")
+	case *ParenExpr:
+		// The printer parenthesizes binaries and casts itself, so source
+		// grouping is dropped; re-printing stays idempotent.
+		p.expr(e.X)
+	}
+}

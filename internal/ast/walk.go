@@ -1,0 +1,267 @@
+package ast
+
+// Visitor is called for every node during Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first source order.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Crate:
+		for _, it := range n.Items {
+			Walk(it, v)
+		}
+	case *FnItem:
+		for _, p := range n.Decl.Params {
+			if p.Pat != nil {
+				Walk(p.Pat, v)
+			}
+			if p.Ty != nil {
+				Walk(p.Ty, v)
+			}
+		}
+		if n.Decl.Ret != nil {
+			Walk(n.Decl.Ret, v)
+		}
+		if n.Body != nil {
+			Walk(n.Body, v)
+		}
+	case *StructItem:
+		for _, f := range n.Fields {
+			Walk(f.Ty, v)
+		}
+	case *EnumItem:
+		for _, vd := range n.Variants {
+			for _, f := range vd.Fields {
+				Walk(f.Ty, v)
+			}
+		}
+	case *ImplItem:
+		Walk(n.SelfTy, v)
+		for _, it := range n.Items {
+			Walk(it, v)
+		}
+	case *TraitItem:
+		for _, it := range n.Items {
+			Walk(it, v)
+		}
+	case *StaticItem:
+		if n.Ty != nil {
+			Walk(n.Ty, v)
+		}
+		if n.Init != nil {
+			Walk(n.Init, v)
+		}
+	case *ModItem:
+		for _, it := range n.Items {
+			Walk(it, v)
+		}
+	case *TypeAliasItem:
+		Walk(n.Ty, v)
+	case *UseItem:
+
+	// Types
+	case *PathType:
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *RefType:
+		Walk(n.Elem, v)
+	case *RawPtrType:
+		Walk(n.Elem, v)
+	case *TupleType:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *SliceType:
+		Walk(n.Elem, v)
+	case *ArrayType:
+		Walk(n.Elem, v)
+		if n.Len != nil {
+			Walk(n.Len, v)
+		}
+	case *FnPtrType:
+		for _, p := range n.Params {
+			Walk(p, v)
+		}
+		if n.Ret != nil {
+			Walk(n.Ret, v)
+		}
+	case *InferType, *DynType:
+
+	// Patterns
+	case *BindPat:
+		if n.Sub != nil {
+			Walk(n.Sub, v)
+		}
+	case *WildPat, *PathPat:
+	case *LitPat:
+		Walk(n.Value, v)
+	case *TupleStructPat:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *StructPat:
+		for _, f := range n.Fields {
+			if f.Pat != nil {
+				Walk(f.Pat, v)
+			}
+		}
+	case *TuplePat:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *RefPat:
+		Walk(n.Sub, v)
+	case *OrPat:
+		for _, a := range n.Alts {
+			Walk(a, v)
+		}
+	case *RangePat:
+		if n.Lo != nil {
+			Walk(n.Lo, v)
+		}
+		if n.Hi != nil {
+			Walk(n.Hi, v)
+		}
+
+	// Statements
+	case *LetStmt:
+		Walk(n.Pat, v)
+		if n.Ty != nil {
+			Walk(n.Ty, v)
+		}
+		if n.Init != nil {
+			Walk(n.Init, v)
+		}
+		if n.Else != nil {
+			Walk(n.Else, v)
+		}
+	case *ExprStmt:
+		Walk(n.X, v)
+	case *ItemStmt:
+		Walk(n.It, v)
+	case *EmptyStmt:
+
+	// Expressions
+	case *LitExpr, *PathExpr, *ContinueExpr:
+	case *UnaryExpr:
+		Walk(n.X, v)
+	case *BinaryExpr:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *BorrowExpr:
+		Walk(n.X, v)
+	case *AssignExpr:
+		Walk(n.L, v)
+		Walk(n.R, v)
+	case *CallExpr:
+		Walk(n.Fn, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *MethodCallExpr:
+		Walk(n.Recv, v)
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *MacroCallExpr:
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *FieldExpr:
+		Walk(n.X, v)
+	case *IndexExpr:
+		Walk(n.X, v)
+		Walk(n.Index, v)
+	case *CastExpr:
+		Walk(n.X, v)
+		Walk(n.Ty, v)
+	case *BlockExpr:
+		for _, s := range n.Stmts {
+			Walk(s, v)
+		}
+	case *IfExpr:
+		if n.LetPat != nil {
+			Walk(n.LetPat, v)
+		}
+		Walk(n.Cond, v)
+		Walk(n.Then, v)
+		if n.Else != nil {
+			Walk(n.Else, v)
+		}
+	case *MatchExpr:
+		Walk(n.Scrutinee, v)
+		for _, arm := range n.Arms {
+			Walk(arm.Pat, v)
+			if arm.Guard != nil {
+				Walk(arm.Guard, v)
+			}
+			Walk(arm.Body, v)
+		}
+	case *WhileExpr:
+		if n.LetPat != nil {
+			Walk(n.LetPat, v)
+		}
+		Walk(n.Cond, v)
+		Walk(n.Body, v)
+	case *LoopExpr:
+		Walk(n.Body, v)
+	case *ForExpr:
+		Walk(n.Pat, v)
+		Walk(n.Iter, v)
+		Walk(n.Body, v)
+	case *ReturnExpr:
+		if n.X != nil {
+			Walk(n.X, v)
+		}
+	case *BreakExpr:
+		if n.X != nil {
+			Walk(n.X, v)
+		}
+	case *StructExpr:
+		for _, f := range n.Fields {
+			Walk(f.Value, v)
+		}
+		if n.Base != nil {
+			Walk(n.Base, v)
+		}
+	case *TupleExpr:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+	case *ArrayExpr:
+		for _, e := range n.Elems {
+			Walk(e, v)
+		}
+		if n.Repeat != nil {
+			Walk(n.Repeat, v)
+		}
+	case *RangeExpr:
+		if n.Lo != nil {
+			Walk(n.Lo, v)
+		}
+		if n.Hi != nil {
+			Walk(n.Hi, v)
+		}
+	case *ClosureExpr:
+		Walk(n.Body, v)
+	case *TryExpr:
+		Walk(n.X, v)
+	case *AwaitExpr:
+		Walk(n.X, v)
+	case *ParenExpr:
+		Walk(n.X, v)
+	}
+}
+
+// Inspect is a convenience wrapper over Walk that never prunes.
+func Inspect(n Node, f func(Node)) {
+	Walk(n, func(n Node) bool {
+		f(n)
+		return true
+	})
+}

@@ -1,0 +1,244 @@
+// Package borrowck implements an NLL-style borrow analysis over MIR: each
+// borrow is live from its creation to the last use of the reference, and
+// two live borrows of overlapping places conflict when either is mutable.
+// This is the static underpinning for the paper's interior-mutability
+// discussion (§4.3, Figure 5): APIs that hand out a shared reference while
+// another path mutates the same storage.
+package borrowck
+
+import (
+	"fmt"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+)
+
+// Borrow is one borrow site.
+type Borrow struct {
+	Index   int
+	Mut     bool
+	Place   mir.Place   // the borrowed place
+	Dest    mir.LocalID // the reference-holding local
+	Block   mir.BlockID
+	StmtIdx int
+	Span    source.Span
+}
+
+// Conflict is a pair of overlapping live borrows with at least one mutable.
+type Conflict struct {
+	First, Second Borrow
+	At            source.Span // program point where both are live
+}
+
+// Analysis holds the computed borrows and liveness for one body.
+type Analysis struct {
+	Body     *mir.Body
+	Graph    *cfg.Graph
+	Borrows  []Borrow
+	liveness *dataflow.Result // bit i = borrow i may be live
+	lastUse  []map[mir.LocalID]bool
+}
+
+// Analyze collects borrows and computes their live ranges.
+func Analyze(body *mir.Body) *Analysis {
+	g := cfg.New(body)
+	a := &Analysis{Body: body, Graph: g}
+
+	// Collect borrow sites.
+	for _, blk := range body.Blocks {
+		for i, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			var mut bool
+			var pl mir.Place
+			switch rv := as.Rvalue.(type) {
+			case mir.Ref:
+				mut, pl = rv.Mut, rv.Place
+			case mir.AddrOf:
+				mut, pl = rv.Mut, rv.Place
+			default:
+				continue
+			}
+			if as.Place.HasDeref() {
+				continue
+			}
+			a.Borrows = append(a.Borrows, Borrow{
+				Index: len(a.Borrows), Mut: mut, Place: pl,
+				Dest: as.Place.Local, Block: blk.ID, StmtIdx: i, Span: as.Span,
+			})
+		}
+	}
+	if len(a.Borrows) == 0 {
+		return a
+	}
+
+	// Holder closure: the set of locals a borrow's reference may flow into
+	// through copies, moves and casts (r1 = &x creates the borrow in a
+	// temporary that the let-binding then copies out of). A borrow dies
+	// when its *only* holder's storage ends; multi-holder borrows stay
+	// live conservatively — over-liveness is sound for conflict
+	// reporting.
+	holders := make([]map[mir.LocalID]bool, len(a.Borrows))
+	for i, bw := range a.Borrows {
+		holders[i] = map[mir.LocalID]bool{bw.Dest: true}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || as.Place.HasDeref() {
+					continue
+				}
+				var src mir.Place
+				switch rv := as.Rvalue.(type) {
+				case mir.Use:
+					pl, ok := mir.OperandPlace(rv.X)
+					if !ok {
+						continue
+					}
+					src = pl
+				case mir.Cast:
+					pl, ok := mir.OperandPlace(rv.X)
+					if !ok {
+						continue
+					}
+					src = pl
+				default:
+					continue
+				}
+				for i := range holders {
+					if holders[i][src.Local] && !holders[i][as.Place.Local] {
+						holders[i][as.Place.Local] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	soleHolder := func(bi int, l mir.LocalID) bool {
+		return len(holders[bi]) == 1 && holders[bi][l]
+	}
+
+	prob := &dataflow.Problem{
+		Bits: len(a.Borrows),
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, blk mir.BlockID, idx int, st mir.Statement) {
+			switch st := st.(type) {
+			case mir.Assign:
+				switch st.Rvalue.(type) {
+				case mir.Ref, mir.AddrOf:
+					if bi, ok := findBorrow(a.Borrows, blk, idx); ok {
+						state.Set(bi)
+					}
+					return
+				}
+				if !st.Place.HasDeref() {
+					for bi := range holders {
+						if soleHolder(bi, st.Place.Local) {
+							state.Clear(bi)
+						}
+					}
+				}
+			case mir.StorageDead:
+				for bi := range holders {
+					if soleHolder(bi, st.Local) {
+						state.Clear(bi)
+					}
+				}
+			}
+		},
+	}
+	a.liveness = dataflow.Forward(g, prob)
+	return a
+}
+
+func findBorrow(borrows []Borrow, blk mir.BlockID, idx int) (int, bool) {
+	for _, b := range borrows {
+		if b.Block == blk && b.StmtIdx == idx {
+			return b.Index, true
+		}
+	}
+	return 0, false
+}
+
+// overlaps reports whether two places may alias: same root local and one
+// projection path is a prefix of the other (index projections always
+// overlap).
+func overlaps(a, b mir.Place) bool {
+	if a.Local != b.Local {
+		return false
+	}
+	n := len(a.Proj)
+	if len(b.Proj) < n {
+		n = len(b.Proj)
+	}
+	for i := 0; i < n; i++ {
+		af, aIsField := a.Proj[i].(mir.FieldProj)
+		bf, bIsField := b.Proj[i].(mir.FieldProj)
+		if aIsField && bIsField && af.Name != bf.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// Conflicts reports pairs of simultaneously-live overlapping borrows where
+// at least one is mutable.
+func (a *Analysis) Conflicts() []Conflict {
+	if a.liveness == nil {
+		return nil
+	}
+	var out []Conflict
+	seen := map[[2]int]bool{}
+	for _, blk := range a.Body.Blocks {
+		if !a.Graph.Reachable(blk.ID) {
+			continue
+		}
+		for i := range blk.Stmts {
+			state := a.liveness.StateAt(blk.ID, i)
+			var live []int
+			state.ForEach(func(bi int) { live = append(live, bi) })
+			for x := 0; x < len(live); x++ {
+				for y := x + 1; y < len(live); y++ {
+					b1, b2 := a.Borrows[live[x]], a.Borrows[live[y]]
+					if !b1.Mut && !b2.Mut {
+						continue
+					}
+					if !overlaps(b1.Place, b2.Place) {
+						continue
+					}
+					key := [2]int{live[x], live[y]}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, Conflict{First: b1, Second: b2, At: blk.Stmts[i].StmtSpan()})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LiveBorrowsAt returns the borrows live at the given statement index.
+func (a *Analysis) LiveBorrowsAt(blk mir.BlockID, idx int) []Borrow {
+	if a.liveness == nil {
+		return nil
+	}
+	state := a.liveness.StateAt(blk, idx)
+	var out []Borrow
+	state.ForEach(func(bi int) { out = append(out, a.Borrows[bi]) })
+	return out
+}
+
+// String summarizes the analysis for debugging.
+func (a *Analysis) String() string {
+	return fmt.Sprintf("borrowck(%s): %d borrows", a.Body.Func.Qualified, len(a.Borrows))
+}

@@ -1,0 +1,120 @@
+// Package callgraph builds the static call graph over lowered MIR bodies,
+// used by the inter-procedural parts of the double-lock and use-after-free
+// detectors.
+package callgraph
+
+import (
+	"sort"
+
+	"rustprobe/internal/mir"
+)
+
+// Edge is one call site.
+type Edge struct {
+	Caller string
+	Callee string
+	Site   mir.Call
+	Block  mir.BlockID
+}
+
+// Graph is the program call graph.
+type Graph struct {
+	Bodies map[string]*mir.Body
+	// Callees maps a function to its outgoing edges in block order.
+	Callees map[string][]Edge
+	// Callers maps a function to its incoming edges.
+	Callers map[string][]Edge
+}
+
+// Build constructs the call graph. Only calls resolved to a known body (by
+// Def or by name match) produce edges.
+func Build(bodies map[string]*mir.Body) *Graph {
+	g := &Graph{
+		Bodies:  bodies,
+		Callees: map[string][]Edge{},
+		Callers: map[string][]Edge{},
+	}
+	for name, body := range bodies {
+		for _, blk := range body.Blocks {
+			c, ok := blk.Term.(mir.Call)
+			if !ok {
+				continue
+			}
+			calleeName := ""
+			if c.Def != nil {
+				calleeName = c.Def.Qualified
+			} else if _, exists := bodies[c.Callee]; exists {
+				calleeName = c.Callee
+			}
+			if calleeName == "" {
+				continue
+			}
+			if _, exists := bodies[calleeName]; !exists {
+				continue
+			}
+			e := Edge{Caller: name, Callee: calleeName, Site: c, Block: blk.ID}
+			g.Callees[name] = append(g.Callees[name], e)
+			g.Callers[calleeName] = append(g.Callers[calleeName], e)
+		}
+	}
+	return g
+}
+
+// Names returns all function names in sorted order.
+func (g *Graph) Names() []string {
+	out := make([]string, 0, len(g.Bodies))
+	for n := range g.Bodies {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransitiveCallees returns every function reachable from start, excluding
+// start itself unless it is recursive.
+func (g *Graph) TransitiveCallees(start string) map[string]bool {
+	seen := map[string]bool{}
+	var work []string
+	for _, e := range g.Callees[start] {
+		if !seen[e.Callee] {
+			seen[e.Callee] = true
+			work = append(work, e.Callee)
+		}
+	}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.Callees[cur] {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				work = append(work, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// PostOrder returns functions in callee-before-caller order (cycles broken
+// arbitrarily but deterministically), for bottom-up summary propagation.
+func (g *Graph) PostOrder() []string {
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string)
+	visit = func(n string) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for _, e := range g.Callees[n] {
+			if state[e.Callee] == 0 {
+				visit(e.Callee)
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	for _, n := range g.Names() {
+		visit(n)
+	}
+	return order
+}

@@ -1,0 +1,98 @@
+package callgraph
+
+import (
+	"testing"
+
+	"rustprobe/internal/lower"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func buildGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	return Build(bodies)
+}
+
+const chainSrc = `
+fn a() { b(); }
+fn b() { c(); c(); }
+fn c() { external(); }
+struct S { v: i32 }
+impl S {
+    fn m(&self) { helper(self.v); }
+}
+fn helper(v: i32) {}
+`
+
+func TestEdges(t *testing.T) {
+	g := buildGraph(t, chainSrc)
+	if len(g.Callees["a"]) != 1 || g.Callees["a"][0].Callee != "b" {
+		t.Errorf("a's callees: %+v", g.Callees["a"])
+	}
+	if len(g.Callees["b"]) != 2 {
+		t.Errorf("b should call c twice: %+v", g.Callees["b"])
+	}
+	// external() resolves to nothing: no edge.
+	if len(g.Callees["c"]) != 0 {
+		t.Errorf("c's callees: %+v", g.Callees["c"])
+	}
+	if len(g.Callers["c"]) != 2 {
+		t.Errorf("c's callers: %+v", g.Callers["c"])
+	}
+	if len(g.Callees["S::m"]) != 1 || g.Callees["S::m"][0].Callee != "helper" {
+		t.Errorf("method edge missing: %+v", g.Callees["S::m"])
+	}
+}
+
+func TestTransitiveCallees(t *testing.T) {
+	g := buildGraph(t, chainSrc)
+	trans := g.TransitiveCallees("a")
+	if !trans["b"] || !trans["c"] {
+		t.Errorf("transitive = %v", trans)
+	}
+	if trans["helper"] {
+		t.Error("helper is not reachable from a")
+	}
+}
+
+func TestPostOrderCalleesFirst(t *testing.T) {
+	g := buildGraph(t, chainSrc)
+	order := g.PostOrder()
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["c"] > pos["b"] || pos["b"] > pos["a"] {
+		t.Errorf("post order wrong: %v", order)
+	}
+	if len(order) != len(g.Bodies) {
+		t.Errorf("post order misses functions: %d vs %d", len(order), len(g.Bodies))
+	}
+}
+
+func TestRecursionTolerated(t *testing.T) {
+	g := buildGraph(t, `
+fn even(n: i32) -> bool { odd(n - 1) }
+fn odd(n: i32) -> bool { even(n - 1) }
+`)
+	order := g.PostOrder()
+	if len(order) != 2 {
+		t.Errorf("order = %v", order)
+	}
+	trans := g.TransitiveCallees("even")
+	if !trans["odd"] || !trans["even"] {
+		t.Errorf("mutual recursion closure = %v", trans)
+	}
+	_ = mir.Call{}
+}

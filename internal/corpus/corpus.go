@@ -1,0 +1,223 @@
+// Package corpus embeds the Rust-subset source corpus standing in for the
+// paper's five studied applications, five libraries, and std excerpts
+// (DESIGN.md documents the substitution). Files are organized into groups:
+//
+//   - GroupDetectorEval: the §7 evaluation set, calibrated so the two
+//     detectors reproduce the paper's results exactly (4 use-after-free
+//     true positives + 3 false positives; 6 double locks, 0 false
+//     positives);
+//   - GroupPatterns: the paper's figure patterns (Figures 4-9) and the
+//     other studied bug categories, each with buggy and fixed variants;
+//   - GroupUnsafe: files dense in §4's unsafe-usage forms for the
+//     unsafety scanner.
+package corpus
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/hir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+	"rustprobe/internal/study"
+)
+
+//go:embed rust
+var rustFS embed.FS
+
+// Group selects a corpus slice.
+type Group string
+
+// Corpus groups.
+const (
+	GroupDetectorEval Group = "detector-eval"
+	GroupPatterns     Group = "patterns"
+	GroupUnsafe       Group = "unsafe"
+	// GroupApps holds app-scale, intentionally bug-free modules modeling
+	// the studied projects at realistic density; used by the frontend
+	// benchmarks and the clean-run regression tests.
+	GroupApps Group = "apps"
+	GroupAll  Group = "all"
+)
+
+// groupFiles maps groups to embedded paths.
+var groupFiles = map[Group][]string{
+	GroupDetectorEval: {
+		"rust/redox/uaf_findings.rs",
+		"rust/redox/uaf_falsepos.rs",
+		"rust/ethereum/doublelock_findings.rs",
+	},
+	GroupPatterns: {
+		"rust/servo/bioslice_sign.rs",
+		"rust/servo/queue_peek_pop.rs",
+		"rust/servo/blocking_patterns.rs",
+		"rust/servo/buffer_overflow.rs",
+		"rust/servo/channel_deadlock.rs",
+		"rust/redox/relibc_fdopen.rs",
+		"rust/redox/uninit_read.rs",
+		"rust/tikv/double_lock_match.rs",
+		"rust/tikv/atomicity.rs",
+		"rust/tock/mmio_share.rs",
+		"rust/ethereum/authority_round.rs",
+		"rust/ethereum/lock_order.rs",
+		"rust/ethereum/condvar.rs",
+		"rust/libs/nonblocking_patterns.rs",
+		"rust/libs/double_free_read.rs",
+		"rust/libs/lazy_init.rs",
+		"rust/std/testcell.rs",
+	},
+	GroupUnsafe: {
+		"rust/tock/unsafe_usages.rs",
+		"rust/std/interior_unsafe.rs",
+		"rust/std/string_model.rs",
+		"rust/libs/crossbeam_model.rs",
+	},
+	GroupApps: {
+		"rust/servo/style_engine.rs",
+		"rust/redox/scheme_fs.rs",
+		"rust/ethereum/miner_pipeline.rs",
+		"rust/tikv/raft_store.rs",
+		"rust/tock/kernel_sched.rs",
+	},
+}
+
+// File is one corpus source file.
+type File struct {
+	Path    string // embedded path, e.g. "rust/redox/uaf_findings.rs"
+	Project study.Project
+	Content string
+}
+
+// Files returns the files of a group in deterministic order.
+func Files(group Group) ([]File, error) {
+	var paths []string
+	if group == GroupAll {
+		for _, g := range []Group{GroupDetectorEval, GroupPatterns, GroupUnsafe, GroupApps} {
+			paths = append(paths, groupFiles[g]...)
+		}
+	} else {
+		paths = groupFiles[group]
+	}
+	if paths == nil {
+		return nil, fmt.Errorf("corpus: unknown group %q", group)
+	}
+	sort.Strings(paths)
+	var out []File
+	for _, p := range paths {
+		data, err := rustFS.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		out = append(out, File{Path: p, Project: projectOf(p), Content: string(data)})
+	}
+	return out, nil
+}
+
+// AllPaths returns every embedded corpus path (for tooling).
+func AllPaths() []string {
+	var out []string
+	fs.WalkDir(rustFS, "rust", func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rs") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}
+
+func projectOf(path string) study.Project {
+	switch {
+	case strings.Contains(path, "/servo/"):
+		return study.Servo
+	case strings.Contains(path, "/tock/"):
+		return study.Tock
+	case strings.Contains(path, "/ethereum/"):
+		return study.Ethereum
+	case strings.Contains(path, "/tikv/"):
+		return study.TiKV
+	case strings.Contains(path, "/redox/"):
+		return study.Redox
+	default:
+		return study.Libraries
+	}
+}
+
+// Load parses and resolves a corpus group into a program. Parse errors in
+// the corpus are bugs in rustprobe itself and are returned as an error.
+func Load(group Group) (*hir.Program, *source.Diagnostics, error) {
+	files, err := Files(group)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := source.NewFileSet()
+	diags := source.NewDiagnostics(fset)
+	var crates []*ast.Crate
+	for _, f := range files {
+		sf := fset.Add(f.Path, f.Content)
+		crates = append(crates, parser.ParseFile(sf, diags))
+	}
+	if diags.HasErrors() {
+		return nil, diags, fmt.Errorf("corpus: parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crates...)
+	return prog, diags, nil
+}
+
+// SyntheticCommits generates the commit-log history the §3 mining pipeline
+// runs over: one commit per studied bug (with a message derived from its
+// class) plus deterministic noise commits that the keyword filter must
+// reject.
+func SyntheticCommits(db *study.Database) []study.Commit {
+	var out []study.Commit
+	for i, b := range db.Bugs {
+		msg := ""
+		switch b.Class {
+		case study.MemoryBug:
+			switch b.MemEffect {
+			case study.EffectBuffer:
+				msg = "Fix buffer overflow in decoder"
+			case study.EffectNull:
+				msg = "Guard against null pointer dereference"
+			case study.EffectUninit:
+				msg = "Do not read uninitialized scratch memory"
+			case study.EffectInvalidFree:
+				msg = "Avoid invalid free of placement-new struct"
+			case study.EffectUAF:
+				msg = "Fix use-after-free of temporary buffer"
+			case study.EffectDoubleFree:
+				msg = "Prevent double free after ptr::read"
+			}
+		case study.BlockingBug:
+			switch b.BlkCause {
+			case study.CauseDoubleLock:
+				msg = "Fix deadlock: double lock of state mutex"
+			case study.CauseConflictingOrder:
+				msg = "Fix deadlock from conflicting lock order"
+			default:
+				msg = "Fix hang waiting on synchronization"
+			}
+		default:
+			msg = "Fix race condition on shared state"
+		}
+		out = append(out, study.Commit{
+			Project: b.Project,
+			Hash:    fmt.Sprintf("%s-%04d", b.ID, i),
+			Date:    b.FixedAt,
+			Message: msg,
+		})
+		// Noise commits between bug fixes.
+		out = append(out, study.Commit{
+			Project: b.Project,
+			Hash:    fmt.Sprintf("noise-%04d", i),
+			Date:    b.FixedAt.AddDate(0, 0, 1),
+			Message: "Refactor module layout and update docs",
+		})
+	}
+	return out
+}

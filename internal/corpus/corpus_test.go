@@ -1,0 +1,291 @@
+package corpus
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/dfree"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/interiormut"
+	"rustprobe/internal/detect/lockorder"
+	"rustprobe/internal/detect/uaf"
+	"rustprobe/internal/detect/uninit"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/study"
+	"rustprobe/internal/unsafety"
+)
+
+func loadCtx(t *testing.T, group Group) *detect.Context {
+	t.Helper()
+	prog, diags, err := Load(group)
+	if err != nil {
+		t.Fatalf("load %s: %v", group, err)
+	}
+	bodies := lower.Program(prog, diags)
+	if diags.HasErrors() {
+		t.Fatalf("lowering errors:\n%s", diags.String())
+	}
+	return detect.NewContext(prog, bodies)
+}
+
+func TestCorpusParses(t *testing.T) {
+	for _, g := range []Group{GroupDetectorEval, GroupPatterns, GroupUnsafe, GroupApps, GroupAll} {
+		if _, _, err := Load(g); err != nil {
+			t.Errorf("group %s: %v", g, err)
+		}
+	}
+}
+
+func TestAllFilesGrouped(t *testing.T) {
+	grouped := map[string]bool{}
+	for _, g := range []Group{GroupDetectorEval, GroupPatterns, GroupUnsafe, GroupApps} {
+		files, err := Files(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			grouped[f.Path] = true
+		}
+	}
+	for _, p := range AllPaths() {
+		if !grouped[p] {
+			t.Errorf("embedded file %s belongs to no group", p)
+		}
+	}
+}
+
+// TestSection7UAFResults pins the paper's §7.1 outcome: 4 previously
+// unknown use-after-free bugs and 3 false positives on the evaluation set.
+func TestSection7UAFResults(t *testing.T) {
+	ctx := loadCtx(t, GroupDetectorEval)
+	findings := uaf.New().Run(ctx)
+	var tps, fps int
+	for _, f := range findings {
+		if f.Kind != detect.KindUseAfterFree {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Function, "fp_"):
+			fps++
+		default:
+			tps++
+		}
+	}
+	if tps != study.UAFBugsFound {
+		t.Errorf("UAF true positives = %d, want %d\n%s", tps, study.UAFBugsFound, dump(ctx, findings))
+	}
+	if fps != study.UAFFalsePositives {
+		t.Errorf("UAF false positives = %d, want %d\n%s", fps, study.UAFFalsePositives, dump(ctx, findings))
+	}
+	// Each buggy function is flagged exactly once.
+	perFn := map[string]int{}
+	for _, f := range findings {
+		perFn[f.Function]++
+	}
+	for fn, n := range perFn {
+		if n != 1 {
+			t.Errorf("function %s flagged %d times, want 1", fn, n)
+		}
+	}
+}
+
+// TestSection7DoubleLockResults pins §7.2: 6 double locks, 0 false
+// positives (the *_fixed and clean variants stay silent).
+func TestSection7DoubleLockResults(t *testing.T) {
+	ctx := loadCtx(t, GroupDetectorEval)
+	findings := doublelock.New().Run(ctx)
+	var buggy, clean int
+	for _, f := range findings {
+		if f.Kind != detect.KindDoubleLock {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") || strings.Contains(f.Function, "transfer") {
+			clean++
+		} else {
+			buggy++
+		}
+	}
+	if buggy != study.DoubleLockBugsFound {
+		t.Errorf("double-lock bugs = %d, want %d\n%s", buggy, study.DoubleLockBugsFound, dump(ctx, findings))
+	}
+	if clean != study.DoubleLockFalsePos {
+		t.Errorf("double-lock false positives = %d, want %d\n%s", clean, study.DoubleLockFalsePos, dump(ctx, findings))
+	}
+}
+
+// TestPatternsFlagBuggyNotFixed runs both detectors over the figure
+// patterns: every figure's buggy function must be flagged, every fixed
+// variant must stay clean.
+func TestPatternsFlagBuggyNotFixed(t *testing.T) {
+	ctx := loadCtx(t, GroupPatterns)
+	var findings []detect.Finding
+	findings = append(findings, uaf.New().Run(ctx)...)
+	findings = append(findings, doublelock.New().Run(ctx)...)
+
+	flagged := map[string]bool{}
+	for _, f := range findings {
+		flagged[f.Function] = true
+	}
+	mustFlag := []string{"sign", "do_request"}
+	for _, fn := range mustFlag {
+		if !flagged[fn] {
+			t.Errorf("buggy pattern %s not flagged\n%s", fn, dump(ctx, findings))
+		}
+	}
+	mustNotFlag := []string{"sign_fixed", "do_request_fixed"}
+	for _, fn := range mustNotFlag {
+		if flagged[fn] {
+			t.Errorf("fixed pattern %s flagged\n%s", fn, dump(ctx, findings))
+		}
+	}
+}
+
+func TestSyntheticCommitsMine(t *testing.T) {
+	db := study.Build()
+	commits := SyntheticCommits(db)
+	cands, funnel := study.Mine(commits)
+	// Every bug commit survives the keyword filter; every noise commit is
+	// rejected.
+	if funnel.Filtered != 170 {
+		t.Errorf("filtered = %d, want 170", funnel.Filtered)
+	}
+	if funnel.Total != 340 {
+		t.Errorf("total = %d, want 340", funnel.Total)
+	}
+	if len(cands) != 170 {
+		t.Errorf("candidates = %d", len(cands))
+	}
+}
+
+func dump(ctx *detect.Context, findings []detect.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString(f.Format(ctx.Fset))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestUnsafeScanCorpusNumbers pins the EXPERIMENTS.md §4 corpus-scan
+// figures so the docs stay honest as the corpus evolves.
+func TestUnsafeScanCorpusNumbers(t *testing.T) {
+	prog, _, err := Load(GroupUnsafe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := unsafety.Scan(prog)
+	if rep.TotalUsages() != 24 || rep.Regions != 13 || rep.Fns != 7 || rep.Traits != 4 {
+		t.Errorf("scan = %d total (%d regions, %d fns, %d traits); EXPERIMENTS.md says 24 (13/7/4)",
+			rep.TotalUsages(), rep.Regions, rep.Fns, rep.Traits)
+	}
+	removable := rep.Removable()
+	ctors := 0
+	for _, u := range removable {
+		if u.CtorLabel {
+			ctors++
+		}
+	}
+	if ctors < 1 {
+		t.Error("constructor-label idiom not found in the corpus")
+	}
+	if len(rep.UncheckedInterior()) == 0 {
+		t.Error("no unchecked interior-unsafe functions found")
+	}
+}
+
+// TestAppsGroupClean: the app-scale modules are intentionally bug-free —
+// every detector must stay silent on them.
+func TestAppsGroupClean(t *testing.T) {
+	ctx := loadCtx(t, GroupApps)
+	var findings []detect.Finding
+	findings = append(findings, uaf.New().Run(ctx)...)
+	findings = append(findings, doublelock.New().Run(ctx)...)
+	if len(findings) != 0 {
+		t.Fatalf("apps group flagged:\n%s", dump(ctx, findings))
+	}
+}
+
+// TestPatternIndexComplete: every Table 2/3/4 category has a pattern
+// cross-reference pointing at a real embedded file that contains the named
+// function.
+func TestPatternIndexComplete(t *testing.T) {
+	for _, eff := range study.MemEffects {
+		if _, ok := MemPatterns[eff]; !ok {
+			t.Errorf("no pattern for memory effect %v", eff)
+		}
+	}
+	for _, prim := range study.SyncPrimitives {
+		if _, ok := BlkPatterns[prim]; !ok {
+			t.Errorf("no pattern for primitive %v", prim)
+		}
+	}
+	for _, mode := range study.ShareModes {
+		if _, ok := SharePatterns[mode]; !ok {
+			t.Errorf("no pattern for share mode %v", mode)
+		}
+	}
+	embedded := map[string]string{}
+	for _, g := range []Group{GroupDetectorEval, GroupPatterns, GroupUnsafe, GroupApps} {
+		files, err := Files(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			embedded[f.Path] = f.Content
+		}
+	}
+	for _, ref := range AllPatternRefs() {
+		content, ok := embedded[ref.Path]
+		if !ok {
+			t.Errorf("pattern file %s not embedded", ref.Path)
+			continue
+		}
+		fn := ref.Function
+		if i := strings.LastIndex(fn, "::"); i >= 0 {
+			fn = fn[i+2:]
+		}
+		if !strings.Contains(content, "fn "+fn) {
+			t.Errorf("pattern %s missing function %s", ref.Path, ref.Function)
+		}
+	}
+}
+
+// TestPatternFindingsSnapshot pins the complete (kind, function) finding
+// set of every static detector over the patterns corpus: an end-to-end
+// regression guard for the frontend, lowering, analyses and detectors at
+// once.
+func TestPatternFindingsSnapshot(t *testing.T) {
+	ctx := loadCtx(t, GroupPatterns)
+	var got []string
+	for _, d := range []detect.Detector{
+		uaf.New(), doublelock.New(), lockorder.New(),
+		dfree.New(), uninit.New(), interiormut.New(),
+	} {
+		for _, f := range d.Run(ctx) {
+			got = append(got, string(f.Kind)+"|"+f.Function)
+		}
+	}
+	sort.Strings(got)
+	want := []string{
+		"conflicting-lock-order|Ledger::path_a",                            // lock_order.rs AB-BA
+		"double-free|duplicate_owner",                                      // ptr::read duplication
+		"double-lock|Cache::double_borrow",                                 // RefCell borrow_mut x2
+		"double-lock|do_request",                                           // Figure 8
+		"invalid-free|_fdopen",                                             // Figure 6
+		"uninitialized-read|read_garbage",                                  // alloc-then-read
+		"unsynchronized-interior-mutability|AuthorityRound::generate_seal", // Figure 9
+		"unsynchronized-interior-mutability|Queue::remove_head",            // Figure 5
+		"unsynchronized-interior-mutability|TestCell::set",                 // Figure 4
+		"use-after-free|sign",                                              // Figure 7
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot size %d != %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package corpus
+
+import "rustprobe/internal/study"
+
+// PatternRef ties one studied bug category to the corpus file that encodes
+// it, realizing DESIGN.md's per-experiment index at the code level: every
+// Table 2 effect, Table 3 primitive and Table 4 sharing mode has at least
+// one machine-checked pattern.
+type PatternRef struct {
+	Path     string // embedded corpus path
+	Function string // representative buggy function
+	Figure   int    // paper figure number, 0 when none
+}
+
+// MemPatterns maps Table 2 effects to corpus patterns.
+var MemPatterns = map[study.MemEffect]PatternRef{
+	study.EffectBuffer:      {Path: "rust/servo/buffer_overflow.rs", Function: "Frame::pixel_unchecked"},
+	study.EffectNull:        {Path: "rust/servo/bioslice_sign.rs", Function: "sign", Figure: 7}, // null_mut branch feeds the same call
+	study.EffectUninit:      {Path: "rust/redox/uninit_read.rs", Function: "read_garbage"},
+	study.EffectInvalidFree: {Path: "rust/redox/relibc_fdopen.rs", Function: "_fdopen", Figure: 6},
+	study.EffectUAF:         {Path: "rust/servo/bioslice_sign.rs", Function: "sign", Figure: 7},
+	study.EffectDoubleFree:  {Path: "rust/libs/double_free_read.rs", Function: "duplicate_owner"},
+}
+
+// BlkPatterns maps Table 3 primitives to corpus patterns.
+var BlkPatterns = map[study.SyncPrimitive]PatternRef{
+	study.PrimMutex:   {Path: "rust/tikv/double_lock_match.rs", Function: "do_request", Figure: 8},
+	study.PrimCondvar: {Path: "rust/ethereum/condvar.rs", Function: "Miner::wait_for_seal"},
+	study.PrimChannel: {Path: "rust/servo/channel_deadlock.rs", Function: "ScriptThread::sync_reflow"},
+	study.PrimOnce:    {Path: "rust/servo/blocking_patterns.rs", Function: "recursive_once"},
+	study.PrimOther:   {Path: "rust/servo/blocking_patterns.rs", Function: "Pipeline::recv_while_locked"},
+}
+
+// Share patterns map Table 4 sharing modes to corpus patterns.
+var SharePatterns = map[study.ShareMode]PatternRef{
+	study.ShareGlobal:  {Path: "rust/libs/lazy_init.rs", Function: "config_racy"},
+	study.SharePointer: {Path: "rust/tock/mmio_share.rs", Function: "UartRegisters::enable_tx_racy"},
+	study.ShareSync:    {Path: "rust/std/testcell.rs", Function: "TestCell::set", Figure: 4},
+	study.ShareOSHw:    {Path: "rust/tock/mmio_share.rs", Function: "UartRegisters::enable_tx_racy"},
+	study.ShareAtomic:  {Path: "rust/ethereum/authority_round.rs", Function: "AuthorityRound::generate_seal", Figure: 9},
+	study.ShareMutex:   {Path: "rust/libs/nonblocking_patterns.rs", Function: "Counter::increment_racy"},
+	study.ShareMessage: {Path: "rust/servo/channel_deadlock.rs", Function: "worker_a"},
+}
+
+// AllPatternRefs returns every cross-reference for index tooling.
+func AllPatternRefs() []PatternRef {
+	var out []PatternRef
+	for _, p := range MemPatterns {
+		out = append(out, p)
+	}
+	for _, p := range BlkPatterns {
+		out = append(out, p)
+	}
+	for _, p := range SharePatterns {
+		out = append(out, p)
+	}
+	return out
+}

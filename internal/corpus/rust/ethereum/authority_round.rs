@@ -1,0 +1,38 @@
+// Figure 9 (parity-ethereum): non-atomic check-then-act on an atomic
+// field of a Sync type, and the compare_and_swap fix.
+
+struct AuthorityRound {
+    proposed: AtomicBool,
+}
+
+unsafe impl Sync for AuthorityRound {}
+
+enum Seal {
+    None,
+    Regular(i32),
+}
+
+impl AuthorityRound {
+    fn generate_seal(&self) -> Seal {
+        if self.proposed.load() {
+            return Seal::None;
+        }
+        self.proposed.store(true);
+        return Seal::Regular(1);
+    }
+}
+
+struct AuthorityRoundFixed {
+    proposed: AtomicBool,
+}
+
+unsafe impl Sync for AuthorityRoundFixed {}
+
+impl AuthorityRoundFixed {
+    fn generate_seal(&self) -> Seal {
+        if !self.proposed.compare_and_swap(false, true) {
+            return Seal::Regular(1);
+        }
+        return Seal::None;
+    }
+}

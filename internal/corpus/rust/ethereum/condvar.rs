@@ -1,0 +1,31 @@
+// Ethereum's Condvar blocking bugs (Table 3: 6 of them): the
+// missing-notify shape and a corrected producer/consumer pair.
+
+struct Miner {
+    sealing: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Miner {
+    // Bug: the only notify path is behind a condition that the waiter
+    // itself controls, so the waiter can sleep forever.
+    fn wait_for_seal(&self) {
+        let mut g = self.sealing.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+
+    fn maybe_notify(&self, sealed: bool) {
+        if sealed {
+            self.cv.notify_all();
+        }
+    }
+
+    // Fixed pair: every state change notifies.
+    fn finish_seal(&self) {
+        let mut g = self.sealing.lock().unwrap();
+        *g = true;
+        drop(g);
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,105 @@
+// Detector-evaluation corpus: the six previously-unknown double-lock bugs
+// the paper's detector found (parity-ethereum PRs #11172 and #11175 and
+// issue #11176), one per method below, plus correctly-written variants
+// that must stay clean (the paper reports zero false positives).
+
+struct Block { number: i32 }
+
+struct Engine {
+    state: Mutex<Block>,
+    queue: Mutex<Block>,
+    chain: RwLock<Block>,
+}
+
+impl Engine {
+    // Bug 1: the match scrutinee's read guard lives until the end of the
+    // match; the write() in the arm deadlocks (the Figure 8 shape).
+    fn update_sealing(&self) {
+        match validate(self.chain.read().unwrap().number) {
+            Ok(n) => {
+                let mut b = self.chain.write().unwrap();
+                b.number = n;
+            }
+            Err(e) => {}
+        };
+    }
+
+    // Bug 2: the if-condition's guard is held through both branches.
+    fn step(&self) {
+        if self.state.lock().unwrap().number > 0 {
+            let mut g = self.state.lock().unwrap();
+            g.number = 0;
+        }
+    }
+
+    // Bug 3: plain sequential re-acquisition with the first guard still
+    // bound.
+    fn reseal(&self) {
+        let g = self.state.lock().unwrap();
+        let h = self.state.lock().unwrap();
+        use_both(g.number, h.number);
+    }
+
+    // Bug 4: inter-procedural — the callee locks self.queue internally
+    // while the caller still holds it.
+    fn queue_len(&self) -> i32 {
+        let q = self.queue.lock().unwrap();
+        q.number
+    }
+
+    fn enqueue(&self) {
+        let g = self.queue.lock().unwrap();
+        let n = self.queue_len();
+        report(n);
+    }
+
+    // Bug 5: RwLock upgrade attempt — write() while the read guard lives.
+    fn try_upgrade(&self) {
+        let r = self.chain.read().unwrap();
+        if r.number > 0 {
+            let mut w = self.chain.write().unwrap();
+            w.number = 0;
+        }
+    }
+
+    // Bug 6: a guard acquired before a loop and re-acquired inside it.
+    fn drain(&self) {
+        let g = self.queue.lock().unwrap();
+        for i in 0..10 {
+            let h = self.queue.lock().unwrap();
+            report(h.number);
+        }
+    }
+
+    // Clean 1: the fix for bug 1 — bind the scrutinee to a let first.
+    fn update_sealing_fixed(&self) {
+        let result = validate(self.chain.read().unwrap().number);
+        match result {
+            Ok(n) => {
+                let mut b = self.chain.write().unwrap();
+                b.number = n;
+            }
+            Err(e) => {}
+        };
+    }
+
+    // Clean 2: explicit drop ends the first critical section.
+    fn reseal_fixed(&self) {
+        let g = self.state.lock().unwrap();
+        let n = g.number;
+        drop(g);
+        let h = self.state.lock().unwrap();
+        use_both(n, h.number);
+    }
+
+    // Clean 3: different locks may nest.
+    fn transfer(&self) {
+        let g = self.state.lock().unwrap();
+        let h = self.queue.lock().unwrap();
+        use_both(g.number, h.number);
+    }
+}
+
+fn validate(n: i32) -> Result<i32, i32> {
+    if n > 0 { Ok(n) } else { Err(n) }
+}

@@ -1,0 +1,29 @@
+// §6.1 pattern: conflicting lock orders (7 of the 38 Mutex/RwLock
+// blocking bugs). path_a and path_b acquire the same two locks in
+// opposite orders; two threads interleaving them deadlock.
+
+struct Ledger {
+    accounts: Mutex<i32>,
+    journal: Mutex<i32>,
+}
+
+impl Ledger {
+    fn path_a(&self) {
+        let a = self.accounts.lock().unwrap();
+        let j = self.journal.lock().unwrap();
+        combine(*a, *j);
+    }
+
+    fn path_b(&self) {
+        let j = self.journal.lock().unwrap();
+        let a = self.accounts.lock().unwrap();
+        combine(*a, *j);
+    }
+
+    // The fix orders acquisitions consistently.
+    fn path_b_fixed(&self) {
+        let a = self.accounts.lock().unwrap();
+        let j = self.journal.lock().unwrap();
+        combine(*a, *j);
+    }
+}

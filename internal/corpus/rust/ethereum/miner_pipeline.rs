@@ -1,0 +1,131 @@
+// App-scale corpus: a parity-ethereum-flavored mining pipeline with the
+// lock discipline its fixed code uses — statement-bound guards, explicit
+// drops before blocking operations, and consistent lock ordering.
+// Intentionally bug-free.
+
+pub enum SealOutcome {
+    Sealed(i32),
+    Retry,
+    Abandon,
+}
+
+pub struct ChainState {
+    best_block: i32,
+    difficulty: i32,
+}
+
+pub struct WorkQueue {
+    pending: Vec<i32>,
+    accepted: usize,
+}
+
+pub struct MinerService {
+    chain: RwLock<ChainState>,
+    queue: Mutex<WorkQueue>,
+    sealing: AtomicBool,
+    results: Sender<i32>,
+}
+
+impl MinerService {
+    pub fn best_block(&self) -> i32 {
+        let chain = self.chain.read().unwrap();
+        chain.best_block
+    }
+
+    pub fn submit_work(&self, nonce: i32) -> SealOutcome {
+        let difficulty = {
+            let chain = self.chain.read().unwrap();
+            chain.difficulty
+        };
+        if nonce % 7 == difficulty % 7 {
+            let mut queue = self.queue.lock().unwrap();
+            queue.pending.push(nonce);
+            queue.accepted += 1;
+            drop(queue);
+            self.results.send(nonce);
+            return SealOutcome::Sealed(nonce);
+        }
+        if nonce > 0 {
+            SealOutcome::Retry
+        } else {
+            SealOutcome::Abandon
+        }
+    }
+
+    pub fn advance_chain(&self, new_block: i32) {
+        let mut chain = self.chain.write().unwrap();
+        if new_block > chain.best_block {
+            chain.best_block = new_block;
+            chain.difficulty += 1;
+        }
+    }
+
+    pub fn drain_queue(&self) -> Vec<i32> {
+        let mut queue = self.queue.lock().unwrap();
+        let mut out = Vec::new();
+        while let Some(nonce) = queue.pending.pop() {
+            out.push(nonce);
+        }
+        out
+    }
+
+    // Consistent order: chain before queue, everywhere.
+    pub fn snapshot(&self) -> (i32, usize) {
+        let chain = self.chain.read().unwrap();
+        let queue = self.queue.lock().unwrap();
+        (chain.best_block, queue.accepted)
+    }
+
+    pub fn reorg(&self, target: i32) {
+        let mut chain = self.chain.write().unwrap();
+        let mut queue = self.queue.lock().unwrap();
+        chain.best_block = target;
+        queue.pending = Vec::new();
+    }
+}
+
+pub struct SealLoop {
+    service: Arc<MinerService>,
+    rounds: usize,
+}
+
+impl SealLoop {
+    pub fn run(&self) -> usize {
+        let mut sealed = 0;
+        for round in 0..self.rounds {
+            let base = self.service.best_block();
+            match self.service.submit_work(base + round as i32) {
+                SealOutcome::Sealed(n) => {
+                    sealed += 1;
+                    record_seal(n);
+                }
+                SealOutcome::Retry => continue,
+                SealOutcome::Abandon => break,
+            }
+        }
+        sealed
+    }
+}
+
+pub fn spawn_workers(service: Arc<MinerService>, n: usize) {
+    for i in 0..n {
+        let svc = Arc::clone(&service);
+        thread::spawn(move || {
+            let loop_ctl = SealLoop { service: svc, rounds: 16 };
+            loop_ctl.run();
+        });
+    }
+}
+
+pub fn difficulty_curve(height: i32) -> i32 {
+    let mut d = 1;
+    let mut h = height;
+    while h > 0 {
+        d = d * 2;
+        if d > 1024 {
+            return 1024;
+        }
+        h -= 100;
+    }
+    d
+}

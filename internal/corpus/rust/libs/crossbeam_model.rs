@@ -1,0 +1,69 @@
+// A Crossbeam-flavored lock-free structure: the unsafe-dense library shape
+// the paper's §4 study samples (raw pointers, unsafe traits, manual
+// encapsulation with documented preconditions).
+
+pub struct TreiberNode {
+    value: i32,
+    next: *mut TreiberNode,
+}
+
+pub struct TreiberStack {
+    head: AtomicUsize,
+    len: AtomicUsize,
+}
+
+unsafe impl Send for TreiberStack {}
+unsafe impl Sync for TreiberStack {}
+
+impl TreiberStack {
+    pub fn len(&self) -> usize {
+        self.len.load()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len.load() == 0
+    }
+
+    // Interior unsafe with an explicit emptiness check before the raw
+    // dereference.
+    pub fn peek_value(&self) -> i32 {
+        if self.is_empty() {
+            return 0;
+        }
+        unsafe {
+            let node = self.head.load() as *const TreiberNode;
+            (*node).value
+        }
+    }
+
+    // Unsafe fn: the caller must guarantee the node pointer is live.
+    pub unsafe fn push_node(&self, node: *mut TreiberNode) {
+        let old = self.head.swap(node as usize);
+        (*node).next = old as *mut TreiberNode;
+        self.len.fetch_add(1);
+    }
+}
+
+pub struct EpochGuard {
+    epoch: usize,
+}
+
+impl EpochGuard {
+    pub fn pin() -> EpochGuard {
+        EpochGuard { epoch: current_epoch() }
+    }
+
+    pub fn defer_free(&self, node: *mut TreiberNode) {
+        unsafe {
+            retire(node as usize, self.epoch);
+        }
+    }
+}
+
+fn current_epoch() -> usize {
+    0
+}
+
+unsafe fn retire(addr: usize, epoch: usize) {
+    record_retire(addr, epoch);
+}

@@ -1,0 +1,23 @@
+// §5.1 double free: ptr::read duplicates ownership; both owners drop.
+
+struct Holder {
+    b: Box<i32>,
+}
+
+pub fn duplicate_owner(t1: Holder) {
+    let t2 = unsafe { ptr::read(&t1) };
+    use_holder(&t2);
+}
+
+// The safe transfer: a move leaves a single owner.
+pub fn move_owner(t1: Holder) {
+    let t2 = t1;
+    use_holder(&t2);
+}
+
+// The unsafe-but-correct variant forgets the original.
+pub fn duplicate_then_forget(t1: Holder) {
+    let t2 = unsafe { ptr::read(&t1) };
+    mem::forget(t1);
+    use_holder(&t2);
+}

@@ -1,0 +1,31 @@
+// The libraries' global-sharing bug shape (Table 4: one Global entry for
+// the studied libraries; modeled on lazy_static): unsynchronized lazy
+// initialization of a static mut, plus the Once-based fix.
+
+static mut CONFIG: i32 = 0;
+static mut INITIALIZED: bool = false;
+
+// Racy: two threads can both observe INITIALIZED == false.
+pub fn config_racy() -> i32 {
+    unsafe {
+        if !INITIALIZED {
+            CONFIG = load_config();
+            INITIALIZED = true;
+        }
+        CONFIG
+    }
+}
+
+// Fix shape: the initialization is guarded by Once.
+pub fn config_fixed(once: Once) -> i32 {
+    once.call_once(|| {
+        unsafe {
+            CONFIG = load_config();
+        }
+    });
+    unsafe { CONFIG }
+}
+
+fn load_config() -> i32 {
+    42
+}

@@ -1,0 +1,59 @@
+// §6.2 non-blocking patterns: an atomicity violation under a Mutex (lock
+// released between check and act), an order violation, and the RefCell
+// double-borrow panic the paper counts under library misuse.
+
+struct Counter {
+    n: Mutex<i32>,
+}
+
+impl Counter {
+    // Atomicity violation: the value observed under the first lock is
+    // stale by the time the second critical section runs.
+    fn increment_racy(&self) {
+        let current = { let g = self.n.lock().unwrap(); *g };
+        let next = current + 1;
+        let mut g = self.n.lock().unwrap();
+        *g = next;
+    }
+
+    // Fix: one critical section.
+    fn increment_fixed(&self) {
+        let mut g = self.n.lock().unwrap();
+        *g = *g + 1;
+    }
+}
+
+// Order violation: the flag is published before the payload is written.
+struct Publisher {
+    ready: AtomicBool,
+    payload: Mutex<i32>,
+}
+
+impl Publisher {
+    fn publish_racy(&self, v: i32) {
+        self.ready.store(true);
+        let mut g = self.payload.lock().unwrap();
+        *g = v;
+    }
+
+    fn publish_fixed(&self, v: i32) {
+        let mut g = self.payload.lock().unwrap();
+        *g = v;
+        drop(g);
+        self.ready.store(true);
+    }
+}
+
+// RefCell misuse: two simultaneous borrow_mut()s panic at runtime (4 of
+// the paper's 7 library-misuse bugs).
+struct Cache {
+    cells: RefCell<i32>,
+}
+
+impl Cache {
+    fn double_borrow(&self) {
+        let a = self.cells.borrow_mut();
+        let b = self.cells.borrow_mut();
+        use_both(*a, *b);
+    }
+}

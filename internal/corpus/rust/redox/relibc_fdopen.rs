@@ -1,0 +1,16 @@
+// Figure 6 (Redox relibc): invalid free — assigning through a pointer to
+// uninitialized memory drops the garbage previous value — and the fix.
+
+pub struct FILE {
+    buf: Vec<u8>,
+}
+
+pub unsafe fn _fdopen() {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    *f = FILE { buf: vec![0u8; 100] };
+}
+
+pub unsafe fn _fdopen_fixed() {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    ptr::write(f, FILE { buf: vec![0u8; 100] });
+}

@@ -1,0 +1,134 @@
+// App-scale corpus: a Redox-flavored filesystem scheme with the
+// unsafe-buffer discipline relibc uses — checked interior-unsafe
+// accessors, ptr::write initialization, and FFI-style entry points.
+// Intentionally bug-free.
+
+pub struct Inode {
+    number: usize,
+    size: usize,
+    blocks: Vec<u32>,
+}
+
+pub struct FileTable {
+    entries: Vec<Inode>,
+    free: Vec<usize>,
+}
+
+impl FileTable {
+    pub fn new() -> FileTable {
+        FileTable { entries: Vec::new(), free: Vec::new() }
+    }
+
+    pub fn allocate(&mut self, size: usize) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                record_reuse(slot);
+                slot
+            }
+            None => {
+                let n = self.entries.len();
+                self.entries.push(Inode { number: n, size: size, blocks: Vec::new() });
+                n
+            }
+        }
+    }
+
+    pub fn release(&mut self, slot: usize) {
+        if slot >= self.entries.len() {
+            return;
+        }
+        self.free.push(slot);
+    }
+
+    pub fn block_at(&self, slot: usize, idx: usize) -> u32 {
+        if slot >= self.entries.len() {
+            return 0;
+        }
+        let inode = &self.entries[slot];
+        if idx >= inode.blocks.len() {
+            return 0;
+        }
+        unsafe { *inode.blocks.get_unchecked(idx) }
+    }
+}
+
+pub struct BlockBuffer {
+    data: *mut u8,
+    len: usize,
+}
+
+impl BlockBuffer {
+    pub unsafe fn from_alloc(len: usize) -> BlockBuffer {
+        let data = alloc(len) as *mut u8;
+        let mut i = 0;
+        while i < len {
+            ptr::write(data.add(i), 0u8);
+            i += 1;
+        }
+        BlockBuffer { data: data, len: len }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn read_byte(&self, off: usize) -> u8 {
+        if off >= self.len {
+            return 0;
+        }
+        unsafe { *self.data.add(off) }
+    }
+
+    pub fn write_byte(&mut self, off: usize, v: u8) {
+        if off >= self.len {
+            return;
+        }
+        unsafe {
+            ptr::write(self.data.add(off), v);
+        }
+    }
+}
+
+pub struct Scheme {
+    table: Mutex<FileTable>,
+    open_count: AtomicUsize,
+}
+
+impl Scheme {
+    pub fn open(&self, size: usize) -> usize {
+        self.open_count.fetch_add(1);
+        let mut table = self.table.lock().unwrap();
+        table.allocate(size)
+    }
+
+    pub fn close(&self, slot: usize) {
+        let mut table = self.table.lock().unwrap();
+        table.release(slot);
+        drop(table);
+        self.open_count.fetch_sub(1);
+    }
+
+    pub fn read(&self, slot: usize, count: usize) -> Vec<u32> {
+        let table = self.table.lock().unwrap();
+        let mut out = Vec::new();
+        for i in 0..count {
+            out.push(table.block_at(slot, i));
+        }
+        out
+    }
+}
+
+pub fn path_depth(path: &str) -> usize {
+    let mut depth = 0;
+    let mut saw_sep = false;
+    for i in 0..16 {
+        if i % 4 == 0 {
+            saw_sep = true;
+        }
+        if saw_sep {
+            depth += 1;
+            saw_sep = false;
+        }
+    }
+    depth
+}

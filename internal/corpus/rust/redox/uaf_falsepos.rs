@@ -1,0 +1,55 @@
+// Detector-evaluation corpus: three patterns that are safe in practice but
+// that the use-after-free detector reports anyway — reproducing the
+// paper's three false positives, which it attributes to its unoptimized
+// (context-insensitive, flow-insensitive) inter-procedural analysis.
+
+// FP 1: context-insensitivity. maybe_deref only touches the pointer when
+// do_it is true, and this caller always passes false.
+fn maybe_deref(p: *const u8, do_it: bool) -> u8 {
+    if do_it {
+        unsafe { return *p; }
+    }
+    0
+}
+
+pub fn fp_context() {
+    let p = {
+        let buf = vec![1u8];
+        buf.as_ptr()
+    };
+    let v = maybe_deref(p, false);
+    report(v);
+}
+
+// FP 2: flow-insensitive points-to. p is re-pointed at the live vector
+// before the final dereference, but the analysis keeps the stale target.
+pub fn fp_flow() {
+    let a = vec![1u8];
+    let mut p = a.as_ptr();
+    {
+        let b = vec![2u8];
+        p = b.as_ptr();
+        consume_ptr(p);
+    }
+    p = a.as_ptr();
+    unsafe {
+        let y = *p;
+        report(y);
+    }
+}
+
+// FP 3: path correlation. v is dropped only when c holds, and the
+// dereference runs only when c does not hold; the two paths never overlap.
+pub fn fp_path(c: bool) {
+    let v = vec![1u8];
+    let p = v.as_ptr();
+    if c {
+        drop(v);
+    }
+    if !c {
+        unsafe {
+            let x = *p;
+            report(x);
+        }
+    }
+}

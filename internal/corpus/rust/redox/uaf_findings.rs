@@ -1,0 +1,59 @@
+// Detector-evaluation corpus: the four previously-unknown use-after-free
+// bugs the paper's MIR detector found in Redox's relibc (issue #159 class).
+// Each function below contains exactly one true use-after-free.
+
+struct Tm { sec: i32, min: i32 }
+
+impl Tm {
+    fn new(t: i32) -> Tm { Tm { sec: t, min: 0 } }
+}
+
+// Bug 1: pointer into a block-scoped allocation escapes the block.
+pub fn localtime(t: i32) {
+    let p = {
+        let tm = Box::new(Tm::new(t));
+        tm.as_ptr()
+    };
+    unsafe {
+        let sec = (*p).sec;
+        report(sec);
+    }
+}
+
+// Bug 2: the CString temporary dies at the end of the let statement, but
+// its pointer is handed to an FFI call afterwards.
+pub fn getpwnam(name: i32) {
+    let name_ptr = CString::new(name).unwrap().as_ptr();
+    unsafe {
+        getpwnam_r(name_ptr);
+    }
+}
+
+// Bug 3: a scratch buffer is freed when its scope ends; the resolved
+// pointer is dereferenced after.
+pub fn realpath(path: i32) -> u8 {
+    let resolved = {
+        let buf = vec![0u8; 4096];
+        fill(path);
+        buf.as_ptr()
+    };
+    unsafe { *resolved }
+}
+
+// Bug 4: a match arm builds a temporary message struct whose storage ends
+// with the arm; the pointer outlives the match.
+struct Msg { text: Vec<u8> }
+
+impl Msg {
+    fn new() -> Msg { Msg { text: vec![0u8; 64] } }
+}
+
+pub fn strerror(errno: i32) {
+    let p = match errno {
+        0 => ptr::null(),
+        _ => Msg::new().as_ptr(),
+    };
+    unsafe {
+        print_msg(p);
+    }
+}

@@ -1,0 +1,13 @@
+// Table 2's unsafe->safe "Uninitialized" class: a buffer created in unsafe
+// code is read by safe code before initialization.
+
+pub unsafe fn read_garbage() -> u8 {
+    let buf = alloc(16) as *mut u8;
+    *buf
+}
+
+pub unsafe fn read_initialized() -> u8 {
+    let buf = alloc(16) as *mut u8;
+    ptr::write(buf, 7u8);
+    *buf
+}

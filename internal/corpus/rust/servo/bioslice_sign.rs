@@ -1,0 +1,29 @@
+// Figure 7 (RustSec advisory): use-after-free caused by a temporary whose
+// lifetime ends at the match arm, plus the committed fix.
+
+struct BioSlice { buf: Vec<u8> }
+
+impl BioSlice {
+    fn new(data: i32) -> BioSlice { BioSlice { buf: vec![0u8; 32] } }
+}
+
+pub fn sign(data: Option<i32>) {
+    let p = match data {
+        Some(data) => BioSlice::new(data).as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}
+
+pub fn sign_fixed(data: Option<i32>) {
+    let bio = match data {
+        Some(data) => Some(BioSlice::new(data)),
+        None => None,
+    };
+    let p = bio.as_ptr();
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}

@@ -1,0 +1,57 @@
+// §6.1 blocking-bug patterns beyond double locks: Condvar with a missing
+// notify, a channel whose only sender is blocked, and a recursive
+// call_once — each paired with its fix shape.
+
+struct Worker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Worker {
+    // Condvar bug: nobody ever calls notify; the waiter blocks forever.
+    fn wait_forever(&self) {
+        let mut g = self.ready.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+
+    fn wait_fixed(&self) {
+        let mut g = self.ready.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+
+    fn producer_fixed(&self) {
+        let mut g = self.ready.lock().unwrap();
+        self.cv.notify_all();
+    }
+}
+
+// Channel bug: the receiver holds the lock its sender needs.
+struct Pipeline {
+    state: Mutex<i32>,
+}
+
+impl Pipeline {
+    fn recv_while_locked(&self, rx: Receiver<i32>) {
+        let g = self.state.lock().unwrap();
+        let item = rx.recv().unwrap();
+        use_both(*g, item);
+    }
+
+    fn sender_side(&self, tx: Sender<i32>) {
+        let g = self.state.lock().unwrap();
+        tx.send(*g);
+    }
+}
+
+// Once bug: the init closure re-enters call_once on the same Once.
+fn recursive_once(once: Once) {
+    once.call_once(|| {
+        helper_init();
+    });
+}
+
+fn helper_init() {
+    do_init();
+}

@@ -1,0 +1,26 @@
+// Table 2's dominant memory-bug shape (17 of 21 buffer overflows): the
+// index is computed in safe code, the out-of-bounds access happens in
+// unsafe code.
+
+struct Frame {
+    data: Vec<u8>,
+    width: usize,
+}
+
+impl Frame {
+    // The row*width+col arithmetic can exceed data's length; the unsafe
+    // access skips the bounds check that would catch it.
+    pub fn pixel_unchecked(&self, row: usize, col: usize) -> u8 {
+        let idx = row * self.width + col;
+        unsafe { *self.data.get_unchecked(idx) }
+    }
+
+    // The checked fix.
+    pub fn pixel(&self, row: usize, col: usize) -> u8 {
+        let idx = row * self.width + col;
+        if idx >= self.data.len() {
+            return 0;
+        }
+        unsafe { *self.data.get_unchecked(idx) }
+    }
+}

@@ -1,0 +1,42 @@
+// Servo's channel blocking bugs (Table 3: 5 of its 13 blocking bugs are
+// channel bugs): a paint thread waiting for a message its script thread
+// can never send, and the all-ends-waiting shape.
+
+struct ScriptThread {
+    to_paint: Sender<i32>,
+    from_paint: Receiver<i32>,
+    state: Mutex<i32>,
+}
+
+impl ScriptThread {
+    // Bug shape: recv() while holding the lock the sender needs.
+    fn sync_reflow(&self) {
+        let g = self.state.lock().unwrap();
+        let layout = self.from_paint.recv().unwrap();
+        apply(*g, layout);
+    }
+
+    // The paint side blocks on the same lock before it can send.
+    fn paint_reply(&self) {
+        let g = self.state.lock().unwrap();
+        self.to_paint.send(*g);
+    }
+
+    // Fix: release the lock before blocking on the channel.
+    fn sync_reflow_fixed(&self) {
+        let snapshot = { let g = self.state.lock().unwrap(); *g };
+        let layout = self.from_paint.recv().unwrap();
+        apply(snapshot, layout);
+    }
+}
+
+// All ends waiting: both workers pull before either pushes.
+fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+
+fn worker_b(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 2);
+}

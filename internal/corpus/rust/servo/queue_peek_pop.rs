@@ -1,0 +1,45 @@
+// Figure 5 (Rust std): improperly encapsulated interior mutability — both
+// peek() and pop() take &self, so a reference returned by peek() can
+// outlive the element pop() removes.
+
+struct Queue {
+    items: Vec<i32>,
+}
+
+impl Queue {
+    pub fn pop(&self) -> Option<i32> {
+        unsafe { self.remove_head() }
+    }
+
+    // peek hands out a reference into self's storage...
+    pub fn peek(&self) -> Option<&i32> {
+        unsafe { self.head_ref() }
+    }
+
+    // ...while pop mutates the same storage through an immutable borrow:
+    // a reference returned by peek() dangles after pop() (Figure 5).
+    unsafe fn remove_head(&self) -> Option<i32> {
+        let p = &self.items as *const Vec<i32> as *mut Vec<i32>;
+        unsafe { (*p).pop() }
+    }
+
+    unsafe fn head_ref(&self) -> Option<&i32> {
+        None
+    }
+}
+
+// The suggested fix gives pop() a mutable receiver so the borrow checker
+// rejects a live peek() reference across it.
+struct FixedQueue {
+    items: Vec<i32>,
+}
+
+impl FixedQueue {
+    pub fn pop(&mut self) -> Option<i32> {
+        self.items.pop()
+    }
+
+    pub fn peek(&self) -> Option<i32> {
+        None
+    }
+}

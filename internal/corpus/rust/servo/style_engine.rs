@@ -1,0 +1,175 @@
+// App-scale corpus: a Servo-flavored style/layout module exercising the
+// full language subset (traits, enums, generics, matches, loops, closures,
+// channels, locks) at realistic density. Used by the frontend benchmarks
+// and the whole-pipeline tests; intentionally bug-free.
+
+pub enum Display {
+    None,
+    Block,
+    Inline,
+    Flex,
+}
+
+pub enum LengthUnit {
+    Px(i32),
+    Percent(i32),
+    Auto,
+}
+
+pub struct Style {
+    display: Display,
+    width: LengthUnit,
+    height: LengthUnit,
+    depth: usize,
+}
+
+impl Style {
+    pub fn initial() -> Style {
+        Style {
+            display: Display::Block,
+            width: LengthUnit::Auto,
+            height: LengthUnit::Auto,
+            depth: 0,
+        }
+    }
+
+    pub fn is_visible(&self) -> bool {
+        match self.display {
+            Display::None => false,
+            _ => true,
+        }
+    }
+
+    pub fn resolve_width(&self, containing: i32) -> i32 {
+        match self.width {
+            LengthUnit::Px(px) => px,
+            LengthUnit::Percent(p) => containing * p / 100,
+            LengthUnit::Auto => containing,
+        }
+    }
+}
+
+pub struct Node {
+    id: usize,
+    style: Style,
+    children: Vec<usize>,
+}
+
+pub struct Tree {
+    nodes: Vec<Node>,
+    dirty: Vec<usize>,
+}
+
+pub trait StyleSource {
+    fn style_for(&self, id: usize) -> Style;
+    fn priority(&self) -> i32 {
+        0
+    }
+}
+
+pub struct UserAgentSheet {
+    defaults: i32,
+}
+
+impl StyleSource for UserAgentSheet {
+    fn style_for(&self, id: usize) -> Style {
+        let mut s = Style::initial();
+        s.depth = id;
+        s
+    }
+}
+
+impl Tree {
+    pub fn new() -> Tree {
+        Tree { nodes: Vec::new(), dirty: Vec::new() }
+    }
+
+    pub fn insert(&mut self, style: Style) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node { id: id, style: style, children: Vec::new() });
+        self.dirty.push(id);
+        id
+    }
+
+    pub fn mark_clean(&mut self) {
+        while let Some(id) = self.dirty.pop() {
+            record_clean(id);
+        }
+    }
+
+    pub fn visible_count(&self) -> usize {
+        let mut count = 0;
+        for node in self.nodes.iter() {
+            if node.style.is_visible() {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    pub fn layout_pass(&self, viewport: i32) -> Vec<i32> {
+        let mut widths = Vec::new();
+        for node in self.nodes.iter() {
+            let w = node.style.resolve_width(viewport);
+            if w > 0 {
+                widths.push(w);
+            } else {
+                widths.push(0);
+            }
+        }
+        widths
+    }
+}
+
+pub struct ParallelLayout {
+    shared: Arc<Mutex<Tree>>,
+    results: Receiver<i32>,
+    submit: Sender<i32>,
+}
+
+impl ParallelLayout {
+    pub fn run_chunk(&self, viewport: i32) {
+        let widths = {
+            let tree = self.shared.lock().unwrap();
+            tree.layout_pass(viewport)
+        };
+        for w in &widths {
+            self.submit.send(*w);
+        }
+    }
+
+    pub fn collect(&self, expected: usize) -> i32 {
+        let mut total = 0;
+        let mut seen = 0;
+        while seen < expected {
+            let w = self.results.recv().unwrap();
+            total += w;
+            seen += 1;
+        }
+        total
+    }
+}
+
+pub fn cascade(sources: Vec<UserAgentSheet>, id: usize) -> Style {
+    let mut best = Style::initial();
+    let mut best_priority = -1;
+    for src in sources.iter() {
+        let p = src.priority();
+        if p > best_priority {
+            best = src.style_for(id);
+            best_priority = p;
+        }
+    }
+    best
+}
+
+pub fn measure_text(text: &str, size: i32) -> i32 {
+    let mut width = 0;
+    for _ in 0..size {
+        width += 7;
+    }
+    if width > 4096 {
+        return 4096;
+    }
+    width
+}

@@ -1,0 +1,57 @@
+// §4.3 corpus: interior-unsafe functions with and without explicit
+// precondition checks, and the constructor-labelling idiom
+// (String::from_utf8_unchecked's shape).
+
+pub struct Buffer {
+    data: Vec<u8>,
+    len: usize,
+}
+
+impl Buffer {
+    // Interior unsafe WITH an explicit check: the index is validated
+    // before the unchecked access.
+    pub fn get(&self, i: usize) -> u8 {
+        if i >= self.len {
+            return 0;
+        }
+        unsafe { *self.data.get_unchecked(i) }
+    }
+
+    // Interior unsafe WITHOUT a check: safety rests on the caller's
+    // environment (the 58% class).
+    pub fn get_fast(&self, i: usize) -> u8 {
+        unsafe { *self.data.get_unchecked(i) }
+    }
+
+    // Interior unsafe guarded by an assert.
+    pub fn get_checked(&self, i: usize) -> u8 {
+        assert!(i < self.len);
+        unsafe { *self.data.get_unchecked(i) }
+    }
+}
+
+// Constructor labelling: the body is entirely safe, but the constructor
+// is marked unsafe because later methods rely on the invariant the caller
+// must establish (valid UTF-8 here).
+pub struct Utf8String {
+    bytes: Vec<u8>,
+}
+
+impl Utf8String {
+    pub unsafe fn from_utf8_unchecked(bytes: Vec<u8>) -> Utf8String {
+        Utf8String { bytes: bytes }
+    }
+
+    pub fn char_count(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+// A badly encapsulated interior-unsafe function (one of the 19): the
+// parameter flows into memory access without any validation.
+pub fn load_at(base: usize, off: usize) -> u8 {
+    unsafe {
+        let p = (base + off) as *const u8;
+        *p
+    }
+}

@@ -1,0 +1,45 @@
+// Rust std excerpts the paper singles out in §4: the constructor-labelled
+// unsafe fn (String::from_utf8_unchecked) whose body is entirely safe, and
+// interior-unsafe std-style functions with their checking disciplines.
+
+pub struct StdString {
+    vec: Vec<u8>,
+}
+
+impl StdString {
+    // §4.1's special case: all operations inside are safe; the unsafe
+    // marker encodes the UTF-8 precondition other methods rely on.
+    pub unsafe fn from_utf8_unchecked(bytes: Vec<u8>) -> StdString {
+        StdString { vec: bytes }
+    }
+
+    // Interior unsafe relying on the constructor's invariant rather than
+    // an explicit check (§4.3's 58% class).
+    pub fn char_len(&self) -> usize {
+        unsafe { count_chars(self.vec.as_ptr(), self.vec.len()) }
+    }
+
+    // Interior unsafe with an explicit boundary check.
+    pub fn byte_at(&self, i: usize) -> u8 {
+        if i >= self.vec.len() {
+            return 0;
+        }
+        unsafe { *self.vec.get_unchecked(i) }
+    }
+}
+
+// Arc::from_raw-style pairing: safety comes from the environment — the
+// pointer must originate from into_raw (§4.3's "correct inputs" pattern).
+pub struct StdArc {
+    ptr: *const i32,
+}
+
+impl StdArc {
+    pub fn into_raw(self) -> *const i32 {
+        self.ptr
+    }
+
+    pub unsafe fn from_raw(ptr: *const i32) -> StdArc {
+        StdArc { ptr: ptr }
+    }
+}

@@ -1,0 +1,16 @@
+// Figure 4 (paper's running example): an interior-mutability cell whose
+// set() writes through a pointer cast of an immutable borrow, on a type
+// declared Sync — unsynchronized interior mutability.
+
+struct TestCell {
+    value: i32,
+}
+
+unsafe impl Sync for TestCell {}
+
+impl TestCell {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i };
+    }
+}

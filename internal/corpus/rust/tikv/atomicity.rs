@@ -1,0 +1,36 @@
+// TiKV's non-blocking shapes (Table 4: one atomic, one mutex, one
+// OS-resource sharing bug): a check-then-act atomicity violation on a
+// scheduler counter and its single-critical-section fix.
+
+struct Scheduler {
+    pending: Mutex<i32>,
+    running: AtomicUsize,
+    limit: usize,
+}
+
+impl Scheduler {
+    // Atomicity violation: the load and the store are separate atomic
+    // operations; two threads can both pass the limit check.
+    fn try_admit_racy(&self) -> bool {
+        if self.running.load() < self.limit {
+            self.running.fetch_add(1);
+            return true;
+        }
+        false
+    }
+
+    // Fix shape: a single read-modify-write with a rollback.
+    fn try_admit_fixed(&self) -> bool {
+        let prev = self.running.fetch_add(1);
+        if prev >= self.limit {
+            self.running.fetch_sub(1);
+            return false;
+        }
+        true
+    }
+
+    fn queue_depth(&self) -> i32 {
+        let g = self.pending.lock().unwrap();
+        *g
+    }
+}

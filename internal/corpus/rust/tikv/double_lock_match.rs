@@ -1,0 +1,32 @@
+// Figure 8 (TiKV): the read guard returned inside the match scrutinee is
+// held until the end of the match, so the write() in the Ok arm double
+// locks — plus the committed fix.
+
+struct Inner {
+    m: i32,
+}
+
+fn connect(m: i32) -> Result<i32, i32> {
+    if m > 0 { Ok(m) } else { Err(m) }
+}
+
+pub fn do_request(client: Arc<RwLock<Inner>>) {
+    match connect(client.read().unwrap().m) {
+        Ok(mbrs) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}
+
+pub fn do_request_fixed(client: Arc<RwLock<Inner>>) {
+    let result = connect(client.read().unwrap().m);
+    match result {
+        Ok(mbrs) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}

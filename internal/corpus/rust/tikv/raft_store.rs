@@ -1,0 +1,107 @@
+// App-scale corpus: a TiKV-flavored raft store exercising enums with
+// payloads, trait objects, channels and the statement-bound guard
+// discipline. Intentionally bug-free.
+
+pub enum RaftMessage {
+    AppendEntries(i32, Vec<i32>),
+    Vote(i32),
+    Heartbeat,
+    Snapshot { index: i32, data: Vec<u8> },
+}
+
+pub enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+pub struct RaftState {
+    term: i32,
+    commit_index: i32,
+    role: Role,
+    log: Vec<i32>,
+}
+
+pub struct PeerStore {
+    state: RwLock<RaftState>,
+    mailbox: Receiver<RaftMessage>,
+    outbound: Sender<RaftMessage>,
+    applied: AtomicUsize,
+}
+
+impl PeerStore {
+    pub fn current_term(&self) -> i32 {
+        let st = self.state.read().unwrap();
+        st.term
+    }
+
+    pub fn step(&self) -> bool {
+        let msg = self.mailbox.recv().unwrap();
+        match msg {
+            RaftMessage::AppendEntries(term, entries) => {
+                let mut st = self.state.write().unwrap();
+                if term < st.term {
+                    return false;
+                }
+                st.term = term;
+                for e in entries.iter() {
+                    st.log.push(*e);
+                }
+                st.commit_index = st.log.len() as i32;
+                true
+            }
+            RaftMessage::Vote(term) => {
+                let granted = { let st = self.state.read().unwrap(); term > st.term };
+                if granted {
+                    let mut st = self.state.write().unwrap();
+                    st.term = term;
+                    st.role = Role::Follower;
+                }
+                granted
+            }
+            RaftMessage::Heartbeat => {
+                self.applied.fetch_add(1);
+                true
+            }
+            RaftMessage::Snapshot { index, data } => {
+                let mut st = self.state.write().unwrap();
+                st.commit_index = index;
+                st.log = Vec::new();
+                record_snapshot(index, data.len());
+                true
+            }
+        }
+    }
+
+    pub fn campaign(&self) {
+        let term = {
+            let mut st = self.state.write().unwrap();
+            st.role = Role::Candidate;
+            st.term += 1;
+            st.term
+        };
+        self.outbound.send(RaftMessage::Vote(term));
+    }
+
+    pub fn is_leader(&self) -> bool {
+        let st = self.state.read().unwrap();
+        match st.role {
+            Role::Leader => true,
+            _ => false,
+        }
+    }
+}
+
+pub fn quorum(voters: usize) -> usize {
+    voters / 2 + 1
+}
+
+pub fn replay(store: PeerStore, rounds: usize) -> usize {
+    let mut progressed = 0;
+    for _ in 0..rounds {
+        if store.step() {
+            progressed += 1;
+        }
+    }
+    progressed
+}

@@ -1,0 +1,118 @@
+// App-scale corpus: a Tock-flavored cooperative kernel scheduler with
+// MMIO-style unsafe register access kept behind checked interior-unsafe
+// accessors. Intentionally bug-free.
+
+pub enum ProcessState {
+    Ready,
+    Running,
+    Yielded,
+    Faulted,
+}
+
+pub struct Process {
+    id: usize,
+    state: ProcessState,
+    budget: i32,
+}
+
+pub struct Kernel {
+    processes: Vec<Process>,
+    current: usize,
+    ticks: AtomicUsize,
+}
+
+impl Kernel {
+    pub fn new() -> Kernel {
+        Kernel { processes: Vec::new(), current: 0, ticks: AtomicUsize::new() }
+    }
+
+    pub fn register(&mut self, budget: i32) -> usize {
+        let id = self.processes.len();
+        self.processes.push(Process { id: id, state: ProcessState::Ready, budget: budget });
+        id
+    }
+
+    pub fn schedule(&mut self) -> Option<usize> {
+        let n = self.processes.len();
+        if n == 0 {
+            return None;
+        }
+        let mut tried = 0;
+        while tried < n {
+            let idx = (self.current + tried) % n;
+            let ready = match self.processes[idx].state {
+                ProcessState::Ready => true,
+                _ => false,
+            };
+            if ready {
+                self.current = idx;
+                self.processes[idx].state = ProcessState::Running;
+                return Some(idx);
+            }
+            tried += 1;
+        }
+        None
+    }
+
+    pub fn yield_current(&mut self) {
+        if self.current < self.processes.len() {
+            self.processes[self.current].state = ProcessState::Yielded;
+        }
+    }
+
+    pub fn fault(&mut self, id: usize) {
+        if id < self.processes.len() {
+            self.processes[id].state = ProcessState::Faulted;
+        }
+    }
+
+    pub fn tick(&self) {
+        self.ticks.fetch_add(1);
+    }
+}
+
+pub struct SysTick {
+    base: usize,
+    reload: u32,
+}
+
+impl SysTick {
+    // Checked interior unsafe: the register window is validated before
+    // the raw access.
+    pub fn read_count(&self) -> u32 {
+        if self.base == 0 {
+            return 0;
+        }
+        unsafe {
+            let reg = self.base as *const u32;
+            *reg
+        }
+    }
+
+    pub fn arm(&self) {
+        if self.base == 0 {
+            return;
+        }
+        unsafe {
+            let reg = self.base as *mut u32;
+            ptr::write(reg, self.reload);
+        }
+    }
+}
+
+pub fn run_kernel(mut kernel: Kernel, slices: usize) -> usize {
+    let mut scheduled = 0;
+    for _ in 0..slices {
+        match kernel.schedule() {
+            Some(id) => {
+                scheduled += 1;
+                kernel.tick();
+                if id % 3 == 0 {
+                    kernel.yield_current();
+                }
+            }
+            None => break,
+        }
+    }
+    scheduled
+}

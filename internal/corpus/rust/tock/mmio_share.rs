@@ -1,0 +1,36 @@
+// Tock's data-sharing shape (Table 4: both of its non-blocking bugs share
+// OS/hardware resources): memory-mapped registers reached through raw
+// addresses, with an unsynchronized read-modify-write.
+
+struct UartRegisters {
+    base: usize,
+}
+
+impl UartRegisters {
+    fn control(&self) -> *mut u32 {
+        self.base as *mut u32
+    }
+
+    // Racy: interrupt handler and main loop both do read-modify-write on
+    // the same register with no critical section.
+    fn enable_tx_racy(&self) {
+        unsafe {
+            let ctrl = self.control();
+            let old = *ctrl;
+            *ctrl = old | 1;
+        }
+    }
+
+    // Fix shape: the update happens with interrupts masked.
+    fn enable_tx_fixed(&self) {
+        with_interrupts_disabled(self.base);
+    }
+}
+
+fn with_interrupts_disabled(base: usize) {
+    unsafe {
+        let ctrl = base as *mut u32;
+        let old = *ctrl;
+        *ctrl = old | 1;
+    }
+}

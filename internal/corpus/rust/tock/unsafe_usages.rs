@@ -1,0 +1,68 @@
+// §4 unsafe-usage corpus: a file dense in the unsafe forms the scanner
+// classifies — raw pointer work, mutable statics, FFI reuse, performance
+// shortcuts, and a consistency-only unsafe marker.
+
+static mut TICKS: u32 = 0;
+
+pub struct Register {
+    addr: usize,
+}
+
+impl Register {
+    // Raw pointer manipulation (memory operations: 66% of sampled usages).
+    pub fn read_volatile(&self) -> u32 {
+        unsafe {
+            let p = self.addr as *const u32;
+            *p
+        }
+    }
+
+    pub fn write_volatile(&self, v: u32) {
+        unsafe {
+            let p = self.addr as *mut u32;
+            *p = v;
+        }
+    }
+}
+
+// Mutable static access (cross-thread sharing purpose).
+pub fn tick() {
+    unsafe {
+        TICKS += 1;
+    }
+}
+
+// FFI reuse (calling existing C code: the 42% reuse purpose).
+pub fn copy_frame(dst: i32, src: i32, len: usize) {
+    unsafe {
+        memcpy(dst, src, len);
+    }
+}
+
+// Performance: skip the bounds check on the hot path.
+pub fn sample_unchecked(samples: Vec<u32>, i: usize) -> u32 {
+    unsafe { *samples.get_unchecked(i) }
+}
+
+// An unsafe fn that performs real unsafe work.
+pub unsafe fn mmio_write(addr: usize, v: u32) {
+    let p = addr as *mut u32;
+    *p = v;
+}
+
+// A consistency-only unsafe marker: nothing in the body needs it (the 5%
+// removable class; kept because the sibling platform's version is unsafe).
+pub unsafe fn flush_cache() {
+    let mut total = 0;
+    total += 1;
+    report(total);
+}
+
+// An unsafe trait and its unsafe impl.
+pub unsafe trait DmaSafe {}
+
+struct DmaBuffer {
+    data: Vec<u8>,
+}
+
+unsafe impl DmaSafe for DmaBuffer {}

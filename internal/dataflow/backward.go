@@ -1,0 +1,191 @@
+package dataflow
+
+import (
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/mir"
+)
+
+// BackwardProblem defines a backward dataflow problem (e.g. liveness).
+// Transfer functions run in reverse: the terminator first, then statements
+// from last to first.
+type BackwardProblem struct {
+	Bits int
+	Join JoinKind
+	// Exit seeds the state at every exit block (Return/Unreachable).
+	Exit func(state BitSet)
+	// TransferStmt updates state across one statement, applied in reverse
+	// program order.
+	TransferStmt func(state BitSet, blk mir.BlockID, idx int, st mir.Statement)
+	// TransferTerm updates state across a terminator.
+	TransferTerm func(state BitSet, blk mir.BlockID, term mir.Terminator)
+}
+
+// BackwardResult holds per-block exit states (the state at the end of the
+// block, before its terminator's effect has been applied in reverse).
+type BackwardResult struct {
+	Graph *cfg.Graph
+	// Out is the converged state at each block's exit.
+	Out  []BitSet
+	prob *BackwardProblem
+}
+
+// Backward runs a backward analysis to fixpoint.
+func Backward(g *cfg.Graph, p *BackwardProblem) *BackwardResult {
+	n := len(g.Body.Blocks)
+	out := make([]BitSet, n)
+	for i := range out {
+		out[i] = NewBitSet(p.Bits)
+		if p.Join == JoinIntersect {
+			out[i].Fill(p.Bits)
+		}
+	}
+	res := &BackwardResult{Graph: g, Out: out, prob: p}
+	if n == 0 {
+		return res
+	}
+
+	exitSeed := NewBitSet(p.Bits)
+	if p.Exit != nil {
+		p.Exit(exitSeed)
+	}
+
+	// Worklist seeded with all reachable blocks in postorder (reverse of
+	// RPO), which converges fastest for backward problems.
+	inWork := make([]bool, n)
+	var work []mir.BlockID
+	for i := len(g.RPO) - 1; i >= 0; i-- {
+		work = append(work, g.RPO[i])
+		inWork[g.RPO[i]] = true
+	}
+	visited := make([]bool, n)
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		blk := g.Body.Blocks[b]
+
+		// The out state of b joins the in states of its successors; exit
+		// blocks take the exit seed.
+		var state BitSet
+		if blk.Term == nil || len(blk.Term.Successors()) == 0 {
+			state = exitSeed.Clone()
+		} else {
+			state = NewBitSet(p.Bits)
+			if p.Join == JoinIntersect {
+				state.Fill(p.Bits)
+			}
+			first := true
+			for _, s := range blk.Term.Successors() {
+				succIn := res.inState(s)
+				if first {
+					copy(state, succIn)
+					first = false
+				} else if p.Join == JoinUnion {
+					state.UnionWith(succIn)
+				} else {
+					state.IntersectWith(succIn)
+				}
+			}
+		}
+
+		if state.Equal(out[b]) && visited[b] {
+			continue
+		}
+		visited[b] = true
+		copy(out[b], state)
+
+		// Changing b's out state may change its predecessors' views.
+		for _, pred := range g.Preds[b] {
+			if !inWork[pred] {
+				work = append(work, pred)
+				inWork[pred] = true
+			}
+		}
+	}
+	return res
+}
+
+// inState computes the state at a block's entry by applying the block's
+// transfer functions backward from its exit state.
+func (r *BackwardResult) inState(b mir.BlockID) BitSet {
+	state := r.Out[b].Clone()
+	blk := r.Graph.Body.Blocks[b]
+	if blk.Term != nil && r.prob.TransferTerm != nil {
+		r.prob.TransferTerm(state, b, blk.Term)
+	}
+	for i := len(blk.Stmts) - 1; i >= 0; i-- {
+		if r.prob.TransferStmt != nil {
+			r.prob.TransferStmt(state, b, i, blk.Stmts[i])
+		}
+	}
+	return state
+}
+
+// In exposes the entry state of a block.
+func (r *BackwardResult) In(b mir.BlockID) BitSet { return r.inState(b) }
+
+// LiveLocals computes classic backward liveness over a body: bit l set at
+// a point means local l may be read later. Used by consumers that need
+// last-use information (e.g. precise NLL-style ranges).
+func LiveLocals(g *cfg.Graph) *BackwardResult {
+	n := len(g.Body.Locals)
+	use := func(state BitSet, op mir.Operand) {
+		if pl, ok := mir.OperandPlace(op); ok {
+			state.Set(int(pl.Local))
+		}
+	}
+	return Backward(g, &BackwardProblem{
+		Bits: n,
+		Join: JoinUnion,
+		TransferStmt: func(state BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			switch st := st.(type) {
+			case mir.Assign:
+				if st.Place.IsLocal() {
+					state.Clear(int(st.Place.Local))
+				} else {
+					// Writing through a projection reads the base.
+					state.Set(int(st.Place.Local))
+				}
+				switch rv := st.Rvalue.(type) {
+				case mir.Use:
+					use(state, rv.X)
+				case mir.Cast:
+					use(state, rv.X)
+				case mir.BinaryOp:
+					use(state, rv.L)
+					use(state, rv.R)
+				case mir.UnaryOp:
+					use(state, rv.X)
+				case mir.Aggregate:
+					for _, op := range rv.Ops {
+						use(state, op)
+					}
+				case mir.Ref:
+					state.Set(int(rv.Place.Local))
+				case mir.AddrOf:
+					state.Set(int(rv.Place.Local))
+				case mir.Discriminant:
+					state.Set(int(rv.Place.Local))
+				}
+			}
+		},
+		TransferTerm: func(state BitSet, _ mir.BlockID, term mir.Terminator) {
+			switch term := term.(type) {
+			case mir.Call:
+				if term.Dest.IsLocal() {
+					state.Clear(int(term.Dest.Local))
+				}
+				for _, a := range term.Args {
+					use(state, a)
+				}
+			case mir.SwitchInt:
+				use(state, term.Disc)
+			case mir.Drop:
+				state.Set(int(term.Place.Local))
+			case mir.Return:
+				state.Set(int(mir.ReturnLocal))
+			}
+		},
+	})
+}

@@ -1,0 +1,211 @@
+// Package dataflow implements a generic worklist dataflow engine over MIR
+// CFGs using bit sets as the fact domain. The detectors instantiate it for
+// live-storage, live-guard and pointer-validity analyses.
+package dataflow
+
+import (
+	"math/bits"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/mir"
+)
+
+// BitSet is a fixed-capacity bit set.
+type BitSet []uint64
+
+// NewBitSet returns a set with capacity for n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set sets bit i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << uint(i%64) }
+
+// Clear clears bit i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << uint(i%64) }
+
+// Has reports whether bit i is set.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<uint(i%64)) != 0 }
+
+// Clone copies the set.
+func (s BitSet) Clone() BitSet {
+	out := make(BitSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// UnionWith ors other into s, reporting whether s changed.
+func (s BitSet) UnionWith(other BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] |= other[i]
+		if s[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith ands other into s, reporting whether s changed.
+func (s BitSet) IntersectWith(other BitSet) bool {
+	changed := false
+	for i := range s {
+		old := s[i]
+		s[i] &= other[i]
+		if s[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports set equality.
+func (s BitSet) Equal(other BitSet) bool {
+	for i := range s {
+		if s[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for every set bit in ascending order.
+func (s BitSet) ForEach(f func(int)) {
+	for wi, w := range s {
+		for w != 0 {
+			i := bits.TrailingZeros64(w)
+			f(wi*64 + i)
+			w &^= 1 << uint(i)
+		}
+	}
+}
+
+// Fill sets all n bits.
+func (s BitSet) Fill(n int) {
+	for i := 0; i < n; i++ {
+		s.Set(i)
+	}
+}
+
+// JoinKind selects the confluence operator.
+type JoinKind int
+
+// Join kinds: may-analyses union, must-analyses intersect.
+const (
+	JoinUnion JoinKind = iota
+	JoinIntersect
+)
+
+// Problem defines a forward dataflow problem over one body.
+type Problem struct {
+	// Bits is the domain size.
+	Bits int
+	// Join selects union (may) or intersection (must).
+	Join JoinKind
+	// Entry seeds the state at function entry.
+	Entry func(state BitSet)
+	// TransferStmt updates state across one statement.
+	TransferStmt func(state BitSet, blk mir.BlockID, idx int, st mir.Statement)
+	// TransferTerm updates state across a terminator, before edges fan
+	// out. Optional.
+	TransferTerm func(state BitSet, blk mir.BlockID, term mir.Terminator)
+}
+
+// Result holds per-block entry states of a converged analysis.
+type Result struct {
+	Graph *cfg.Graph
+	In    []BitSet // state at block entry
+	prob  *Problem
+}
+
+// Forward runs a forward analysis to fixpoint and returns per-block entry
+// states.
+func Forward(g *cfg.Graph, p *Problem) *Result {
+	n := len(g.Body.Blocks)
+	in := make([]BitSet, n)
+	for i := range in {
+		in[i] = NewBitSet(p.Bits)
+		if p.Join == JoinIntersect {
+			in[i].Fill(p.Bits) // top = all for must-analyses
+		}
+	}
+	if n == 0 {
+		return &Result{Graph: g, In: in, prob: p}
+	}
+	entryState := NewBitSet(p.Bits)
+	if p.Entry != nil {
+		p.Entry(entryState)
+	}
+	in[0] = entryState.Clone()
+
+	// Worklist in RPO order.
+	inWork := make([]bool, n)
+	var work []mir.BlockID
+	for _, b := range g.RPO {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	visited := make([]bool, n)
+	visited[0] = true
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+
+		state := in[b].Clone()
+		applyBlock(state, g.Body.Blocks[b], p)
+
+		for _, s := range g.Succs[b] {
+			var changed bool
+			if !visited[s] {
+				// First touch: copy state directly (important for
+				// intersection joins, where top would mask it).
+				copy(in[s], state)
+				visited[s] = true
+				changed = true
+			} else if p.Join == JoinUnion {
+				changed = in[s].UnionWith(state)
+			} else {
+				changed = in[s].IntersectWith(state)
+			}
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return &Result{Graph: g, In: in, prob: p}
+}
+
+func applyBlock(state BitSet, blk *mir.Block, p *Problem) {
+	for i, st := range blk.Stmts {
+		if p.TransferStmt != nil {
+			p.TransferStmt(state, blk.ID, i, st)
+		}
+	}
+	if blk.Term != nil && p.TransferTerm != nil {
+		p.TransferTerm(state, blk.ID, blk.Term)
+	}
+}
+
+// StateAt recomputes the state just before statement idx of block b
+// (idx == len(stmts) gives the state before the terminator).
+func (r *Result) StateAt(b mir.BlockID, idx int) BitSet {
+	state := r.In[b].Clone()
+	blk := r.Graph.Body.Blocks[b]
+	for i := 0; i < idx && i < len(blk.Stmts); i++ {
+		if r.prob.TransferStmt != nil {
+			r.prob.TransferStmt(state, b, i, blk.Stmts[i])
+		}
+	}
+	return state
+}

@@ -1,0 +1,116 @@
+// Package detect defines the shared detector infrastructure: the Finding
+// type, the analysis Context handed to each detector, and the registry of
+// built-in detectors (the paper's two headline detectors plus the
+// extensions its §7 recommendations call for).
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/callgraph"
+	"rustprobe/internal/hir"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/pointsto"
+	"rustprobe/internal/source"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+// Finding kinds.
+const (
+	KindUseAfterFree   Kind = "use-after-free"
+	KindDoubleLock     Kind = "double-lock"
+	KindLockOrder      Kind = "conflicting-lock-order"
+	KindDoubleFree     Kind = "double-free"
+	KindInvalidFree    Kind = "invalid-free"
+	KindUninitRead     Kind = "uninitialized-read"
+	KindInteriorMut    Kind = "unsynchronized-interior-mutability"
+	KindBorrowConflict Kind = "borrow-conflict"
+)
+
+// Severity ranks findings.
+type Severity int
+
+// Severity levels.
+const (
+	SeverityWarning Severity = iota
+	SeverityError
+)
+
+func (s Severity) String() string {
+	if s == SeverityError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one detector report.
+type Finding struct {
+	Kind     Kind
+	Severity Severity
+	Function string // qualified function name
+	Span     source.Span
+	Message  string
+	Notes    []string
+}
+
+// Format renders the finding with a resolved position.
+func (f Finding) Format(fset *source.FileSet) string {
+	pos := fset.Position(f.Span.Start)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s: [%s] %s (in %s)", pos, f.Severity, f.Kind, f.Message, f.Function)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "\n    note: %s", n)
+	}
+	return b.String()
+}
+
+// Context carries everything a detector needs.
+type Context struct {
+	Program *hir.Program
+	Bodies  map[string]*mir.Body
+	Graph   *callgraph.Graph
+	Fset    *source.FileSet
+
+	pts map[string]*pointsto.Result
+}
+
+// NewContext builds a Context, precomputing the call graph.
+func NewContext(prog *hir.Program, bodies map[string]*mir.Body) *Context {
+	return &Context{
+		Program: prog,
+		Bodies:  bodies,
+		Graph:   callgraph.Build(bodies),
+		Fset:    prog.Fset,
+		pts:     map[string]*pointsto.Result{},
+	}
+}
+
+// PointsTo returns (caching) the points-to result for a function.
+func (c *Context) PointsTo(fn string) *pointsto.Result {
+	if r, ok := c.pts[fn]; ok {
+		return r
+	}
+	r := pointsto.Analyze(c.Bodies[fn])
+	c.pts[fn] = r
+	return r
+}
+
+// Detector is one analysis pass over a Context.
+type Detector interface {
+	Name() string
+	Run(*Context) []Finding
+}
+
+// SortFindings orders findings by position then kind for stable output.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Span.Start != fs[j].Span.Start {
+			return fs[i].Span.Start < fs[j].Span.Start
+		}
+		return fs[i].Kind < fs[j].Kind
+	})
+}

@@ -1,0 +1,66 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/hir"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+)
+
+func TestFindingFormat(t *testing.T) {
+	fset := source.NewFileSet()
+	f := fset.Add("lib.rs", "fn main() {\n    boom();\n}\n")
+	sp := source.NewSpan(f.Base+16, f.Base+22)
+	fd := Finding{
+		Kind:     KindDoubleLock,
+		Severity: SeverityError,
+		Function: "main",
+		Span:     sp,
+		Message:  "second lock of \"mu\"",
+		Notes:    []string{"first guard still live"},
+	}
+	out := fd.Format(fset)
+	for _, want := range []string{"lib.rs:2:5", "error", "double-lock", "second lock", "(in main)", "note: first guard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortFindings(t *testing.T) {
+	fs := []Finding{
+		{Kind: KindUseAfterFree, Span: source.NewSpan(50, 60)},
+		{Kind: KindDoubleLock, Span: source.NewSpan(10, 20)},
+		{Kind: KindInvalidFree, Span: source.NewSpan(10, 20)},
+	}
+	SortFindings(fs)
+	if fs[0].Span.Start != 10 || fs[2].Span.Start != 50 {
+		t.Errorf("order: %+v", fs)
+	}
+	// Ties break by kind.
+	if fs[0].Kind > fs[1].Kind {
+		t.Errorf("tie-break wrong: %s before %s", fs[0].Kind, fs[1].Kind)
+	}
+}
+
+func TestContextPointsToCached(t *testing.T) {
+	prog := hir.NewProgram(source.NewFileSet())
+	body := &mir.Body{Func: &hir.FuncDef{Qualified: "f"}}
+	body.NewLocal("", nil, false, source.Span{})
+	blk := body.NewBlock()
+	blk.Term = mir.Return{}
+	ctx := NewContext(prog, map[string]*mir.Body{"f": body})
+	r1 := ctx.PointsTo("f")
+	r2 := ctx.PointsTo("f")
+	if r1 != r2 {
+		t.Error("points-to result not cached")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityWarning.String() != "warning" || SeverityError.String() != "error" {
+		t.Error("severity strings wrong")
+	}
+}

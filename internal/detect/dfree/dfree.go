@@ -1,0 +1,270 @@
+// Package dfree detects the two drop-related memory bug classes of Table 2
+// that the paper singles out as unique to Rust:
+//
+//   - invalid free (Figure 6): assigning a new value through a pointer to
+//     uninitialized memory (`*f = FILE{...}` where f came from alloc())
+//     runs the destructor of the garbage "previous value";
+//   - double free: `ptr::read` duplicates ownership of a value, so both
+//     the original and the copy run destructors when their lifetimes end.
+package dfree
+
+import (
+	"fmt"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/types"
+)
+
+// Detector finds invalid-free and double-free patterns.
+type Detector struct{}
+
+// New returns the detector.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "drop-bugs" }
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var out []detect.Finding
+	for _, name := range ctx.Graph.Names() {
+		out = append(out, d.checkInvalidFree(ctx, name)...)
+		out = append(out, d.checkDoubleFree(ctx, name)...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// checkInvalidFree tracks pointers to uninitialized allocations: alloc()
+// (and mem::uninitialized/MaybeUninit::uninit) gen an "uninit" bit on the
+// destination and everything it flows into by cast/copy; a plain MIR
+// Assign through such a pointer drops the uninitialized previous value —
+// invalid free. ptr::write initializes without dropping and clears the bit.
+func (d *Detector) checkInvalidFree(ctx *detect.Context, name string) []detect.Finding {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	pts := ctx.PointsTo(name)
+
+	// Locals that (may) hold pointers to uninitialized memory, seeded by
+	// alloc intrinsics and spread through copies/casts; flow-sensitive so
+	// ptr::write can clear.
+	prob := &dataflow.Problem{
+		Bits: len(body.Locals),
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				return
+			}
+			if !as.Place.IsLocal() {
+				return
+			}
+			switch rv := as.Rvalue.(type) {
+			case mir.Use:
+				if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+					state.Set(int(as.Place.Local))
+					return
+				}
+			case mir.Cast:
+				if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+					state.Set(int(as.Place.Local))
+					return
+				}
+			}
+			state.Clear(int(as.Place.Local))
+		},
+		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
+			c, ok := term.(mir.Call)
+			if !ok {
+				return
+			}
+			switch c.Intrinsic {
+			case mir.IntrinsicAlloc:
+				if c.Dest.IsLocal() {
+					state.Set(int(c.Dest.Local))
+				}
+			case mir.IntrinsicPtrWrite:
+				// ptr::write(p, v): p's target is now initialized.
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+						state.Clear(int(pl.Local))
+					}
+				}
+			default:
+				if c.Dest.IsLocal() {
+					state.Clear(int(c.Dest.Local))
+				}
+			}
+		},
+	}
+	res := dataflow.Forward(g, prob)
+
+	var out []detect.Finding
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		for i, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok || !as.Place.HasDeref() {
+				continue
+			}
+			base := as.Place.Local
+			if _, isRaw := body.Local(base).Ty.(*types.RawPtr); !isRaw {
+				continue
+			}
+			// The assigned value must have drop glue for the implicit
+			// drop of the previous value to matter.
+			assignedTy := assignedType(body, as)
+			if !typeNeedsDrop(assignedTy) {
+				continue
+			}
+			state := res.StateAt(blk.ID, i)
+			if state.Has(int(base)) {
+				out = append(out, detect.Finding{
+					Kind:     detect.KindInvalidFree,
+					Severity: detect.SeverityError,
+					Function: name,
+					Span:     as.Span,
+					Message:  fmt.Sprintf("assignment through %s drops the uninitialized previous value (invalid free)", body.Local(base)),
+					Notes: []string{
+						"the pointee comes from alloc() and was never initialized",
+						"use ptr::write to initialize without dropping",
+					},
+				})
+			}
+		}
+	}
+	_ = pts
+	return out
+}
+
+func assignedType(body *mir.Body, as mir.Assign) types.Type {
+	switch rv := as.Rvalue.(type) {
+	case mir.Use:
+		return operandType(body, rv.X)
+	case mir.Aggregate:
+		return types.NamedOf(rv.Name)
+	default:
+		return types.UnknownType
+	}
+}
+
+func operandType(body *mir.Body, op mir.Operand) types.Type {
+	switch op := op.(type) {
+	case mir.Copy:
+		return body.Local(op.Place.Local).Ty
+	case mir.Move:
+		return body.Local(op.Place.Local).Ty
+	case mir.Const:
+		return op.Ty
+	}
+	return types.UnknownType
+}
+
+func typeNeedsDrop(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		switch t.Name {
+		case "PhantomData", "Ordering":
+			return false
+		}
+		return true
+	case *types.Tuple:
+		for _, e := range t.Elems {
+			if typeNeedsDrop(e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkDoubleFree flags ptr::read duplications where both the original
+// owner and the duplicate are dropped.
+func (d *Detector) checkDoubleFree(ctx *detect.Context, name string) []detect.Finding {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	pts := ctx.PointsTo(name)
+
+	// Which locals are dropped somewhere (reachable)?
+	dropped := map[mir.LocalID]bool{}
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		if dr, ok := blk.Term.(mir.Drop); ok && dr.Place.IsLocal() {
+			dropped[dr.Place.Local] = true
+		}
+	}
+
+	// duplicates[d] = original owner o when d was produced by
+	// ptr::read(&o) (directly or through a pointer).
+	var out []detect.Finding
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok || c.Intrinsic != mir.IntrinsicPtrRead {
+			continue
+		}
+		if len(c.Args) == 0 || !c.Dest.IsLocal() {
+			continue
+		}
+		pl, isPlace := mir.OperandPlace(c.Args[0])
+		if !isPlace {
+			continue
+		}
+		// Resolve the original owner: the pointer argument's targets.
+		var owners []mir.LocalID
+		if pl.IsLocal() {
+			for t := range pts.Targets(pl.Local) {
+				owners = append(owners, t)
+			}
+		}
+		dup := c.Dest.Local
+		// Follow one move of the duplicate into a named local.
+		dupHolders := map[mir.LocalID]bool{dup: true}
+		for _, blk2 := range body.Blocks {
+			for _, st := range blk2.Stmts {
+				if as, ok := st.(mir.Assign); ok && as.Place.IsLocal() {
+					if use, ok := as.Rvalue.(mir.Use); ok {
+						if p2, ok := mir.OperandPlace(use.X); ok && p2.IsLocal() && dupHolders[p2.Local] {
+							dupHolders[as.Place.Local] = true
+						}
+					}
+				}
+			}
+		}
+		dupDropped := false
+		for h := range dupHolders {
+			if dropped[h] {
+				dupDropped = true
+			}
+		}
+		if !dupDropped {
+			continue
+		}
+		for _, o := range owners {
+			if dropped[o] {
+				out = append(out, detect.Finding{
+					Kind:     detect.KindDoubleFree,
+					Severity: detect.SeverityError,
+					Function: name,
+					Span:     c.Span,
+					Message: fmt.Sprintf("ptr::read duplicates ownership of %s; both copies are dropped (double free)",
+						body.Local(o)),
+					Notes: []string{
+						"move the value (t2 = t1) instead of ptr::read to transfer ownership",
+					},
+				})
+				break
+			}
+		}
+	}
+	return out
+}

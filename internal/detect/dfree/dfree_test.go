@@ -1,0 +1,119 @@
+package dfree
+
+import (
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+func count(fs []detect.Finding, kind detect.Kind) int {
+	n := 0
+	for _, f := range fs {
+		if f.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Figure 6 (Redox): assigning a struct through a pointer to uninitialized
+// memory drops the garbage previous value.
+const figure6Buggy = `
+pub struct FILE { buf: Vec<u8> }
+
+pub unsafe fn _fdopen() {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    *f = FILE { buf: vec![0u8; 100] };
+}
+`
+
+// The committed fix: ptr::write initializes without dropping.
+const figure6Fixed = `
+pub struct FILE { buf: Vec<u8> }
+
+pub unsafe fn _fdopen() {
+    let f = alloc(size_of::<FILE>()) as *mut FILE;
+    ptr::write(f, FILE { buf: vec![0u8; 100] });
+}
+`
+
+func TestFigure6BuggyFlagged(t *testing.T) {
+	findings := analyze(t, figure6Buggy)
+	if count(findings, detect.KindInvalidFree) != 1 {
+		t.Fatalf("findings = %+v, want 1 invalid-free", findings)
+	}
+}
+
+func TestFigure6FixedClean(t *testing.T) {
+	findings := analyze(t, figure6Fixed)
+	if n := count(findings, detect.KindInvalidFree); n != 0 {
+		t.Fatalf("fixed version flagged: %+v", findings)
+	}
+}
+
+// §5.1 double free: t2 = ptr::read(&t1) gives the pointee two owners.
+const doubleFreeBuggy = `
+struct Holder { b: Box<i32> }
+
+fn f(t1: Holder) {
+    let t2 = unsafe { ptr::read(&t1) };
+}
+`
+
+// The safe alternative moves ownership.
+const doubleFreeFixed = `
+struct Holder { b: Box<i32> }
+
+fn f(t1: Holder) {
+    let t2 = t1;
+}
+`
+
+func TestDoubleFreeFlagged(t *testing.T) {
+	findings := analyze(t, doubleFreeBuggy)
+	if count(findings, detect.KindDoubleFree) != 1 {
+		t.Fatalf("findings = %+v, want 1 double-free", findings)
+	}
+}
+
+func TestMoveInsteadOfPtrReadClean(t *testing.T) {
+	findings := analyze(t, doubleFreeFixed)
+	if n := count(findings, detect.KindDoubleFree); n != 0 {
+		t.Fatalf("move version flagged: %+v", findings)
+	}
+}
+
+func TestPtrReadWithForgetClean(t *testing.T) {
+	// mem::forget on the original owner prevents the double drop.
+	src := `
+struct Holder { b: Box<i32> }
+
+fn f(t1: Holder) {
+    let t2 = unsafe { ptr::read(&t1) };
+    mem::forget(t1);
+}
+`
+	findings := analyze(t, src)
+	if n := count(findings, detect.KindDoubleFree); n != 0 {
+		t.Fatalf("forget version flagged: %+v", findings)
+	}
+}

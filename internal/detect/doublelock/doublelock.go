@@ -1,0 +1,412 @@
+// Package doublelock implements the paper's §7.2 double-lock detector. It
+// identifies every lock() / read() / write() call site, extracts the lock
+// being acquired (a source-level path such as "self.client") and the
+// guard-holding local, then computes guard lifetimes: Rust releases a lock
+// when the guard's lifetime ends, i.e. at its Drop/StorageDead or an
+// explicit mem::drop. A second acquisition of the same lock while a guard
+// is live is a double lock. The check is inter-procedural: per-function
+// "locks acquired" summaries are propagated bottom-up and translated
+// through receiver paths at call sites.
+package doublelock
+
+import (
+	"fmt"
+	"strings"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/mir"
+)
+
+// Mode distinguishes guard kinds.
+type Mode int
+
+// Guard modes.
+const (
+	ModeLock  Mode = iota // Mutex::lock
+	ModeRead              // RwLock::read
+	ModeWrite             // RwLock::write
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "read"
+	case ModeWrite:
+		return "write"
+	default:
+		return "lock"
+	}
+}
+
+// guardInfo describes a guard-holding local.
+type guardInfo struct {
+	lockID string
+	mode   Mode
+}
+
+// Detector is the double-lock detector.
+type Detector struct {
+	// FlagReadRead also reports read()-after-read() on the same RwLock
+	// (can deadlock when a writer is queued); defaults to false to match
+	// the paper's reported-bug set.
+	FlagReadRead bool
+	// IntraOnly disables the bottom-up lock-set summaries (the ablation
+	// in DESIGN.md's index): caller-holds/callee-locks bugs are then
+	// missed.
+	IntraOnly bool
+}
+
+// New returns the detector with default configuration.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "double-lock" }
+
+// acquireIntrinsic maps a call intrinsic to a guard mode.
+func acquireIntrinsic(i mir.Intrinsic) (Mode, bool) {
+	switch i {
+	case mir.IntrinsicLock:
+		return ModeLock, true
+	case mir.IntrinsicRead:
+		return ModeRead, true
+	case mir.IntrinsicWrite:
+		return ModeWrite, true
+	}
+	return ModeLock, false
+}
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var summaries map[string]map[string]Mode
+	if !d.IntraOnly {
+		summaries = d.buildSummaries(ctx)
+	}
+	var out []detect.Finding
+	for _, name := range ctx.Graph.Names() {
+		out = append(out, d.checkFunction(ctx, name, summaries)...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// guardOrigins statically assigns a guardInfo to each local that may hold
+// a guard, by propagating from acquiring calls through moves and unwrap.
+func guardOrigins(body *mir.Body) map[mir.LocalID]guardInfo {
+	origins := map[mir.LocalID]guardInfo{}
+	changed := true
+	for changed {
+		changed = false
+		set := func(l mir.LocalID, gi guardInfo) {
+			if _, ok := origins[l]; !ok {
+				origins[l] = gi
+				changed = true
+			}
+		}
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				if use, ok := as.Rvalue.(mir.Use); ok {
+					if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() {
+						if gi, has := origins[pl.Local]; has {
+							set(as.Place.Local, gi)
+						}
+					}
+				}
+			}
+			if c, ok := blk.Term.(mir.Call); ok && c.Dest.IsLocal() {
+				if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
+					set(c.Dest.Local, guardInfo{lockID: c.RecvPath, mode: mode})
+				}
+				// A successful try_lock also yields a guard that blocks a
+				// later lock(); the try itself never deadlocks.
+				if c.Intrinsic == mir.IntrinsicTryLock && c.RecvPath != "" {
+					set(c.Dest.Local, guardInfo{lockID: c.RecvPath, mode: ModeLock})
+				}
+				switch c.Intrinsic {
+				case mir.IntrinsicUnwrap, mir.IntrinsicTryLock, mir.IntrinsicCondvarWait:
+					argIdx := 0
+					if c.Intrinsic == mir.IntrinsicCondvarWait {
+						argIdx = 1
+					}
+					if argIdx < len(c.Args) {
+						if pl, ok := mir.OperandPlace(c.Args[argIdx]); ok && pl.IsLocal() {
+							if gi, has := origins[pl.Local]; has {
+								set(c.Dest.Local, gi)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return origins
+}
+
+// liveGuards runs the forward may-analysis: bit l set means local l holds
+// a live (unreleased) guard.
+func liveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]guardInfo) *dataflow.Result {
+	prob := &dataflow.Problem{
+		Bits: len(body.Locals),
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			switch st := st.(type) {
+			case mir.StorageDead:
+				state.Clear(int(st.Local))
+			case mir.Assign:
+				if !st.Place.IsLocal() {
+					return
+				}
+				if use, ok := st.Rvalue.(mir.Use); ok {
+					if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() {
+						if _, isGuard := origins[pl.Local]; isGuard && state.Has(int(pl.Local)) {
+							// The guard moves: source releases, dest holds.
+							state.Clear(int(pl.Local))
+							state.Set(int(st.Place.Local))
+							return
+						}
+					}
+				}
+				// Overwriting a guard-holding local drops the old guard.
+				state.Clear(int(st.Place.Local))
+			}
+		},
+		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
+			switch term := term.(type) {
+			case mir.Drop:
+				if term.Place.IsLocal() {
+					state.Clear(int(term.Place.Local))
+				}
+			case mir.Call:
+				if mode, isAcq := acquireIntrinsic(term.Intrinsic); isAcq && term.Dest.IsLocal() {
+					_ = mode
+					if _, tracked := origins[term.Dest.Local]; tracked {
+						state.Set(int(term.Dest.Local))
+					}
+					return
+				}
+				switch term.Intrinsic {
+				case mir.IntrinsicUnwrap, mir.IntrinsicTryLock:
+					if len(term.Args) > 0 {
+						if pl, ok := mir.OperandPlace(term.Args[0]); ok && pl.IsLocal() {
+							if _, isGuard := origins[pl.Local]; isGuard && state.Has(int(pl.Local)) {
+								state.Clear(int(pl.Local))
+								if term.Dest.IsLocal() {
+									state.Set(int(term.Dest.Local))
+								}
+								return
+							}
+						}
+					}
+					// try_lock acquires directly from the lock receiver.
+					if term.Intrinsic == mir.IntrinsicTryLock && term.Dest.IsLocal() {
+						if _, tracked := origins[term.Dest.Local]; tracked {
+							state.Set(int(term.Dest.Local))
+						}
+					}
+				case mir.IntrinsicCondvarWait:
+					// wait(cv, guard) releases during the wait and returns
+					// a reacquired guard: transfer, never double-lock.
+					if len(term.Args) > 1 {
+						if pl, ok := mir.OperandPlace(term.Args[1]); ok && pl.IsLocal() {
+							state.Clear(int(pl.Local))
+						}
+					}
+					if term.Dest.IsLocal() {
+						if _, tracked := origins[term.Dest.Local]; tracked {
+							state.Set(int(term.Dest.Local))
+						}
+					}
+				case mir.IntrinsicForget:
+					if len(term.Args) > 0 {
+						if pl, ok := mir.OperandPlace(term.Args[0]); ok && pl.IsLocal() {
+							state.Clear(int(pl.Local))
+						}
+					}
+				default:
+					// A guard moved into a call is consumed there.
+					for _, a := range term.Args {
+						if pl, ok := mir.OperandPlace(a); ok && pl.IsLocal() && mir.IsMove(a) {
+							if _, isGuard := origins[pl.Local]; isGuard {
+								state.Clear(int(pl.Local))
+							}
+						}
+					}
+					if term.Dest.IsLocal() {
+						state.Clear(int(term.Dest.Local))
+					}
+				}
+			}
+		},
+	}
+	return dataflow.Forward(g, prob)
+}
+
+// heldAt returns the lock identities live at a program point.
+func heldAt(state dataflow.BitSet, origins map[mir.LocalID]guardInfo) map[string]Mode {
+	held := map[string]Mode{}
+	state.ForEach(func(l int) {
+		if gi, ok := origins[mir.LocalID(l)]; ok {
+			// Writes dominate in the merged view.
+			if cur, exists := held[gi.lockID]; !exists || gi.mode > cur {
+				held[gi.lockID] = gi.mode
+			}
+		}
+	})
+	return held
+}
+
+// translate maps a callee-namespace lock id into the caller's namespace
+// through the call's receiver path. Returns "" when untranslatable.
+func translate(calleeID, recvPath string) string {
+	if strings.HasPrefix(calleeID, "static ") {
+		return calleeID
+	}
+	if recvPath == "" {
+		return ""
+	}
+	if calleeID == "self" {
+		return recvPath
+	}
+	if strings.HasPrefix(calleeID, "self.") {
+		return recvPath + calleeID[len("self"):]
+	}
+	return ""
+}
+
+// buildSummaries computes, bottom-up over the call graph, the set of lock
+// ids each function may acquire (transitively), expressed in its own
+// namespace (only self-rooted and static ids propagate upward).
+func (d *Detector) buildSummaries(ctx *detect.Context) map[string]map[string]Mode {
+	sums := map[string]map[string]Mode{}
+	order := ctx.Graph.PostOrder()
+	for round := 0; round < 2; round++ {
+		for _, name := range order {
+			body := ctx.Bodies[name]
+			s := sums[name]
+			if s == nil {
+				s = map[string]Mode{}
+				sums[name] = s
+			}
+			for _, blk := range body.Blocks {
+				c, ok := blk.Term.(mir.Call)
+				if !ok {
+					continue
+				}
+				if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
+					if cur, exists := s[c.RecvPath]; !exists || mode > cur {
+						s[c.RecvPath] = mode
+					}
+					continue
+				}
+				calleeName := resolvedCallee(ctx, c)
+				if calleeName == "" {
+					continue
+				}
+				for id, mode := range sums[calleeName] {
+					tid := translate(id, c.RecvPath)
+					if tid == "" {
+						continue
+					}
+					// Only ids that remain self-rooted or static are part
+					// of this function's upward summary.
+					if strings.HasPrefix(tid, "self") || strings.HasPrefix(tid, "static ") {
+						if cur, exists := s[tid]; !exists || mode > cur {
+							s[tid] = mode
+						}
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+func resolvedCallee(ctx *detect.Context, c mir.Call) string {
+	if c.Def != nil {
+		if _, ok := ctx.Bodies[c.Def.Qualified]; ok {
+			return c.Def.Qualified
+		}
+	}
+	if _, ok := ctx.Bodies[c.Callee]; ok {
+		return c.Callee
+	}
+	return ""
+}
+
+// conflicts reports whether acquiring `mode` on a lock already held in
+// `heldMode` deadlocks.
+func (d *Detector) conflicts(heldMode, mode Mode) bool {
+	if heldMode == ModeRead && mode == ModeRead {
+		return d.FlagReadRead
+	}
+	return true
+}
+
+func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[string]map[string]Mode) []detect.Finding {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	origins := guardOrigins(body)
+	res := liveGuards(body, g, origins)
+
+	var out []detect.Finding
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok {
+			continue
+		}
+		state := res.StateAt(blk.ID, len(blk.Stmts))
+		held := heldAt(state, origins)
+
+		if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
+			if heldMode, isHeld := held[c.RecvPath]; isHeld && d.conflicts(heldMode, mode) {
+				out = append(out, detect.Finding{
+					Kind:     detect.KindDoubleLock,
+					Severity: detect.SeverityError,
+					Function: name,
+					Span:     c.Span,
+					Message: fmt.Sprintf("%s() on %q while a %s guard of the same lock is still live",
+						mode, c.RecvPath, heldMode),
+					Notes: []string{
+						"Rust releases a lock when the guard's lifetime ends; the first guard is still in scope here",
+					},
+				})
+			}
+			continue
+		}
+
+		// Inter-procedural: calling a function that (transitively)
+		// acquires a lock we hold.
+		calleeName := resolvedCallee(ctx, c)
+		if calleeName == "" || len(held) == 0 {
+			continue
+		}
+		for id, mode := range sums[calleeName] {
+			tid := translate(id, c.RecvPath)
+			if tid == "" {
+				continue
+			}
+			if heldMode, isHeld := held[tid]; isHeld && d.conflicts(heldMode, mode) {
+				out = append(out, detect.Finding{
+					Kind:     detect.KindDoubleLock,
+					Severity: detect.SeverityError,
+					Function: name,
+					Span:     c.Span,
+					Message: fmt.Sprintf("call to %s acquires %q (%s) while a %s guard of the same lock is held",
+						calleeName, tid, mode, heldMode),
+					Notes: []string{
+						fmt.Sprintf("%s acquires the lock internally; the caller's guard has not been dropped", calleeName),
+					},
+				})
+			}
+		}
+	}
+	return out
+}

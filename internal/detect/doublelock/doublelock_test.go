@@ -1,0 +1,321 @@
+package doublelock
+
+import (
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+// Figure 8 (TiKV): read lock held across the match arms; write() inside an
+// arm deadlocks.
+const figure8Buggy = `
+struct Inner { m: i32 }
+struct Client { inner: i32 }
+fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+
+fn do_request(client: Arc<RwLock<Inner>>) {
+    match connect(client.read().unwrap().m) {
+        Ok(mbrs) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}
+`
+
+// The committed fix: the read guard dies at the end of the let statement.
+const figure8Fixed = `
+struct Inner { m: i32 }
+fn connect(m: i32) -> Result<i32, i32> { Ok(m) }
+
+fn do_request(client: Arc<RwLock<Inner>>) {
+    let result = connect(client.read().unwrap().m);
+    match result {
+        Ok(mbrs) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}
+`
+
+func TestFigure8BuggyFlagged(t *testing.T) {
+	findings := analyze(t, figure8Buggy)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Kind != detect.KindDoubleLock {
+		t.Errorf("kind = %s", findings[0].Kind)
+	}
+	if findings[0].Function != "do_request" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestFigure8FixedClean(t *testing.T) {
+	findings := analyze(t, figure8Fixed)
+	if len(findings) != 0 {
+		t.Fatalf("fixed version flagged: %+v", findings)
+	}
+}
+
+func TestDoubleLockInIfCondition(t *testing.T) {
+	// §6.1: "the first lock is in an if condition, and the second lock is
+	// in the if block".
+	src := `
+struct State { v: i32 }
+fn f(mu: Arc<Mutex<State>>) {
+    if mu.lock().unwrap().v > 0 {
+        let mut g = mu.lock().unwrap();
+        g.v = 2;
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+}
+
+func TestSequentialLocksClean(t *testing.T) {
+	// Two critical sections in sequence: the first guard dies at the end
+	// of its statement-bound temporary.
+	src := `
+struct State { v: i32 }
+fn f(mu: Mutex<State>) {
+    let a = mu.lock().unwrap().v;
+    let b = mu.lock().unwrap().v;
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("sequential locks flagged: %+v", findings)
+	}
+}
+
+func TestExplicitDropAvoidsDoubleLock(t *testing.T) {
+	// §6.1 avoidance idiom: mem::drop ends the critical section early.
+	src := `
+struct State { v: i32 }
+fn f(mu: Mutex<State>) {
+    let g = mu.lock().unwrap();
+    drop(g);
+    let h = mu.lock().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("explicit drop still flagged: %+v", findings)
+	}
+}
+
+func TestDoubleLockWithoutDropFlagged(t *testing.T) {
+	src := `
+struct State { v: i32 }
+fn f(mu: Mutex<State>) {
+    let g = mu.lock().unwrap();
+    let h = mu.lock().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+}
+
+func TestDifferentLocksClean(t *testing.T) {
+	src := `
+struct State { v: i32 }
+fn f(a: Mutex<State>, b: Mutex<State>) {
+    let g = a.lock().unwrap();
+    let h = b.lock().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("different locks flagged: %+v", findings)
+	}
+}
+
+func TestInterProceduralDoubleLock(t *testing.T) {
+	// The paper's found bugs (e.g. parity-ethereum #11172): a method
+	// holding self.state's lock calls another method that locks it again.
+	src := `
+struct Engine { state: Mutex<i32>, extra: i32 }
+impl Engine {
+    fn helper(&self) -> i32 {
+        let s = self.state.lock().unwrap();
+        *s
+    }
+    fn broken(&self) {
+        let g = self.state.lock().unwrap();
+        let v = self.helper();
+    }
+    fn okay(&self) {
+        let v0 = { let g = self.state.lock().unwrap(); *g };
+        let v = self.helper();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Function != "Engine::broken" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestCondvarWaitReleasesLock(t *testing.T) {
+	src := `
+fn f(mu: Mutex<bool>, cv: Condvar) {
+    let mut g = mu.lock().unwrap();
+    let g2 = cv.wait(g);
+    let h = mu.lock().unwrap();
+}
+`
+	// g2 holds the reacquired guard, so the second explicit lock IS a
+	// double lock; but wait() itself must not be flagged.
+	findings := analyze(t, src)
+	for _, f := range findings {
+		if f.Kind == detect.KindDoubleLock && f.Message == "wait" {
+			t.Errorf("wait flagged: %+v", f)
+		}
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1 (the lock after wait): %+v", len(findings), findings)
+	}
+}
+
+func TestReadReadNotFlaggedByDefault(t *testing.T) {
+	src := `
+struct S { v: i32 }
+fn f(rw: RwLock<S>) {
+    let a = rw.read().unwrap();
+    let b = rw.read().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("read-read flagged by default: %+v", findings)
+	}
+}
+
+func TestGuardMovedIntoFunctionReleasesTracking(t *testing.T) {
+	src := `
+fn consume(g: MutexGuard<i32>) {}
+fn f(mu: Mutex<i32>) {
+    let g = mu.lock().unwrap();
+    consume(g);
+    let h = mu.lock().unwrap();
+}
+`
+	// After moving the guard into consume(), the guard is dropped there
+	// (conservatively treated as released at the call).
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("moved-guard case flagged: %+v", findings)
+	}
+}
+
+func TestIfLetScrutineeGuardHeld(t *testing.T) {
+	// `if let` scrutinee temporaries live to the end of the whole if —
+	// same rule as match.
+	src := `
+struct S { v: Option<i32> }
+fn f(mu: Mutex<S>) {
+    if let Some(n) = mu.lock().unwrap().v {
+        let g = mu.lock().unwrap();
+        report(n, g.v);
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+}
+
+func TestTryLockNotADoubleLock(t *testing.T) {
+	// try_lock does not block: acquiring while holding returns Err rather
+	// than deadlocking, so no finding — but a later blocking lock() while
+	// the try_lock guard is live IS one.
+	src := `
+struct S { v: i32 }
+fn ok_case(mu: Mutex<S>) {
+    let g = mu.lock().unwrap();
+    let maybe = mu.try_lock();
+}
+fn bad_case(mu: Mutex<S>) {
+    let g = mu.try_lock().unwrap();
+    let h = mu.lock().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1 (only bad_case): %+v", len(findings), findings)
+	}
+	if findings[0].Function != "bad_case" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestWhileLetConditionGuardReleased(t *testing.T) {
+	// In while-loop conditions temporaries drop at the end of each
+	// condition evaluation (not the loop): locking in the body is fine.
+	src := `
+struct S { v: Option<i32> }
+fn f(mu: Mutex<S>) {
+    while let Some(n) = mu.lock().unwrap().v {
+        let g = mu.lock().unwrap();
+        report(n, g.v);
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("while-let condition guard should be released before the body: %+v", findings)
+	}
+}
+
+func TestNestedMatchGuards(t *testing.T) {
+	// Two different locks in nested matches: fine.
+	src := `
+struct S { v: i32 }
+fn f(a: Mutex<S>, b: Mutex<S>) {
+    match a.lock().unwrap().v {
+        0 => {
+            match b.lock().unwrap().v {
+                _ => {}
+            };
+        }
+        _ => {}
+    };
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("different nested locks flagged: %+v", findings)
+	}
+}

@@ -1,0 +1,67 @@
+// Package dynamic adapts the interp explorer to the detect.Detector
+// interface so the bounded Miri-style checker can be selected by name
+// (`-detect dynamic`) alongside the static detectors. It is opt-in rather
+// than part of the default suite: like all dynamic tools (the paper's
+// §2.4 critique of Miri), its findings depend on which paths the bounded
+// exploration reaches.
+package dynamic
+
+import (
+	"fmt"
+	"strings"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/interp"
+)
+
+// Detector wraps interp.RunAll.
+type Detector struct {
+	Config interp.Config
+}
+
+// New returns the detector with default exploration bounds.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "dynamic" }
+
+// kindOf maps dynamic error kinds onto finding kinds.
+func kindOf(k interp.ErrorKind) detect.Kind {
+	switch k {
+	case interp.ErrUseAfterFree:
+		return detect.KindUseAfterFree
+	case interp.ErrDeadlock:
+		return detect.KindDoubleLock
+	case interp.ErrInvalidFree:
+		return detect.KindInvalidFree
+	case interp.ErrDoubleDrop:
+		return detect.KindDoubleFree
+	case interp.ErrUninitRead:
+		return detect.KindUninitRead
+	default:
+		return detect.Kind(string(k))
+	}
+}
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var out []detect.Finding
+	for _, r := range interp.RunAll(ctx.Bodies, d.Config) {
+		for _, e := range r.Errors {
+			notes := []string{"found by bounded dynamic exploration"}
+			if len(e.Trace) > 0 {
+				notes = append(notes, fmt.Sprintf("path: %s", strings.Join(e.Trace, " ")))
+			}
+			out = append(out, detect.Finding{
+				Kind:     kindOf(e.Kind),
+				Severity: detect.SeverityError,
+				Function: e.Function,
+				Span:     e.Span,
+				Message:  e.Message + " (dynamic)",
+				Notes:    notes,
+			})
+		}
+	}
+	detect.SortFindings(out)
+	return out
+}

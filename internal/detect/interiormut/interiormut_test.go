@@ -1,0 +1,202 @@
+package interiormut
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+// Figure 9 (parity-ethereum AuthorityRound): load-check-store on an atomic
+// field of a Sync type is not atomic as a whole.
+const figure9Buggy = `
+struct AuthorityRound { proposed: AtomicBool }
+unsafe impl Sync for AuthorityRound {}
+enum Seal { None, Regular(i32) }
+
+impl AuthorityRound {
+    fn generate_seal(&self) -> Seal {
+        if self.proposed.load() { return Seal::None; }
+        self.proposed.store(true);
+        return Seal::Regular(1);
+    }
+}
+`
+
+// The committed fix: a single compare_and_swap.
+const figure9Fixed = `
+struct AuthorityRound { proposed: AtomicBool }
+unsafe impl Sync for AuthorityRound {}
+enum Seal { None, Regular(i32) }
+
+impl AuthorityRound {
+    fn generate_seal(&self) -> Seal {
+        if !self.proposed.compare_and_swap(false, true) {
+            return Seal::Regular(1);
+        }
+        return Seal::None;
+    }
+}
+`
+
+func TestFigure9BuggyFlagged(t *testing.T) {
+	findings := analyze(t, figure9Buggy)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Kind != detect.KindInteriorMut {
+		t.Errorf("kind = %s", findings[0].Kind)
+	}
+	if findings[0].Function != "AuthorityRound::generate_seal" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestFigure9FixedClean(t *testing.T) {
+	findings := analyze(t, figure9Fixed)
+	if len(findings) != 0 {
+		t.Fatalf("fixed version flagged: %+v", findings)
+	}
+}
+
+// Figure 4 (TestCell): pointer-cast write through &self on a Sync type.
+const figure4 = `
+struct TestCell { value: i32 }
+unsafe impl Sync for TestCell {}
+
+impl TestCell {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i };
+    }
+}
+`
+
+func TestFigure4RawWriteFlagged(t *testing.T) {
+	findings := analyze(t, figure4)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+}
+
+func TestNonSyncTypeNotFlagged(t *testing.T) {
+	src := `
+struct Plain { value: i32 }
+impl Plain {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i };
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("non-Sync type flagged: %+v", findings)
+	}
+}
+
+func TestLockedWriteNotFlagged(t *testing.T) {
+	// Mutating self under a self-rooted lock is properly synchronized.
+	src := `
+struct Locked { inner: Mutex<i32> }
+unsafe impl Sync for Locked {}
+impl Locked {
+    fn set(&self, i: i32) {
+        let mut g = self.inner.lock().unwrap();
+        let p = &self.inner as *const Mutex<i32> as *mut Mutex<i32>;
+        unsafe { *p = Mutex::new(i) };
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("locked write flagged: %+v", findings)
+	}
+}
+
+func TestUnsafeImplSyncWithRawPointerField(t *testing.T) {
+	src := `
+struct SharedPtr { data: *mut u8, len: usize }
+unsafe impl Send for SharedPtr {}
+unsafe impl Sync for SharedPtr {}
+`
+	findings := analyze(t, src)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d, want 2 (Send + Sync audits): %+v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Severity != detect.SeverityWarning {
+			t.Errorf("severity = %v, want warning", f.Severity)
+		}
+	}
+}
+
+func TestUnsafeImplSyncSafeFieldsClean(t *testing.T) {
+	src := `
+struct Plain { n: i32 }
+unsafe impl Sync for Plain {}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("safe-field impl flagged: %+v", findings)
+	}
+}
+
+// Figure 5: peek() returns a reference into self while pop() mutates self
+// through interior mutability — both on &self.
+func TestFigure5EscapingRefFlagged(t *testing.T) {
+	src := `
+struct Queue { items: Vec<i32> }
+impl Queue {
+    pub fn peek(&self) -> Option<&i32> { None }
+    pub fn pop(&self) -> Option<i32> {
+        let p = &self.items as *const Vec<i32> as *mut Vec<i32>;
+        unsafe { (*p).pop() }
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "invalidate references") {
+		t.Errorf("message = %q", findings[0].Message)
+	}
+}
+
+// The suggested fix takes &mut self for the mutating method: the borrow
+// checker then rejects a live peek() reference, and the checker is silent.
+func TestFigure5FixedClean(t *testing.T) {
+	src := `
+struct Queue { items: Vec<i32> }
+impl Queue {
+    pub fn peek(&self) -> Option<&i32> { None }
+    pub fn pop(&mut self) -> Option<i32> {
+        self.items.pop()
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("fixed queue flagged: %+v", findings)
+	}
+}

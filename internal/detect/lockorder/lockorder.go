@@ -1,0 +1,224 @@
+// Package lockorder detects conflicting lock acquisition orders (an AB-BA
+// deadlock), the second-most-common blocking-bug cause in the paper's §6.1
+// (7 of 38 Mutex/RwLock bugs). It reuses the double-lock machinery's guard
+// lifetimes: for every acquisition performed while another lock is held it
+// records an ordered pair, then reports pairs observed in both directions.
+package lockorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+)
+
+// Detector finds AB-BA lock order conflicts.
+type Detector struct{}
+
+// New returns the detector.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "conflicting-lock-order" }
+
+type acquisition struct {
+	first, second string // lock ids, second acquired while first held
+	fn            string
+	span          source.Span
+}
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var acqs []acquisition
+	for _, name := range ctx.Graph.Names() {
+		acqs = append(acqs, collect(ctx, name)...)
+	}
+
+	// Normalize lock ids across functions: methods of the same type refer
+	// to "self.x"; free functions to parameter paths. Pair keys combine
+	// the holder's id with the acquired id.
+	index := map[[2]string][]acquisition{}
+	for _, a := range acqs {
+		index[[2]string{a.first, a.second}] = append(index[[2]string{a.first, a.second}], a)
+	}
+
+	var out []detect.Finding
+	seen := map[[2]string]bool{}
+	var keys [][2]string
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rev := [2]string{k[1], k[0]}
+		if k[0] == k[1] {
+			continue // same lock twice is the double-lock detector's job
+		}
+		if _, hasRev := index[rev]; !hasRev {
+			continue
+		}
+		canon := k
+		if strings.Compare(canon[0], canon[1]) > 0 {
+			canon = rev
+		}
+		if seen[canon] {
+			continue
+		}
+		seen[canon] = true
+		a := index[k][0]
+		b := index[rev][0]
+		out = append(out, detect.Finding{
+			Kind:     detect.KindLockOrder,
+			Severity: detect.SeverityError,
+			Function: a.fn,
+			Span:     a.span,
+			Message: fmt.Sprintf("locks %q and %q are acquired in conflicting orders (%s acquires %q then %q; %s acquires %q then %q)",
+				k[0], k[1], a.fn, a.first, a.second, b.fn, b.first, b.second),
+			Notes: []string{"two threads interleaving these paths deadlock"},
+		})
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// collect finds (held, acquired) pairs in one function.
+func collect(ctx *detect.Context, name string) []acquisition {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+
+	// Reuse a small local version of the double-lock guard analysis.
+	origins := map[mir.LocalID]string{}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				if as, ok := st.(mir.Assign); ok && as.Place.IsLocal() {
+					if use, ok := as.Rvalue.(mir.Use); ok {
+						if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() {
+							if id, has := origins[pl.Local]; has {
+								if _, dup := origins[as.Place.Local]; !dup {
+									origins[as.Place.Local] = id
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+			if c, ok := blk.Term.(mir.Call); ok && c.Dest.IsLocal() {
+				switch c.Intrinsic {
+				case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
+					if c.RecvPath != "" {
+						if _, dup := origins[c.Dest.Local]; !dup {
+							origins[c.Dest.Local] = c.RecvPath
+							changed = true
+						}
+					}
+				case mir.IntrinsicUnwrap:
+					if len(c.Args) > 0 {
+						if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+							if id, has := origins[pl.Local]; has {
+								if _, dup := origins[c.Dest.Local]; !dup {
+									origins[c.Dest.Local] = id
+									changed = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	prob := &dataflow.Problem{
+		Bits: len(body.Locals),
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			switch st := st.(type) {
+			case mir.StorageDead:
+				state.Clear(int(st.Local))
+			case mir.Assign:
+				if st.Place.IsLocal() {
+					if use, ok := st.Rvalue.(mir.Use); ok {
+						if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+							if _, isGuard := origins[pl.Local]; isGuard {
+								state.Clear(int(pl.Local))
+								state.Set(int(st.Place.Local))
+								return
+							}
+						}
+					}
+					state.Clear(int(st.Place.Local))
+				}
+			}
+		},
+		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
+			switch term := term.(type) {
+			case mir.Drop:
+				if term.Place.IsLocal() {
+					state.Clear(int(term.Place.Local))
+				}
+			case mir.Call:
+				switch term.Intrinsic {
+				case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
+					if term.Dest.IsLocal() {
+						if _, tracked := origins[term.Dest.Local]; tracked {
+							state.Set(int(term.Dest.Local))
+						}
+					}
+				case mir.IntrinsicUnwrap:
+					if len(term.Args) > 0 {
+						if pl, ok := mir.OperandPlace(term.Args[0]); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+							state.Clear(int(pl.Local))
+							if term.Dest.IsLocal() {
+								state.Set(int(term.Dest.Local))
+							}
+						}
+					}
+				}
+			}
+		},
+	}
+	res := dataflow.Forward(g, prob)
+
+	var out []acquisition
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok || c.RecvPath == "" {
+			continue
+		}
+		switch c.Intrinsic {
+		case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
+		default:
+			continue
+		}
+		state := res.StateAt(blk.ID, len(blk.Stmts))
+		held := map[string]bool{}
+		state.ForEach(func(l int) {
+			if id, isGuard := origins[mir.LocalID(l)]; isGuard {
+				held[id] = true
+			}
+		})
+		for id := range held {
+			if id == c.RecvPath {
+				continue
+			}
+			out = append(out, acquisition{first: id, second: c.RecvPath, fn: name, span: c.Span})
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package lockorder
+
+import (
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+func TestABBAConflictFlagged(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }
+    fn path2(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Kind != detect.KindLockOrder {
+		t.Errorf("kind = %s", findings[0].Kind)
+	}
+}
+
+func TestConsistentOrderClean(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }
+    fn path2(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("consistent order flagged: %+v", findings)
+	}
+}
+
+func TestDropBetweenAcquisitionsClean(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        drop(ga);
+        let gb = self.b.lock().unwrap();
+    }
+    fn path2(&self) {
+        let gb = self.b.lock().unwrap();
+        drop(gb);
+        let ga = self.a.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("drop-separated acquisitions flagged: %+v", findings)
+	}
+}

@@ -1,0 +1,347 @@
+// Package uaf implements the paper's §7.1 use-after-free detector: it
+// maintains the alive/dead state of every MIR local by monitoring
+// StorageLive/StorageDead (and Drop, which frees heap owned by a value
+// before its stack storage dies), runs a points-to analysis over
+// references and raw pointers including ownership moves, and reports
+// dereferences of pointers whose pointee may be dead. The inter-procedural
+// part propagates "dereferences its i-th parameter" summaries bottom-up
+// over the call graph; like the paper's prototype it is context-insensitive,
+// which is exactly the imprecision behind the paper's three false
+// positives.
+package uaf
+
+import (
+	"fmt"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+	"rustprobe/internal/types"
+)
+
+// Detector is the use-after-free detector.
+type Detector struct {
+	// IntraOnly disables the inter-procedural parameter-dereference
+	// summaries (the ablation the DESIGN.md index calls out): pointers
+	// passed to callees are then never reported, trading the Figure 7
+	// class of bugs for zero summary-induced false positives.
+	IntraOnly bool
+}
+
+// New returns the detector with inter-procedural analysis enabled.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "use-after-free" }
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var derefSummaries map[string]map[int]bool
+	if !d.IntraOnly {
+		derefSummaries = buildDerefSummaries(ctx)
+	}
+	var out []detect.Finding
+	for _, name := range ctx.Graph.Names() {
+		out = append(out, d.checkFunction(ctx, name, derefSummaries)...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// buildDerefSummaries computes, bottom-up, which parameters each function
+// may dereference (directly or through calls).
+func buildDerefSummaries(ctx *detect.Context) map[string]map[int]bool {
+	sums := map[string]map[int]bool{}
+	order := ctx.Graph.PostOrder()
+	// Two rounds to tolerate cycles.
+	for round := 0; round < 2; round++ {
+		for _, name := range order {
+			body := ctx.Bodies[name]
+			s := sums[name]
+			if s == nil {
+				s = map[int]bool{}
+				sums[name] = s
+			}
+			paramLocal := func(i int) mir.LocalID { return mir.LocalID(i + 1) }
+			isParam := func(l mir.LocalID) (int, bool) {
+				idx := int(l) - 1
+				if idx >= 0 && idx < body.ArgCount {
+					return idx, true
+				}
+				return 0, false
+			}
+			_ = paramLocal
+			// Track which locals alias parameters (flow-insensitive).
+			pts := ctx.PointsTo(name)
+			aliasParam := func(l mir.LocalID) (int, bool) {
+				if i, ok := isParam(l); ok {
+					return i, true
+				}
+				for t := range pts.Targets(l) {
+					if i, ok := isParam(t); ok {
+						return i, true
+					}
+				}
+				return 0, false
+			}
+			scanPlace := func(p mir.Place) {
+				if !p.HasDeref() {
+					return
+				}
+				if i, ok := aliasParam(p.Local); ok {
+					s[i] = true
+				}
+			}
+			for _, blk := range body.Blocks {
+				for _, st := range blk.Stmts {
+					if as, ok := st.(mir.Assign); ok {
+						scanPlace(as.Place)
+						forEachRvaluePlace(as.Rvalue, scanPlace)
+					}
+				}
+				if c, ok := blk.Term.(mir.Call); ok {
+					// Propagate callee summaries.
+					calleeName := resolvedCallee(ctx, c)
+					if calleeName != "" {
+						for i := range sums[calleeName] {
+							if i < len(c.Args) {
+								if pl, ok := mir.OperandPlace(c.Args[i]); ok {
+									if pi, isP := aliasParam(pl.Local); isP {
+										s[pi] = true
+									}
+								}
+							}
+						}
+					}
+					// External pointer-consuming calls conservatively
+					// dereference raw-pointer arguments.
+					if calleeName == "" && c.Intrinsic == mir.IntrinsicNone {
+						for i, a := range c.Args {
+							if pl, ok := mir.OperandPlace(a); ok {
+								if _, isRaw := body.Local(pl.Local).Ty.(*types.RawPtr); isRaw {
+									if pi, isP := aliasParam(pl.Local); isP {
+										s[pi] = true
+									}
+									_ = i
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return sums
+}
+
+func resolvedCallee(ctx *detect.Context, c mir.Call) string {
+	if c.Def != nil {
+		if _, ok := ctx.Bodies[c.Def.Qualified]; ok {
+			return c.Def.Qualified
+		}
+	}
+	if _, ok := ctx.Bodies[c.Callee]; ok {
+		return c.Callee
+	}
+	return ""
+}
+
+// checkFunction runs the flow-sensitive dead-storage analysis and reports
+// dereferences of may-dead storage.
+func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[string]map[int]bool) []detect.Finding {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	pts := ctx.PointsTo(name)
+	n := len(body.Locals)
+
+	// May-dead forward analysis: gen at StorageDead and at Drop of
+	// heap-owning values; kill at StorageLive and full reassignment.
+	prob := &dataflow.Problem{
+		Bits: n,
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			switch st := st.(type) {
+			case mir.StorageDead:
+				state.Set(int(st.Local))
+			case mir.StorageLive:
+				state.Clear(int(st.Local))
+			case mir.Assign:
+				if st.Place.IsLocal() {
+					// Full reinitialization revives the storage.
+					state.Clear(int(st.Place.Local))
+				}
+			}
+		},
+		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
+			switch term := term.(type) {
+			case mir.Drop:
+				if term.Place.IsLocal() && ownsHeap(body.Local(term.Place.Local).Ty) {
+					state.Set(int(term.Place.Local))
+				}
+			case mir.Call:
+				if term.Dest.IsLocal() {
+					state.Clear(int(term.Dest.Local))
+				}
+			}
+		},
+	}
+	res := dataflow.Forward(g, prob)
+
+	var out []detect.Finding
+	report := func(span source.Span, ptr mir.LocalID, dead mir.LocalID, via string) {
+		ptrName := body.Local(ptr).String()
+		deadName := body.Local(dead).String()
+		out = append(out, detect.Finding{
+			Kind:     detect.KindUseAfterFree,
+			Severity: detect.SeverityError,
+			Function: name,
+			Span:     span,
+			Message:  fmt.Sprintf("pointer %s may dereference storage of %s after it is dead%s", ptrName, deadName, via),
+			Notes: []string{
+				fmt.Sprintf("%s's storage ends before this use", deadName),
+			},
+		})
+	}
+
+	// deadPointees returns the may-dead storage roots of a pointer local.
+	deadPointees := func(state dataflow.BitSet, l mir.LocalID) (mir.LocalID, bool) {
+		for t := range pts.Targets(l) {
+			if t == l {
+				continue
+			}
+			if body.Local(t).Name != "" && isStaticLocal(body.Local(t).Name) {
+				continue
+			}
+			if state.Has(int(t)) {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		for i, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			state := res.StateAt(blk.ID, i)
+			check := func(p mir.Place) {
+				if !p.HasDeref() {
+					return
+				}
+				if !isPointer(body.Local(p.Local).Ty) {
+					return
+				}
+				if dead, isDead := deadPointees(state, p.Local); isDead {
+					report(as.Span, p.Local, dead, "")
+				}
+			}
+			check(as.Place)
+			forEachRvaluePlace(as.Rvalue, check)
+		}
+		// Calls: intra-procedural deref through operands plus the
+		// inter-procedural summary check.
+		if c, ok := blk.Term.(mir.Call); ok {
+			state := res.StateAt(blk.ID, len(blk.Stmts))
+			for argIdx, a := range c.Args {
+				pl, isPlace := mir.OperandPlace(a)
+				if !isPlace {
+					continue
+				}
+				if pl.HasDeref() && isPointer(body.Local(pl.Local).Ty) {
+					if dead, isDead := deadPointees(state, pl.Local); isDead {
+						report(c.Span, pl.Local, dead, "")
+					}
+					continue
+				}
+				// Passing a pointer to a callee that dereferences it —
+				// the inter-procedural half, disabled under IntraOnly.
+				if d.IntraOnly {
+					continue
+				}
+				if !isPointer(body.Local(pl.Local).Ty) {
+					continue
+				}
+				derefs := false
+				if calleeName := resolvedCallee(ctx, c); calleeName != "" {
+					derefs = sums[calleeName][argIdx]
+				} else if c.Intrinsic == mir.IntrinsicNone {
+					// Unknown external callee: assume raw pointers are
+					// dereferenced (the paper's detector does the same,
+					// e.g. CMS_sign in Figure 7).
+					_, derefs = body.Local(pl.Local).Ty.(*types.RawPtr)
+				}
+				if !derefs {
+					continue
+				}
+				if dead, isDead := deadPointees(state, pl.Local); isDead {
+					report(c.Span, pl.Local, dead, fmt.Sprintf(" (passed to %s which dereferences it)", c.Callee))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func forEachRvaluePlace(rv mir.Rvalue, f func(mir.Place)) {
+	visit := func(op mir.Operand) {
+		if pl, ok := mir.OperandPlace(op); ok {
+			f(pl)
+		}
+	}
+	switch rv := rv.(type) {
+	case mir.Use:
+		visit(rv.X)
+	case mir.Ref:
+		f(rv.Place)
+	case mir.AddrOf:
+		// Taking an address is not a dereference.
+	case mir.Cast:
+		visit(rv.X)
+	case mir.BinaryOp:
+		visit(rv.L)
+		visit(rv.R)
+	case mir.UnaryOp:
+		visit(rv.X)
+	case mir.Aggregate:
+		for _, op := range rv.Ops {
+			visit(op)
+		}
+	case mir.Discriminant:
+		f(rv.Place)
+	}
+}
+
+func isPointer(t types.Type) bool {
+	switch t.(type) {
+	case *types.RawPtr, *types.Ref:
+		return true
+	}
+	return false
+}
+
+// ownsHeap reports whether dropping a value of t frees heap memory that
+// pointers may still reference.
+func ownsHeap(t types.Type) bool {
+	if types.IsOwningContainer(t) {
+		return true
+	}
+	if n, ok := t.(*types.Named); ok {
+		switch n.Name {
+		case "MutexGuard", "RwLockReadGuard", "RwLockWriteGuard":
+			return false
+		}
+		return true // user structs may own heap through fields
+	}
+	return false
+}
+
+func isStaticLocal(name string) bool {
+	return len(name) > 7 && name[:7] == "static "
+}

@@ -1,0 +1,195 @@
+package uaf
+
+import (
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+func count(fs []detect.Finding, kind detect.Kind) int {
+	n := 0
+	for _, f := range fs {
+		if f.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Figure 7 (RustSec): the BioSlice temporary created inside the match arm
+// is dropped at the arm's end; p escapes and is dereferenced by CMS_sign.
+const figure7Buggy = `
+struct BioSlice { buf: Vec<u8> }
+impl BioSlice {
+    fn new(data: i32) -> BioSlice { BioSlice { buf: Vec::new() } }
+}
+
+pub fn sign(data: Option<i32>) {
+    let p = match data {
+        Some(data) => BioSlice::new(data).as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}
+`
+
+// The committed fix: bind the BioSlice to a variable that outlives the use.
+const figure7Fixed = `
+struct BioSlice { buf: Vec<u8> }
+impl BioSlice {
+    fn new(data: i32) -> BioSlice { BioSlice { buf: Vec::new() } }
+}
+
+pub fn sign(data: Option<i32>) {
+    let bio = match data {
+        Some(data) => Some(BioSlice::new(data)),
+        None => None,
+    };
+    let p = bio.as_ptr();
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}
+`
+
+func TestFigure7BuggyFlagged(t *testing.T) {
+	findings := analyze(t, figure7Buggy)
+	if count(findings, detect.KindUseAfterFree) != 1 {
+		t.Fatalf("findings = %+v, want 1 UAF", findings)
+	}
+	if findings[0].Function != "sign" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestFigure7FixedClean(t *testing.T) {
+	findings := analyze(t, figure7Fixed)
+	if n := count(findings, detect.KindUseAfterFree); n != 0 {
+		t.Fatalf("fixed version flagged: %+v", findings)
+	}
+}
+
+// Figure 5 (Rust std queue): a reference returned by peek() is used after
+// pop() drops the element — modeled here intra-procedurally.
+func TestDerefAfterScopeEnd(t *testing.T) {
+	src := `
+fn f() {
+    let p = {
+        let x = Box::new(5);
+        x.as_ptr()
+    };
+    unsafe { let v = *p; }
+}
+`
+	findings := analyze(t, src)
+	if count(findings, detect.KindUseAfterFree) != 1 {
+		t.Fatalf("findings = %+v, want 1", findings)
+	}
+}
+
+func TestDerefInScopeClean(t *testing.T) {
+	src := `
+fn f() {
+    let x = Box::new(5);
+    let p = x.as_ptr();
+    unsafe { let v = *p; }
+}
+`
+	findings := analyze(t, src)
+	if n := count(findings, detect.KindUseAfterFree); n != 0 {
+		t.Fatalf("in-scope deref flagged: %+v", findings)
+	}
+}
+
+func TestDerefAfterExplicitDrop(t *testing.T) {
+	src := `
+fn f() {
+    let x = Vec::new();
+    let p = x.as_ptr();
+    drop(x);
+    unsafe { let v = *p; }
+}
+`
+	findings := analyze(t, src)
+	if count(findings, detect.KindUseAfterFree) != 1 {
+		t.Fatalf("findings = %+v, want 1", findings)
+	}
+}
+
+func TestInterProceduralDerefSummary(t *testing.T) {
+	// The callee dereferences its parameter; the caller passes a dangling
+	// pointer.
+	src := `
+fn deref_it(p: *const i32) -> i32 {
+    unsafe { *p }
+}
+fn f() {
+    let p = {
+        let x = Box::new(5);
+        x.as_ptr()
+    };
+    let v = deref_it(p);
+}
+`
+	findings := analyze(t, src)
+	if count(findings, detect.KindUseAfterFree) != 1 {
+		t.Fatalf("findings = %+v, want 1", findings)
+	}
+}
+
+func TestNoDerefCalleeClean(t *testing.T) {
+	// The callee never dereferences: passing a dangling pointer is not
+	// (yet) a use-after-free.
+	src := `
+fn just_store(p: *const i32) -> *const i32 { p }
+fn f() {
+    let p = {
+        let x = Box::new(5);
+        x.as_ptr()
+    };
+    let v = just_store(p);
+}
+`
+	findings := analyze(t, src)
+	if n := count(findings, detect.KindUseAfterFree); n != 0 {
+		t.Fatalf("non-deref callee flagged: %+v", findings)
+	}
+}
+
+func TestReferenceEscapeFromBlock(t *testing.T) {
+	src := `
+fn f() {
+    let r = {
+        let v = vec![1, 2, 3];
+        let q = &v;
+        q
+    };
+    let x = *r;
+}
+`
+	findings := analyze(t, src)
+	if count(findings, detect.KindUseAfterFree) != 1 {
+		t.Fatalf("findings = %+v, want 1", findings)
+	}
+}

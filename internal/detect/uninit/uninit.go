@@ -1,0 +1,155 @@
+// Package uninit detects reads of uninitialized memory (Table 2's
+// "Uninitialized" category, all unsafe→safe in the paper): a buffer created
+// by alloc()/mem::uninitialized is read — dereferenced in rvalue position
+// or passed to a dereferencing callee — before any initializing write.
+package uninit
+
+import (
+	"fmt"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/dataflow"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+)
+
+// Detector finds uninitialized reads.
+type Detector struct{}
+
+// New returns the detector.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "uninitialized-read" }
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var out []detect.Finding
+	for _, name := range ctx.Graph.Names() {
+		out = append(out, d.check(ctx, name)...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+func (d *Detector) check(ctx *detect.Context, name string) []detect.Finding {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+
+	// Bit l: local l holds a pointer to (or is a value of) uninitialized
+	// memory.
+	prob := &dataflow.Problem{
+		Bits: len(body.Locals),
+		Join: dataflow.JoinUnion,
+		TransferStmt: func(state dataflow.BitSet, _ mir.BlockID, _ int, st mir.Statement) {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				return
+			}
+			if as.Place.HasDeref() {
+				// Writing through the pointer initializes it.
+				state.Clear(int(as.Place.Local))
+				return
+			}
+			switch rv := as.Rvalue.(type) {
+			case mir.Use:
+				if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+					state.Set(int(as.Place.Local))
+					return
+				}
+			case mir.Cast:
+				if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+					state.Set(int(as.Place.Local))
+					return
+				}
+			}
+			state.Clear(int(as.Place.Local))
+		},
+		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
+			c, ok := term.(mir.Call)
+			if !ok {
+				return
+			}
+			switch c.Intrinsic {
+			case mir.IntrinsicAlloc:
+				if c.Dest.IsLocal() {
+					state.Set(int(c.Dest.Local))
+				}
+			case mir.IntrinsicPtrWrite:
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+						state.Clear(int(pl.Local))
+					}
+				}
+			default:
+				if c.Dest.IsLocal() {
+					state.Clear(int(c.Dest.Local))
+				}
+			}
+		},
+	}
+	res := dataflow.Forward(g, prob)
+
+	var out []detect.Finding
+	report := func(span source.Span, l mir.LocalID) {
+		out = append(out, detect.Finding{
+			Kind:     detect.KindUninitRead,
+			Severity: detect.SeverityError,
+			Function: name,
+			Span:     span,
+			Message:  fmt.Sprintf("read through %s before its allocation is initialized", body.Local(l)),
+			Notes:    []string{"initialize with ptr::write or zero-fill before reading"},
+		})
+	}
+
+	checkRead := func(state dataflow.BitSet, span source.Span) func(mir.Place) {
+		return func(p mir.Place) {
+			if p.HasDeref() && state.Has(int(p.Local)) {
+				report(span, p.Local)
+			}
+		}
+	}
+
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		for i, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			state := res.StateAt(blk.ID, i)
+			check := checkRead(state, as.Span)
+			// Only rvalue-side reads: the assigned place is a write.
+			switch rv := as.Rvalue.(type) {
+			case mir.Use:
+				if pl, ok := mir.OperandPlace(rv.X); ok {
+					check(pl)
+				}
+			case mir.BinaryOp:
+				if pl, ok := mir.OperandPlace(rv.L); ok {
+					check(pl)
+				}
+				if pl, ok := mir.OperandPlace(rv.R); ok {
+					check(pl)
+				}
+			case mir.UnaryOp:
+				if pl, ok := mir.OperandPlace(rv.X); ok {
+					check(pl)
+				}
+			}
+		}
+		// ptr::read from uninitialized memory is also an uninit read.
+		if c, ok := blk.Term.(mir.Call); ok && c.Intrinsic == mir.IntrinsicPtrRead {
+			state := res.StateAt(blk.ID, len(blk.Stmts))
+			if len(c.Args) > 0 {
+				if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+					report(c.Span, pl.Local)
+				}
+			}
+		}
+	}
+	return out
+}

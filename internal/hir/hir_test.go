@@ -1,0 +1,76 @@
+package hir
+
+import (
+	"testing"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/source"
+	"rustprobe/internal/types"
+)
+
+func TestProgramRegistries(t *testing.T) {
+	p := NewProgram(source.NewFileSet())
+	p.Impls = append(p.Impls,
+		&ImplDef{TypeName: "Cell", TraitName: "Sync", Unsafety: true},
+		&ImplDef{TypeName: "Cell", TraitName: "Engine"},
+	)
+	if !p.ImplementsTrait("Cell", "Sync") || p.ImplementsTrait("Cell", "Send") {
+		t.Error("ImplementsTrait wrong")
+	}
+	if p.UnsafeImpl("Cell", "Sync") == nil || p.UnsafeImpl("Cell", "Engine") != nil {
+		t.Error("UnsafeImpl wrong")
+	}
+}
+
+func TestLookupMethodFallsBackToTraitDefault(t *testing.T) {
+	p := NewProgram(source.NewFileSet())
+	p.Funcs["Engine::step"] = &FuncDef{Name: "step", Qualified: "Engine::step"}
+	p.Impls = append(p.Impls, &ImplDef{TypeName: "Cell", TraitName: "Engine"})
+	if got := p.LookupMethod("Cell", "step"); got == nil || got.Qualified != "Engine::step" {
+		t.Errorf("LookupMethod = %+v", got)
+	}
+	// Direct method wins over trait default.
+	p.Funcs["Cell::step"] = &FuncDef{Name: "step", Qualified: "Cell::step"}
+	if got := p.LookupMethod("Cell", "step"); got.Qualified != "Cell::step" {
+		t.Errorf("LookupMethod = %+v", got)
+	}
+	if p.LookupMethod("Cell", "missing") != nil {
+		t.Error("missing method should be nil")
+	}
+}
+
+func TestSortedFuncsDeterministic(t *testing.T) {
+	p := NewProgram(source.NewFileSet())
+	for _, n := range []string{"z", "a", "M::m", "B::b"} {
+		p.Funcs[n] = &FuncDef{Qualified: n}
+	}
+	got := p.SortedFuncs()
+	want := []string{"B::b", "M::m", "a", "z"}
+	for i, fd := range got {
+		if fd.Qualified != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, fd.Qualified, want[i])
+		}
+	}
+}
+
+func TestStructFieldType(t *testing.T) {
+	sd := &StructDef{
+		Name:   "S",
+		Fields: map[string]types.Type{"v": types.I32Type},
+	}
+	if sd.FieldType("v") != types.I32Type {
+		t.Error("field lookup wrong")
+	}
+	if sd.FieldType("w") != types.UnknownType {
+		t.Error("missing field should be Unknown")
+	}
+}
+
+func TestIsMethod(t *testing.T) {
+	if (&FuncDef{SelfKind: ast.SelfNone}).IsMethod() {
+		t.Error("free fn misdetected as method")
+	}
+	if !(&FuncDef{SelfKind: ast.SelfRef}).IsMethod() {
+		t.Error("&self method not detected")
+	}
+}

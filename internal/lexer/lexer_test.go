@@ -1,0 +1,164 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/source"
+	"rustprobe/internal/token"
+)
+
+func tokenize(t *testing.T, src string) []token.Token {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	toks := New(f, diags).Tokenize()
+	if diags.HasErrors() {
+		t.Fatalf("lex errors for %q: %s", src, diags.String())
+	}
+	return toks
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	var ks []token.Kind
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	got := kinds(tokenize(t, src))
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d = %v want %v (all: %v)", src, i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "fn main", token.KwFn, token.Ident)
+	expectKinds(t, "unsafe impl Sync for T", token.KwUnsafe, token.KwImpl, token.Ident, token.KwFor, token.Ident)
+	expectKinds(t, "let mut x", token.KwLet, token.KwMut, token.Ident)
+	expectKinds(t, "_", token.Underscore)
+	expectKinds(t, "_x", token.Ident)
+	expectKinds(t, "Self self", token.KwSelfType, token.KwSelfValue)
+}
+
+func TestNumbers(t *testing.T) {
+	expectKinds(t, "0 42 0xff 0b1010 0o777 1_000", token.Int, token.Int, token.Int, token.Int, token.Int, token.Int)
+	expectKinds(t, "3.5 1e10 2.5e-3 1f64", token.Float, token.Float, token.Float, token.Float)
+	expectKinds(t, "32u8 100usize", token.Int, token.Int)
+	// Range must not lex as a float.
+	expectKinds(t, "0..10", token.Int, token.DotDot, token.Int)
+	expectKinds(t, "0..=10", token.Int, token.DotDotEq, token.Int)
+}
+
+func TestStringsAndChars(t *testing.T) {
+	expectKinds(t, `"hello"`, token.Str)
+	expectKinds(t, `"esc \" quote"`, token.Str)
+	expectKinds(t, `r"raw"`, token.RawStr)
+	expectKinds(t, `r#"with "quotes""#`, token.RawStr)
+	expectKinds(t, `'a'`, token.Char)
+	expectKinds(t, `'\n'`, token.Char)
+	expectKinds(t, `'\u{1F600}'`, token.Char)
+	expectKinds(t, `b'x'`, token.Byte)
+	expectKinds(t, `b"bytes"`, token.ByteStr)
+}
+
+func TestLifetimes(t *testing.T) {
+	expectKinds(t, "&'a str", token.And, token.Lifetime, token.Ident)
+	expectKinds(t, "'static", token.Lifetime)
+	// 'a' is a char, 'a is a lifetime.
+	expectKinds(t, "'a' 'a", token.Char, token.Lifetime)
+	expectKinds(t, "<'a, T>", token.Lt, token.Lifetime, token.Comma, token.Ident, token.Gt)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, ":: -> => == != <= >= && || << >> ..= ...",
+		token.PathSep, token.Arrow, token.FatArrow, token.EqEq, token.Ne,
+		token.Le, token.Ge, token.AndAnd, token.OrOr, token.Shl, token.Shr,
+		token.DotDotEq, token.DotDotDot)
+	expectKinds(t, "+= -= *= /= %= ^= &= |= <<= >>=",
+		token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq, token.PercentEq,
+		token.CaretEq, token.AndEq, token.OrEq, token.ShlEq, token.ShrEq)
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // comment\nb", token.Ident, token.Ident)
+	expectKinds(t, "a /* block */ b", token.Ident, token.Ident)
+	expectKinds(t, "a /* nested /* deep */ still */ b", token.Ident, token.Ident)
+	expectKinds(t, "/// doc comment\nfn", token.KwFn)
+}
+
+func TestCommentTokensKept(t *testing.T) {
+	fset := source.NewFileSet()
+	f := fset.Add("t.rs", "a // hi\nb")
+	lx := New(f, source.NewDiagnostics(fset))
+	lx.KeepComments = true
+	toks := lx.Tokenize()
+	var hasComment bool
+	for _, tk := range toks {
+		if tk.Kind == token.Comment {
+			hasComment = true
+			if !strings.Contains(tk.Text, "hi") {
+				t.Errorf("comment text = %q", tk.Text)
+			}
+		}
+	}
+	if !hasComment {
+		t.Error("expected a Comment token")
+	}
+}
+
+func TestSpans(t *testing.T) {
+	fset := source.NewFileSet()
+	f := fset.Add("t.rs", "let x = 1;")
+	toks := New(f, source.NewDiagnostics(fset)).Tokenize()
+	if got := fset.SpanText(toks[1].Span); got != "x" {
+		t.Errorf("span text = %q, want x", got)
+	}
+	pos := fset.Position(toks[1].Span.Start)
+	if pos.Line != 1 || pos.Column != 5 {
+		t.Errorf("position = %v, want 1:5", pos)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	fset := source.NewFileSet()
+	f := fset.Add("t.rs", `"unterminated`)
+	diags := source.NewDiagnostics(fset)
+	New(f, diags).Tokenize()
+	if !diags.HasErrors() {
+		t.Error("expected an error for unterminated string")
+	}
+}
+
+func TestRealisticSnippet(t *testing.T) {
+	src := `
+pub fn sign(data: Option<&[u8]>) {
+    let p = match data {
+        Some(data) => BioSlice::new(data).as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}
+`
+	toks := tokenize(t, src)
+	if len(toks) < 30 {
+		t.Fatalf("too few tokens: %d", len(toks))
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Error("missing EOF")
+	}
+}

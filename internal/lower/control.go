@@ -1,0 +1,413 @@
+package lower
+
+import (
+	"rustprobe/internal/ast"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/types"
+)
+
+// lowerIf lowers `if`/`if let` with rustc's temporary-lifetime rule: any
+// temporary created while evaluating the condition lives until the end of
+// the *whole if expression* — which is why a lock guard acquired in an `if`
+// condition is still held inside both branches (§6.1).
+func (b *builder) lowerIf(e *ast.IfExpr) (mir.Operand, types.Type) {
+	// Tail-temp scope: condition temporaries drop at the join point.
+	tailScope := b.pushScope(scopeTail)
+
+	var condOp mir.Operand
+	var scrutPlace mir.Place
+	var scrutTy types.Type
+	if e.LetPat != nil {
+		// if let pat = scrutinee
+		op, ty := b.lowerExpr(e.Cond)
+		l := b.body.NewLocal("", ty, true, e.Sp)
+		b.emit(mir.StorageLive{Local: l.ID, Span: e.Sp})
+		tailScope.locals = append(tailScope.locals, l.ID)
+		b.emit(mir.Assign{Place: mir.PlaceOf(l.ID), Rvalue: mir.Use{X: op}, Span: e.Sp})
+		scrutPlace, scrutTy = mir.PlaceOf(l.ID), ty
+		dtmp := b.newTemp(types.BoolType, e.Sp)
+		b.emit(mir.Assign{Place: mir.PlaceOf(dtmp), Rvalue: mir.Discriminant{Place: scrutPlace}, Span: e.Sp})
+		condOp = mir.Copy{Place: mir.PlaceOf(dtmp)}
+	} else {
+		condOp, _ = b.lowerExpr(e.Cond)
+	}
+	if b.terminated {
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		return nil, types.UnitType
+	}
+
+	thenBlk := b.body.NewBlock()
+	elseBlk := b.body.NewBlock()
+	joinBlk := b.body.NewBlock()
+
+	result := b.body.NewLocal("", types.UnknownType, true, e.Sp)
+
+	b.setTerm(mir.SwitchInt{
+		Disc:      condOp,
+		Targets:   []mir.SwitchTarget{{Value: "true", Block: thenBlk.ID}},
+		Otherwise: elseBlk.ID,
+		Span:      e.Sp,
+	})
+
+	var resultTy types.Type = types.UnitType
+
+	// Then branch.
+	b.startBlock(thenBlk)
+	b.pushVarFrame()
+	b.pushScope(scopeArm)
+	if e.LetPat != nil {
+		b.bindPattern(e.LetPat, scrutPlace, scrutTy, false)
+	}
+	op, ty := b.lowerBlock(e.Then, e.Then.Unsafety)
+	resultTy = ty
+	if !b.terminated && op != nil && !isUnit(ty) {
+		b.emit(mir.Assign{Place: mir.PlaceOf(result.ID), Rvalue: mir.Use{X: op}, Span: e.Sp})
+	}
+	b.popScopeEmit(e.Sp)
+	b.popVarFrame()
+	b.setTerm(mir.Goto{Target: joinBlk.ID, Span: e.Sp})
+
+	// Else branch.
+	b.startBlock(elseBlk)
+	if e.Else != nil {
+		b.pushVarFrame()
+		b.pushScope(scopeArm)
+		op, ety := b.lowerExpr(e.Else)
+		if isUnit(resultTy) {
+			resultTy = ety
+		}
+		if !b.terminated && op != nil && !isUnit(ety) {
+			b.emit(mir.Assign{Place: mir.PlaceOf(result.ID), Rvalue: mir.Use{X: op}, Span: e.Sp})
+		}
+		b.popScopeEmit(e.Sp)
+		b.popVarFrame()
+	}
+	b.setTerm(mir.Goto{Target: joinBlk.ID, Span: e.Sp})
+
+	// Join: condition temporaries drop here.
+	b.startBlock(joinBlk)
+	result.Ty = resultTy
+	b.popScopeEmit(e.Sp) // pops the tail scope: Drop + StorageDead of cond temps
+	if isUnit(resultTy) {
+		return nil, types.UnitType
+	}
+	return b.operandFor(mir.PlaceOf(result.ID), resultTy), resultTy
+}
+
+// lowerMatch lowers `match` with the same temporary-lifetime rule: the
+// scrutinee's temporaries (e.g. a lock guard in
+// `match client.read().unwrap().m { ... }`) live until the end of the
+// whole match — the root cause of the Figure 8 double lock.
+func (b *builder) lowerMatch(e *ast.MatchExpr) (mir.Operand, types.Type) {
+	tailScope := b.pushScope(scopeTail)
+
+	op, scrutTy := b.lowerExpr(e.Scrutinee)
+	if b.terminated {
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		return nil, types.UnitType
+	}
+	scrut := b.body.NewLocal("", scrutTy, true, e.Sp)
+	b.emit(mir.StorageLive{Local: scrut.ID, Span: e.Sp})
+	tailScope.locals = append(tailScope.locals, scrut.ID)
+	b.emit(mir.Assign{Place: mir.PlaceOf(scrut.ID), Rvalue: mir.Use{X: op}, Span: e.Sp})
+
+	dtmp := b.newTemp(types.UnknownType, e.Sp)
+	b.emit(mir.Assign{Place: mir.PlaceOf(dtmp), Rvalue: mir.Discriminant{Place: mir.PlaceOf(scrut.ID)}, Span: e.Sp})
+
+	joinBlk := b.body.NewBlock()
+	result := b.body.NewLocal("", types.UnknownType, true, e.Sp)
+	var resultTy types.Type = types.UnitType
+
+	// One block per arm; the switch targets them by pattern head name.
+	var targets []mir.SwitchTarget
+	armBlocks := make([]*mir.Block, len(e.Arms))
+	for i, arm := range e.Arms {
+		armBlocks[i] = b.body.NewBlock()
+		targets = append(targets, mir.SwitchTarget{Value: patternHead(arm.Pat), Block: armBlocks[i].ID})
+	}
+	var otherwise mir.BlockID = mir.InvalidBlock
+	if len(targets) > 0 {
+		// Route the last arm (typically `_`) through otherwise as well.
+		otherwise = targets[len(targets)-1].Block
+		targets = targets[:len(targets)-1]
+	}
+	b.setTerm(mir.SwitchInt{
+		Disc:      mir.Copy{Place: mir.PlaceOf(dtmp)},
+		Targets:   targets,
+		Otherwise: otherwise,
+		Span:      e.Sp,
+	})
+
+	for i, arm := range e.Arms {
+		b.startBlock(armBlocks[i])
+		b.pushVarFrame()
+		b.pushScope(scopeArm)
+		b.bindPattern(arm.Pat, mir.PlaceOf(scrut.ID), scrutTy, false)
+		if arm.Guard != nil {
+			b.pushScope(scopeStmt)
+			b.lowerExpr(arm.Guard)
+			b.popScopeEmit(arm.Sp)
+		}
+		op, ty := b.lowerExpr(arm.Body)
+		if isUnit(resultTy) {
+			resultTy = ty
+		}
+		if !b.terminated && op != nil && !isUnit(ty) {
+			b.emit(mir.Assign{Place: mir.PlaceOf(result.ID), Rvalue: mir.Use{X: op}, Span: arm.Sp})
+		}
+		b.popScopeEmit(arm.Sp)
+		b.popVarFrame()
+		b.setTerm(mir.Goto{Target: joinBlk.ID, Span: arm.Sp})
+	}
+
+	// Join: scrutinee temporaries (lock guards!) drop here.
+	b.startBlock(joinBlk)
+	result.Ty = resultTy
+	b.popScopeEmit(e.Sp)
+	if isUnit(resultTy) {
+		return nil, types.UnitType
+	}
+	return b.operandFor(mir.PlaceOf(result.ID), resultTy), resultTy
+}
+
+// patternHead returns the switch-target label for an arm pattern.
+func patternHead(p ast.Pat) string {
+	switch p := p.(type) {
+	case *ast.TupleStructPat:
+		return p.Name()
+	case *ast.StructPat:
+		if len(p.Segments) > 0 {
+			return p.Segments[len(p.Segments)-1]
+		}
+	case *ast.PathPat:
+		return p.Name()
+	case *ast.LitPat:
+		if lit, ok := p.Value.(*ast.LitExpr); ok {
+			return lit.Text
+		}
+	case *ast.RefPat:
+		return patternHead(p.Sub)
+	case *ast.OrPat:
+		if len(p.Alts) > 0 {
+			return patternHead(p.Alts[0])
+		}
+	}
+	return "_"
+}
+
+func (b *builder) lowerWhile(e *ast.WhileExpr) {
+	headBlk := b.body.NewBlock()
+	bodyBlk := b.body.NewBlock()
+	exitBlk := b.body.NewBlock()
+
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+	b.startBlock(headBlk)
+
+	b.pushScope(scopeLoop)
+	b.loops = append(b.loops, &loopCtx{
+		label:      e.Label,
+		breakBlock: exitBlk.ID,
+		contBlock:  headBlk.ID,
+		scopeDepth: len(b.scopes),
+	})
+
+	// Condition temporaries drop before entering the body or exiting: in
+	// while-loop conditions rustc drops temporaries at the end of the
+	// condition, not the loop (unlike if/match) — model with a stmt scope.
+	b.pushScope(scopeStmt)
+	var condOp mir.Operand
+	var scrutPlace mir.Place
+	var scrutTy types.Type
+	if e.LetPat != nil {
+		op, ty := b.lowerExpr(e.Cond)
+		tmp := b.newTemp(ty, e.Sp)
+		b.emit(mir.Assign{Place: mir.PlaceOf(tmp), Rvalue: mir.Use{X: op}, Span: e.Sp})
+		scrutPlace, scrutTy = mir.PlaceOf(tmp), ty
+		dt := b.newTemp(types.BoolType, e.Sp)
+		b.emit(mir.Assign{Place: mir.PlaceOf(dt), Rvalue: mir.Discriminant{Place: scrutPlace}, Span: e.Sp})
+		condOp = mir.Copy{Place: mir.PlaceOf(dt)}
+	} else {
+		condOp, _ = b.lowerExpr(e.Cond)
+	}
+	// NOTE: popping the stmt scope here means while-let scrutinee temps
+	// drop before the body; the binding copies out first below.
+	var bindFrom mir.Place
+	if e.LetPat != nil {
+		// Copy the payload into a loop-scoped temp before the guard temp
+		// dies (models rustc's desugaring into a match whose arm moves
+		// the binding).
+		hold := b.body.NewLocal("", scrutTy, true, e.Sp)
+		b.emit(mir.StorageLive{Local: hold.ID, Span: e.Sp})
+		b.scopes[len(b.scopes)-2].locals = append(b.scopes[len(b.scopes)-2].locals, hold.ID)
+		b.emit(mir.Assign{Place: mir.PlaceOf(hold.ID), Rvalue: mir.Use{X: b.operandFor(scrutPlace, scrutTy)}, Span: e.Sp})
+		bindFrom = mir.PlaceOf(hold.ID)
+	}
+	b.popScopeEmit(e.Sp)
+
+	b.setTerm(mir.SwitchInt{
+		Disc:      condOp,
+		Targets:   []mir.SwitchTarget{{Value: "true", Block: bodyBlk.ID}},
+		Otherwise: exitBlk.ID,
+		Span:      e.Sp,
+	})
+
+	b.startBlock(bodyBlk)
+	b.pushVarFrame()
+	b.pushScope(scopeArm)
+	if e.LetPat != nil {
+		b.bindPattern(e.LetPat, bindFrom, scrutTy, false)
+	}
+	b.lowerBlock(e.Body, e.Body.Unsafety)
+	b.popScopeEmit(e.Sp)
+	b.popVarFrame()
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+
+	b.loops = b.loops[:len(b.loops)-1]
+	b.startBlock(exitBlk)
+	b.scopes = b.scopes[:len(b.scopes)-1] // pop loop scope (no locals)
+}
+
+func (b *builder) lowerLoop(e *ast.LoopExpr) (mir.Operand, types.Type) {
+	headBlk := b.body.NewBlock()
+	exitBlk := b.body.NewBlock()
+	result := b.body.NewLocal("", types.UnknownType, true, e.Sp)
+
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+	b.startBlock(headBlk)
+
+	b.pushScope(scopeLoop)
+	b.loops = append(b.loops, &loopCtx{
+		label:      e.Label,
+		breakBlock: exitBlk.ID,
+		contBlock:  headBlk.ID,
+		result:     result.ID,
+		scopeDepth: len(b.scopes),
+	})
+
+	b.pushVarFrame()
+	b.pushScope(scopeArm)
+	b.lowerBlock(e.Body, e.Body.Unsafety)
+	b.popScopeEmit(e.Sp)
+	b.popVarFrame()
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+
+	b.loops = b.loops[:len(b.loops)-1]
+	b.startBlock(exitBlk)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	return b.operandFor(mir.PlaceOf(result.ID), result.Ty), result.Ty
+}
+
+func (b *builder) lowerFor(e *ast.ForExpr) {
+	// Desugar: evaluate the iterator, then loop with a nondeterministic
+	// exit; the pattern binds an element of unknown provenance each round.
+	b.pushScope(scopeStmt)
+	iterOp, iterTy := b.lowerExpr(e.Iter)
+	iter := b.body.NewLocal("", iterTy, true, e.Sp)
+	b.emit(mir.StorageLive{Local: iter.ID, Span: e.Sp})
+	// The iterator lives for the whole loop: register outside stmt scope.
+	b.scopes[len(b.scopes)-2].locals = append(b.scopes[len(b.scopes)-2].locals, iter.ID)
+	if iterOp != nil {
+		b.emit(mir.Assign{Place: mir.PlaceOf(iter.ID), Rvalue: mir.Use{X: iterOp}, Span: e.Sp})
+	}
+	b.popScopeEmit(e.Sp)
+
+	headBlk := b.body.NewBlock()
+	bodyBlk := b.body.NewBlock()
+	exitBlk := b.body.NewBlock()
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+	b.startBlock(headBlk)
+
+	b.pushScope(scopeLoop)
+	b.loops = append(b.loops, &loopCtx{
+		label:      e.Label,
+		breakBlock: exitBlk.ID,
+		contBlock:  headBlk.ID,
+		scopeDepth: len(b.scopes),
+	})
+
+	b.setTerm(mir.SwitchInt{
+		Disc:      mir.Const{Text: "next?", Ty: types.BoolType},
+		Targets:   []mir.SwitchTarget{{Value: "true", Block: bodyBlk.ID}},
+		Otherwise: exitBlk.ID,
+		Span:      e.Sp,
+	})
+
+	b.startBlock(bodyBlk)
+	b.pushVarFrame()
+	b.pushScope(scopeArm)
+	elem := elemType(iterTy)
+	b.bindPattern(e.Pat, mir.PlaceOf(iter.ID).WithProj(mir.IndexProj{}), elem, isRefIter(iterTy))
+	b.lowerBlock(e.Body, e.Body.Unsafety)
+	b.popScopeEmit(e.Sp)
+	b.popVarFrame()
+	b.setTerm(mir.Goto{Target: headBlk.ID, Span: e.Sp})
+
+	b.loops = b.loops[:len(b.loops)-1]
+	b.startBlock(exitBlk)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+}
+
+func isRefIter(t types.Type) bool {
+	_, ok := t.(*types.Ref)
+	return ok
+}
+
+func (b *builder) lowerReturn(e *ast.ReturnExpr) {
+	if e.X != nil {
+		op, ty := b.lowerExpr(e.X)
+		if op != nil && !isUnit(ty) {
+			b.emit(mir.Assign{Place: mir.PlaceOf(mir.ReturnLocal), Rvalue: mir.Use{X: op}, Span: e.Sp})
+		}
+	}
+	// Unwind every open scope (releasing guards, freeing owners), then
+	// jump to the exit block.
+	b.unwindTo(0, e.Sp)
+	b.setTerm(mir.Goto{Target: b.exitBlock.ID, Span: e.Sp})
+	b.terminated = true
+}
+
+func (b *builder) findLoop(label string) *loopCtx {
+	if len(b.loops) == 0 {
+		return nil
+	}
+	if label == "" {
+		return b.loops[len(b.loops)-1]
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].label == label {
+			return b.loops[i]
+		}
+	}
+	return b.loops[len(b.loops)-1]
+}
+
+func (b *builder) lowerBreak(e *ast.BreakExpr) {
+	lc := b.findLoop(e.Label)
+	if e.X != nil {
+		op, ty := b.lowerExpr(e.X)
+		if lc != nil && lc.result != 0 && op != nil && !isUnit(ty) {
+			b.body.Local(lc.result).Ty = ty
+			b.emit(mir.Assign{Place: mir.PlaceOf(lc.result), Rvalue: mir.Use{X: op}, Span: e.Sp})
+		}
+	}
+	if lc == nil {
+		b.setTerm(mir.Goto{Target: b.exitBlock.ID, Span: e.Sp})
+		b.terminated = true
+		return
+	}
+	b.unwindTo(lc.scopeDepth, e.Sp)
+	b.setTerm(mir.Goto{Target: lc.breakBlock, Span: e.Sp})
+	b.terminated = true
+}
+
+func (b *builder) lowerContinue(e *ast.ContinueExpr) {
+	lc := b.findLoop(e.Label)
+	if lc == nil {
+		b.setTerm(mir.Goto{Target: b.exitBlock.ID, Span: e.Sp})
+		b.terminated = true
+		return
+	}
+	b.unwindTo(lc.scopeDepth, e.Sp)
+	b.setTerm(mir.Goto{Target: lc.contBlock, Span: e.Sp})
+	b.terminated = true
+}

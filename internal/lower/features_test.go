@@ -1,0 +1,222 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/mir"
+)
+
+func TestShadowing(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f() {
+    let x = 1;
+    let x = x + 1;
+    let y = x;
+}
+`)
+	b := body(t, bodies, "f")
+	// Two distinct locals named x.
+	count := 0
+	for _, l := range b.Locals {
+		if l.Name == "x" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("x locals = %d, want 2 (shadowing)", count)
+	}
+}
+
+func TestNestedBlockScopesDropInOrder(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f() {
+    let a = Vec::new();
+    {
+        let b = Vec::new();
+    }
+    let c = Vec::new();
+}
+`)
+	b := body(t, bodies, "f")
+	var order []string
+	for _, blk := range b.Blocks {
+		if d, ok := blk.Term.(mir.Drop); ok {
+			order = append(order, b.Local(d.Place.Local).Name)
+		}
+	}
+	if len(order) != 3 || order[0] != "b" {
+		t.Errorf("drop order = %v, want b first (inner scope)", order)
+	}
+	// a and c drop at fn end in reverse declaration order: c then a.
+	if order[1] != "c" || order[2] != "a" {
+		t.Errorf("drop order = %v, want [b c a]", order)
+	}
+}
+
+func TestTupleStructConstructor(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Pair(i32, Vec<u8>);
+fn f() {
+    let p = Pair(1, Vec::new());
+    let n = p.0;
+}
+`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, blk := range b.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(mir.Assign); ok {
+				if agg, ok := as.Rvalue.(mir.Aggregate); ok && agg.Name == "Pair" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("tuple struct ctor not lowered as aggregate\n%s", b)
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	bodies := lowerSrc(t, `fn f() { let mut x = 1; x += 2; }`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, blk := range b.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(mir.Assign); ok {
+				if bo, ok := as.Rvalue.(mir.BinaryOp); ok && bo.Op == "Compound" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("compound assignment not lowered\n%s", b)
+	}
+}
+
+func TestIfLetBindsPayload(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f(o: Option<i32>) -> i32 {
+    if let Some(v) = o {
+        return v;
+    }
+    0
+}
+`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, l := range b.Locals {
+		if l.Name == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("if-let binding missing\n%s", b)
+	}
+}
+
+func TestWhileLetLowering(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f(rx: Receiver<i32>) {
+    while let Ok(v) = rx.recv() {
+        work(v);
+    }
+}
+`)
+	b := body(t, bodies, "f")
+	// The loop must contain the recv call and a backedge.
+	g := 0
+	for _, blk := range b.Blocks {
+		if c, ok := blk.Term.(mir.Call); ok && c.Intrinsic == mir.IntrinsicChanRecv {
+			g++
+		}
+	}
+	if g != 1 {
+		t.Errorf("recv calls = %d\n%s", g, b)
+	}
+}
+
+func TestBreakWithValue(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f() -> i32 {
+    let x = loop {
+        break 42;
+    };
+    x
+}
+`)
+	b := body(t, bodies, "f")
+	if !strings.Contains(b.String(), "const 42") {
+		t.Errorf("break value lost\n%s", b)
+	}
+}
+
+func TestMatchGuardLowered(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f(x: i32) -> i32 {
+    match x {
+        n if n > 0 => 1,
+        _ => 0,
+    }
+}
+`)
+	b := body(t, bodies, "f")
+	if len(b.Blocks) < 4 {
+		t.Errorf("match with guard lowered too small\n%s", b)
+	}
+}
+
+func TestStructUpdateSyntax(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Config { a: i32, b: i32 }
+fn f(base: Config) -> Config {
+    Config { a: 1, ..base }
+}
+`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, blk := range b.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(mir.Assign); ok {
+				if agg, ok := as.Rvalue.(mir.Aggregate); ok && agg.Name == "Config" && len(agg.Ops) == 2 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("struct update syntax not lowered\n%s", b)
+	}
+}
+
+func TestQuestionMarkForwards(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn g() -> Result<i32, i32> { Ok(1) }
+fn f() -> Result<i32, i32> {
+    let v = g()?;
+    Ok(v + 1)
+}
+`)
+	b := body(t, bodies, "f")
+	// v gets the unwrapped i32 type.
+	for _, l := range b.Locals {
+		if l.Name == "v" && l.Ty.String() != "i32" {
+			t.Errorf("v type = %s, want i32", l.Ty)
+		}
+	}
+}
+
+func TestUnsafeBlockValue(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f(p: *const i32) -> i32 {
+    unsafe { *p }
+}
+`)
+	b := body(t, bodies, "f")
+	out := b.String()
+	if !strings.Contains(out, "_1.*") {
+		t.Errorf("deref through param missing\n%s", out)
+	}
+}

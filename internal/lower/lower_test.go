@@ -1,0 +1,373 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/mir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+// lowerSrc parses, resolves and lowers src, returning all bodies.
+func lowerSrc(t *testing.T, src string) map[string]*mir.Body {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := Program(prog, diags)
+	if diags.HasErrors() {
+		t.Fatalf("lowering errors:\n%s", diags.String())
+	}
+	return bodies
+}
+
+func body(t *testing.T, bodies map[string]*mir.Body, name string) *mir.Body {
+	t.Helper()
+	b, ok := bodies[name]
+	if !ok {
+		var names []string
+		for n := range bodies {
+			names = append(names, n)
+		}
+		t.Fatalf("no body %q; have %v", name, names)
+	}
+	return b
+}
+
+// collect returns all statements and terminators flattened.
+func collect(b *mir.Body) (stmts []mir.Statement, terms []mir.Terminator) {
+	for _, blk := range b.Blocks {
+		stmts = append(stmts, blk.Stmts...)
+		if blk.Term != nil {
+			terms = append(terms, blk.Term)
+		}
+	}
+	return
+}
+
+func TestLowerSimpleLet(t *testing.T) {
+	bodies := lowerSrc(t, `fn f() { let x = 1; let y = x; }`)
+	b := body(t, bodies, "f")
+	stmts, _ := collect(b)
+	var lives, deads int
+	for _, s := range stmts {
+		switch s.(type) {
+		case mir.StorageLive:
+			lives++
+		case mir.StorageDead:
+			deads++
+		}
+	}
+	if lives == 0 || lives != deads {
+		t.Errorf("StorageLive=%d StorageDead=%d; want equal and nonzero\n%s", lives, deads, b)
+	}
+}
+
+func TestLowerDropElaboration(t *testing.T) {
+	// v owns heap memory; it must be dropped exactly once at scope end.
+	bodies := lowerSrc(t, `fn f() { let v = Vec::new(); }`)
+	b := body(t, bodies, "f")
+	_, terms := collect(b)
+	drops := 0
+	for _, tm := range terms {
+		if _, ok := tm.(mir.Drop); ok {
+			drops++
+		}
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d, want 1\n%s", drops, b)
+	}
+}
+
+func TestLowerMoveSuppressesDrop(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn consume(v: Vec<u8>) {}
+fn f() { let v = Vec::new(); consume(v); }
+`)
+	b := body(t, bodies, "f")
+	// v moved into consume: caller must not drop it.
+	for _, blk := range b.Blocks {
+		if d, ok := blk.Term.(mir.Drop); ok {
+			l := b.Local(d.Place.Local)
+			if l.Name == "v" {
+				t.Errorf("moved local v still dropped\n%s", b)
+			}
+		}
+	}
+}
+
+func TestLowerExplicitDrop(t *testing.T) {
+	bodies := lowerSrc(t, `fn f() { let v = Vec::new(); drop(v); other(); }`)
+	b := body(t, bodies, "f")
+	_, terms := collect(b)
+	var dropIdx, callIdx = -1, -1
+	for i, tm := range terms {
+		switch tm := tm.(type) {
+		case mir.Drop:
+			if b.Local(tm.Place.Local).Name == "v" {
+				dropIdx = i
+			}
+		case mir.Call:
+			if tm.Callee == "other" {
+				callIdx = i
+			}
+		}
+	}
+	if dropIdx == -1 {
+		t.Fatalf("no explicit drop of v\n%s", b)
+	}
+	if callIdx == -1 || dropIdx > callIdx {
+		t.Errorf("drop should precede call (drop=%d call=%d)\n%s", dropIdx, callIdx, b)
+	}
+	// And only one drop of v total.
+	count := 0
+	for _, tm := range terms {
+		if d, ok := tm.(mir.Drop); ok && b.Local(d.Place.Local).Name == "v" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("v dropped %d times, want 1\n%s", count, b)
+	}
+}
+
+func TestLowerLockIntrinsics(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Inner { m: i32 }
+fn f(mu: Mutex<Inner>, rw: RwLock<Inner>) {
+    let g = mu.lock().unwrap();
+    let r = rw.read().unwrap();
+    let w = rw.write().unwrap();
+}
+`)
+	b := body(t, bodies, "f")
+	_, terms := collect(b)
+	var haveLock, haveRead, haveWrite bool
+	for _, tm := range terms {
+		if c, ok := tm.(mir.Call); ok {
+			switch c.Intrinsic {
+			case mir.IntrinsicLock:
+				haveLock = true
+				if c.RecvPath != "mu" {
+					t.Errorf("lock RecvPath = %q, want mu", c.RecvPath)
+				}
+			case mir.IntrinsicRead:
+				haveRead = true
+			case mir.IntrinsicWrite:
+				haveWrite = true
+			}
+		}
+	}
+	if !haveLock || !haveRead || !haveWrite {
+		t.Errorf("intrinsics: lock=%v read=%v write=%v\n%s", haveLock, haveRead, haveWrite, b)
+	}
+	// Guard types propagate through unwrap to the named locals.
+	var sawGuard bool
+	for _, l := range b.Locals {
+		if l.Name == "g" && strings.Contains(l.Ty.String(), "MutexGuard") {
+			sawGuard = true
+		}
+	}
+	if !sawGuard {
+		t.Errorf("local g should have MutexGuard type\n%s", b)
+	}
+}
+
+// TestLowerMatchTempLifetime verifies the rustc rule at the heart of §6.1:
+// a guard temporary created in a match scrutinee is dropped at the END of
+// the match, after the arms run.
+func TestLowerMatchTempLifetime(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Inner { m: i32 }
+fn f(client: RwLock<Inner>) {
+    match client.read().unwrap().m {
+        1 => { body1(); }
+        _ => { body2(); }
+    };
+}
+`)
+	b := body(t, bodies, "f")
+
+	// Find the read call, the arm-body calls, and the guard drop.
+	readBlock, body1Block, dropBlock := mir.InvalidBlock, mir.InvalidBlock, mir.InvalidBlock
+	var guardLocal mir.LocalID = -1
+	for _, blk := range b.Blocks {
+		switch tm := blk.Term.(type) {
+		case mir.Call:
+			if tm.Intrinsic == mir.IntrinsicRead {
+				readBlock = blk.ID
+				guardLocal = tm.Dest.Local
+			}
+			if tm.Callee == "body1" {
+				body1Block = blk.ID
+			}
+		}
+	}
+	if readBlock == mir.InvalidBlock || body1Block == mir.InvalidBlock {
+		t.Fatalf("missing read/body1 calls\n%s", b)
+	}
+	_ = guardLocal
+	// The drop of any guard-typed temp must be reachable FROM body1 (i.e.
+	// the guard is still held during the arm).
+	reach := reachableFrom(b, body1Block)
+	for _, blk := range b.Blocks {
+		if d, ok := blk.Term.(mir.Drop); ok {
+			ty := b.Local(d.Place.Local).Ty.String()
+			if strings.Contains(ty, "Guard") {
+				dropBlock = blk.ID
+			}
+		}
+	}
+	if dropBlock == mir.InvalidBlock {
+		t.Fatalf("guard never dropped\n%s", b)
+	}
+	if !reach[dropBlock] {
+		t.Errorf("guard drop (bb%d) not after arm body (bb%d): guard should live to end of match\n%s", dropBlock, body1Block, b)
+	}
+}
+
+// TestLowerLetTempLifetime verifies the §6.1 FIX pattern: saving the
+// lock-using expression into a let releases the guard at the end of the
+// statement, BEFORE subsequent statements.
+func TestLowerLetTempLifetime(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Inner { m: i32 }
+fn f(client: RwLock<Inner>) {
+    let result = client.read().unwrap().m;
+    after(result);
+}
+`)
+	b := body(t, bodies, "f")
+	afterBlock, dropBlock := mir.InvalidBlock, mir.InvalidBlock
+	for _, blk := range b.Blocks {
+		switch tm := blk.Term.(type) {
+		case mir.Call:
+			if tm.Callee == "after" {
+				afterBlock = blk.ID
+			}
+		case mir.Drop:
+			if strings.Contains(b.Local(tm.Place.Local).Ty.String(), "Guard") {
+				dropBlock = blk.ID
+			}
+		}
+	}
+	if dropBlock == mir.InvalidBlock || afterBlock == mir.InvalidBlock {
+		t.Fatalf("missing drop/after\n%s", b)
+	}
+	reach := reachableFrom(b, dropBlock)
+	if !reach[afterBlock] {
+		t.Errorf("guard drop (bb%d) should precede after() (bb%d)\n%s", dropBlock, afterBlock, b)
+	}
+}
+
+func TestLowerReturnUnwindsScopes(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f(c: bool) -> i32 {
+    let v = Vec::new();
+    if c { return 1; }
+    2
+}
+`)
+	b := body(t, bodies, "f")
+	// v must be dropped on the early-return path too: there must be >= 2
+	// drops of v-typed locals OR the single drop dominates both paths; we
+	// simply require at least 2 drop terminators of v.
+	count := 0
+	for _, blk := range b.Blocks {
+		if d, ok := blk.Term.(mir.Drop); ok && b.Local(d.Place.Local).Name == "v" {
+			count++
+		}
+	}
+	if count < 2 {
+		t.Errorf("early return should emit its own drop of v (got %d)\n%s", count, b)
+	}
+}
+
+func TestLowerClosureBody(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f() {
+    thread::spawn(move || { work(); });
+}
+`)
+	if _, ok := bodies["f::closure#0"]; !ok {
+		var names []string
+		for n := range bodies {
+			names = append(names, n)
+		}
+		t.Fatalf("closure body not lowered; have %v", names)
+	}
+	cb := bodies["f::closure#0"]
+	found := false
+	for _, blk := range cb.Blocks {
+		if c, ok := blk.Term.(mir.Call); ok && c.Callee == "work" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("closure body missing work() call\n%s", cb)
+	}
+}
+
+func TestLowerStaticAccess(t *testing.T) {
+	bodies := lowerSrc(t, `
+static mut COUNTER: u32 = 0;
+fn f() { unsafe { COUNTER += 1; } }
+`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, l := range b.Locals {
+		if strings.HasPrefix(l.Name, "static ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("static access should allocate a static pseudo-local\n%s", b)
+	}
+}
+
+func TestLowerMethodResolution(t *testing.T) {
+	bodies := lowerSrc(t, `
+struct Queue { items: Vec<i32> }
+impl Queue {
+    fn pop(&self) -> Option<i32> { None }
+}
+fn f(q: Queue) { let x = q.pop(); }
+`)
+	b := body(t, bodies, "f")
+	found := false
+	for _, blk := range b.Blocks {
+		if c, ok := blk.Term.(mir.Call); ok && c.Callee == "Queue::pop" && c.Def != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("method call not resolved to Queue::pop\n%s", b)
+	}
+}
+
+// reachableFrom computes blocks reachable from start (inclusive).
+func reachableFrom(b *mir.Body, start mir.BlockID) map[mir.BlockID]bool {
+	seen := map[mir.BlockID]bool{start: true}
+	work := []mir.BlockID{start}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b.Blocks[cur].Term == nil {
+			continue
+		}
+		for _, s := range b.Blocks[cur].Term.Successors() {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}

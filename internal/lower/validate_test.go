@@ -1,0 +1,102 @@
+package lower
+
+import (
+	"testing"
+
+	"rustprobe/internal/corpus"
+	"rustprobe/internal/mir"
+)
+
+// TestAllCorpusBodiesValidate lowers every corpus group and runs the MIR
+// validator over every body: lowering must only ever produce well-formed
+// MIR.
+func TestAllCorpusBodiesValidate(t *testing.T) {
+	for _, group := range []corpus.Group{corpus.GroupDetectorEval, corpus.GroupPatterns, corpus.GroupUnsafe, corpus.GroupApps} {
+		prog, diags, err := corpus.Load(group)
+		if err != nil {
+			t.Fatalf("%s: %v", group, err)
+		}
+		bodies := Program(prog, diags)
+		for name, body := range bodies {
+			if errs := mir.Validate(body); len(errs) != 0 {
+				t.Errorf("%s/%s: invalid MIR:\n  %v\n%s", group, name, errs, body)
+			}
+		}
+	}
+}
+
+// TestStorageLiveDeadBalance: in every corpus body, each non-arg,
+// non-static local with a StorageLive also gets at least one StorageDead
+// on some path (drop elaboration never leaks storage markers), and vice
+// versa.
+func TestStorageLiveDeadBalance(t *testing.T) {
+	prog, diags, err := corpus.Load(corpus.GroupPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := Program(prog, diags)
+	for name, body := range bodies {
+		lives := map[mir.LocalID]bool{}
+		deads := map[mir.LocalID]bool{}
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				switch st := st.(type) {
+				case mir.StorageLive:
+					lives[st.Local] = true
+				case mir.StorageDead:
+					deads[st.Local] = true
+				}
+			}
+		}
+		for l := range deads {
+			if !lives[l] && !body.Local(l).IsArg {
+				t.Errorf("%s: local %s dies without StorageLive", name, body.Local(l))
+			}
+		}
+		// Locals that become live must die somewhere unless control never
+		// reaches a scope exit (diverging fns); tolerate up to the
+		// function's diverging paths by only checking when a Return is
+		// reachable.
+		hasReturn := false
+		for _, blk := range body.Blocks {
+			if _, ok := blk.Term.(mir.Return); ok {
+				hasReturn = true
+			}
+		}
+		if !hasReturn {
+			continue
+		}
+		for l := range lives {
+			if !deads[l] {
+				t.Errorf("%s: local %s made live but never dead", name, body.Local(l))
+			}
+		}
+	}
+}
+
+// TestLoweringDeterministic: lowering the same corpus twice produces
+// byte-identical MIR (no map-iteration nondeterminism anywhere in the
+// pipeline).
+func TestLoweringDeterministic(t *testing.T) {
+	render := func() map[string]string {
+		prog, diags, err := corpus.Load(corpus.GroupAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies := Program(prog, diags)
+		out := map[string]string{}
+		for name, b := range bodies {
+			out[name] = b.String()
+		}
+		return out
+	}
+	a, b := render(), render()
+	if len(a) != len(b) {
+		t.Fatalf("body counts differ: %d vs %d", len(a), len(b))
+	}
+	for name, s := range a {
+		if b[name] != s {
+			t.Errorf("%s lowered differently across runs", name)
+		}
+	}
+}

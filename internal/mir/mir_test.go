@@ -1,0 +1,143 @@
+package mir
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/source"
+	"rustprobe/internal/types"
+)
+
+func TestPlaceStringAndKey(t *testing.T) {
+	p := PlaceOf(3).
+		WithProj(DerefProj{}).
+		WithProj(FieldProj{Name: "value"}).
+		WithProj(IndexProj{})
+	if p.String() != "_3.*.value[_]" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Key() != p.String() {
+		t.Error("Key must equal String")
+	}
+	if !p.HasDeref() {
+		t.Error("HasDeref lost the deref")
+	}
+	if p.IsLocal() {
+		t.Error("projected place is not a bare local")
+	}
+	if !PlaceOf(1).IsLocal() {
+		t.Error("bare local misdetected")
+	}
+}
+
+func TestWithProjDoesNotAlias(t *testing.T) {
+	base := PlaceOf(1).WithProj(FieldProj{Name: "a"})
+	p1 := base.WithProj(FieldProj{Name: "x"})
+	p2 := base.WithProj(FieldProj{Name: "y"})
+	if p1.String() == p2.String() {
+		t.Errorf("projection slices alias: %s vs %s", p1, p2)
+	}
+	if base.String() != "_1.a" {
+		t.Errorf("base mutated: %s", base)
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	pl := PlaceOf(2)
+	if p, ok := OperandPlace(Copy{Place: pl}); !ok || p.Local != 2 {
+		t.Error("OperandPlace(Copy) wrong")
+	}
+	if p, ok := OperandPlace(Move{Place: pl}); !ok || p.Local != 2 {
+		t.Error("OperandPlace(Move) wrong")
+	}
+	if _, ok := OperandPlace(Const{Text: "1"}); ok {
+		t.Error("Const has no place")
+	}
+	if !IsMove(Move{Place: pl}) || IsMove(Copy{Place: pl}) {
+		t.Error("IsMove wrong")
+	}
+}
+
+func TestTerminatorSuccessors(t *testing.T) {
+	if got := (Goto{Target: 4}).Successors(); len(got) != 1 || got[0] != 4 {
+		t.Errorf("Goto successors = %v", got)
+	}
+	sw := SwitchInt{
+		Targets:   []SwitchTarget{{Value: "a", Block: 1}, {Value: "b", Block: 2}},
+		Otherwise: 3,
+	}
+	if got := sw.Successors(); len(got) != 3 {
+		t.Errorf("SwitchInt successors = %v", got)
+	}
+	swNoOther := SwitchInt{Targets: []SwitchTarget{{Block: 1}}, Otherwise: InvalidBlock}
+	if got := swNoOther.Successors(); len(got) != 1 {
+		t.Errorf("SwitchInt w/o otherwise = %v", got)
+	}
+	if got := (Return{}).Successors(); got != nil {
+		t.Errorf("Return successors = %v", got)
+	}
+	if got := (Call{Target: 7}).Successors(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("Call successors = %v", got)
+	}
+	if got := (Drop{Target: 9}).Successors(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("Drop successors = %v", got)
+	}
+	if got := (Unreachable{}).Successors(); got != nil {
+		t.Errorf("Unreachable successors = %v", got)
+	}
+}
+
+func TestBodyPrinting(t *testing.T) {
+	b := &Body{}
+	b.NewLocal("", types.UnitType, false, source.Span{}) // return place
+	x := b.NewLocal("x", types.I32Type, false, source.Span{})
+	blk := b.NewBlock()
+	blk.Stmts = []Statement{
+		StorageLive{Local: x.ID},
+		Assign{Place: PlaceOf(x.ID), Rvalue: Use{X: Const{Text: "1", Ty: types.I32Type}}},
+		StorageDead{Local: x.ID},
+	}
+	blk.Term = Return{}
+	out := b.String()
+	for _, want := range []string{"StorageLive(_1)", "_1 = const 1", "StorageDead(_1)", "return", "let _1: i32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed body missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRvalueStrings(t *testing.T) {
+	pl := PlaceOf(1)
+	tests := []struct {
+		rv   Rvalue
+		want string
+	}{
+		{Use{X: Move{Place: pl}}, "move _1"},
+		{Ref{Mut: true, Place: pl}, "&mut _1"},
+		{Ref{Place: pl}, "&_1"},
+		{AddrOf{Mut: true, Place: pl}, "&raw mut _1"},
+		{Cast{X: Copy{Place: pl}, To: types.USizeType}, "copy _1 as usize"},
+		{BinaryOp{Op: "Add", L: Copy{Place: pl}, R: Const{Text: "2"}}, "Add(copy _1, const 2)"},
+		{Discriminant{Place: pl}, "discriminant(_1)"},
+	}
+	for _, tt := range tests {
+		if got := tt.rv.rvalueString(); got != tt.want {
+			t.Errorf("rvalueString = %q, want %q", got, tt.want)
+		}
+	}
+	agg := Aggregate{Kind: AggStruct, Name: "Point", Fields: []string{"x"}, Ops: []Operand{Const{Text: "1"}}}
+	if got := agg.rvalueString(); got != "Point { x: const 1 }" {
+		t.Errorf("aggregate = %q", got)
+	}
+}
+
+func TestLocalString(t *testing.T) {
+	l := &Local{ID: 2, Name: "inner"}
+	if l.String() != "_2(inner)" {
+		t.Errorf("named local = %q", l.String())
+	}
+	tmp := &Local{ID: 5}
+	if tmp.String() != "_5" {
+		t.Errorf("temp = %q", tmp.String())
+	}
+}

@@ -1,0 +1,832 @@
+package parser
+
+import (
+	"rustprobe/internal/ast"
+	"rustprobe/internal/source"
+	"rustprobe/internal/token"
+)
+
+// Binding powers for the Pratt expression parser, low to high. Assignment
+// is right-associative and handled separately; ranges are non-associative.
+const (
+	precLowest = iota
+	precAssign
+	precRange
+	precOrOr
+	precAndAnd
+	precCompare
+	precBitOr
+	precBitXor
+	precBitAnd
+	precShift
+	precAdd
+	precMul
+	precCast
+)
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.Eq:
+		return precAssign
+	case token.PlusEq, token.MinusEq, token.StarEq, token.SlashEq, token.PercentEq,
+		token.CaretEq, token.AndEq, token.OrEq, token.ShlEq, token.ShrEq:
+		return precAssign
+	case token.DotDot, token.DotDotEq:
+		return precRange
+	case token.OrOr:
+		return precOrOr
+	case token.AndAnd:
+		return precAndAnd
+	case token.EqEq, token.Ne, token.Lt, token.Le, token.Gt, token.Ge:
+		return precCompare
+	case token.Or:
+		return precBitOr
+	case token.Caret:
+		return precBitXor
+	case token.And:
+		return precBitAnd
+	case token.Shl, token.Shr:
+		return precShift
+	case token.Plus, token.Minus:
+		return precAdd
+	case token.Star, token.Slash, token.Percent:
+		return precMul
+	case token.KwAs:
+		return precCast
+	default:
+		return precLowest
+	}
+}
+
+func binOpFor(k token.Kind) ast.BinOp {
+	switch k {
+	case token.Plus:
+		return ast.BinAdd
+	case token.Minus:
+		return ast.BinSub
+	case token.Star:
+		return ast.BinMul
+	case token.Slash:
+		return ast.BinDiv
+	case token.Percent:
+		return ast.BinRem
+	case token.AndAnd:
+		return ast.BinAnd
+	case token.OrOr:
+		return ast.BinOr
+	case token.And:
+		return ast.BinBitAnd
+	case token.Or:
+		return ast.BinBitOr
+	case token.Caret:
+		return ast.BinBitXor
+	case token.Shl:
+		return ast.BinShl
+	case token.Shr:
+		return ast.BinShr
+	case token.EqEq:
+		return ast.BinEq
+	case token.Ne:
+		return ast.BinNe
+	case token.Lt:
+		return ast.BinLt
+	case token.Le:
+		return ast.BinLe
+	case token.Gt:
+		return ast.BinGt
+	case token.Ge:
+		return ast.BinGe
+	}
+	return ast.BinAdd
+}
+
+// parseExpr parses a full expression.
+func (p *Parser) parseExpr() ast.Expr { return p.parseExprBP(precLowest) }
+
+// parseExprNoStruct parses an expression with struct literals disabled
+// (used for if/while/match/for head positions).
+func (p *Parser) parseExprNoStruct() ast.Expr {
+	save := p.noStruct
+	p.noStruct = true
+	e := p.parseExprBP(precLowest)
+	p.noStruct = save
+	return e
+}
+
+func (p *Parser) parseExprBP(minPrec int) ast.Expr {
+	start := p.cur().Span
+	var lhs ast.Expr
+
+	// Prefix range `..x` / `..=x` / `..`.
+	if p.at(token.DotDot) || p.at(token.DotDotEq) {
+		inclusive := p.at(token.DotDotEq)
+		p.bump()
+		var hi ast.Expr
+		if p.startsExpr() {
+			hi = p.parseExprBP(precRange + 1)
+		}
+		return &ast.RangeExpr{Hi: hi, Inclusive: inclusive, Sp: p.span(start)}
+	}
+
+	lhs = p.parseUnary()
+
+	for {
+		k := p.cur().Kind
+		prec := binPrec(k)
+		if prec == precLowest || prec < minPrec {
+			return lhs
+		}
+		switch {
+		case k == token.KwAs:
+			p.bump()
+			ty := p.parseType()
+			lhs = &ast.CastExpr{X: lhs, Ty: ty, Sp: p.span(start)}
+		case k == token.Eq:
+			p.bump()
+			rhs := p.parseExprBP(precAssign) // right-assoc
+			lhs = &ast.AssignExpr{L: lhs, R: rhs, Sp: p.span(start)}
+		case k.IsAssignOp():
+			p.bump()
+			op := binOpFor(k.AssignBase())
+			rhs := p.parseExprBP(precAssign)
+			lhs = &ast.AssignExpr{L: lhs, R: rhs, Op: &op, Sp: p.span(start)}
+		case k == token.DotDot || k == token.DotDotEq:
+			inclusive := k == token.DotDotEq
+			p.bump()
+			var hi ast.Expr
+			if p.startsExpr() {
+				hi = p.parseExprBP(precRange + 1)
+			}
+			lhs = &ast.RangeExpr{Lo: lhs, Hi: hi, Inclusive: inclusive, Sp: p.span(start)}
+		default:
+			p.bump()
+			rhs := p.parseExprBP(prec + 1)
+			lhs = &ast.BinaryExpr{Op: binOpFor(k), L: lhs, R: rhs, Sp: p.span(start)}
+		}
+	}
+}
+
+// startsExpr reports whether the current token can begin an expression;
+// used to decide whether a range has an upper bound.
+func (p *Parser) startsExpr() bool {
+	switch p.cur().Kind {
+	case token.Ident, token.Int, token.Float, token.Str, token.RawStr, token.Char,
+		token.Byte, token.ByteStr, token.KwTrue, token.KwFalse, token.LParen,
+		token.LBracket, token.LBrace, token.Minus, token.Not, token.Star,
+		token.And, token.AndAnd, token.KwSelfValue, token.KwSelfType, token.KwCrate,
+		token.KwIf, token.KwMatch, token.KwUnsafe, token.KwLoop, token.KwWhile,
+		token.KwFor, token.KwMove, token.Or, token.OrOr, token.KwReturn,
+		token.KwBreak, token.KwContinue, token.KwSuper:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	start := p.cur().Span
+	switch p.cur().Kind {
+	case token.Minus:
+		p.bump()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.UnNeg, X: x, Sp: p.span(start)}
+	case token.Not:
+		p.bump()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.UnNot, X: x, Sp: p.span(start)}
+	case token.Star:
+		p.bump()
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.UnDeref, X: x, Sp: p.span(start)}
+	case token.And, token.AndAnd:
+		double := p.at(token.AndAnd)
+		p.bump()
+		mut := p.eat(token.KwMut)
+		x := p.parseUnary()
+		b := &ast.BorrowExpr{Mut: mut, X: x, Sp: p.span(start)}
+		if double {
+			return &ast.BorrowExpr{X: b, Sp: p.span(start)}
+		}
+		return b
+	default:
+		return p.parsePostfix()
+	}
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	start := p.cur().Span
+	e := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.bump()
+			switch {
+			case p.at(token.Ident):
+				name := p.bump().Text
+				if name == "await" {
+					e = &ast.AwaitExpr{X: e, Sp: p.span(start)}
+					continue
+				}
+				var generics []ast.Type
+				if p.at(token.PathSep) && p.peekN(1).Kind == token.Lt {
+					p.bump()
+					generics, _ = p.parseGenericArgs()
+				}
+				if p.at(token.LParen) {
+					args := p.parseCallArgs()
+					e = &ast.MethodCallExpr{Recv: e, Name: name, Generics: generics, Args: args, Sp: p.span(start)}
+				} else {
+					e = &ast.FieldExpr{X: e, Name: name, Sp: p.span(start)}
+				}
+			case p.at(token.Int):
+				idx := p.bump().Text
+				e = &ast.FieldExpr{X: e, Name: idx, Sp: p.span(start)}
+			case p.at(token.Float):
+				// `t.0.1` lexes the tail as a float "0.1": split it.
+				t := p.bump()
+				parts := splitFloatField(t.Text)
+				for _, part := range parts {
+					e = &ast.FieldExpr{X: e, Name: part, Sp: p.span(start)}
+				}
+			default:
+				p.errorf("expected field or method name after `.`")
+				return e
+			}
+		case token.LParen:
+			args := p.parseCallArgs()
+			e = &ast.CallExpr{Fn: e, Args: args, Sp: p.span(start)}
+		case token.LBracket:
+			p.bump()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			e = &ast.IndexExpr{X: e, Index: idx, Sp: p.span(start)}
+		case token.Question:
+			p.bump()
+			e = &ast.TryExpr{X: e, Sp: p.span(start)}
+		default:
+			return e
+		}
+	}
+}
+
+func splitFloatField(text string) []string {
+	var parts []string
+	cur := ""
+	for i := 0; i < len(text); i++ {
+		if text[i] == '.' {
+			parts = append(parts, cur)
+			cur = ""
+		} else {
+			cur += string(text[i])
+		}
+	}
+	parts = append(parts, cur)
+	return parts
+}
+
+func (p *Parser) parseCallArgs() []ast.Expr {
+	p.expect(token.LParen)
+	var args []ast.Expr
+	save := p.noStruct
+	p.noStruct = false // parentheses re-enable struct literals
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		args = append(args, p.parseExpr())
+		if !p.eat(token.Comma) {
+			break
+		}
+	}
+	p.noStruct = save
+	p.expect(token.RParen)
+	return args
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	start := p.cur().Span
+	switch p.cur().Kind {
+	case token.Int:
+		return &ast.LitExpr{Kind: ast.LitInt, Text: p.bump().Text, Sp: p.span(start)}
+	case token.Float:
+		return &ast.LitExpr{Kind: ast.LitFloat, Text: p.bump().Text, Sp: p.span(start)}
+	case token.Str, token.RawStr:
+		return &ast.LitExpr{Kind: ast.LitStr, Text: p.bump().Text, Sp: p.span(start)}
+	case token.Char:
+		return &ast.LitExpr{Kind: ast.LitChar, Text: p.bump().Text, Sp: p.span(start)}
+	case token.Byte:
+		return &ast.LitExpr{Kind: ast.LitByte, Text: p.bump().Text, Sp: p.span(start)}
+	case token.ByteStr:
+		return &ast.LitExpr{Kind: ast.LitByteStr, Text: p.bump().Text, Sp: p.span(start)}
+	case token.KwTrue, token.KwFalse:
+		return &ast.LitExpr{Kind: ast.LitBool, Text: p.bump().Text, Sp: p.span(start)}
+	case token.Ident, token.KwSelfValue, token.KwSelfType, token.KwCrate, token.KwSuper:
+		return p.parsePathOrStructExpr()
+	case token.Lt:
+		// Qualified path expression `<T as Trait>::f(...)`.
+		p.bump()
+		p.parseType()
+		var traitSeg string
+		if p.eat(token.KwAs) {
+			traitSeg = p.parsePathText()
+		}
+		_ = traitSeg
+		p.splitGtIfClosing()
+		p.expect(token.PathSep)
+		return p.parsePathOrStructExpr()
+	case token.LParen:
+		p.bump()
+		save := p.noStruct
+		p.noStruct = false
+		if p.at(token.RParen) {
+			p.bump()
+			p.noStruct = save
+			return &ast.TupleExpr{Sp: p.span(start)} // unit
+		}
+		first := p.parseExpr()
+		if p.at(token.Comma) {
+			elems := []ast.Expr{first}
+			for p.eat(token.Comma) {
+				if p.at(token.RParen) {
+					break
+				}
+				elems = append(elems, p.parseExpr())
+			}
+			p.expect(token.RParen)
+			p.noStruct = save
+			return &ast.TupleExpr{Elems: elems, Sp: p.span(start)}
+		}
+		p.expect(token.RParen)
+		p.noStruct = save
+		return &ast.ParenExpr{X: first, Sp: p.span(start)}
+	case token.LBracket:
+		p.bump()
+		save := p.noStruct
+		p.noStruct = false
+		arr := &ast.ArrayExpr{}
+		if !p.at(token.RBracket) {
+			first := p.parseExpr()
+			if p.eat(token.Semi) {
+				arr.Elems = []ast.Expr{first}
+				arr.Repeat = p.parseExpr()
+			} else {
+				arr.Elems = append(arr.Elems, first)
+				for p.eat(token.Comma) {
+					if p.at(token.RBracket) {
+						break
+					}
+					arr.Elems = append(arr.Elems, p.parseExpr())
+				}
+			}
+		}
+		p.noStruct = save
+		p.expect(token.RBracket)
+		arr.Sp = p.span(start)
+		return arr
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwUnsafe:
+		p.bump()
+		b := p.parseBlock()
+		b.Unsafety = true
+		b.Sp = p.span(start)
+		return b
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwMatch:
+		return p.parseMatch()
+	case token.KwWhile:
+		return p.parseWhile("")
+	case token.KwLoop:
+		return p.parseLoop("")
+	case token.KwFor:
+		return p.parseFor("")
+	case token.Lifetime:
+		// Loop label: 'a: loop { ... }
+		label := p.bump().Text
+		p.expect(token.Colon)
+		switch p.cur().Kind {
+		case token.KwLoop:
+			return p.parseLoop(label)
+		case token.KwWhile:
+			return p.parseWhile(label)
+		case token.KwFor:
+			return p.parseFor(label)
+		default:
+			p.errorf("expected loop after label")
+			return p.parseExpr()
+		}
+	case token.KwReturn:
+		p.bump()
+		var x ast.Expr
+		if p.startsExpr() {
+			x = p.parseExpr()
+		}
+		return &ast.ReturnExpr{X: x, Sp: p.span(start)}
+	case token.KwBreak:
+		p.bump()
+		label := ""
+		if p.at(token.Lifetime) {
+			label = p.bump().Text
+		}
+		var x ast.Expr
+		if p.startsExpr() && !p.at(token.LBrace) {
+			x = p.parseExpr()
+		}
+		return &ast.BreakExpr{Label: label, X: x, Sp: p.span(start)}
+	case token.KwContinue:
+		p.bump()
+		label := ""
+		if p.at(token.Lifetime) {
+			label = p.bump().Text
+		}
+		return &ast.ContinueExpr{Label: label, Sp: p.span(start)}
+	case token.Or, token.OrOr, token.KwMove:
+		return p.parseClosure()
+	case token.DotDot, token.DotDotEq:
+		// Handled in parseExprBP; defensive here.
+		inclusive := p.at(token.DotDotEq)
+		p.bump()
+		var hi ast.Expr
+		if p.startsExpr() {
+			hi = p.parseExprBP(precRange + 1)
+		}
+		return &ast.RangeExpr{Hi: hi, Inclusive: inclusive, Sp: p.span(start)}
+	default:
+		p.errorf("expected expression, found %q", p.cur().Text)
+		p.bump()
+		return &ast.LitExpr{Kind: ast.LitInt, Text: "0", Sp: p.span(start)}
+	}
+}
+
+// parsePathOrStructExpr parses a path expression, a macro call, or a struct
+// literal when struct literals are enabled.
+func (p *Parser) parsePathOrStructExpr() ast.Expr {
+	start := p.cur().Span
+	var segs []string
+	var generics []ast.Type
+	for {
+		switch p.cur().Kind {
+		case token.Ident, token.KwSelfValue, token.KwSelfType, token.KwCrate, token.KwSuper:
+			segs = append(segs, p.bump().Text)
+		default:
+			p.errorf("expected path segment, found %q", p.cur().Text)
+			return &ast.PathExpr{Segments: segs, Sp: p.span(start)}
+		}
+		// Macro call: name!(...), name![...], name!{...}
+		if p.at(token.Not) && len(segs) >= 1 {
+			switch p.peekN(1).Kind {
+			case token.LParen, token.LBracket, token.LBrace:
+				return p.parseMacroCall(segs, start)
+			}
+		}
+		if p.at(token.PathSep) {
+			if p.peekN(1).Kind == token.Lt {
+				p.bump()
+				generics, _ = p.parseGenericArgs()
+				if p.at(token.PathSep) {
+					p.bump()
+					continue
+				}
+				break
+			}
+			p.bump()
+			continue
+		}
+		break
+	}
+	// Struct literal: Path { field: ..., .. } — only when enabled.
+	if p.at(token.LBrace) && !p.noStruct && isTypeLikePath(segs) {
+		return p.parseStructLiteral(segs, start)
+	}
+	return &ast.PathExpr{Segments: segs, Generics: generics, Sp: p.span(start)}
+}
+
+// isTypeLikePath reports whether a path plausibly names a struct type for
+// struct-literal purposes: its last segment begins with an uppercase letter
+// or is `Self`.
+func isTypeLikePath(segs []string) bool {
+	if len(segs) == 0 {
+		return false
+	}
+	last := segs[len(segs)-1]
+	if last == "" {
+		return false
+	}
+	return last == "Self" || last[0] >= 'A' && last[0] <= 'Z'
+}
+
+func (p *Parser) parseStructLiteral(segs []string, start source.Span) ast.Expr {
+	p.expect(token.LBrace)
+	se := &ast.StructExpr{Segments: segs}
+	save := p.noStruct
+	p.noStruct = false
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		if p.at(token.DotDot) {
+			p.bump()
+			se.Base = p.parseExpr()
+			break
+		}
+		fname := ""
+		if p.at(token.Ident) {
+			fname = p.bump().Text
+		} else if p.at(token.Int) {
+			fname = p.bump().Text
+		} else {
+			p.errorf("expected field name in struct literal")
+			break
+		}
+		var val ast.Expr
+		if p.eat(token.Colon) {
+			val = p.parseExpr()
+		} else {
+			val = &ast.PathExpr{Segments: []string{fname}, Sp: p.span(start)}
+		}
+		se.Fields = append(se.Fields, ast.StructExprField{Name: fname, Value: val})
+		if !p.eat(token.Comma) {
+			break
+		}
+	}
+	p.noStruct = save
+	p.expect(token.RBrace)
+	se.Sp = p.span(start)
+	return se
+}
+
+// parseMacroCall parses `name!(...)`: for known expression-list macros the
+// arguments are parsed as expressions; otherwise the body is skipped and
+// retained as raw text.
+func (p *Parser) parseMacroCall(segs []string, start source.Span) ast.Expr {
+	name := segs[len(segs)-1]
+	p.expect(token.Not)
+	open := p.cur().Kind
+	var close token.Kind
+	switch open {
+	case token.LParen:
+		close = token.RParen
+	case token.LBracket:
+		close = token.RBracket
+	default:
+		close = token.RBrace
+	}
+	p.bump()
+	mc := &ast.MacroCallExpr{Name: name}
+	rawStart := p.cur().Span.Start
+
+	parseAsExprs := true
+	switch name {
+	case "vec", "println", "print", "eprintln", "eprint", "panic", "assert",
+		"assert_eq", "assert_ne", "format", "write", "writeln", "dbg", "matches",
+		"unreachable", "debug_assert", "todo", "unimplemented", "Box":
+	default:
+		parseAsExprs = false
+	}
+
+	if parseAsExprs {
+		save := p.noStruct
+		p.noStruct = false
+		for !p.at(close) && !p.at(token.EOF) {
+			// vec![x; n] repeat form.
+			mc.Args = append(mc.Args, p.parseExpr())
+			if !p.eat(token.Comma) && !p.eat(token.Semi) {
+				break
+			}
+		}
+		p.noStruct = save
+		end := p.cur().Span.Start
+		mc.Raw = p.textBetween(rawStart, end)
+		p.expect(close)
+	} else {
+		depth := 1
+		end := rawStart
+		for depth > 0 && !p.at(token.EOF) {
+			t := p.bump()
+			switch t.Kind {
+			case open:
+				depth++
+			case close:
+				depth--
+			case token.LParen, token.LBracket, token.LBrace:
+				depth++
+			case token.RParen, token.RBracket, token.RBrace:
+				depth--
+			}
+			if depth > 0 {
+				end = t.Span.End
+			}
+		}
+		mc.Raw = p.textBetween(rawStart, end)
+	}
+	mc.Sp = p.span(start)
+	return mc
+}
+
+func (p *Parser) parseClosure() ast.Expr {
+	start := p.cur().Span
+	move := p.eat(token.KwMove)
+	cl := &ast.ClosureExpr{Move: move}
+	if p.eat(token.OrOr) {
+		// no params
+	} else {
+		p.expect(token.Or)
+		for !p.at(token.Or) && !p.at(token.EOF) {
+			pstart := p.cur().Span
+			pat := p.parsePatternNoAlt()
+			prm := &ast.Param{Pat: pat, Sp: pstart}
+			if bp, ok := pat.(*ast.BindPat); ok {
+				prm.Name = bp.Name
+			}
+			if p.eat(token.Colon) {
+				prm.Ty = p.parseType()
+			}
+			prm.Sp = p.span(pstart)
+			cl.Params = append(cl.Params, prm)
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Or)
+	}
+	if p.eat(token.Arrow) {
+		p.parseType()
+		cl.Body = p.parseBlock()
+	} else {
+		cl.Body = p.parseExpr()
+	}
+	cl.Sp = p.span(start)
+	return cl
+}
+
+func (p *Parser) parseIf() ast.Expr {
+	start := p.cur().Span
+	p.expect(token.KwIf)
+	ie := &ast.IfExpr{}
+	if p.eat(token.KwLet) {
+		ie.LetPat = p.parsePattern()
+		p.expect(token.Eq)
+	}
+	ie.Cond = p.parseExprNoStruct()
+	ie.Then = p.parseBlock()
+	if p.eat(token.KwElse) {
+		if p.at(token.KwIf) {
+			ie.Else = p.parseIf()
+		} else {
+			ie.Else = p.parseBlock()
+		}
+	}
+	ie.Sp = p.span(start)
+	return ie
+}
+
+func (p *Parser) parseMatch() ast.Expr {
+	start := p.cur().Span
+	p.expect(token.KwMatch)
+	scrut := p.parseExprNoStruct()
+	me := &ast.MatchExpr{Scrutinee: scrut}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		astart := p.cur().Span
+		arm := &ast.MatchArm{}
+		arm.Pat = p.parsePattern()
+		if p.eat(token.KwIf) {
+			arm.Guard = p.parseExprNoStruct()
+		}
+		p.expect(token.FatArrow)
+		arm.Body = p.parseExpr()
+		arm.Sp = p.span(astart)
+		me.Arms = append(me.Arms, arm)
+		if !p.eat(token.Comma) {
+			// Block-bodied arms may omit the comma.
+			if p.at(token.RBrace) {
+				break
+			}
+		}
+	}
+	p.expect(token.RBrace)
+	me.Sp = p.span(start)
+	return me
+}
+
+func (p *Parser) parseWhile(label string) ast.Expr {
+	start := p.cur().Span
+	p.expect(token.KwWhile)
+	we := &ast.WhileExpr{Label: label}
+	if p.eat(token.KwLet) {
+		we.LetPat = p.parsePattern()
+		p.expect(token.Eq)
+	}
+	we.Cond = p.parseExprNoStruct()
+	we.Body = p.parseBlock()
+	we.Sp = p.span(start)
+	return we
+}
+
+func (p *Parser) parseLoop(label string) ast.Expr {
+	start := p.cur().Span
+	p.expect(token.KwLoop)
+	body := p.parseBlock()
+	return &ast.LoopExpr{Body: body, Label: label, Sp: p.span(start)}
+}
+
+func (p *Parser) parseFor(label string) ast.Expr {
+	start := p.cur().Span
+	p.expect(token.KwFor)
+	pat := p.parsePattern()
+	p.expect(token.KwIn)
+	iter := p.parseExprNoStruct()
+	body := p.parseBlock()
+	return &ast.ForExpr{Pat: pat, Iter: iter, Body: body, Label: label, Sp: p.span(start)}
+}
+
+// parseBlock parses `{ stmt* tail? }`.
+func (p *Parser) parseBlock() *ast.BlockExpr {
+	start := p.cur().Span
+	b := &ast.BlockExpr{}
+	p.expect(token.LBrace)
+	save := p.noStruct
+	p.noStruct = false
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		before := p.pos
+		st := p.parseStmt()
+		if st != nil {
+			b.Stmts = append(b.Stmts, st)
+		}
+		if p.pos == before {
+			p.bump()
+		}
+	}
+	p.noStruct = save
+	p.expect(token.RBrace)
+	b.Sp = p.span(start)
+	return b
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	start := p.cur().Span
+	switch p.cur().Kind {
+	case token.Semi:
+		p.bump()
+		return &ast.EmptyStmt{Sp: p.span(start)}
+	case token.KwLet:
+		return p.parseLet()
+	case token.KwFn, token.KwStruct, token.KwEnum, token.KwImpl, token.KwTrait,
+		token.KwUse, token.KwMod, token.KwStatic, token.KwConst, token.KwType:
+		// `const` could begin a const item; treat it as an item in stmt
+		// position (const closures are out of subset).
+		it := p.parseItem()
+		if it == nil {
+			return nil
+		}
+		return &ast.ItemStmt{It: it, Sp: it.Span()}
+	case token.KwPub:
+		it := p.parseItem()
+		if it == nil {
+			return nil
+		}
+		return &ast.ItemStmt{It: it, Sp: it.Span()}
+	case token.Pound:
+		p.parseAttrs()
+		return p.parseStmt()
+	case token.KwUnsafe:
+		// Could be `unsafe fn` item or `unsafe {}` expression.
+		if p.peek().Kind == token.KwFn || p.peek().Kind == token.KwImpl || p.peek().Kind == token.KwTrait {
+			it := p.parseItem()
+			if it == nil {
+				return nil
+			}
+			return &ast.ItemStmt{It: it, Sp: it.Span()}
+		}
+		fallthrough
+	case token.KwIf, token.KwMatch, token.KwWhile, token.KwLoop, token.KwFor,
+		token.LBrace, token.Lifetime:
+		// Block-like expressions in statement position end the statement
+		// (Rust's rule): `if c { }` followed by `*buf` is two statements,
+		// not a multiplication.
+		e := p.parsePrimary()
+		// A block-like expression can still be followed by `?` or method
+		// calls only in expression position; in statement position Rust
+		// stops here. Accept an optional semicolon.
+		semi := p.eat(token.Semi)
+		return &ast.ExprStmt{X: e, Semi: semi, Sp: p.span(start)}
+	default:
+		e := p.parseExpr()
+		semi := p.eat(token.Semi)
+		return &ast.ExprStmt{X: e, Semi: semi, Sp: p.span(start)}
+	}
+}
+
+func (p *Parser) parseLet() ast.Stmt {
+	start := p.cur().Span
+	p.expect(token.KwLet)
+	ls := &ast.LetStmt{}
+	ls.Pat = p.parsePattern()
+	if p.eat(token.Colon) {
+		ls.Ty = p.parseType()
+	}
+	if p.eat(token.Eq) {
+		ls.Init = p.parseExpr()
+		if p.at(token.KwElse) {
+			p.bump()
+			ls.Else = p.parseBlock()
+		}
+	}
+	p.expect(token.Semi)
+	ls.Sp = p.span(start)
+	return ls
+}

@@ -1,0 +1,802 @@
+// Package parser implements a recursive-descent parser (with a Pratt
+// expression core) for the Rust subset defined in DESIGN.md. It produces
+// the ast package's tree and reports syntax errors through
+// source.Diagnostics, recovering at item boundaries so one bad item does
+// not abort a whole file.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/lexer"
+	"rustprobe/internal/source"
+	"rustprobe/internal/token"
+)
+
+// Parser consumes a token stream and builds a Crate.
+type Parser struct {
+	file  *source.File
+	toks  []token.Token
+	pos   int
+	diags *source.Diagnostics
+
+	// noStruct disables struct-literal parsing, as Rust does inside
+	// `if`/`while`/`match`/`for` head expressions.
+	noStruct bool
+}
+
+// ParseFile lexes and parses one registered file.
+func ParseFile(file *source.File, diags *source.Diagnostics) *ast.Crate {
+	lx := lexer.New(file, diags)
+	p := &Parser{file: file, toks: lx.Tokenize(), diags: diags}
+	return p.parseCrate()
+}
+
+// ParseString is a convenience for tests: it parses src as filename inside
+// a fresh FileSet and returns the crate, the fileset, and diagnostics.
+func ParseString(filename, src string) (*ast.Crate, *source.FileSet, *source.Diagnostics) {
+	fset := source.NewFileSet()
+	f := fset.Add(filename, src)
+	diags := source.NewDiagnostics(fset)
+	return ParseFile(f, diags), fset, diags
+}
+
+// --- token plumbing ---------------------------------------------------------
+
+func (p *Parser) cur() token.Token { return p.toks[p.pos] }
+func (p *Parser) peek() token.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) peekN(n int) token.Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) bump() token.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) eat(k token.Kind) bool {
+	if p.at(k) {
+		p.bump()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.bump()
+	}
+	p.errorf("expected %q, found %q", k.String(), p.cur().Text)
+	return token.Token{Kind: k, Span: p.cur().Span}
+}
+
+func (p *Parser) errorf(format string, args ...any) {
+	p.diags.Errorf(p.cur().Span, format, args...)
+}
+
+func (p *Parser) span(start source.Span) source.Span {
+	if p.pos == 0 {
+		return start
+	}
+	return start.Join(p.toks[p.pos-1].Span)
+}
+
+// splitGt splits a `>>`, `>=`, or `>>=` token so nested generics like
+// `Arc<Mutex<T>>` close correctly.
+func (p *Parser) splitGt() bool {
+	t := p.cur()
+	switch t.Kind {
+	case token.Gt:
+		p.bump()
+		return true
+	case token.Shr:
+		p.toks[p.pos] = token.Token{Kind: token.Gt, Text: ">", Span: source.NewSpan(t.Span.Start+1, t.Span.End)}
+		return true
+	case token.Ge:
+		p.toks[p.pos] = token.Token{Kind: token.Eq, Text: "=", Span: source.NewSpan(t.Span.Start+1, t.Span.End)}
+		return true
+	case token.ShrEq:
+		p.toks[p.pos] = token.Token{Kind: token.Ge, Text: ">=", Span: source.NewSpan(t.Span.Start+1, t.Span.End)}
+		return true
+	default:
+		return false
+	}
+}
+
+// --- crate and items --------------------------------------------------------
+
+func (p *Parser) parseCrate() *ast.Crate {
+	start := p.cur().Span
+	c := &ast.Crate{FileName: p.file.Name}
+	// Skip inner attributes `#![...]`.
+	for p.at(token.Pound) && p.peek().Kind == token.Not {
+		p.skipAttr()
+	}
+	for !p.at(token.EOF) {
+		before := p.pos
+		it := p.parseItem()
+		if it != nil {
+			c.Items = append(c.Items, it)
+		}
+		if p.pos == before {
+			// No progress: skip a token to avoid livelock.
+			p.bump()
+		}
+	}
+	c.Sp = p.span(start)
+	return c
+}
+
+func (p *Parser) skipAttr() {
+	p.expect(token.Pound)
+	p.eat(token.Not)
+	if !p.eat(token.LBracket) {
+		return
+	}
+	depth := 1
+	for depth > 0 && !p.at(token.EOF) {
+		switch p.bump().Kind {
+		case token.LBracket:
+			depth++
+		case token.RBracket:
+			depth--
+		}
+	}
+}
+
+func (p *Parser) parseAttrs() []*ast.Attr {
+	var attrs []*ast.Attr
+	for p.at(token.Pound) {
+		start := p.cur().Span
+		p.bump()
+		if !p.eat(token.LBracket) {
+			break
+		}
+		var name string
+		if p.at(token.Ident) || p.cur().Kind.IsKeyword() {
+			name = p.cur().Text
+		}
+		textStart := p.cur().Span.Start
+		depth := 1
+		end := textStart
+		for depth > 0 && !p.at(token.EOF) {
+			t := p.bump()
+			switch t.Kind {
+			case token.LBracket:
+				depth++
+			case token.RBracket:
+				depth--
+			}
+			if depth > 0 {
+				end = t.Span.End
+			}
+		}
+		attrs = append(attrs, &ast.Attr{Name: name, Text: p.textBetween(textStart, end), Sp: p.span(start)})
+	}
+	return attrs
+}
+
+func (p *Parser) textBetween(start, end int) string {
+	lo, hi := start-p.file.Base, end-p.file.Base
+	if lo < 0 || hi > len(p.file.Content) || lo > hi {
+		return ""
+	}
+	return p.file.Content[lo:hi]
+}
+
+func (p *Parser) parseVisibility() ast.Visibility {
+	if !p.at(token.KwPub) {
+		return ast.VisPrivate
+	}
+	p.bump()
+	if p.at(token.LParen) {
+		// pub(crate), pub(super), pub(in path)
+		depth := 0
+		for !p.at(token.EOF) {
+			t := p.bump()
+			if t.Kind == token.LParen {
+				depth++
+			} else if t.Kind == token.RParen {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		return ast.VisPubCrate
+	}
+	return ast.VisPub
+}
+
+func (p *Parser) parseItem() ast.Item {
+	attrs := p.parseAttrs()
+	vis := p.parseVisibility()
+	start := p.cur().Span
+	unsafety := false
+	if p.at(token.KwUnsafe) {
+		switch p.peek().Kind {
+		case token.KwFn, token.KwImpl, token.KwTrait:
+			unsafety = true
+			p.bump()
+		}
+	}
+	if p.at(token.KwExtern) && p.peek().Kind == token.Str && p.peekN(2).Kind == token.KwFn {
+		// `extern "C" fn` prefix.
+		p.bump()
+		p.bump()
+	}
+	switch p.cur().Kind {
+	case token.KwFn:
+		return p.parseFn(attrs, vis, unsafety, start)
+	case token.KwStruct:
+		return p.parseStruct(attrs, vis, start)
+	case token.KwEnum:
+		return p.parseEnum(attrs, vis, start)
+	case token.KwImpl:
+		return p.parseImpl(attrs, unsafety, start)
+	case token.KwTrait:
+		return p.parseTrait(attrs, vis, unsafety, start)
+	case token.KwStatic, token.KwConst:
+		return p.parseStatic(attrs, vis, start)
+	case token.KwUse:
+		return p.parseUse(vis, start)
+	case token.KwMod:
+		return p.parseMod(vis, start)
+	case token.KwType:
+		return p.parseTypeAlias(vis, start)
+	case token.KwExtern:
+		p.skipExternBlock()
+		return nil
+	case token.EOF:
+		return nil
+	default:
+		p.errorf("expected item, found %q", p.cur().Text)
+		p.recoverToItem()
+		return nil
+	}
+}
+
+func (p *Parser) recoverToItem() {
+	depth := 0
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.LBrace:
+			depth++
+		case token.RBrace:
+			if depth == 0 {
+				p.bump()
+				return
+			}
+			depth--
+		case token.Semi:
+			if depth == 0 {
+				p.bump()
+				return
+			}
+		case token.KwFn, token.KwStruct, token.KwEnum, token.KwImpl, token.KwTrait, token.KwUse, token.KwMod, token.KwPub:
+			if depth == 0 {
+				return
+			}
+		}
+		p.bump()
+	}
+}
+
+func (p *Parser) skipExternBlock() {
+	p.bump() // extern
+	if p.at(token.Str) {
+		p.bump()
+	}
+	if p.at(token.LBrace) {
+		depth := 0
+		for !p.at(token.EOF) {
+			t := p.bump()
+			if t.Kind == token.LBrace {
+				depth++
+			} else if t.Kind == token.RBrace {
+				depth--
+				if depth == 0 {
+					return
+				}
+			}
+		}
+	} else {
+		for !p.at(token.EOF) && !p.eat(token.Semi) {
+			p.bump()
+		}
+	}
+}
+
+func (p *Parser) parseGenerics() []*ast.GenericParam {
+	if !p.at(token.Lt) {
+		return nil
+	}
+	p.bump()
+	var out []*ast.GenericParam
+	for !p.at(token.EOF) {
+		if p.splitGtIfClosing() {
+			break
+		}
+		start := p.cur().Span
+		gp := &ast.GenericParam{Sp: start}
+		switch p.cur().Kind {
+		case token.Lifetime:
+			gp.Name = p.bump().Text
+			gp.IsLifetime = true
+		case token.KwConst:
+			p.bump()
+			gp.Name = p.expect(token.Ident).Text
+			if p.eat(token.Colon) {
+				p.parseType()
+			}
+		case token.Ident:
+			gp.Name = p.bump().Text
+		default:
+			p.errorf("expected generic parameter, found %q", p.cur().Text)
+			p.bump()
+			continue
+		}
+		if p.eat(token.Colon) {
+			gp.Bounds = p.parseBoundList()
+		}
+		if p.eat(token.Eq) {
+			p.parseType() // default type, discarded
+		}
+		gp.Sp = p.span(start)
+		out = append(out, gp)
+		if !p.eat(token.Comma) {
+			p.splitGtIfClosing()
+			break
+		}
+	}
+	return out
+}
+
+func (p *Parser) splitGtIfClosing() bool {
+	switch p.cur().Kind {
+	case token.Gt, token.Shr, token.Ge, token.ShrEq:
+		return p.splitGt()
+	}
+	return false
+}
+
+func (p *Parser) parseBoundList() []string {
+	var bounds []string
+	for {
+		var b strings.Builder
+		if p.at(token.Lifetime) {
+			b.WriteString(p.bump().Text)
+		} else if p.at(token.Question) {
+			p.bump()
+			b.WriteString("?")
+			b.WriteString(p.parsePathText())
+		} else if p.at(token.Ident) || p.at(token.KwFn) {
+			b.WriteString(p.parsePathText())
+			if p.at(token.LParen) { // Fn(..) -> .. bound
+				depth := 0
+				for !p.at(token.EOF) {
+					t := p.bump()
+					if t.Kind == token.LParen {
+						depth++
+					} else if t.Kind == token.RParen {
+						depth--
+						if depth == 0 {
+							break
+						}
+					}
+				}
+				if p.eat(token.Arrow) {
+					p.parseType()
+				}
+			}
+		} else {
+			break
+		}
+		if b.Len() > 0 {
+			bounds = append(bounds, b.String())
+		}
+		if !p.eat(token.Plus) {
+			break
+		}
+	}
+	return bounds
+}
+
+// parsePathText reads a path (with optional generic args) and returns its
+// head segment text; used for trait bounds where we keep names only.
+func (p *Parser) parsePathText() string {
+	name := ""
+	for {
+		if p.at(token.Ident) || p.at(token.KwCrate) || p.at(token.KwSuper) || p.at(token.KwSelfValue) || p.at(token.KwSelfType) {
+			name = p.bump().Text
+		} else {
+			break
+		}
+		if p.at(token.Lt) {
+			p.skipGenericArgs()
+		}
+		if !p.eat(token.PathSep) {
+			break
+		}
+	}
+	return name
+}
+
+func (p *Parser) skipGenericArgs() {
+	if !p.at(token.Lt) {
+		return
+	}
+	depth := 0
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.Lt:
+			depth++
+			p.bump()
+		case token.Gt:
+			depth--
+			p.bump()
+			if depth == 0 {
+				return
+			}
+		case token.Shr:
+			depth -= 2
+			p.bump()
+			if depth <= 0 {
+				return
+			}
+		case token.Semi, token.LBrace, token.EOF:
+			return
+		default:
+			p.bump()
+		}
+	}
+}
+
+func (p *Parser) parseWhere() {
+	if !p.at(token.KwWhere) {
+		return
+	}
+	p.bump()
+	for !p.at(token.LBrace) && !p.at(token.Semi) && !p.at(token.EOF) {
+		p.bump()
+	}
+}
+
+func (p *Parser) parseFn(attrs []*ast.Attr, vis ast.Visibility, unsafety bool, start source.Span) ast.Item {
+	p.expect(token.KwFn)
+	name := p.expect(token.Ident).Text
+	generics := p.parseGenerics()
+	decl := p.parseFnDecl()
+	p.parseWhere()
+	var body *ast.BlockExpr
+	if p.at(token.LBrace) {
+		body = p.parseBlock()
+	} else {
+		p.expect(token.Semi)
+	}
+	return &ast.FnItem{
+		Attrs: attrs, Vis: vis, Unsafety: unsafety, Name: name,
+		Generics: generics, Decl: decl, Body: body, Sp: p.span(start),
+	}
+}
+
+func (p *Parser) parseFnDecl() *ast.FnDecl {
+	decl := &ast.FnDecl{}
+	p.expect(token.LParen)
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		decl.Params = append(decl.Params, p.parseParam())
+		if !p.eat(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RParen)
+	if p.eat(token.Arrow) {
+		decl.Ret = p.parseType()
+	}
+	return decl
+}
+
+func (p *Parser) parseParam() *ast.Param {
+	start := p.cur().Span
+	// Receiver forms: self | &self | &mut self | mut self | self: Ty
+	if p.at(token.KwSelfValue) {
+		p.bump()
+		prm := &ast.Param{Name: "self", SelfKind: ast.SelfValue, Sp: p.span(start)}
+		if p.eat(token.Colon) {
+			prm.Ty = p.parseType()
+		}
+		return prm
+	}
+	if p.at(token.And) || p.at(token.AndAnd) {
+		save := p.pos
+		double := p.at(token.AndAnd)
+		p.bump()
+		if double {
+			// Treat && as two borrows; only the receiver case matters here.
+			if p.at(token.Lifetime) {
+				p.bump()
+			}
+		}
+		if p.at(token.Lifetime) {
+			p.bump()
+		}
+		mut := p.eat(token.KwMut)
+		if p.at(token.KwSelfValue) {
+			p.bump()
+			kind := ast.SelfRef
+			if mut {
+				kind = ast.SelfRefMut
+			}
+			return &ast.Param{Name: "self", SelfKind: kind, Sp: p.span(start)}
+		}
+		p.pos = save
+	}
+	if p.at(token.KwMut) && p.peek().Kind == token.KwSelfValue {
+		p.bump()
+		p.bump()
+		return &ast.Param{Name: "self", SelfKind: ast.SelfValue, Sp: p.span(start)}
+	}
+	// Ordinary parameter: pat: Ty. Common case is a plain identifier.
+	pat := p.parsePattern()
+	prm := &ast.Param{Pat: pat, Sp: start}
+	if bp, ok := pat.(*ast.BindPat); ok && bp.Sub == nil {
+		prm.Name = bp.Name
+	} else if _, ok := pat.(*ast.WildPat); ok {
+		prm.Name = "_"
+	}
+	if p.eat(token.Colon) {
+		prm.Ty = p.parseType()
+	}
+	prm.Sp = p.span(start)
+	return prm
+}
+
+func (p *Parser) parseStruct(attrs []*ast.Attr, vis ast.Visibility, start source.Span) ast.Item {
+	p.expect(token.KwStruct)
+	name := p.expect(token.Ident).Text
+	generics := p.parseGenerics()
+	st := &ast.StructItem{Attrs: attrs, Vis: vis, Name: name, Generics: generics}
+	switch {
+	case p.at(token.LParen):
+		st.IsTuple = true
+		p.bump()
+		i := 0
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			fstart := p.cur().Span
+			fvis := p.parseVisibility()
+			ty := p.parseType()
+			st.Fields = append(st.Fields, &ast.FieldDef{Vis: fvis, Name: fmt.Sprint(i), Ty: ty, Sp: p.span(fstart)})
+			i++
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		p.parseWhere()
+		p.expect(token.Semi)
+	case p.at(token.Semi):
+		st.IsUnit = true
+		p.bump()
+	default:
+		p.parseWhere()
+		p.expect(token.LBrace)
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			p.parseAttrs()
+			fstart := p.cur().Span
+			fvis := p.parseVisibility()
+			fname := p.expect(token.Ident).Text
+			p.expect(token.Colon)
+			ty := p.parseType()
+			st.Fields = append(st.Fields, &ast.FieldDef{Vis: fvis, Name: fname, Ty: ty, Sp: p.span(fstart)})
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RBrace)
+	}
+	st.Sp = p.span(start)
+	return st
+}
+
+func (p *Parser) parseEnum(attrs []*ast.Attr, vis ast.Visibility, start source.Span) ast.Item {
+	p.expect(token.KwEnum)
+	name := p.expect(token.Ident).Text
+	generics := p.parseGenerics()
+	p.parseWhere()
+	en := &ast.EnumItem{Attrs: attrs, Vis: vis, Name: name, Generics: generics}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		p.parseAttrs()
+		vstart := p.cur().Span
+		vname := p.expect(token.Ident).Text
+		vd := &ast.VariantDef{Name: vname}
+		switch {
+		case p.at(token.LParen):
+			vd.IsTuple = true
+			p.bump()
+			i := 0
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				ty := p.parseType()
+				vd.Fields = append(vd.Fields, &ast.FieldDef{Name: fmt.Sprint(i), Ty: ty, Sp: ty.Span()})
+				i++
+				if !p.eat(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.RParen)
+		case p.at(token.LBrace):
+			p.bump()
+			for !p.at(token.RBrace) && !p.at(token.EOF) {
+				fname := p.expect(token.Ident).Text
+				p.expect(token.Colon)
+				ty := p.parseType()
+				vd.Fields = append(vd.Fields, &ast.FieldDef{Name: fname, Ty: ty, Sp: ty.Span()})
+				if !p.eat(token.Comma) {
+					break
+				}
+			}
+			p.expect(token.RBrace)
+		default:
+			vd.IsUnit = true
+			if p.eat(token.Eq) {
+				p.parseExpr()
+			}
+		}
+		vd.Sp = p.span(vstart)
+		en.Variants = append(en.Variants, vd)
+		if !p.eat(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RBrace)
+	en.Sp = p.span(start)
+	return en
+}
+
+func (p *Parser) parseImpl(attrs []*ast.Attr, unsafety bool, start source.Span) ast.Item {
+	p.expect(token.KwImpl)
+	generics := p.parseGenerics()
+	im := &ast.ImplItem{Attrs: attrs, Unsafety: unsafety, Generics: generics}
+	firstTy := p.parseType()
+	if p.eat(token.KwFor) {
+		if pt, ok := firstTy.(*ast.PathType); ok {
+			im.TraitName = pt.Name()
+		}
+		im.SelfTy = p.parseType()
+	} else {
+		im.SelfTy = firstTy
+	}
+	p.parseWhere()
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		before := p.pos
+		it := p.parseItem()
+		if it != nil {
+			im.Items = append(im.Items, it)
+		}
+		if p.pos == before {
+			p.bump()
+		}
+	}
+	p.expect(token.RBrace)
+	im.Sp = p.span(start)
+	return im
+}
+
+func (p *Parser) parseTrait(attrs []*ast.Attr, vis ast.Visibility, unsafety bool, start source.Span) ast.Item {
+	p.expect(token.KwTrait)
+	name := p.expect(token.Ident).Text
+	generics := p.parseGenerics()
+	tr := &ast.TraitItem{Attrs: attrs, Vis: vis, Unsafety: unsafety, Name: name, Generics: generics}
+	if p.eat(token.Colon) {
+		p.parseBoundList()
+	}
+	p.parseWhere()
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		before := p.pos
+		it := p.parseItem()
+		if it != nil {
+			tr.Items = append(tr.Items, it)
+		}
+		if p.pos == before {
+			p.bump()
+		}
+	}
+	p.expect(token.RBrace)
+	tr.Sp = p.span(start)
+	return tr
+}
+
+func (p *Parser) parseStatic(attrs []*ast.Attr, vis ast.Visibility, start source.Span) ast.Item {
+	isConst := p.at(token.KwConst)
+	p.bump()
+	mut := p.eat(token.KwMut)
+	var name string
+	if p.at(token.Underscore) {
+		name = p.bump().Text
+	} else {
+		name = p.expect(token.Ident).Text
+	}
+	var ty ast.Type
+	if p.eat(token.Colon) {
+		ty = p.parseType()
+	}
+	var init ast.Expr
+	if p.eat(token.Eq) {
+		init = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	return &ast.StaticItem{Attrs: attrs, Vis: vis, IsConst: isConst, Mut: mut, Name: name, Ty: ty, Init: init, Sp: p.span(start)}
+}
+
+func (p *Parser) parseUse(vis ast.Visibility, start source.Span) ast.Item {
+	p.expect(token.KwUse)
+	var b strings.Builder
+	depth := 0
+	for !p.at(token.EOF) {
+		if p.at(token.Semi) && depth == 0 {
+			break
+		}
+		t := p.bump()
+		switch t.Kind {
+		case token.LBrace:
+			depth++
+		case token.RBrace:
+			depth--
+		}
+		b.WriteString(t.Text)
+	}
+	p.expect(token.Semi)
+	return &ast.UseItem{Vis: vis, Path: b.String(), Sp: p.span(start)}
+}
+
+func (p *Parser) parseMod(vis ast.Visibility, start source.Span) ast.Item {
+	p.expect(token.KwMod)
+	name := p.expect(token.Ident).Text
+	m := &ast.ModItem{Vis: vis, Name: name}
+	if p.eat(token.Semi) {
+		m.Sp = p.span(start)
+		return m
+	}
+	p.expect(token.LBrace)
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		before := p.pos
+		it := p.parseItem()
+		if it != nil {
+			m.Items = append(m.Items, it)
+		}
+		if p.pos == before {
+			p.bump()
+		}
+	}
+	p.expect(token.RBrace)
+	m.Sp = p.span(start)
+	return m
+}
+
+func (p *Parser) parseTypeAlias(vis ast.Visibility, start source.Span) ast.Item {
+	p.expect(token.KwType)
+	name := p.expect(token.Ident).Text
+	p.parseGenerics()
+	p.expect(token.Eq)
+	ty := p.parseType()
+	p.expect(token.Semi)
+	return &ast.TypeAliasItem{Vis: vis, Name: name, Ty: ty, Sp: p.span(start)}
+}

@@ -1,0 +1,403 @@
+package parser
+
+import (
+	"testing"
+
+	"rustprobe/internal/ast"
+)
+
+func parseOK(t *testing.T, src string) *ast.Crate {
+	t.Helper()
+	crate, _, diags := ParseString("test.rs", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s\nsource:\n%s", diags.String(), src)
+	}
+	return crate
+}
+
+func firstFn(t *testing.T, c *ast.Crate) *ast.FnItem {
+	t.Helper()
+	for _, it := range c.Items {
+		if f, ok := it.(*ast.FnItem); ok {
+			return f
+		}
+	}
+	t.Fatal("no function item")
+	return nil
+}
+
+func TestParseSimpleFn(t *testing.T) {
+	c := parseOK(t, "fn main() { let x = 1 + 2 * 3; }")
+	f := firstFn(t, c)
+	if f.Name != "main" {
+		t.Errorf("name = %q", f.Name)
+	}
+	if len(f.Body.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(f.Body.Stmts))
+	}
+	let := f.Body.Stmts[0].(*ast.LetStmt)
+	bin := let.Init.(*ast.BinaryExpr)
+	if bin.Op != ast.BinAdd {
+		t.Errorf("top op = %v, want Add (precedence)", bin.Op)
+	}
+	if inner, ok := bin.R.(*ast.BinaryExpr); !ok || inner.Op != ast.BinMul {
+		t.Errorf("rhs is not Mul: %#v", bin.R)
+	}
+}
+
+func TestParseStructAndImpl(t *testing.T) {
+	src := `
+struct TestCell { value: i32 }
+unsafe impl Sync for TestCell {}
+impl TestCell {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i };
+    }
+}
+`
+	c := parseOK(t, src)
+	if len(c.Items) != 3 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	st := c.Items[0].(*ast.StructItem)
+	if st.Name != "TestCell" || len(st.Fields) != 1 {
+		t.Errorf("struct parse: %+v", st)
+	}
+	im := c.Items[1].(*ast.ImplItem)
+	if !im.Unsafety || im.TraitName != "Sync" {
+		t.Errorf("unsafe impl Sync: unsafety=%v trait=%q", im.Unsafety, im.TraitName)
+	}
+	inherent := c.Items[2].(*ast.ImplItem)
+	if inherent.TraitName != "" || len(inherent.Items) != 1 {
+		t.Errorf("inherent impl: %+v", inherent)
+	}
+	m := inherent.Items[0].(*ast.FnItem)
+	if m.Decl.Params[0].SelfKind != ast.SelfRef {
+		t.Errorf("receiver kind = %v", m.Decl.Params[0].SelfKind)
+	}
+	// The let init must be a double cast.
+	let := m.Body.Stmts[0].(*ast.LetStmt)
+	outer := let.Init.(*ast.CastExpr)
+	if _, ok := outer.X.(*ast.CastExpr); !ok {
+		t.Errorf("expected nested cast, got %#v", outer.X)
+	}
+	// The unsafe block statement.
+	es := m.Body.Stmts[1].(*ast.ExprStmt)
+	blk := es.X.(*ast.BlockExpr)
+	if !blk.Unsafety {
+		t.Error("block should be unsafe")
+	}
+}
+
+func TestParseGenericsAndNestedClose(t *testing.T) {
+	src := `
+fn f(x: Arc<Mutex<HashMap<String, Vec<u8>>>>) -> Option<i32> { None }
+struct Wrapper<'a, T: Send + Sync> { inner: &'a mut T }
+`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	pt := f.Decl.Params[0].Ty.(*ast.PathType)
+	if pt.Name() != "Arc" || len(pt.Args) != 1 {
+		t.Fatalf("param type: %+v", pt)
+	}
+	inner := pt.Args[0].(*ast.PathType)
+	if inner.Name() != "Mutex" {
+		t.Errorf("inner = %q", inner.Name())
+	}
+	st := c.Items[1].(*ast.StructItem)
+	if len(st.Generics) != 2 || !st.Generics[0].IsLifetime {
+		t.Errorf("generics: %+v", st.Generics)
+	}
+	rt := st.Fields[0].Ty.(*ast.RefType)
+	if !rt.Mut || rt.Lifetime != "'a" {
+		t.Errorf("ref type: %+v", rt)
+	}
+}
+
+func TestParseMatch(t *testing.T) {
+	src := `
+fn do_request(client: Arc<RwLock<Inner>>) {
+    match connect(client.read().unwrap().m) {
+        Ok(_) => {
+            let mut inner = client.write().unwrap();
+            inner.m = mbrs;
+        }
+        Err(e) => {}
+    };
+}
+`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	es := f.Body.Stmts[0].(*ast.ExprStmt)
+	m := es.X.(*ast.MatchExpr)
+	if len(m.Arms) != 2 {
+		t.Fatalf("arms = %d", len(m.Arms))
+	}
+	if ts, ok := m.Arms[0].Pat.(*ast.TupleStructPat); !ok || ts.Name() != "Ok" {
+		t.Errorf("arm 0 pat: %#v", m.Arms[0].Pat)
+	}
+}
+
+func TestParseIfLetAndWhileLet(t *testing.T) {
+	src := `
+fn f(x: Option<i32>) {
+    if let Some(v) = x { use_it(v); } else { other(); }
+    while let Some(v) = iter.next() { body(v); }
+}
+`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	ife := f.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.IfExpr)
+	if ife.LetPat == nil || ife.Else == nil {
+		t.Errorf("if let parse: %+v", ife)
+	}
+	we := f.Body.Stmts[1].(*ast.ExprStmt).X.(*ast.WhileExpr)
+	if we.LetPat == nil {
+		t.Errorf("while let parse: %+v", we)
+	}
+}
+
+func TestParseNoStructLiteralInCondition(t *testing.T) {
+	// `if x { }` must not parse `x {` as a struct literal start; struct
+	// literals need a type-like (capitalized) path anyway, but also check
+	// capitalized paths in conditions.
+	src := `
+fn f() {
+    if ready { go(); }
+    match state { Running => {} _ => {} }
+}
+`
+	parseOK(t, src)
+}
+
+func TestParseStructLiteral(t *testing.T) {
+	src := `fn f() { let t = Test { v: 0 }; let u = Point { x, y, ..base }; }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	se := f.Body.Stmts[0].(*ast.LetStmt).Init.(*ast.StructExpr)
+	if se.Name() != "Test" || len(se.Fields) != 1 {
+		t.Errorf("struct expr: %+v", se)
+	}
+	se2 := f.Body.Stmts[1].(*ast.LetStmt).Init.(*ast.StructExpr)
+	if len(se2.Fields) != 2 || se2.Base == nil {
+		t.Errorf("struct expr with base: %+v", se2)
+	}
+}
+
+func TestParseMethodChainsAndTry(t *testing.T) {
+	src := `fn f() -> Result<(), E> { let x = a.b().c::<T>(1)?.d; Ok(()) }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	let := f.Body.Stmts[0].(*ast.LetStmt)
+	fe := let.Init.(*ast.FieldExpr)
+	if fe.Name != "d" {
+		t.Errorf("field: %q", fe.Name)
+	}
+	tr := fe.X.(*ast.TryExpr)
+	mc := tr.X.(*ast.MethodCallExpr)
+	if mc.Name != "c" || len(mc.Generics) != 1 || len(mc.Args) != 1 {
+		t.Errorf("method call: %+v", mc)
+	}
+}
+
+func TestParseClosures(t *testing.T) {
+	src := `fn f() { let g = move |x: i32| x + 1; spawn(|| { work(); }); }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	cl := f.Body.Stmts[0].(*ast.LetStmt).Init.(*ast.ClosureExpr)
+	if !cl.Move || len(cl.Params) != 1 {
+		t.Errorf("closure: %+v", cl)
+	}
+}
+
+func TestParseMacros(t *testing.T) {
+	src := `fn f() { let v = vec![0u8; 100]; println!("{:?}", t0); custom_macro!{ arbitrary tokens }; }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	mc := f.Body.Stmts[0].(*ast.LetStmt).Init.(*ast.MacroCallExpr)
+	if mc.Name != "vec" || len(mc.Args) != 2 {
+		t.Errorf("vec!: %+v", mc)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	src := `
+pub enum Seal {
+    None,
+    Regular(Vec<u8>),
+    Named { id: u32, data: Vec<u8> },
+}
+`
+	c := parseOK(t, src)
+	en := c.Items[0].(*ast.EnumItem)
+	if len(en.Variants) != 3 {
+		t.Fatalf("variants = %d", len(en.Variants))
+	}
+	if !en.Variants[0].IsUnit || !en.Variants[1].IsTuple || en.Variants[2].IsTuple {
+		t.Errorf("variant kinds wrong: %+v", en.Variants)
+	}
+}
+
+func TestParseTraitWithDefaultMethod(t *testing.T) {
+	src := `
+pub trait Engine: Send + Sync {
+    fn generate_seal(&self) -> Seal;
+    fn name(&self) -> String { String::new() }
+}
+unsafe trait Searcher {}
+`
+	c := parseOK(t, src)
+	tr := c.Items[0].(*ast.TraitItem)
+	if tr.Name != "Engine" || len(tr.Items) != 2 {
+		t.Fatalf("trait: %+v", tr)
+	}
+	m0 := tr.Items[0].(*ast.FnItem)
+	if m0.Body != nil {
+		t.Error("declaration should have no body")
+	}
+	tr2 := c.Items[1].(*ast.TraitItem)
+	if !tr2.Unsafety {
+		t.Error("unsafe trait flag lost")
+	}
+}
+
+func TestParseStaticsAndConsts(t *testing.T) {
+	src := `
+static mut COUNTER: u32 = 0;
+pub const MAX: usize = 1 << 16;
+`
+	c := parseOK(t, src)
+	s0 := c.Items[0].(*ast.StaticItem)
+	if !s0.Mut || s0.IsConst {
+		t.Errorf("static mut: %+v", s0)
+	}
+	s1 := c.Items[1].(*ast.StaticItem)
+	if !s1.IsConst || s1.Vis != ast.VisPub {
+		t.Errorf("const: %+v", s1)
+	}
+}
+
+func TestParseRawPointerTypes(t *testing.T) {
+	src := `unsafe fn _fdopen(f: *mut FILE) -> *const u8 { ptr::null() }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	if !f.Unsafety {
+		t.Error("unsafe fn flag lost")
+	}
+	in := f.Decl.Params[0].Ty.(*ast.RawPtrType)
+	if !in.Mut {
+		t.Error("param should be *mut")
+	}
+	out := f.Decl.Ret.(*ast.RawPtrType)
+	if out.Mut {
+		t.Error("ret should be *const")
+	}
+}
+
+func TestParseForRangeLoop(t *testing.T) {
+	src := `fn f() { for i in 0..n { body(i); } for x in &items {} 'outer: loop { break 'outer; } }`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	fe := f.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.ForExpr)
+	if _, ok := fe.Iter.(*ast.RangeExpr); !ok {
+		t.Errorf("iter: %#v", fe.Iter)
+	}
+	le := f.Body.Stmts[2].(*ast.ExprStmt).X.(*ast.LoopExpr)
+	if le.Label != "'outer" {
+		t.Errorf("label: %q", le.Label)
+	}
+}
+
+func TestParseAttributesSkipped(t *testing.T) {
+	src := `
+#[derive(Debug, Clone)]
+struct Test { v: i32 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn it_works() { assert_eq!(1, 1); }
+}
+`
+	c := parseOK(t, src)
+	st := c.Items[0].(*ast.StructItem)
+	if len(st.Attrs) != 1 || st.Attrs[0].Name != "derive" {
+		t.Errorf("attrs: %+v", st.Attrs)
+	}
+	md := c.Items[1].(*ast.ModItem)
+	if md.Name != "tests" || len(md.Items) != 1 {
+		t.Errorf("mod: %+v", md)
+	}
+}
+
+func TestParseShiftVsGenerics(t *testing.T) {
+	// `1 << 16` must stay a shift; `Vec<Vec<u8>>` must close properly.
+	src := `fn f() { let a = 1 << 16; let b: Vec<Vec<u8>> = Vec::new(); let c = x >> 2; }`
+	parseOK(t, src)
+}
+
+func TestParsePaperFigure7(t *testing.T) {
+	src := `
+pub fn sign(data: Option<&[u8]>) {
+    let p = match data {
+        Some(data) => BioSlice::new(data).as_ptr(),
+        None => ptr::null_mut(),
+    };
+    unsafe {
+        let cms = cvt_p(CMS_sign(p));
+    }
+}
+`
+	c := parseOK(t, src)
+	f := firstFn(t, c)
+	if len(f.Body.Stmts) != 2 {
+		t.Fatalf("stmts = %d", len(f.Body.Stmts))
+	}
+}
+
+func TestParseRecoversFromBadItem(t *testing.T) {
+	src := `
+@@@ garbage @@@
+fn good() {}
+`
+	crate, _, diags := ParseString("test.rs", src)
+	if !diags.HasErrors() {
+		t.Error("expected errors")
+	}
+	found := false
+	for _, it := range crate.Items {
+		if f, ok := it.(*ast.FnItem); ok && f.Name == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to find fn good")
+	}
+}
+
+func TestParseTupleStructAndIndex(t *testing.T) {
+	src := `
+struct Pair(i32, String);
+fn f(p: Pair) -> i32 { p.0 }
+fn g(t: ((u8, u8), u8)) -> u8 { t.0.1 }
+`
+	c := parseOK(t, src)
+	st := c.Items[0].(*ast.StructItem)
+	if !st.IsTuple || len(st.Fields) != 2 {
+		t.Errorf("tuple struct: %+v", st)
+	}
+}
+
+func TestParseUseAndExtern(t *testing.T) {
+	src := `
+use std::sync::{Arc, Mutex};
+use std::ptr;
+extern "C" { fn malloc(size: usize) -> *mut u8; }
+fn f() {}
+`
+	c := parseOK(t, src)
+	u := c.Items[0].(*ast.UseItem)
+	if u.Path == "" {
+		t.Error("use path empty")
+	}
+}

@@ -1,0 +1,213 @@
+package parser
+
+import (
+	"rustprobe/internal/ast"
+	"rustprobe/internal/source"
+	"rustprobe/internal/token"
+)
+
+// parsePattern parses a pattern including top-level `|` alternatives.
+func (p *Parser) parsePattern() ast.Pat {
+	start := p.cur().Span
+	p.eat(token.Or) // leading `|` is allowed
+	first := p.parsePatternNoAlt()
+	if !p.at(token.Or) {
+		return first
+	}
+	alts := []ast.Pat{first}
+	for p.eat(token.Or) {
+		alts = append(alts, p.parsePatternNoAlt())
+	}
+	return &ast.OrPat{Alts: alts, Sp: p.span(start)}
+}
+
+func (p *Parser) parsePatternNoAlt() ast.Pat {
+	start := p.cur().Span
+	switch p.cur().Kind {
+	case token.Underscore:
+		p.bump()
+		return &ast.WildPat{Sp: p.span(start)}
+	case token.And, token.AndAnd:
+		double := p.at(token.AndAnd)
+		p.bump()
+		mut := p.eat(token.KwMut)
+		sub := p.parsePatternNoAlt()
+		rp := &ast.RefPat{Mut: mut, Sub: sub, Sp: p.span(start)}
+		if double {
+			return &ast.RefPat{Sub: rp, Sp: p.span(start)}
+		}
+		return rp
+	case token.LParen:
+		p.bump()
+		var elems []ast.Pat
+		trailing := false
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			if p.at(token.DotDot) {
+				p.bump()
+				continue
+			}
+			elems = append(elems, p.parsePattern())
+			if p.eat(token.Comma) {
+				trailing = true
+			} else {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		if len(elems) == 1 && !trailing {
+			return elems[0]
+		}
+		return &ast.TuplePat{Elems: elems, Sp: p.span(start)}
+	case token.KwRef, token.KwMut:
+		ref := p.eat(token.KwRef)
+		mut := p.eat(token.KwMut)
+		name := p.expect(token.Ident).Text
+		bp := &ast.BindPat{Name: name, Ref: ref, Mut: mut, Sp: p.span(start)}
+		if p.eat(token.At) {
+			bp.Sub = p.parsePatternNoAlt()
+		}
+		return bp
+	case token.Int, token.Float, token.Str, token.Char, token.Byte, token.KwTrue, token.KwFalse, token.Minus:
+		lit := p.parseLiteralForPat()
+		if p.at(token.DotDot) || p.at(token.DotDotEq) || p.at(token.DotDotDot) {
+			p.bump()
+			hi := p.parseLiteralForPat()
+			return &ast.RangePat{Lo: lit, Hi: hi, Sp: p.span(start)}
+		}
+		return &ast.LitPat{Value: lit, Sp: p.span(start)}
+	case token.Ident, token.KwSelfType, token.KwCrate, token.KwSuper, token.KwSelfValue:
+		return p.parsePathPattern(start)
+	case token.DotDot:
+		p.bump()
+		return &ast.WildPat{Sp: p.span(start)}
+	case token.LBracket:
+		// Slice pattern: treat elementwise.
+		p.bump()
+		var elems []ast.Pat
+		for !p.at(token.RBracket) && !p.at(token.EOF) {
+			if p.at(token.DotDot) {
+				p.bump()
+			} else {
+				elems = append(elems, p.parsePattern())
+			}
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RBracket)
+		return &ast.TuplePat{Elems: elems, Sp: p.span(start)}
+	default:
+		p.errorf("expected pattern, found %q", p.cur().Text)
+		p.bump()
+		return &ast.WildPat{Sp: p.span(start)}
+	}
+}
+
+func (p *Parser) parseLiteralForPat() ast.Expr {
+	start := p.cur().Span
+	neg := p.eat(token.Minus)
+	t := p.bump()
+	var kind ast.LitKind
+	switch t.Kind {
+	case token.Int:
+		kind = ast.LitInt
+	case token.Float:
+		kind = ast.LitFloat
+	case token.Str, token.RawStr:
+		kind = ast.LitStr
+	case token.Char:
+		kind = ast.LitChar
+	case token.Byte:
+		kind = ast.LitByte
+	case token.KwTrue, token.KwFalse:
+		kind = ast.LitBool
+	default:
+		p.diags.Errorf(t.Span, "expected literal in pattern, found %q", t.Text)
+	}
+	text := t.Text
+	if neg {
+		text = "-" + text
+	}
+	return &ast.LitExpr{Kind: kind, Text: text, Sp: p.span(start)}
+}
+
+// parsePathPattern disambiguates among a binding, unit path pattern,
+// tuple-struct pattern, and struct pattern.
+func (p *Parser) parsePathPattern(start source.Span) ast.Pat {
+	var segs []string
+	for {
+		switch p.cur().Kind {
+		case token.Ident, token.KwSelfType, token.KwCrate, token.KwSuper, token.KwSelfValue:
+			segs = append(segs, p.bump().Text)
+		default:
+			segs = append(segs, "_")
+		}
+		if p.at(token.PathSep) && p.peekN(1).Kind != token.Lt {
+			p.bump()
+			continue
+		}
+		break
+	}
+	switch {
+	case p.at(token.LParen):
+		p.bump()
+		ts := &ast.TupleStructPat{Segments: segs}
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			if p.at(token.DotDot) {
+				p.bump()
+			} else {
+				ts.Elems = append(ts.Elems, p.parsePattern())
+			}
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		ts.Sp = p.span(start)
+		return ts
+	case p.at(token.LBrace) && !p.noStruct:
+		p.bump()
+		sp := &ast.StructPat{Segments: segs}
+		for !p.at(token.RBrace) && !p.at(token.EOF) {
+			if p.at(token.DotDot) {
+				p.bump()
+				sp.Rest = true
+				break
+			}
+			fstart := p.cur().Span
+			ref := p.eat(token.KwRef)
+			mut := p.eat(token.KwMut)
+			fname := p.expect(token.Ident).Text
+			var fpat ast.Pat
+			if p.eat(token.Colon) {
+				fpat = p.parsePattern()
+			} else {
+				fpat = &ast.BindPat{Name: fname, Ref: ref, Mut: mut, Sp: p.span(fstart)}
+			}
+			sp.Fields = append(sp.Fields, ast.StructPatField{Name: fname, Pat: fpat})
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RBrace)
+		sp.Sp = p.span(start)
+		return sp
+	case len(segs) > 1:
+		return &ast.PathPat{Segments: segs, Sp: p.span(start)}
+	default:
+		name := segs[0]
+		// A single capitalized segment that is a known unit-variant-like
+		// name is still treated as a binding unless qualified; rustc uses
+		// resolution for this. We bind identifiers that start lowercase or
+		// `_` and treat capitalized ones as unit path patterns, matching
+		// Rust convention closely enough for the corpus.
+		if name != "" && (name[0] >= 'A' && name[0] <= 'Z') {
+			return &ast.PathPat{Segments: segs, Sp: p.span(start)}
+		}
+		bp := &ast.BindPat{Name: name, Sp: p.span(start)}
+		if p.eat(token.At) {
+			bp.Sub = p.parsePatternNoAlt()
+		}
+		return bp
+	}
+}

@@ -1,0 +1,79 @@
+package parser_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/corpus"
+	"rustprobe/internal/parser"
+)
+
+// shape returns the node-type walk sequence of a crate, ignoring
+// ParenExpr wrappers (the printer parenthesizes defensively).
+func shape(c *ast.Crate) []string {
+	var out []string
+	ast.Inspect(c, func(n ast.Node) {
+		if _, isParen := n.(*ast.ParenExpr); isParen {
+			return
+		}
+		out = append(out, fmt.Sprintf("%T", n))
+	})
+	return out
+}
+
+// TestPrintParseRoundTrip: for every corpus file, parse -> Print ->
+// re-parse yields a structurally identical tree.
+func TestPrintParseRoundTrip(t *testing.T) {
+	files, err := corpus.Files(corpus.GroupAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		crate, _, diags := parser.ParseString(f.Path, f.Content)
+		if diags.HasErrors() {
+			t.Fatalf("%s: original parse failed:\n%s", f.Path, diags.String())
+		}
+		printed := ast.Print(crate)
+		crate2, _, diags2 := parser.ParseString(f.Path+".printed", printed)
+		if diags2.HasErrors() {
+			t.Errorf("%s: printed source does not re-parse:\n%s\n--- printed:\n%s", f.Path, diags2.String(), printed)
+			continue
+		}
+		s1, s2 := shape(crate), shape(crate2)
+		if len(s1) != len(s2) {
+			t.Errorf("%s: round-trip changed node count %d -> %d\n--- printed:\n%s", f.Path, len(s1), len(s2), printed)
+			continue
+		}
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Errorf("%s: round-trip diverges at node %d: %s vs %s", f.Path, i, s1[i], s2[i])
+				break
+			}
+		}
+	}
+}
+
+// TestPrintIdempotent: printing the re-parsed tree reproduces the same
+// text (print is a normal form).
+func TestPrintIdempotent(t *testing.T) {
+	files, err := corpus.Files(corpus.GroupPatterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		crate, _, diags := parser.ParseString(f.Path, f.Content)
+		if diags.HasErrors() {
+			t.Fatal(diags.String())
+		}
+		once := ast.Print(crate)
+		crate2, _, diags2 := parser.ParseString(f.Path, once)
+		if diags2.HasErrors() {
+			t.Fatalf("%s: %s", f.Path, diags2.String())
+		}
+		twice := ast.Print(crate2)
+		if once != twice {
+			t.Errorf("%s: print not idempotent\n--- once:\n%s\n--- twice:\n%s", f.Path, once, twice)
+		}
+	}
+}

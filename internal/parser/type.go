@@ -1,0 +1,238 @@
+package parser
+
+import (
+	"rustprobe/internal/ast"
+	"rustprobe/internal/token"
+)
+
+// parseType parses a type in the subset grammar.
+func (p *Parser) parseType() ast.Type {
+	start := p.cur().Span
+	switch p.cur().Kind {
+	case token.And, token.AndAnd:
+		double := p.at(token.AndAnd)
+		p.bump()
+		inner := func() ast.Type {
+			lifetime := ""
+			if p.at(token.Lifetime) {
+				lifetime = p.bump().Text
+			}
+			mut := p.eat(token.KwMut)
+			elem := p.parseType()
+			return &ast.RefType{Lifetime: lifetime, Mut: mut, Elem: elem, Sp: p.span(start)}
+		}
+		if double {
+			// && => & &
+			in := inner()
+			return &ast.RefType{Elem: in, Sp: p.span(start)}
+		}
+		return inner()
+	case token.Star:
+		p.bump()
+		mut := false
+		if p.eat(token.KwMut) {
+			mut = true
+		} else if !p.eat(token.KwConst) {
+			p.errorf("expected `const` or `mut` after `*` in raw pointer type")
+		}
+		elem := p.parseType()
+		return &ast.RawPtrType{Mut: mut, Elem: elem, Sp: p.span(start)}
+	case token.LParen:
+		p.bump()
+		var elems []ast.Type
+		trailing := false
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			elems = append(elems, p.parseType())
+			if p.eat(token.Comma) {
+				trailing = true
+			} else {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		if len(elems) == 1 && !trailing {
+			return elems[0] // parenthesized type
+		}
+		return &ast.TupleType{Elems: elems, Sp: p.span(start)}
+	case token.LBracket:
+		p.bump()
+		elem := p.parseType()
+		if p.eat(token.Semi) {
+			ln := p.parseExpr()
+			p.expect(token.RBracket)
+			return &ast.ArrayType{Elem: elem, Len: ln, Sp: p.span(start)}
+		}
+		p.expect(token.RBracket)
+		return &ast.SliceType{Elem: elem, Sp: p.span(start)}
+	case token.KwFn:
+		p.bump()
+		ft := &ast.FnPtrType{Sp: start}
+		p.expect(token.LParen)
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			ft.Params = append(ft.Params, p.parseType())
+			if !p.eat(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+		if p.eat(token.Arrow) {
+			ft.Ret = p.parseType()
+		}
+		ft.Sp = p.span(start)
+		return ft
+	case token.KwExtern:
+		// extern "C" fn(...) -> ...
+		p.bump()
+		if p.at(token.Str) {
+			p.bump()
+		}
+		return p.parseType()
+	case token.KwUnsafe:
+		// unsafe fn(...) pointer type
+		p.bump()
+		return p.parseType()
+	case token.Underscore:
+		p.bump()
+		return &ast.InferType{Sp: p.span(start)}
+	case token.KwDyn:
+		p.bump()
+		name := p.parsePathText()
+		p.skipPlusBounds()
+		return &ast.DynType{TraitName: name, Sp: p.span(start)}
+	case token.KwImpl:
+		p.bump()
+		name := p.parsePathText()
+		if p.at(token.LParen) { // impl Fn(..)
+			depth := 0
+			for !p.at(token.EOF) {
+				t := p.bump()
+				if t.Kind == token.LParen {
+					depth++
+				} else if t.Kind == token.RParen {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+			if p.eat(token.Arrow) {
+				p.parseType()
+			}
+		}
+		p.skipPlusBounds()
+		return &ast.DynType{TraitName: name, Sp: p.span(start)}
+	case token.Not:
+		// Never type `!`.
+		p.bump()
+		return &ast.PathType{Segments: []string{"!"}, Sp: p.span(start)}
+	case token.Ident, token.KwSelfType, token.KwCrate, token.KwSuper, token.KwSelfValue:
+		return p.parsePathType()
+	case token.Lt:
+		// Qualified path <T as Trait>::Assoc — skip qualifier, keep tail.
+		p.bump()
+		p.parseType()
+		if p.eat(token.KwAs) {
+			p.parsePathText()
+		}
+		p.splitGtIfClosing()
+		p.eat(token.PathSep)
+		return p.parsePathType()
+	default:
+		p.errorf("expected type, found %q", p.cur().Text)
+		p.bump()
+		return &ast.InferType{Sp: p.span(start)}
+	}
+}
+
+func (p *Parser) skipPlusBounds() {
+	for p.eat(token.Plus) {
+		if p.at(token.Lifetime) {
+			p.bump()
+			continue
+		}
+		p.parsePathText()
+	}
+}
+
+// parsePathType parses `a::b::C<'x, T, U>` style types.
+func (p *Parser) parsePathType() ast.Type {
+	start := p.cur().Span
+	pt := &ast.PathType{Sp: start}
+	for {
+		switch p.cur().Kind {
+		case token.Ident, token.KwSelfType, token.KwCrate, token.KwSuper, token.KwSelfValue:
+			pt.Segments = append(pt.Segments, p.bump().Text)
+		default:
+			p.errorf("expected path segment, found %q", p.cur().Text)
+			pt.Sp = p.span(start)
+			return pt
+		}
+		if p.at(token.Lt) {
+			pt.Args, pt.Lifetimes = p.parseGenericArgs()
+		}
+		if !p.at(token.PathSep) {
+			break
+		}
+		// A `::` followed by generic args (`Vec::<u8>`): consume and parse.
+		if p.peek().Kind == token.Lt {
+			p.bump()
+			pt.Args, pt.Lifetimes = p.parseGenericArgs()
+			break
+		}
+		p.bump()
+		// Reset generic args gathered at a non-final segment: the final
+		// segment's arguments are the ones that matter for analysis.
+		pt.Args, pt.Lifetimes = nil, nil
+	}
+	pt.Sp = p.span(start)
+	return pt
+}
+
+// parseGenericArgs parses `<...>` type and lifetime arguments.
+func (p *Parser) parseGenericArgs() ([]ast.Type, []string) {
+	p.expect(token.Lt)
+	var args []ast.Type
+	var lifetimes []string
+	for !p.at(token.EOF) {
+		if p.splitGtIfClosing() {
+			return args, lifetimes
+		}
+		switch p.cur().Kind {
+		case token.Lifetime:
+			lifetimes = append(lifetimes, p.bump().Text)
+		case token.Ident:
+			// Could be an associated-type binding `Item = T`.
+			if p.peek().Kind == token.Eq {
+				p.bump()
+				p.bump()
+				p.parseType()
+			} else {
+				args = append(args, p.parseType())
+			}
+		case token.Int:
+			// const generic argument
+			p.bump()
+		case token.LBrace:
+			// const generic block argument; skip
+			depth := 0
+			for !p.at(token.EOF) {
+				t := p.bump()
+				if t.Kind == token.LBrace {
+					depth++
+				} else if t.Kind == token.RBrace {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+			}
+		default:
+			args = append(args, p.parseType())
+		}
+		if !p.eat(token.Comma) {
+			p.splitGtIfClosing()
+			return args, lifetimes
+		}
+	}
+	return args, lifetimes
+}

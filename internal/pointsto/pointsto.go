@@ -1,0 +1,154 @@
+// Package pointsto computes, per function, which local storages each
+// pointer-like local may point into. It is flow-insensitive within a
+// function (iterated to fixpoint over assignments) and mirrors the paper's
+// §7.1 detector design: a "points-to" analysis over MIR places, including
+// ownership moves, feeding the use-after-free check.
+package pointsto
+
+import (
+	"rustprobe/internal/mir"
+	"rustprobe/internal/types"
+)
+
+// Result maps each local to the set of locals whose storage it may point
+// into. Only pointer-like locals (references, raw pointers, and values
+// forwarded from them) get entries.
+type Result struct {
+	Body *mir.Body
+	// PointsTo[l] is the set of storage roots local l may reference.
+	PointsTo map[mir.LocalID]map[mir.LocalID]bool
+}
+
+// Targets returns the storage roots of l (nil when untracked).
+func (r *Result) Targets(l mir.LocalID) map[mir.LocalID]bool { return r.PointsTo[l] }
+
+// Analyze runs the analysis to fixpoint.
+func Analyze(body *mir.Body) *Result {
+	r := &Result{Body: body, PointsTo: map[mir.LocalID]map[mir.LocalID]bool{}}
+
+	// Seed: a pointer-typed parameter points at (a proxy for) its own
+	// storage root, so derived pointers keep a self-rooted identity (used
+	// by the interior-mutability checker on &self receivers). Parameter
+	// storage is never dead while the function runs, so this cannot fake
+	// a use-after-free.
+	for i := 0; i < body.ArgCount; i++ {
+		l := body.Locals[i+1]
+		if types.IsPointerLike(l.Ty) {
+			r.PointsTo[l.ID] = map[mir.LocalID]bool{l.ID: true}
+		}
+	}
+
+	add := func(l mir.LocalID, target mir.LocalID) bool {
+		set := r.PointsTo[l]
+		if set == nil {
+			set = map[mir.LocalID]bool{}
+			r.PointsTo[l] = set
+		}
+		if set[target] {
+			return false
+		}
+		set[target] = true
+		return true
+	}
+	addAll := func(l mir.LocalID, targets map[mir.LocalID]bool) bool {
+		changed := false
+		for t := range targets {
+			if add(l, t) {
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// rootsOf returns the storage roots a place's *address* refers to:
+	// for a projection-free local that is the local itself; through a
+	// deref it is whatever the base pointer points to.
+	rootsOf := func(p mir.Place) map[mir.LocalID]bool {
+		if !p.HasDeref() {
+			return map[mir.LocalID]bool{p.Local: true}
+		}
+		return r.PointsTo[p.Local]
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok {
+					continue
+				}
+				dest := as.Place.Local
+				if as.Place.HasDeref() {
+					// Storing a pointer through a pointer: targets of the
+					// stored value flow into every root the destination
+					// may reach. Approximate by merging into those roots'
+					// own sets only when they are pointer-typed; skipped
+					// for simplicity — the corpus does not need
+					// pointer-through-pointer stores.
+					continue
+				}
+				switch rv := as.Rvalue.(type) {
+				case mir.Ref:
+					if addAll(dest, rootsOf(rv.Place)) {
+						changed = true
+					}
+				case mir.AddrOf:
+					if addAll(dest, rootsOf(rv.Place)) {
+						changed = true
+					}
+				case mir.Use:
+					if pl, ok := mir.OperandPlace(rv.X); ok {
+						if addAll(dest, r.PointsTo[pl.Local]) {
+							changed = true
+						}
+					}
+				case mir.Cast:
+					if pl, ok := mir.OperandPlace(rv.X); ok {
+						if addAll(dest, r.PointsTo[pl.Local]) {
+							changed = true
+						}
+					}
+				case mir.Aggregate:
+					// A pointer stored into an aggregate: the aggregate
+					// local inherits the pointees (field-insensitive).
+					for _, op := range rv.Ops {
+						if pl, ok := mir.OperandPlace(op); ok {
+							if addAll(dest, r.PointsTo[pl.Local]) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			// Calls that forward pointees: unwrap/expect and identity-ish
+			// moves keep the alias chain alive across the call.
+			if c, ok := blk.Term.(mir.Call); ok {
+				switch c.Intrinsic {
+				case mir.IntrinsicUnwrap, mir.IntrinsicClone, mir.IntrinsicCondvarWait:
+					if len(c.Args) > 0 {
+						if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+							if addAll(c.Dest.Local, r.PointsTo[pl.Local]) {
+								changed = true
+							}
+						}
+					}
+				case mir.IntrinsicGetUnchecked:
+					// Reference into the receiver's storage.
+					if len(c.Args) > 0 {
+						if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+							if addAll(c.Dest.Local, map[mir.LocalID]bool{pl.Local: true}) {
+								changed = true
+							}
+							if addAll(c.Dest.Local, r.PointsTo[pl.Local]) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return r
+}

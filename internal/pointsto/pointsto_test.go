@@ -1,0 +1,130 @@
+package pointsto
+
+import (
+	"testing"
+
+	"rustprobe/internal/lower"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyzeFn(t *testing.T, src, fn string) (*mir.Body, *Result) {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	body, ok := bodies[fn]
+	if !ok {
+		t.Fatalf("no body %q", fn)
+	}
+	return body, Analyze(body)
+}
+
+func localByName(b *mir.Body, name string) mir.LocalID {
+	for _, l := range b.Locals {
+		if l.Name == name {
+			return l.ID
+		}
+	}
+	return -1
+}
+
+func TestBorrowTargets(t *testing.T) {
+	body, r := analyzeFn(t, `
+fn f() {
+    let x = 1;
+    let p = &x;
+    let q = p;
+}
+`, "f")
+	x := localByName(body, "x")
+	for _, name := range []string{"p", "q"} {
+		l := localByName(body, name)
+		if !r.Targets(l)[x] {
+			t.Errorf("%s should point to x: %v", name, r.Targets(l))
+		}
+	}
+}
+
+func TestAsPtrAndCastChain(t *testing.T) {
+	body, r := analyzeFn(t, `
+fn f() {
+    let v = Vec::new();
+    let p = v.as_ptr();
+    let q = p as *mut u8;
+}
+`, "f")
+	v := localByName(body, "v")
+	q := localByName(body, "q")
+	if !r.Targets(q)[v] {
+		t.Errorf("cast chain lost the target: %v", r.Targets(q))
+	}
+}
+
+func TestUnwrapForwardsAliases(t *testing.T) {
+	body, r := analyzeFn(t, `
+fn f() {
+    let v = Vec::new();
+    let o = Some(&v);
+    let p = o.unwrap();
+}
+`, "f")
+	v := localByName(body, "v")
+	p := localByName(body, "p")
+	if !r.Targets(p)[v] {
+		t.Errorf("unwrap should forward aliases: %v", r.Targets(p))
+	}
+}
+
+func TestPointerParamsSelfSeeded(t *testing.T) {
+	body, r := analyzeFn(t, `
+fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+`, "f")
+	p := localByName(body, "p")
+	if !r.Targets(p)[p] {
+		t.Errorf("pointer param should be self-seeded: %v", r.Targets(p))
+	}
+}
+
+func TestNonPointersUntracked(t *testing.T) {
+	body, r := analyzeFn(t, `
+fn f() {
+    let a = 1;
+    let b = a + 2;
+}
+`, "f")
+	b := localByName(body, "b")
+	if len(r.Targets(b)) != 0 {
+		t.Errorf("integer locals must have no targets: %v", r.Targets(b))
+	}
+}
+
+func TestFixpointTerminatesOnCycle(t *testing.T) {
+	// A pointer copied in a loop must converge.
+	body, r := analyzeFn(t, `
+fn f() {
+    let x = 1;
+    let mut p = &x;
+    loop {
+        p = p;
+        break;
+    }
+    let q = p;
+}
+`, "f")
+	q := localByName(body, "q")
+	x := localByName(body, "x")
+	if !r.Targets(q)[x] {
+		t.Errorf("cycle lost target: %v", r.Targets(q))
+	}
+}

@@ -1,0 +1,323 @@
+// Package report renders every table and figure of the paper as text from
+// the study database, in the same row/column layout as published. Each
+// renderer takes the data explicitly so benchmarks and tests can call them
+// on fresh builds.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/study"
+)
+
+// Table1 renders the studied-software table.
+func Table1(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Studied Applications and Libraries.\n")
+	fmt.Fprintf(&b, "%-10s %-11s %7s %8s %6s %5s %5s %5s\n",
+		"Software", "Start Time", "Stars", "Commits", "LOC", "Mem", "Blk", "NBlk")
+	counts := db.Table1Counts()
+	for _, row := range study.Table1 {
+		c := counts[row.Project]
+		fmt.Fprintf(&b, "%-10s %-11s %7d %8d %5dK %5d %5d %5d\n",
+			row.Project, row.StartTime, row.Stars, row.Commits, row.KLOC, c[0], c[1], c[2])
+	}
+	adv := counts[study.Advisories]
+	fmt.Fprintf(&b, "%-10s %-11s %7s %8s %6s %5d %5d %5d\n",
+		"CVE/RustSec", "-", "-", "-", "-", adv[0], adv[1], adv[2])
+	fmt.Fprintf(&b, "Total bugs: %d (%d from the two CVE databases)\n",
+		len(db.Bugs), adv[0]+adv[1]+adv[2])
+	return b.String()
+}
+
+// Table2 renders the memory-bug category matrix with interior-unsafe
+// sub-counts in parentheses.
+func Table2(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Table 2. Memory Bugs Category.\n")
+	fmt.Fprintf(&b, "%-16s", "Category")
+	for _, eff := range study.MemEffects {
+		fmt.Fprintf(&b, " %13s", eff)
+	}
+	fmt.Fprintf(&b, " %6s\n", "Total")
+	counts := db.Table2Counts()
+	grand := 0
+	for _, prop := range study.MemProps {
+		fmt.Fprintf(&b, "%-16s", prop)
+		rowTotal := 0
+		for _, eff := range study.MemEffects {
+			cell := counts[prop][eff]
+			rowTotal += cell[0]
+			if cell[1] > 0 {
+				fmt.Fprintf(&b, " %9d (%d)", cell[0], cell[1])
+			} else {
+				fmt.Fprintf(&b, " %13d", cell[0])
+			}
+		}
+		grand += rowTotal
+		fmt.Fprintf(&b, " %6d\n", rowTotal)
+	}
+	fmt.Fprintf(&b, "%-16s", "Total")
+	for _, eff := range study.MemEffects {
+		colTotal := 0
+		for _, prop := range study.MemProps {
+			colTotal += counts[prop][eff][0]
+		}
+		fmt.Fprintf(&b, " %13d", colTotal)
+	}
+	fmt.Fprintf(&b, " %6d\n", grand)
+	return b.String()
+}
+
+// Table3 renders the blocking-bug synchronization table.
+func Table3(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Types of Synchronization in Blocking Bugs.\n")
+	fmt.Fprintf(&b, "%-10s", "Software")
+	for _, prim := range study.SyncPrimitives {
+		fmt.Fprintf(&b, " %13s", prim)
+	}
+	fmt.Fprintf(&b, " %6s\n", "Total")
+	counts := db.Table3Counts()
+	colTotals := map[study.SyncPrimitive]int{}
+	for _, proj := range study.Projects {
+		fmt.Fprintf(&b, "%-10s", proj)
+		rowTotal := 0
+		for _, prim := range study.SyncPrimitives {
+			n := counts[proj][prim]
+			colTotals[prim] += n
+			rowTotal += n
+			fmt.Fprintf(&b, " %13d", n)
+		}
+		fmt.Fprintf(&b, " %6d\n", rowTotal)
+	}
+	fmt.Fprintf(&b, "%-10s", "Total")
+	grand := 0
+	for _, prim := range study.SyncPrimitives {
+		fmt.Fprintf(&b, " %13d", colTotals[prim])
+		grand += colTotals[prim]
+	}
+	fmt.Fprintf(&b, " %6d\n", grand)
+	return b.String()
+}
+
+// Table4 renders the non-blocking data-sharing table.
+func Table4(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Table 4. How threads communicate (non-blocking bugs).\n")
+	fmt.Fprintf(&b, "%-10s", "Software")
+	for _, mode := range study.ShareModes {
+		fmt.Fprintf(&b, " %8s", mode)
+	}
+	b.WriteString("\n")
+	counts := db.Table4Counts()
+	colTotals := map[study.ShareMode]int{}
+	for _, proj := range study.Projects {
+		fmt.Fprintf(&b, "%-10s", proj)
+		for _, mode := range study.ShareModes {
+			n := counts[proj][mode]
+			colTotals[mode] += n
+			fmt.Fprintf(&b, " %8d", n)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-10s", "Total")
+	for _, mode := range study.ShareModes {
+		fmt.Fprintf(&b, " %8d", colTotals[mode])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure1 renders the Rust release-history series.
+func Figure1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1. Rust History (feature changes and KLOC per release).\n")
+	fmt.Fprintf(&b, "%-10s %-8s %9s %6s  %s\n", "Version", "Date", "Changes", "KLOC", "")
+	maxChanges := 0
+	for _, r := range study.ReleaseHistory {
+		if r.Changes > maxChanges {
+			maxChanges = r.Changes
+		}
+	}
+	for _, r := range study.ReleaseHistory {
+		bar := strings.Repeat("#", r.Changes*40/maxChanges)
+		fmt.Fprintf(&b, "%-10s %-8s %9d %6d  %s\n",
+			r.Version, r.Date.Format("2006-01"), r.Changes, r.KLOC, bar)
+	}
+	fmt.Fprintf(&b, "Stable since %s: mean changes/release %.0f (vs %.0f before)\n",
+		study.StableSince.Format("2006-01"),
+		study.MeanChanges(study.StableSince, study.ReleaseHistory[len(study.ReleaseHistory)-1].Date.AddDate(0, 1, 0)),
+		study.MeanChanges(study.ReleaseHistory[0].Date, study.StableSince))
+	return b.String()
+}
+
+// Figure2 renders bug-fix dates in 3-month buckets per project.
+func Figure2(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Figure 2. Time of Studied Bugs (fixes per 3-month period).\n")
+	buckets := db.Figure2Buckets()
+	projs := append(append([]study.Project{}, study.Projects...), study.Advisories)
+	fmt.Fprintf(&b, "%-8s", "Quarter")
+	for _, p := range projs {
+		fmt.Fprintf(&b, " %11s", p)
+	}
+	fmt.Fprintf(&b, " %6s\n", "Total")
+	after2016 := 0
+	for _, bucket := range buckets {
+		fmt.Fprintf(&b, "%d-Q%d ", bucket.Start.Year(), (int(bucket.Start.Month())-1)/3+1)
+		total := 0
+		for _, p := range projs {
+			fmt.Fprintf(&b, " %11d", bucket.Counts[p])
+			total += bucket.Counts[p]
+		}
+		fmt.Fprintf(&b, " %6d\n", total)
+		if !bucket.Start.Before(study.StableSince) {
+			after2016 += total
+		}
+	}
+	fmt.Fprintf(&b, "Bugs fixed after Rust stabilized (2016): %d of %d\n", after2016, len(db.Bugs))
+	return b.String()
+}
+
+// UnsafeUsageSection renders the §4 headline statistics.
+func UnsafeUsageSection() string {
+	var b strings.Builder
+	b.WriteString("Section 4. Unsafe usages.\n")
+	fmt.Fprintf(&b, "Applications: %d unsafe usages (%d code regions, %d functions, %d traits)\n",
+		study.AppUnsafe.Total(), study.AppUnsafe.Regions, study.AppUnsafe.Fns, study.AppUnsafe.Traits)
+	fmt.Fprintf(&b, "Rust std:     %d unsafe usages (%d code regions, %d functions, %d traits)\n",
+		study.StdUnsafe.Total(), study.StdUnsafe.Regions, study.StdUnsafe.Fns, study.StdUnsafe.Traits)
+	b.WriteString("Sampled operations:\n")
+	for _, k := range sortedKeys(study.UnsafeOpPercent) {
+		fmt.Fprintf(&b, "  %-22s %3d%%\n", k, study.UnsafeOpPercent[k])
+	}
+	b.WriteString("Sampled purposes:\n")
+	for _, k := range sortedKeys(study.UnsafePurposePercent) {
+		fmt.Fprintf(&b, "  %-22s %3d%%\n", k, study.UnsafePurposePercent[k])
+	}
+	fmt.Fprintf(&b, "Removable without compile error: %d (%d for consistency, %d as warnings; %d constructor labels in apps, %d in std)\n",
+		study.RemovableUnsafe, study.RemovableForConsistency, study.RemovableAsWarning,
+		study.WarningCtorsInApps, study.WarningCtorsInStd)
+	return b.String()
+}
+
+// RemovalSection renders §4.2.
+func RemovalSection() string {
+	var b strings.Builder
+	b.WriteString("Section 4.2. Unsafe removals.\n")
+	fmt.Fprintf(&b, "%d removal cases from %d commits\n", study.RemovalCases, study.RemovalCommits)
+	for _, k := range sortedKeys(study.RemovalPurposePercent) {
+		fmt.Fprintf(&b, "  %-24s %3d%%\n", k, study.RemovalPurposePercent[k])
+	}
+	b.WriteString("Destinations:\n")
+	for _, k := range sortedKeys(study.RemovalDestinations) {
+		fmt.Fprintf(&b, "  %-26s %3d\n", k, study.RemovalDestinations[k])
+	}
+	return b.String()
+}
+
+// InteriorSection renders §4.3.
+func InteriorSection() string {
+	var b strings.Builder
+	b.WriteString("Section 4.3. Interior-unsafe encapsulation audit.\n")
+	fmt.Fprintf(&b, "Sampled: %d std + %d app interior-unsafe functions\n",
+		study.SampledStdInterior, study.SampledAppInterior)
+	fmt.Fprintf(&b, "No explicit condition check: %d%% of std samples\n", study.StdInteriorNoExplicitCheckPct)
+	fmt.Fprintf(&b, "Conditions: %d%% valid memory/UTF-8, %d%% lifetime/ownership\n",
+		study.StdInteriorMemConditionPct, study.StdInteriorLifetimeCondPct)
+	fmt.Fprintf(&b, "Improper encapsulations: %d (%d std, %d apps; %d unchecked returns, %d unchecked parameter deref/index)\n",
+		study.BadEncapsulations, study.BadEncapsStd, study.BadEncapsApps,
+		study.BadEncapsNoRetCheck, study.BadEncapsParamDeref)
+	return b.String()
+}
+
+// MemFixSection renders §5.2.
+func MemFixSection(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Section 5.2. Memory bug fix strategies.\n")
+	order := []study.MemFix{study.FixCondSkip, study.FixLifetime, study.FixOperands, study.FixOtherMem}
+	for _, fix := range order {
+		n := db.CountWhere(func(bug study.Bug) bool {
+			return bug.Class == study.MemoryBug && bug.MemFix == fix
+		})
+		fmt.Fprintf(&b, "  %-26s %3d\n", fix, n)
+	}
+	return b.String()
+}
+
+// BlkFixSection renders §6.1's fix summary.
+func BlkFixSection(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Section 6.1. Blocking bug fix strategies.\n")
+	adjust := db.CountWhere(func(bug study.Bug) bool {
+		return bug.Class == study.BlockingBug &&
+			(bug.BlkFix == study.BlkFixAdjustSync || bug.BlkFix == study.BlkFixGuardLifetime)
+	})
+	guard := db.CountWhere(func(bug study.Bug) bool {
+		return bug.Class == study.BlockingBug && bug.BlkFix == study.BlkFixGuardLifetime
+	})
+	other := db.CountWhere(func(bug study.Bug) bool {
+		return bug.Class == study.BlockingBug && bug.BlkFix == study.BlkFixOtherStrategy
+	})
+	fmt.Fprintf(&b, "  adjust synchronization     %3d / 59\n", adjust)
+	fmt.Fprintf(&b, "    ... by guard lifetime    %3d\n", guard)
+	fmt.Fprintf(&b, "  other strategies           %3d\n", other)
+	fmt.Fprintf(&b, "  explicit mem::drop usages in apps: %d\n", study.ExplicitDropUsages)
+	return b.String()
+}
+
+// NBlkFixSection renders §6.2's fix summary.
+func NBlkFixSection(db *study.Database) string {
+	var b strings.Builder
+	b.WriteString("Section 6.2. Non-blocking bug fix strategies.\n")
+	order := []study.NBlkFix{
+		study.NBlkFixAtomicity, study.NBlkFixOrdering, study.NBlkFixAvoidShare,
+		study.NBlkFixLocalCopy, study.NBlkFixAppLogic,
+	}
+	for _, fix := range order {
+		n := db.CountWhere(func(bug study.Bug) bool {
+			return bug.Class == study.NonBlockingBug && bug.Share != study.ShareMessage && bug.NBlkFix == fix
+		})
+		fmt.Fprintf(&b, "  %-22s %3d\n", fix, n)
+	}
+	return b.String()
+}
+
+// DetectorSection renders §7's detector results given measured counts.
+func DetectorSection(uafTP, uafFP, dlTP, dlFP int) string {
+	var b strings.Builder
+	b.WriteString("Section 7. Detector results (paper vs measured on corpus).\n")
+	fmt.Fprintf(&b, "  %-22s %8s %8s\n", "", "paper", "measured")
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "UAF bugs found", study.UAFBugsFound, uafTP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "UAF false positives", study.UAFFalsePositives, uafFP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "double-lock bugs", study.DoubleLockBugsFound, dlTP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "double-lock false pos", study.DoubleLockFalsePos, dlFP)
+	return b.String()
+}
+
+// InsightsSection renders the paper's insight/suggestion catalog with the
+// rustprobe component that operationalizes each.
+func InsightsSection() string {
+	var b strings.Builder
+	b.WriteString("Insights and suggestions (paper sections 4-6).\n")
+	for _, in := range study.Insights {
+		comp := in.Component
+		if comp == "" {
+			comp = "-"
+		}
+		fmt.Fprintf(&b, "  %-4s (sec %-3s) %-28s %s\n", in.ID, in.Section, comp, in.Text)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

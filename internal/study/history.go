@@ -1,0 +1,89 @@
+package study
+
+import "time"
+
+// Release is one Figure 1 data point: a Rust release with the number of
+// language/library feature changes it shipped and the compiler tree's
+// size. The series is a digitized approximation of the paper's Figure 1
+// (exact per-release values are not published); what matters — and what
+// the tests pin — is the shape: heavy churn from 2012 through 2015, a
+// stable plateau after v1.6.0 (January 2016), and monotonically growing
+// code size.
+type Release struct {
+	Version string
+	Date    time.Time
+	Changes int // feature changes in this release
+	KLOC    int // total source KLOC at this release
+}
+
+func d(y int, m time.Month) time.Time { return time.Date(y, m, 1, 0, 0, 0, 0, time.UTC) }
+
+// ReleaseHistory is the Figure 1 series.
+var ReleaseHistory = []Release{
+	{"0.1", d(2012, 1), 1650, 105},
+	{"0.2", d(2012, 3), 1920, 118},
+	{"0.3", d(2012, 7), 2450, 134},
+	{"0.4", d(2012, 10), 2210, 149},
+	{"0.5", d(2012, 12), 1870, 161},
+	{"0.6", d(2013, 4), 2380, 178},
+	{"0.7", d(2013, 7), 2510, 196},
+	{"0.8", d(2013, 9), 2290, 213},
+	{"0.9", d(2014, 1), 2120, 232},
+	{"0.10", d(2014, 4), 1980, 251},
+	{"0.11", d(2014, 7), 1760, 268},
+	{"0.12", d(2014, 10), 1540, 287},
+	{"1.0-alpha", d(2015, 1), 1310, 305},
+	{"1.0", d(2015, 5), 980, 322},
+	{"1.2", d(2015, 8), 640, 338},
+	{"1.4", d(2015, 10), 480, 352},
+	{"1.5", d(2015, 12), 390, 365},
+	{"1.6", d(2016, 1), 250, 377},
+	{"1.8", d(2016, 4), 210, 392},
+	{"1.10", d(2016, 7), 190, 408},
+	{"1.12", d(2016, 9), 220, 425},
+	{"1.14", d(2016, 12), 180, 441},
+	{"1.16", d(2017, 3), 170, 458},
+	{"1.18", d(2017, 6), 160, 476},
+	{"1.20", d(2017, 8), 190, 494},
+	{"1.22", d(2017, 11), 150, 511},
+	{"1.24", d(2018, 2), 160, 529},
+	{"1.26", d(2018, 5), 210, 548},
+	{"1.28", d(2018, 8), 140, 566},
+	{"1.30", d(2018, 10), 170, 585},
+	{"1.32", d(2019, 1), 130, 603},
+	{"1.34", d(2019, 4), 120, 622},
+	{"1.36", d(2019, 7), 110, 641},
+	{"1.38", d(2019, 9), 100, 659},
+	{"1.39", d(2019, 11), 95, 672},
+}
+
+// StableSince is the release the paper calls the start of Rust's stable
+// period (v1.6.0, January 2016).
+var StableSince = d(2016, 1)
+
+// ChangesBefore sums feature changes in releases strictly before t.
+func ChangesBefore(t time.Time) int {
+	n := 0
+	for _, r := range ReleaseHistory {
+		if r.Date.Before(t) {
+			n += r.Changes
+		}
+	}
+	return n
+}
+
+// MeanChanges returns the average feature changes per release within
+// [from, to).
+func MeanChanges(from, to time.Time) float64 {
+	n, sum := 0, 0
+	for _, r := range ReleaseHistory {
+		if !r.Date.Before(from) && r.Date.Before(to) {
+			n++
+			sum += r.Changes
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,53 @@
+package study
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestInsightsCatalog(t *testing.T) {
+	var insights, suggestions int
+	for _, in := range Insights {
+		switch in.ID[0] {
+		case 'I':
+			insights++
+		case 'S':
+			suggestions++
+		}
+		if in.Text == "" || in.Section == "" {
+			t.Errorf("%s: incomplete entry", in.ID)
+		}
+	}
+	// The paper contributes "11 insights and 8 suggestions".
+	if insights != 11 {
+		t.Errorf("insights = %d, want 11", insights)
+	}
+	if suggestions != 8 {
+		t.Errorf("suggestions = %d, want 8", suggestions)
+	}
+}
+
+func TestInsightByID(t *testing.T) {
+	if in := InsightByID("I6"); in == nil || !strings.Contains(in.Text, "lifetime") {
+		t.Errorf("I6 = %+v", in)
+	}
+	if InsightByID("I99") != nil {
+		t.Error("unknown id should be nil")
+	}
+}
+
+// TestInsightComponentsExist: every component a catalog entry names is a
+// real package directory in this repository.
+func TestInsightComponentsExist(t *testing.T) {
+	for _, in := range Insights {
+		if in.Component == "" {
+			continue
+		}
+		path := "../../" + strings.TrimPrefix(in.Component, "internal/")
+		path = "../../internal/" + strings.TrimPrefix(in.Component, "internal/")
+		if st, err := os.Stat(path); err != nil || !st.IsDir() {
+			t.Errorf("%s: component %q does not exist (%v)", in.ID, in.Component, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package study
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file reproduces the §3 bug-collection methodology: commit logs are
+// filtered by safety-related keywords, the survivors are deduplicated and
+// become inspection candidates. The paper did the final confirmation
+// manually; here a deterministic labeller plays that role so the pipeline
+// is exercisable end to end (the corpus package feeds it synthetic commit
+// histories).
+
+// MemoryKeywords are the filter terms for memory bugs (§3).
+var MemoryKeywords = []string{
+	"use-after-free", "use after free", "double free", "double-free",
+	"buffer overflow", "out of bounds", "out-of-bounds", "uninitialized",
+	"null pointer", "dangling", "invalid free", "heap corruption",
+	"memory safety", "segfault", "overflow check",
+}
+
+// ConcurrencyKeywords are the filter terms for concurrency bugs (§3).
+var ConcurrencyKeywords = []string{
+	"deadlock", "double lock", "race", "data race", "race condition",
+	"atomicity", "lock order", "livelock", "hang", "starvation",
+	"concurrency bug", "synchronization", "mutex", "condvar",
+}
+
+// Commit is one commit-log entry.
+type Commit struct {
+	Project Project
+	Hash    string
+	Date    time.Time
+	Message string
+}
+
+// Candidate is one commit that survived keyword filtering.
+type Candidate struct {
+	Commit  Commit
+	Matched []string // keywords that hit
+	Class   BugClass // best-guess class from the matched keywords
+}
+
+// FilterCommits runs the keyword filter over a commit history and returns
+// inspection candidates, deduplicated by (project, hash), in stable order.
+func FilterCommits(commits []Commit) []Candidate {
+	seen := map[string]bool{}
+	var out []Candidate
+	for _, c := range commits {
+		key := c.Project.String() + ":" + c.Hash
+		if seen[key] {
+			continue
+		}
+		msg := strings.ToLower(c.Message)
+		var memHits, concHits []string
+		for _, kw := range MemoryKeywords {
+			if strings.Contains(msg, kw) {
+				memHits = append(memHits, kw)
+			}
+		}
+		for _, kw := range ConcurrencyKeywords {
+			if strings.Contains(msg, kw) {
+				concHits = append(concHits, kw)
+			}
+		}
+		if len(memHits) == 0 && len(concHits) == 0 {
+			continue
+		}
+		seen[key] = true
+		cand := Candidate{Commit: c}
+		if len(memHits) >= len(concHits) {
+			cand.Class = MemoryBug
+			cand.Matched = memHits
+		} else {
+			cand.Class = blockingOrNot(concHits)
+			cand.Matched = concHits
+		}
+		out = append(out, cand)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Commit.Date.Equal(out[j].Commit.Date) {
+			return out[i].Commit.Date.Before(out[j].Commit.Date)
+		}
+		return out[i].Commit.Hash < out[j].Commit.Hash
+	})
+	return out
+}
+
+func blockingOrNot(hits []string) BugClass {
+	for _, h := range hits {
+		switch h {
+		case "deadlock", "double lock", "hang", "livelock", "starvation", "lock order":
+			return BlockingBug
+		}
+	}
+	return NonBlockingBug
+}
+
+// Funnel summarizes a mining run: the §3 pipeline's stage counts.
+type Funnel struct {
+	Total     int // commits scanned
+	Filtered  int // survived keyword filter
+	ByClass   map[BugClass]int
+	ByProject map[Project]int
+}
+
+// Mine runs the full pipeline and reports the funnel.
+func Mine(commits []Commit) ([]Candidate, Funnel) {
+	cands := FilterCommits(commits)
+	f := Funnel{
+		Total:     len(commits),
+		Filtered:  len(cands),
+		ByClass:   map[BugClass]int{},
+		ByProject: map[Project]int{},
+	}
+	for _, c := range cands {
+		f.ByClass[c.Class]++
+		f.ByProject[c.Commit.Project]++
+	}
+	return cands, f
+}

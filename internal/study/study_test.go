@@ -1,0 +1,290 @@
+package study
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDatabaseTotals(t *testing.T) {
+	db := Build()
+	if len(db.Bugs) != 170 {
+		t.Fatalf("total bugs = %d, want 170", len(db.Bugs))
+	}
+	if n := len(db.ByClass(MemoryBug)); n != 70 {
+		t.Errorf("memory bugs = %d, want 70", n)
+	}
+	if n := len(db.ByClass(BlockingBug)); n != 59 {
+		t.Errorf("blocking bugs = %d, want 59", n)
+	}
+	if n := len(db.ByClass(NonBlockingBug)); n != 41 {
+		t.Errorf("non-blocking bugs = %d, want 41", n)
+	}
+}
+
+func TestTable1Reproduced(t *testing.T) {
+	db := Build()
+	counts := db.Table1Counts()
+	for _, row := range Table1 {
+		got := counts[row.Project]
+		if got[0] != row.Mem || got[1] != row.Blk || got[2] != row.NBlk {
+			t.Errorf("%s: got %v, want [%d %d %d]", row.Project, got, row.Mem, row.Blk, row.NBlk)
+		}
+	}
+	adv := counts[Advisories]
+	if adv[0] != AdvisoryMemBugs || adv[2] != AdvisoryNBlkBugs {
+		t.Errorf("advisories: got %v, want [21 0 1]", adv)
+	}
+}
+
+func TestTable2Reproduced(t *testing.T) {
+	db := Build()
+	counts := db.Table2Counts()
+	for _, cell := range Table2 {
+		got := counts[cell.Prop][cell.Effect]
+		if got[0] != cell.Count || got[1] != cell.Interior {
+			t.Errorf("%v/%v: got %d(%d), want %d(%d)",
+				cell.Prop, cell.Effect, got[0], got[1], cell.Count, cell.Interior)
+		}
+	}
+	// Row totals from the paper: safe 1, unsafe 23, safe->unsafe 31,
+	// unsafe->safe 15.
+	rowTotals := map[MemProp]int{PropSafe: 1, PropUnsafe: 23, PropSafeToUnsafe: 31, PropUnsafeToSafe: 15}
+	for prop, want := range rowTotals {
+		got := 0
+		for _, c := range counts[prop] {
+			got += c[0]
+		}
+		if got != want {
+			t.Errorf("row %v total = %d, want %d", prop, got, want)
+		}
+	}
+	// Column totals: Buffer 21, Null 12, Uninit 7, Invalid 10, UAF 14,
+	// Double free 6.
+	colTotals := map[MemEffect]int{
+		EffectBuffer: 21, EffectNull: 12, EffectUninit: 7,
+		EffectInvalidFree: 10, EffectUAF: 14, EffectDoubleFree: 6,
+	}
+	for eff, want := range colTotals {
+		got := 0
+		for _, prop := range MemProps {
+			got += counts[prop][eff][0]
+		}
+		if got != want {
+			t.Errorf("column %v total = %d, want %d", eff, got, want)
+		}
+	}
+}
+
+func TestTable3Reproduced(t *testing.T) {
+	db := Build()
+	counts := db.Table3Counts()
+	for _, proj := range Projects {
+		for _, prim := range SyncPrimitives {
+			want := Table3[proj][prim]
+			got := counts[proj][prim]
+			if got != want {
+				t.Errorf("%s/%s: got %d, want %d", proj, prim, got, want)
+			}
+		}
+	}
+	// Column totals: 38, 10, 6, 1, 4.
+	wantTotals := map[SyncPrimitive]int{PrimMutex: 38, PrimCondvar: 10, PrimChannel: 6, PrimOnce: 1, PrimOther: 4}
+	for prim, want := range wantTotals {
+		got := 0
+		for _, proj := range Projects {
+			got += counts[proj][prim]
+		}
+		if got != want {
+			t.Errorf("%s total = %d, want %d", prim, got, want)
+		}
+	}
+}
+
+func TestTable4Reproduced(t *testing.T) {
+	db := Build()
+	counts := db.Table4Counts()
+	// Column totals from the paper: Global 3, Pointer 12, Sync 3, O.H. 5,
+	// Atomic 5, Mutex 10, MSG 3.
+	wantTotals := map[ShareMode]int{
+		ShareGlobal: 3, SharePointer: 12, ShareSync: 3, ShareOSHw: 5,
+		ShareAtomic: 5, ShareMutex: 10, ShareMessage: 3,
+	}
+	for mode, want := range wantTotals {
+		got := 0
+		for _, proj := range Projects {
+			got += counts[proj][mode]
+		}
+		if got != want {
+			t.Errorf("%s total = %d, want %d", mode, got, want)
+		}
+	}
+	// Per-row spot checks straight from Table 4.
+	if counts[Servo][SharePointer] != 7 || counts[Servo][ShareMutex] != 7 {
+		t.Errorf("Servo row wrong: %+v", counts[Servo])
+	}
+	if counts[Tock][ShareOSHw] != 2 {
+		t.Errorf("Tock row wrong: %+v", counts[Tock])
+	}
+}
+
+func TestBlockingCauses(t *testing.T) {
+	db := Build()
+	dl := db.CountWhere(func(b Bug) bool { return b.Class == BlockingBug && b.BlkCause == CauseDoubleLock })
+	if dl != 30 {
+		t.Errorf("double-lock bugs = %d, want 30", dl)
+	}
+	co := db.CountWhere(func(b Bug) bool { return b.Class == BlockingBug && b.BlkCause == CauseConflictingOrder })
+	if co != 7 {
+		t.Errorf("conflicting-order bugs = %d, want 7", co)
+	}
+	// All blocking bugs use interior-unsafe sync primitives in safe code:
+	// every one belongs to a primitive category.
+	if n := len(db.ByClass(BlockingBug)); n != 59 {
+		t.Errorf("blocking = %d", n)
+	}
+}
+
+func TestFixStrategies(t *testing.T) {
+	db := Build()
+	for fix, want := range MemFixCounts {
+		got := db.CountWhere(func(b Bug) bool { return b.Class == MemoryBug && b.MemFix == fix })
+		if got != want {
+			t.Errorf("mem fix %v = %d, want %d", fix, got, want)
+		}
+	}
+	// 51/59 blocking bugs fixed by adjusting synchronization (§6.1),
+	// of which 21 adjust the guard lifetime.
+	adj := db.CountWhere(func(b Bug) bool {
+		return b.Class == BlockingBug && (b.BlkFix == BlkFixAdjustSync || b.BlkFix == BlkFixGuardLifetime)
+	})
+	if adj != 51 {
+		t.Errorf("sync-adjusting fixes = %d, want 51", adj)
+	}
+	gl := db.CountWhere(func(b Bug) bool { return b.Class == BlockingBug && b.BlkFix == BlkFixGuardLifetime })
+	if gl != 21 {
+		t.Errorf("guard-lifetime fixes = %d, want 21", gl)
+	}
+	for fix, want := range NBlkFixCounts {
+		got := db.CountWhere(func(b Bug) bool {
+			return b.Class == NonBlockingBug && b.Share != ShareMessage && b.NBlkFix == fix
+		})
+		if got != want {
+			t.Errorf("nblk fix %v = %d, want %d", fix, got, want)
+		}
+	}
+}
+
+func TestNonBlockingAggregates(t *testing.T) {
+	db := Build()
+	unsync := db.CountWhere(func(b Bug) bool {
+		return b.Class == NonBlockingBug && b.Share != ShareMessage && !b.Synchronized
+	})
+	if unsync != NBlkUnsynchronized {
+		t.Errorf("unsynchronized = %d, want %d", unsync, NBlkUnsynchronized)
+	}
+	safe := db.CountWhere(func(b Bug) bool { return b.Class == NonBlockingBug && b.InSafeCode })
+	if safe != NBlkInSafeCode {
+		t.Errorf("in safe code = %d, want %d", safe, NBlkInSafeCode)
+	}
+	im := db.CountWhere(func(b Bug) bool { return b.Class == NonBlockingBug && b.InteriorMut })
+	if im != NBlkInteriorMut {
+		t.Errorf("interior mutability = %d, want %d", im, NBlkInteriorMut)
+	}
+	lm := db.CountWhere(func(b Bug) bool { return b.Class == NonBlockingBug && b.LibMisuse })
+	if lm != NBlkLibMisuse {
+		t.Errorf("lib misuse = %d, want %d", lm, NBlkLibMisuse)
+	}
+	// 23 share with unsafe code, 15 with safe code (+3 MSG).
+	unsafeShare := db.CountWhere(func(b Bug) bool { return b.Class == NonBlockingBug && b.Share.IsUnsafeShare() })
+	if unsafeShare != 23 {
+		t.Errorf("unsafe sharing = %d, want 23", unsafeShare)
+	}
+}
+
+func TestFigure2Dates(t *testing.T) {
+	db := Build()
+	after := db.CountWhere(func(b Bug) bool { return !b.FixedAt.Before(StableSince) })
+	if after != BugsFixedAfter2016 {
+		t.Errorf("bugs fixed after 2016 = %d, want %d", after, BugsFixedAfter2016)
+	}
+	buckets := db.Figure2Buckets()
+	if len(buckets) < 10 {
+		t.Errorf("buckets = %d, want a multi-year series", len(buckets))
+	}
+	total := 0
+	for _, b := range buckets {
+		for _, n := range b.Counts {
+			total += n
+		}
+	}
+	if total != 170 {
+		t.Errorf("bucketed bugs = %d, want 170", total)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// Heavy churn before 2016, stability after (the paper's argument for
+	// studying post-2016 Rust).
+	early := MeanChanges(d(2012, 1), StableSince)
+	late := MeanChanges(StableSince, d(2020, 1))
+	if early < 4*late {
+		t.Errorf("early churn (%f) should dwarf late churn (%f)", early, late)
+	}
+	// KLOC grows monotonically.
+	for i := 1; i < len(ReleaseHistory); i++ {
+		if ReleaseHistory[i].KLOC <= ReleaseHistory[i-1].KLOC {
+			t.Errorf("KLOC not monotone at %s", ReleaseHistory[i].Version)
+		}
+		if !ReleaseHistory[i].Date.After(ReleaseHistory[i-1].Date) {
+			t.Errorf("dates not monotone at %s", ReleaseHistory[i].Version)
+		}
+	}
+}
+
+func TestAdvisories(t *testing.T) {
+	mem, nblk := AdvisoryCounts()
+	if mem != AdvisoryMemBugs || nblk != AdvisoryNBlkBugs {
+		t.Errorf("advisories = %d mem + %d nblk, want %d + %d", mem, nblk, AdvisoryMemBugs, AdvisoryNBlkBugs)
+	}
+	if len(AdvisoryList) != 22 {
+		t.Errorf("advisory list = %d, want 22", len(AdvisoryList))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := Build(), Build()
+	if len(a.Bugs) != len(b.Bugs) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a.Bugs {
+		if a.Bugs[i] != b.Bugs[i] {
+			t.Fatalf("bug %d differs between builds:\n%+v\n%+v", i, a.Bugs[i], b.Bugs[i])
+		}
+	}
+}
+
+func TestMiningPipeline(t *testing.T) {
+	commits := []Commit{
+		{Servo, "a1", time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC), "Fix use-after-free in style cache"},
+		{Servo, "a2", time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC), "Refactor layout code"},
+		{Ethereum, "b1", time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC), "Avoid deadlock when sealing blocks"},
+		{Ethereum, "b1", time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC), "Avoid deadlock when sealing blocks"}, // dup
+		{TiKV, "c1", time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC), "Fix race condition in scheduler"},
+	}
+	cands, funnel := Mine(commits)
+	if funnel.Total != 5 || funnel.Filtered != 3 {
+		t.Errorf("funnel = %+v, want total 5 filtered 3", funnel)
+	}
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[0].Class != MemoryBug {
+		t.Errorf("first candidate class = %v", cands[0].Class)
+	}
+	if cands[1].Class != BlockingBug {
+		t.Errorf("deadlock candidate class = %v", cands[1].Class)
+	}
+	if cands[2].Class != NonBlockingBug {
+		t.Errorf("race candidate class = %v", cands[2].Class)
+	}
+}

@@ -1,0 +1,357 @@
+// Package study encodes the paper's empirical study as data and code: the
+// 170 manually-labelled bugs (70 memory-safety, 59 blocking, 41
+// non-blocking) with every dimension the paper tabulates, the §4 unsafe
+// usage statistics, the Rust release history behind Figure 1, and the
+// commit-mining pipeline of §3. Each table and figure in the paper is a
+// deterministic aggregation over this data; the tests assert the exact
+// published counts.
+package study
+
+import "time"
+
+// Project identifies a studied code base (Table 1) or the CVE/RustSec
+// advisory databases.
+type Project int
+
+// Studied projects.
+const (
+	Servo Project = iota
+	Tock
+	Ethereum
+	TiKV
+	Redox
+	Libraries
+	Advisories // CVE + RustSec entries (22 bugs, counted outside Table 1)
+)
+
+// Projects lists the Table 1 rows in paper order.
+var Projects = []Project{Servo, Tock, Ethereum, TiKV, Redox, Libraries}
+
+func (p Project) String() string {
+	switch p {
+	case Servo:
+		return "Servo"
+	case Tock:
+		return "Tock"
+	case Ethereum:
+		return "Ethereum"
+	case TiKV:
+		return "TiKV"
+	case Redox:
+		return "Redox"
+	case Libraries:
+		return "libraries"
+	case Advisories:
+		return "CVE/RustSec"
+	default:
+		return "?"
+	}
+}
+
+// BugClass is the top-level split of the 170 bugs.
+type BugClass int
+
+// Bug classes.
+const (
+	MemoryBug BugClass = iota
+	BlockingBug
+	NonBlockingBug
+)
+
+func (c BugClass) String() string {
+	switch c {
+	case MemoryBug:
+		return "memory"
+	case BlockingBug:
+		return "blocking"
+	default:
+		return "non-blocking"
+	}
+}
+
+// MemEffect is Table 2's effect dimension.
+type MemEffect int
+
+// Memory bug effects (Table 2 columns).
+const (
+	EffectBuffer MemEffect = iota // buffer overflow
+	EffectNull                    // null pointer dereferencing
+	EffectUninit                  // reading uninitialized memory
+	EffectInvalidFree
+	EffectUAF // use after free
+	EffectDoubleFree
+)
+
+// MemEffects lists Table 2's columns in order.
+var MemEffects = []MemEffect{EffectBuffer, EffectNull, EffectUninit, EffectInvalidFree, EffectUAF, EffectDoubleFree}
+
+func (e MemEffect) String() string {
+	switch e {
+	case EffectBuffer:
+		return "Buffer"
+	case EffectNull:
+		return "Null"
+	case EffectUninit:
+		return "Uninitialized"
+	case EffectInvalidFree:
+		return "Invalid"
+	case EffectUAF:
+		return "UAF"
+	case EffectDoubleFree:
+		return "Double free"
+	default:
+		return "?"
+	}
+}
+
+// MemProp is Table 2's error-propagation dimension: whether the cause
+// (patched code) and effect (observable symptom) sit in safe or unsafe
+// code.
+type MemProp int
+
+// Propagation categories (Table 2 rows).
+const (
+	PropSafe         MemProp = iota // safe -> safe
+	PropUnsafe                      // unsafe -> unsafe
+	PropSafeToUnsafe                // safe -> unsafe
+	PropUnsafeToSafe                // unsafe -> safe
+)
+
+// MemProps lists Table 2's rows in paper order.
+var MemProps = []MemProp{PropSafe, PropUnsafe, PropSafeToUnsafe, PropUnsafeToSafe}
+
+func (p MemProp) String() string {
+	switch p {
+	case PropSafe:
+		return "safe"
+	case PropUnsafe:
+		return "unsafe"
+	case PropSafeToUnsafe:
+		return "safe -> unsafe"
+	case PropUnsafeToSafe:
+		return "unsafe -> safe"
+	default:
+		return "?"
+	}
+}
+
+// MemFix is §5.2's fix-strategy dimension.
+type MemFix int
+
+// Memory bug fix strategies.
+const (
+	FixCondSkip MemFix = iota // conditionally skip dangerous code
+	FixLifetime               // adjust object lifetime
+	FixOperands               // change unsafe operands
+	FixOtherMem
+)
+
+func (f MemFix) String() string {
+	switch f {
+	case FixCondSkip:
+		return "conditionally skip code"
+	case FixLifetime:
+		return "adjust lifetime"
+	case FixOperands:
+		return "change unsafe operands"
+	default:
+		return "other"
+	}
+}
+
+// SyncPrimitive is Table 3's blocking-operation dimension.
+type SyncPrimitive int
+
+// Blocking synchronization primitives (Table 3 columns).
+const (
+	PrimMutex SyncPrimitive = iota // Mutex & RwLock
+	PrimCondvar
+	PrimChannel
+	PrimOnce
+	PrimOther
+)
+
+// SyncPrimitives lists Table 3's columns in order.
+var SyncPrimitives = []SyncPrimitive{PrimMutex, PrimCondvar, PrimChannel, PrimOnce, PrimOther}
+
+func (s SyncPrimitive) String() string {
+	switch s {
+	case PrimMutex:
+		return "Mutex&Rwlock"
+	case PrimCondvar:
+		return "Condvar"
+	case PrimChannel:
+		return "Channel"
+	case PrimOnce:
+		return "Once"
+	default:
+		return "Other"
+	}
+}
+
+// BlockingCause refines the Mutex/RwLock blocking bugs (§6.1 text).
+type BlockingCause int
+
+// Blocking bug causes.
+const (
+	CauseDoubleLock BlockingCause = iota
+	CauseConflictingOrder
+	CauseForgotUnlock
+	CauseMissingNotify // Condvar: no notify
+	CauseWaitWhileLock // Condvar: holder waits for notify from blocked peer
+	CauseChanNoSender
+	CauseChanAllWait
+	CauseChanWhileLock
+	CauseChanFull
+	CauseOnceRecursive
+	CauseOtherBlocking
+)
+
+func (c BlockingCause) String() string {
+	switch c {
+	case CauseDoubleLock:
+		return "double lock"
+	case CauseConflictingOrder:
+		return "conflicting lock order"
+	case CauseForgotUnlock:
+		return "forgot unlock"
+	case CauseMissingNotify:
+		return "missing notify"
+	case CauseWaitWhileLock:
+		return "wait while holding lock"
+	case CauseChanNoSender:
+		return "no sender"
+	case CauseChanAllWait:
+		return "all ends waiting"
+	case CauseChanWhileLock:
+		return "recv while holding lock"
+	case CauseChanFull:
+		return "bounded channel full"
+	case CauseOnceRecursive:
+		return "recursive call_once"
+	default:
+		return "other"
+	}
+}
+
+// BlkFix is §6.1's blocking fix strategies.
+type BlkFix int
+
+// Blocking bug fix strategies.
+const (
+	BlkFixAdjustSync    BlkFix = iota // add/remove/move sync operations
+	BlkFixGuardLifetime               // adjust guard lifetime (Rust-unique)
+	BlkFixOtherStrategy               // e.g. non-blocking syscall
+)
+
+func (f BlkFix) String() string {
+	switch f {
+	case BlkFixAdjustSync:
+		return "adjust synchronization"
+	case BlkFixGuardLifetime:
+		return "adjust guard lifetime"
+	default:
+		return "other"
+	}
+}
+
+// ShareMode is Table 4's data-sharing dimension for non-blocking bugs.
+type ShareMode int
+
+// Data sharing modes (Table 4 columns).
+const (
+	ShareGlobal  ShareMode = iota // global static mutable variable (unsafe)
+	SharePointer                  // raw pointer passed across threads (unsafe)
+	ShareSync                     // unsafe impl Sync
+	ShareOSHw                     // OS or hardware resources
+	ShareAtomic                   // atomic variables (safe)
+	ShareMutex                    // Mutex/RwLock-wrapped data (safe)
+	ShareMessage                  // message passing (the 3 MSG bugs)
+)
+
+// ShareModes lists Table 4's columns in order (message passing last).
+var ShareModes = []ShareMode{ShareGlobal, SharePointer, ShareSync, ShareOSHw, ShareAtomic, ShareMutex, ShareMessage}
+
+func (s ShareMode) String() string {
+	switch s {
+	case ShareGlobal:
+		return "Global"
+	case SharePointer:
+		return "Pointer"
+	case ShareSync:
+		return "Sync"
+	case ShareOSHw:
+		return "O. H."
+	case ShareAtomic:
+		return "Atomic"
+	case ShareMutex:
+		return "Mutex"
+	default:
+		return "MSG"
+	}
+}
+
+// IsUnsafeShare reports whether the sharing mode requires unsafe or
+// interior-unsafe code (Table 4's left half).
+func (s ShareMode) IsUnsafeShare() bool {
+	switch s {
+	case ShareGlobal, SharePointer, ShareSync, ShareOSHw:
+		return true
+	}
+	return false
+}
+
+// NBlkFix is §6.2's non-blocking fix strategies.
+type NBlkFix int
+
+// Non-blocking fix strategies.
+const (
+	NBlkFixAtomicity NBlkFix = iota // enforce atomic accesses
+	NBlkFixOrdering                 // enforce access ordering
+	NBlkFixAvoidShare
+	NBlkFixLocalCopy
+	NBlkFixAppLogic
+)
+
+func (f NBlkFix) String() string {
+	switch f {
+	case NBlkFixAtomicity:
+		return "enforce atomicity"
+	case NBlkFixOrdering:
+		return "enforce ordering"
+	case NBlkFixAvoidShare:
+		return "avoid shared access"
+	case NBlkFixLocalCopy:
+		return "make local copy"
+	default:
+		return "change app logic"
+	}
+}
+
+// Bug is one studied bug with every labelled dimension. Fields outside a
+// bug's class are zero.
+type Bug struct {
+	ID      string
+	Project Project
+	Class   BugClass
+	FixedAt time.Time
+
+	// Memory-safety dimensions (Table 2, §5.2).
+	MemEffect        MemEffect
+	MemProp          MemProp
+	EffectInInterior bool // effect inside an interior-unsafe function
+	MemFix           MemFix
+
+	// Blocking dimensions (Table 3, §6.1).
+	Primitive SyncPrimitive
+	BlkCause  BlockingCause
+	BlkFix    BlkFix
+
+	// Non-blocking dimensions (Table 4, §6.2).
+	Share        ShareMode
+	InSafeCode   bool // manifests entirely in safe code
+	Synchronized bool // accesses had (wrong) synchronization
+	InteriorMut  bool // involves interior mutability
+	LibMisuse    bool // misuse of a Rust-unique library (RefCell etc.)
+	NBlkFix      NBlkFix
+}

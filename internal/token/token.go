@@ -1,0 +1,326 @@
+// Package token defines the lexical token kinds of the Rust subset accepted
+// by rustprobe, together with keyword and operator tables used by the lexer
+// and parser.
+package token
+
+import "rustprobe/internal/source"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuation names follow rustc's lexer where practical.
+const (
+	EOF Kind = iota
+	Illegal
+	Comment // retained only when the lexer is configured to keep comments
+
+	// Literals and identifiers.
+	Ident
+	Lifetime // 'a (includes the leading quote)
+	Int
+	Float
+	Str
+	RawStr
+	Char
+	Byte
+	ByteStr
+
+	// Keywords.
+	KwAs
+	KwBreak
+	KwConst
+	KwContinue
+	KwCrate
+	KwDyn
+	KwElse
+	KwEnum
+	KwExtern
+	KwFalse
+	KwFn
+	KwFor
+	KwIf
+	KwImpl
+	KwIn
+	KwLet
+	KwLoop
+	KwMatch
+	KwMod
+	KwMove
+	KwMut
+	KwPub
+	KwRef
+	KwReturn
+	KwSelfValue // self
+	KwSelfType  // Self
+	KwStatic
+	KwStruct
+	KwSuper
+	KwTrait
+	KwTrue
+	KwType
+	KwUnion
+	KwUnsafe
+	KwUse
+	KwWhere
+	KwWhile
+
+	// Punctuation and operators.
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Comma     // ,
+	Semi      // ;
+	Colon     // :
+	PathSep   // ::
+	Arrow     // ->
+	FatArrow  // =>
+	Pound     // #
+	Dollar    // $
+	Question  // ?
+	Dot       // .
+	DotDot    // ..
+	DotDotEq  // ..=
+	DotDotDot // ...
+	At        // @
+	Underscore
+
+	Eq        // =
+	EqEq      // ==
+	Ne        // !=
+	Lt        // <
+	Le        // <=
+	Gt        // >
+	Ge        // >=
+	AndAnd    // &&
+	OrOr      // ||
+	Not       // !
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Caret     // ^
+	And       // &
+	Or        // |
+	Shl       // <<
+	Shr       // >>
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	CaretEq   // ^=
+	AndEq     // &=
+	OrEq      // |=
+	ShlEq     // <<=
+	ShrEq     // >>=
+)
+
+var kindNames = map[Kind]string{
+	EOF:         "EOF",
+	Illegal:     "Illegal",
+	Comment:     "Comment",
+	Ident:       "Ident",
+	Lifetime:    "Lifetime",
+	Int:         "Int",
+	Float:       "Float",
+	Str:         "Str",
+	RawStr:      "RawStr",
+	Char:        "Char",
+	Byte:        "Byte",
+	ByteStr:     "ByteStr",
+	KwAs:        "as",
+	KwBreak:     "break",
+	KwConst:     "const",
+	KwContinue:  "continue",
+	KwCrate:     "crate",
+	KwDyn:       "dyn",
+	KwElse:      "else",
+	KwEnum:      "enum",
+	KwExtern:    "extern",
+	KwFalse:     "false",
+	KwFn:        "fn",
+	KwFor:       "for",
+	KwIf:        "if",
+	KwImpl:      "impl",
+	KwIn:        "in",
+	KwLet:       "let",
+	KwLoop:      "loop",
+	KwMatch:     "match",
+	KwMod:       "mod",
+	KwMove:      "move",
+	KwMut:       "mut",
+	KwPub:       "pub",
+	KwRef:       "ref",
+	KwReturn:    "return",
+	KwSelfValue: "self",
+	KwSelfType:  "Self",
+	KwStatic:    "static",
+	KwStruct:    "struct",
+	KwSuper:     "super",
+	KwTrait:     "trait",
+	KwTrue:      "true",
+	KwType:      "type",
+	KwUnion:     "union",
+	KwUnsafe:    "unsafe",
+	KwUse:       "use",
+	KwWhere:     "where",
+	KwWhile:     "while",
+	LParen:      "(",
+	RParen:      ")",
+	LBrace:      "{",
+	RBrace:      "}",
+	LBracket:    "[",
+	RBracket:    "]",
+	Comma:       ",",
+	Semi:        ";",
+	Colon:       ":",
+	PathSep:     "::",
+	Arrow:       "->",
+	FatArrow:    "=>",
+	Pound:       "#",
+	Dollar:      "$",
+	Question:    "?",
+	Dot:         ".",
+	DotDot:      "..",
+	DotDotEq:    "..=",
+	DotDotDot:   "...",
+	At:          "@",
+	Underscore:  "_",
+	Eq:          "=",
+	EqEq:        "==",
+	Ne:          "!=",
+	Lt:          "<",
+	Le:          "<=",
+	Gt:          ">",
+	Ge:          ">=",
+	AndAnd:      "&&",
+	OrOr:        "||",
+	Not:         "!",
+	Plus:        "+",
+	Minus:       "-",
+	Star:        "*",
+	Slash:       "/",
+	Percent:     "%",
+	Caret:       "^",
+	And:         "&",
+	Or:          "|",
+	Shl:         "<<",
+	Shr:         ">>",
+	PlusEq:      "+=",
+	MinusEq:     "-=",
+	StarEq:      "*=",
+	SlashEq:     "/=",
+	PercentEq:   "%=",
+	CaretEq:     "^=",
+	AndEq:       "&=",
+	OrEq:        "|=",
+	ShlEq:       "<<=",
+	ShrEq:       ">>=",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(?)"
+}
+
+// Keywords maps source text to keyword kinds.
+var Keywords = map[string]Kind{
+	"as":       KwAs,
+	"break":    KwBreak,
+	"const":    KwConst,
+	"continue": KwContinue,
+	"crate":    KwCrate,
+	"dyn":      KwDyn,
+	"else":     KwElse,
+	"enum":     KwEnum,
+	"extern":   KwExtern,
+	"false":    KwFalse,
+	"fn":       KwFn,
+	"for":      KwFor,
+	"if":       KwIf,
+	"impl":     KwImpl,
+	"in":       KwIn,
+	"let":      KwLet,
+	"loop":     KwLoop,
+	"match":    KwMatch,
+	"mod":      KwMod,
+	"move":     KwMove,
+	"mut":      KwMut,
+	"pub":      KwPub,
+	"ref":      KwRef,
+	"return":   KwReturn,
+	"self":     KwSelfValue,
+	"Self":     KwSelfType,
+	"static":   KwStatic,
+	"struct":   KwStruct,
+	"super":    KwSuper,
+	"trait":    KwTrait,
+	"true":     KwTrue,
+	"type":     KwType,
+	"union":    KwUnion,
+	"unsafe":   KwUnsafe,
+	"use":      KwUse,
+	"where":    KwWhere,
+	"while":    KwWhile,
+}
+
+// IsKeyword reports whether k is a keyword kind.
+func (k Kind) IsKeyword() bool { return k >= KwAs && k <= KwWhile }
+
+// IsLiteral reports whether k is a literal or identifier-class kind.
+func (k Kind) IsLiteral() bool { return k >= Ident && k <= ByteStr }
+
+// IsAssignOp reports whether k is a compound assignment operator.
+func (k Kind) IsAssignOp() bool { return k >= PlusEq && k <= ShrEq }
+
+// AssignBase returns the non-assigning operator underlying a compound
+// assignment (PlusEq → Plus). It returns Illegal for other kinds.
+func (k Kind) AssignBase() Kind {
+	switch k {
+	case PlusEq:
+		return Plus
+	case MinusEq:
+		return Minus
+	case StarEq:
+		return Star
+	case SlashEq:
+		return Slash
+	case PercentEq:
+		return Percent
+	case CaretEq:
+		return Caret
+	case AndEq:
+		return And
+	case OrEq:
+		return Or
+	case ShlEq:
+		return Shl
+	case ShrEq:
+		return Shr
+	default:
+		return Illegal
+	}
+}
+
+// Token is one lexeme with its span and raw text.
+type Token struct {
+	Kind Kind
+	Text string
+	Span source.Span
+}
+
+func (t Token) String() string {
+	if t.Kind.IsLiteral() {
+		return t.Kind.String() + "(" + t.Text + ")"
+	}
+	return t.Kind.String()
+}
+
+// Is reports whether the token has the given kind.
+func (t Token) Is(k Kind) bool { return t.Kind == k }

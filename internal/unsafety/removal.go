@@ -1,0 +1,156 @@
+package unsafety
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file mechanizes the paper's §4.2 unsafe-removal study: given scans
+// of a codebase before and after a change, classify each function's
+// unsafe-usage delta the way the paper classifies its 130 removal cases —
+// did the unsafe code become fully safe, or was it encapsulated behind an
+// interior-unsafe function?
+
+// RemovalKind classifies one function's unsafe delta.
+type RemovalKind int
+
+// Removal kinds.
+const (
+	RemovalNone       RemovalKind = iota
+	RemovalToSafe                 // all unsafe gone: fully safe now
+	RemovalToInterior             // unsafe fn became interior unsafe
+	RemovalShrunk                 // fewer unsafe regions remain
+	RemovalIntroduced             // unsafe grew (negative removal)
+)
+
+func (k RemovalKind) String() string {
+	switch k {
+	case RemovalToSafe:
+		return "fully safe"
+	case RemovalToInterior:
+		return "interior unsafe"
+	case RemovalShrunk:
+		return "shrunk"
+	case RemovalIntroduced:
+		return "introduced"
+	default:
+		return "unchanged"
+	}
+}
+
+// Removal is one function's classified delta.
+type Removal struct {
+	Function string
+	Kind     RemovalKind
+	Before   int // unsafe regions (+1 if the fn itself was unsafe) before
+	After    int
+}
+
+// RemovalReport summarizes a before/after comparison.
+type RemovalReport struct {
+	Removals []Removal
+}
+
+// Count tallies removals by kind.
+func (r *RemovalReport) Count() map[RemovalKind]int {
+	out := map[RemovalKind]int{}
+	for _, rm := range r.Removals {
+		out[rm.Kind]++
+	}
+	return out
+}
+
+// String renders the report in the §4.2 style.
+func (r *RemovalReport) String() string {
+	var b strings.Builder
+	b.WriteString("unsafe removal classification:\n")
+	for _, rm := range r.Removals {
+		fmt.Fprintf(&b, "  %-32s %-16s (%d -> %d unsafe)\n", rm.Function, rm.Kind, rm.Before, rm.After)
+	}
+	counts := r.Count()
+	fmt.Fprintf(&b, "fully safe: %d, interior unsafe: %d, shrunk: %d, introduced: %d\n",
+		counts[RemovalToSafe], counts[RemovalToInterior], counts[RemovalShrunk], counts[RemovalIntroduced])
+	return b.String()
+}
+
+// fnProfile captures a function's unsafe footprint in one scan.
+type fnProfile struct {
+	unsafeFn bool // declared `unsafe fn`
+	regions  int  // unsafe regions in the body
+	interior bool // appears as interior-unsafe (safe fn with regions)
+}
+
+func profile(rep *Report) map[string]fnProfile {
+	out := map[string]fnProfile{}
+	for _, u := range rep.Usages {
+		if u.Function == "" {
+			continue
+		}
+		p := out[u.Function]
+		switch u.Kind {
+		case "fn":
+			p.unsafeFn = true
+		case "region":
+			p.regions++
+		}
+		out[u.Function] = p
+	}
+	for _, f := range rep.InteriorFns {
+		p := out[f.Name]
+		p.interior = true
+		out[f.Name] = p
+	}
+	return out
+}
+
+func (p fnProfile) weight() int {
+	w := p.regions
+	if p.unsafeFn {
+		w++
+	}
+	return w
+}
+
+// CompareScans classifies per-function unsafe deltas between two scans of
+// the same (renamed-stable) code.
+func CompareScans(before, after *Report) *RemovalReport {
+	bp, ap := profile(before), profile(after)
+	names := map[string]bool{}
+	for n := range bp {
+		names[n] = true
+	}
+	for n := range ap {
+		names[n] = true
+	}
+	var ordered []string
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	rep := &RemovalReport{}
+	for _, n := range ordered {
+		b, a := bp[n], ap[n]
+		if b == a {
+			continue
+		}
+		rm := Removal{Function: n, Before: b.weight(), After: a.weight()}
+		switch {
+		case b.unsafeFn && !a.unsafeFn && a.interior:
+			// The signature lost its unsafe marker but kept internal
+			// unsafe: the §4.2 encapsulation class.
+			rm.Kind = RemovalToInterior
+		case a.weight() > b.weight():
+			rm.Kind = RemovalIntroduced
+		case a.weight() == 0:
+			rm.Kind = RemovalToSafe
+		case a.weight() < b.weight():
+			rm.Kind = RemovalShrunk
+		default:
+			continue // same footprint, different shape: not a removal
+		}
+		rep.Removals = append(rep.Removals, rm)
+	}
+	return rep
+}

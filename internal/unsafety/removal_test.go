@@ -1,0 +1,96 @@
+package unsafety
+
+import (
+	"testing"
+)
+
+// The §4.2 shapes: an unsafe fn becoming fully safe, an unsafe fn becoming
+// interior unsafe (the 48+29+10 encapsulation class), and a region shrink.
+const beforeSrc = `
+pub unsafe fn to_safe(v: Vec<u8>, i: usize) -> u8 {
+    *v.get_unchecked(i)
+}
+
+pub unsafe fn to_interior(v: Vec<u8>, i: usize) -> u8 {
+    *v.get_unchecked(i)
+}
+
+pub fn shrinks(v: Vec<u8>, i: usize) -> u8 {
+    let a = unsafe { *v.get_unchecked(i) };
+    let b = unsafe { *v.get_unchecked(i) };
+    a + b
+}
+
+pub fn stable(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+`
+
+const afterSrc = `
+pub fn to_safe(v: Vec<u8>, i: usize) -> u8 {
+    v[i]
+}
+
+pub fn to_interior(v: Vec<u8>, i: usize) -> u8 {
+    if i >= v.len() {
+        return 0;
+    }
+    unsafe { *v.get_unchecked(i) }
+}
+
+pub fn shrinks(v: Vec<u8>, i: usize) -> u8 {
+    let a = unsafe { *v.get_unchecked(i) };
+    let b = a;
+    a + b
+}
+
+pub fn stable(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn regression(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+`
+
+func TestCompareScans(t *testing.T) {
+	before, _ := scan(t, beforeSrc)
+	after, _ := scan(t, afterSrc)
+	rep := CompareScans(before, after)
+	kinds := map[string]RemovalKind{}
+	for _, rm := range rep.Removals {
+		kinds[rm.Function] = rm.Kind
+	}
+	if kinds["to_safe"] != RemovalToSafe {
+		t.Errorf("to_safe = %v", kinds["to_safe"])
+	}
+	if kinds["to_interior"] != RemovalToInterior {
+		t.Errorf("to_interior = %v", kinds["to_interior"])
+	}
+	if kinds["shrinks"] != RemovalShrunk {
+		t.Errorf("shrinks = %v", kinds["shrinks"])
+	}
+	if kinds["regression"] != RemovalIntroduced {
+		t.Errorf("regression = %v", kinds["regression"])
+	}
+	if _, changed := kinds["stable"]; changed {
+		t.Error("stable function misreported")
+	}
+	counts := rep.Count()
+	if counts[RemovalToSafe] != 1 || counts[RemovalToInterior] != 1 || counts[RemovalShrunk] != 1 || counts[RemovalIntroduced] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	out := rep.String()
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestCompareScansIdentity(t *testing.T) {
+	a, _ := scan(t, beforeSrc)
+	b, _ := scan(t, beforeSrc)
+	rep := CompareScans(a, b)
+	if len(rep.Removals) != 0 {
+		t.Errorf("identity comparison reported removals: %+v", rep.Removals)
+	}
+}

@@ -1,0 +1,482 @@
+// Package unsafety implements the paper's §4 unsafe-usage study as a
+// reusable scanner: it counts unsafe regions, functions, traits and impls
+// in parsed crates, classifies what operations each unsafe region performs
+// and why it plausibly exists, detects unsafe markers that could be
+// removed without compile errors (constructor-labelling), and audits
+// interior-unsafe functions for explicit safety checks.
+package unsafety
+
+import (
+	"sort"
+	"strings"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/hir"
+	"rustprobe/internal/source"
+)
+
+// OpKind classifies the operations inside an unsafe region (§4.1: the five
+// things unsafe code may do).
+type OpKind int
+
+// Unsafe operation kinds.
+const (
+	OpRawPointer  OpKind = iota // dereferencing/manipulating raw pointers
+	OpStaticMut                 // accessing mutable statics
+	OpCallUnsafe                // calling unsafe functions (incl. FFI)
+	OpUnsafeTrait               // implementing an unsafe trait
+	OpUnionField                // accessing union fields
+	OpNoOp                      // nothing inherently unsafe (removable marker)
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRawPointer:
+		return "raw-pointer"
+	case OpStaticMut:
+		return "static-mut"
+	case OpCallUnsafe:
+		return "call-unsafe-fn"
+	case OpUnsafeTrait:
+		return "unsafe-trait"
+	case OpUnionField:
+		return "union-field"
+	default:
+		return "no-unsafe-op"
+	}
+}
+
+// Purpose is the scanner's heuristic classification of why the unsafe
+// exists (§4.1's reuse/performance/sharing split).
+type Purpose int
+
+// Usage purposes.
+const (
+	PurposeReuse   Purpose = iota // FFI / existing library reuse
+	PurposePerf                   // unchecked access for speed
+	PurposeSharing                // cross-thread sharing
+	PurposeOther
+)
+
+func (p Purpose) String() string {
+	switch p {
+	case PurposeReuse:
+		return "code reuse"
+	case PurposePerf:
+		return "performance"
+	case PurposeSharing:
+		return "thread sharing"
+	default:
+		return "other"
+	}
+}
+
+// Usage is one unsafe usage site.
+type Usage struct {
+	File     string
+	Span     source.Span
+	Kind     string // "region", "fn", "trait", "impl"
+	Ops      []OpKind
+	Purpose  Purpose
+	Function string // enclosing function, if any
+	// Removable is true when the region/fn contains no operation that
+	// requires unsafe (the §4.1 "no compile error when removed" class).
+	Removable bool
+	// CtorLabel is true for the constructor-labelling pattern: an unsafe
+	// fn whose body is entirely safe and which constructs Self.
+	CtorLabel bool
+}
+
+// InteriorFn is one interior-unsafe function: externally safe, internally
+// containing unsafe regions.
+type InteriorFn struct {
+	Name          string
+	File          string
+	Span          source.Span
+	ExplicitCheck bool // has a visible precondition check before unsafe code
+	UnsafeRegions int
+}
+
+// Report is the scan result for a set of crates.
+type Report struct {
+	Regions int
+	Fns     int
+	Traits  int
+	Impls   int
+
+	Usages      []Usage
+	InteriorFns []InteriorFn
+}
+
+// TotalUsages counts regions+fns+traits (the paper's headline metric).
+func (r *Report) TotalUsages() int { return r.Regions + r.Fns + r.Traits }
+
+// CountOps tallies operation kinds over all usages.
+func (r *Report) CountOps() map[OpKind]int {
+	out := map[OpKind]int{}
+	for _, u := range r.Usages {
+		for _, op := range u.Ops {
+			out[op]++
+		}
+	}
+	return out
+}
+
+// CountPurposes tallies purposes over all usages.
+func (r *Report) CountPurposes() map[Purpose]int {
+	out := map[Purpose]int{}
+	for _, u := range r.Usages {
+		out[u.Purpose]++
+	}
+	return out
+}
+
+// Removable returns the usages whose unsafe marker is not required.
+func (r *Report) Removable() []Usage {
+	var out []Usage
+	for _, u := range r.Usages {
+		if u.Removable {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// UncheckedInterior returns interior-unsafe functions with no explicit
+// precondition check (§4.3's 58% class).
+func (r *Report) UncheckedInterior() []InteriorFn {
+	var out []InteriorFn
+	for _, f := range r.InteriorFns {
+		if !f.ExplicitCheck {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Scan analyzes crates (using prog for unsafe-fn resolution) and produces
+// a Report.
+func Scan(prog *hir.Program) *Report {
+	r := &Report{}
+	// Unsafe functions known to the program (user-defined), used to
+	// classify calls inside unsafe regions.
+	unsafeFns := map[string]bool{}
+	for name, fd := range prog.Funcs {
+		if fd.Unsafety {
+			unsafeFns[name] = true
+			unsafeFns[fd.Name] = true
+		}
+	}
+	for _, crate := range prog.Crates {
+		s := &scanner{report: r, prog: prog, unsafeFns: unsafeFns, file: crate.FileName}
+		s.items(crate.Items)
+	}
+	sort.Slice(r.Usages, func(i, j int) bool { return r.Usages[i].Span.Start < r.Usages[j].Span.Start })
+	sort.Slice(r.InteriorFns, func(i, j int) bool { return r.InteriorFns[i].Span.Start < r.InteriorFns[j].Span.Start })
+	return r
+}
+
+type scanner struct {
+	report    *Report
+	prog      *hir.Program
+	unsafeFns map[string]bool
+	file      string
+}
+
+func (s *scanner) items(items []ast.Item) {
+	for _, it := range items {
+		switch it := it.(type) {
+		case *ast.FnItem:
+			s.fn(it, "")
+		case *ast.ImplItem:
+			if it.Unsafety {
+				s.report.Impls++
+				s.report.Traits++ // an unsafe impl is a use of an unsafe trait
+				s.report.Usages = append(s.report.Usages, Usage{
+					File: s.file, Span: it.Sp, Kind: "impl",
+					Ops:     []OpKind{OpUnsafeTrait},
+					Purpose: PurposeSharing, // unsafe impl Send/Sync dominates
+				})
+			}
+			selfName := ""
+			if pt, ok := it.SelfTy.(*ast.PathType); ok {
+				selfName = pt.Name()
+			}
+			for _, sub := range it.Items {
+				if f, ok := sub.(*ast.FnItem); ok {
+					s.fn(f, selfName)
+				}
+			}
+		case *ast.TraitItem:
+			if it.Unsafety {
+				s.report.Traits++
+				s.report.Usages = append(s.report.Usages, Usage{
+					File: s.file, Span: it.Sp, Kind: "trait",
+					Ops: []OpKind{OpUnsafeTrait}, Purpose: PurposeOther,
+				})
+			}
+			for _, sub := range it.Items {
+				if f, ok := sub.(*ast.FnItem); ok {
+					s.fn(f, it.Name)
+				}
+			}
+		case *ast.ModItem:
+			s.items(it.Items)
+		}
+	}
+}
+
+func (s *scanner) fn(f *ast.FnItem, selfTy string) {
+	qname := f.Name
+	if selfTy != "" {
+		qname = selfTy + "::" + f.Name
+	}
+	if f.Unsafety {
+		s.report.Fns++
+		ops, perfHint := s.opsIn(f.Body)
+		u := Usage{
+			File: s.file, Span: f.Sp, Kind: "fn",
+			Ops: ops, Function: qname,
+			Purpose: purposeOf(ops, f.Name, perfHint),
+		}
+		if len(ops) == 0 || allNoOp(ops) {
+			u.Removable = true
+			u.Ops = []OpKind{OpNoOp}
+			if isCtorName(f.Name) && returnsSelf(f) {
+				u.CtorLabel = true
+			}
+		}
+		s.report.Usages = append(s.report.Usages, u)
+	}
+	if f.Body == nil {
+		return
+	}
+	// Unsafe regions inside the body.
+	regions := unsafeBlocks(f.Body)
+	for _, blk := range regions {
+		s.report.Regions++
+		ops, perfHint := s.opsIn(blk)
+		u := Usage{
+			File: s.file, Span: blk.Sp, Kind: "region",
+			Ops: ops, Function: qname,
+			Purpose: purposeOf(ops, f.Name, perfHint),
+		}
+		if len(ops) == 0 || allNoOp(ops) {
+			u.Removable = true
+			u.Ops = []OpKind{OpNoOp}
+		}
+		s.report.Usages = append(s.report.Usages, u)
+	}
+	// Interior unsafe: a non-unsafe fn containing unsafe regions.
+	if !f.Unsafety && len(regions) > 0 {
+		s.report.InteriorFns = append(s.report.InteriorFns, InteriorFn{
+			Name: qname, File: s.file, Span: f.Sp,
+			ExplicitCheck: hasCheckBefore(f.Body, regions[0]),
+			UnsafeRegions: len(regions),
+		})
+	}
+}
+
+func allNoOp(ops []OpKind) bool {
+	for _, op := range ops {
+		if op != OpNoOp {
+			return false
+		}
+	}
+	return true
+}
+
+// unsafeBlocks collects the outermost unsafe blocks of a body.
+func unsafeBlocks(body *ast.BlockExpr) []*ast.BlockExpr {
+	var out []*ast.BlockExpr
+	if body == nil {
+		return nil
+	}
+	ast.Walk(body, func(n ast.Node) bool {
+		if blk, ok := n.(*ast.BlockExpr); ok && blk.Unsafety && blk != body {
+			out = append(out, blk)
+			return false // outermost only
+		}
+		return true
+	})
+	return out
+}
+
+// opsIn classifies the unsafe operations within a node; perfHint reports
+// whether an unchecked-for-speed operation (get_unchecked and friends) was
+// seen, which drives purpose classification.
+func (s *scanner) opsIn(n ast.Node) ([]OpKind, bool) {
+	if n == nil {
+		return nil, false
+	}
+	perfHint := false
+	seen := map[OpKind]bool{}
+	ast.Inspect(n, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == ast.UnDeref && s.isRawPtrExpr(n.X) {
+				seen[OpRawPointer] = true
+			}
+		case *ast.CastExpr:
+			if _, isPtr := n.Ty.(*ast.RawPtrType); isPtr {
+				seen[OpRawPointer] = true
+			}
+		case *ast.PathExpr:
+			if n.IsLocal() {
+				if sd, ok := s.prog.Statics[n.Name()]; ok && sd.Mut {
+					seen[OpStaticMut] = true
+				}
+			}
+		case *ast.AssignExpr:
+			if pe, ok := ast.Unparen(n.L).(*ast.PathExpr); ok && pe.IsLocal() {
+				if sd, ok := s.prog.Statics[pe.Name()]; ok && sd.Mut {
+					seen[OpStaticMut] = true
+				}
+			}
+		case *ast.CallExpr:
+			if pe, ok := ast.Unparen(n.Fn).(*ast.PathExpr); ok {
+				name := pe.Name()
+				qual := strings.Join(pe.Segments, "::")
+				if s.unsafeFns[qual] || s.unsafeFns[name] || knownUnsafeCallee(qual) || knownUnsafeCallee(name) {
+					seen[OpCallUnsafe] = true
+				}
+			}
+			// Passing a freshly derived raw pointer to any callee is a
+			// raw-pointer operation even when the callee is unknown.
+			for _, a := range n.Args {
+				if s.isRawPtrExpr(a) {
+					seen[OpRawPointer] = true
+				}
+			}
+		case *ast.MethodCallExpr:
+			if strings.Contains(n.Name, "unchecked") {
+				perfHint = true
+				seen[OpRawPointer] = true
+			} else if knownUnsafeMethod(n.Name) {
+				seen[OpCallUnsafe] = true
+			}
+		}
+	})
+	var out []OpKind
+	for _, k := range []OpKind{OpRawPointer, OpStaticMut, OpCallUnsafe, OpUnsafeTrait, OpUnionField} {
+		if seen[k] {
+			out = append(out, k)
+		}
+	}
+	return out, perfHint
+}
+
+// isRawPtrExpr heuristically decides whether an expression is raw-pointer
+// valued: a cast to a pointer type, a call of as_ptr-style methods, or a
+// name conventionally used for pointers.
+func (s *scanner) isRawPtrExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CastExpr:
+		_, ok := e.Ty.(*ast.RawPtrType)
+		return ok
+	case *ast.MethodCallExpr:
+		return e.Name == "as_ptr" || e.Name == "as_mut_ptr" || e.Name == "offset" || e.Name == "add"
+	case *ast.PathExpr:
+		if !e.IsLocal() {
+			return false
+		}
+		n := e.Name()
+		return n == "p" || n == "ptr" || strings.HasSuffix(n, "_ptr") || strings.HasPrefix(n, "ptr_") ||
+			n == "f" || strings.HasSuffix(n, "ptr")
+	case *ast.UnaryExpr:
+		return e.Op == ast.UnDeref && s.isRawPtrExpr(e.X)
+	default:
+		return false
+	}
+}
+
+func knownUnsafeCallee(name string) bool {
+	switch name {
+	case "alloc", "dealloc", "free", "malloc", "memcpy", "memset", "transmute",
+		"ptr::read", "ptr::write", "ptr::copy", "ptr::copy_nonoverlapping",
+		"read", "write", "copy", "copy_nonoverlapping", "uninitialized",
+		"from_raw", "from_raw_parts", "from_utf8_unchecked":
+		return true
+	}
+	return strings.HasPrefix(name, "libc::") || strings.HasPrefix(name, "sys::")
+}
+
+func knownUnsafeMethod(name string) bool {
+	switch name {
+	case "get_unchecked", "get_unchecked_mut", "offset", "add", "sub",
+		"as_ref_unchecked", "slice_unchecked", "read", "write":
+		return name != "read" && name != "write" // plain read/write too common
+	}
+	return false
+}
+
+func isCtorName(name string) bool {
+	return name == "new" || strings.HasPrefix(name, "new_") ||
+		strings.HasPrefix(name, "from_") || name == "default"
+}
+
+func returnsSelf(f *ast.FnItem) bool {
+	pt, ok := f.Decl.Ret.(*ast.PathType)
+	if !ok {
+		return false
+	}
+	n := pt.Name()
+	return n == "Self" || n != "" && n[0] >= 'A' && n[0] <= 'Z'
+}
+
+// purposeOf maps operation kinds (and naming hints) to the §4.1 purpose
+// taxonomy. Unchecked-for-speed hints win over reuse: a get_unchecked call
+// is a performance escape even though the callee is an unsafe fn.
+func purposeOf(ops []OpKind, fnName string, perfHint bool) Purpose {
+	if perfHint || strings.Contains(fnName, "unchecked") || strings.Contains(fnName, "fast") {
+		return PurposePerf
+	}
+	for _, op := range ops {
+		switch op {
+		case OpCallUnsafe:
+			return PurposeReuse
+		case OpStaticMut, OpUnsafeTrait:
+			return PurposeSharing
+		}
+	}
+	for _, op := range ops {
+		if op == OpRawPointer {
+			return PurposePerf
+		}
+	}
+	return PurposeOther
+}
+
+// hasCheckBefore reports whether the function body contains an if/match/
+// assert-style guard lexically before the first unsafe region — the §4.3
+// "explicit condition check" criterion.
+func hasCheckBefore(body *ast.BlockExpr, region *ast.BlockExpr) bool {
+	found := false
+	ast.Walk(body, func(n ast.Node) bool {
+		if found || n == ast.Node(region) {
+			return false
+		}
+		if n.Span().Start >= region.Sp.Start {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.IfExpr:
+			if n.Sp.Start < region.Sp.Start {
+				found = true
+			}
+		case *ast.MacroCallExpr:
+			if strings.HasPrefix(n.Name, "assert") || strings.HasPrefix(n.Name, "debug_assert") {
+				found = true
+			}
+		case *ast.MatchExpr:
+			if n.Sp.Start < region.Sp.Start && region.Sp.Start < n.Sp.End {
+				// The region is inside a match arm: the match is a check.
+				found = true
+			} else if n.Sp.End <= region.Sp.Start {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,166 @@
+package unsafety
+
+import (
+	"testing"
+
+	"rustprobe/internal/hir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func scan(t *testing.T, src string) (*Report, *hir.Program) {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	return Scan(prog), prog
+}
+
+func TestCountsRegionsFnsTraits(t *testing.T) {
+	rep, _ := scan(t, `
+unsafe fn direct() { let p = 1 as *mut u8; *p = 0; }
+fn interior() { unsafe { let p = 2 as *const u8; let v = *p; } }
+unsafe trait Danger {}
+struct S { v: i32 }
+unsafe impl Danger for S {}
+fn plain() { let x = 1; }
+`)
+	if rep.Fns != 1 {
+		t.Errorf("Fns = %d", rep.Fns)
+	}
+	if rep.Regions != 1 {
+		t.Errorf("Regions = %d", rep.Regions)
+	}
+	// unsafe trait + unsafe impl each count toward the trait metric.
+	if rep.Traits != 2 {
+		t.Errorf("Traits = %d", rep.Traits)
+	}
+	if rep.Impls != 1 {
+		t.Errorf("Impls = %d", rep.Impls)
+	}
+	if rep.TotalUsages() != 4 {
+		t.Errorf("TotalUsages = %d", rep.TotalUsages())
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	rep, _ := scan(t, `
+static mut G: u32 = 0;
+fn touch_static() { unsafe { G += 1; } }
+fn raw() { unsafe { let p = 0 as *mut u8; *p = 1; } }
+fn ffi() { unsafe { memcpy(1, 2, 3); } }
+`)
+	ops := rep.CountOps()
+	if ops[OpStaticMut] != 1 {
+		t.Errorf("static-mut = %d", ops[OpStaticMut])
+	}
+	if ops[OpRawPointer] < 1 {
+		t.Errorf("raw-pointer = %d", ops[OpRawPointer])
+	}
+	if ops[OpCallUnsafe] != 1 {
+		t.Errorf("call-unsafe = %d", ops[OpCallUnsafe])
+	}
+}
+
+func TestRemovableAndCtorLabel(t *testing.T) {
+	rep, _ := scan(t, `
+struct Utf8 { bytes: Vec<u8> }
+impl Utf8 {
+    pub unsafe fn from_utf8_unchecked(bytes: Vec<u8>) -> Utf8 {
+        Utf8 { bytes: bytes }
+    }
+}
+pub unsafe fn for_consistency() {
+    let total = 1 + 2;
+    report(total);
+}
+`)
+	rem := rep.Removable()
+	if len(rem) != 2 {
+		t.Fatalf("removable = %d: %+v", len(rem), rem)
+	}
+	var ctor, plain int
+	for _, u := range rem {
+		if u.CtorLabel {
+			ctor++
+		} else {
+			plain++
+		}
+	}
+	if ctor != 1 || plain != 1 {
+		t.Errorf("ctor=%d plain=%d", ctor, plain)
+	}
+}
+
+func TestInteriorUnsafeAudit(t *testing.T) {
+	rep, _ := scan(t, `
+struct Buf { data: Vec<u8>, len: usize }
+impl Buf {
+    fn get_checked(&self, i: usize) -> u8 {
+        if i >= self.len { return 0; }
+        unsafe { *self.data.get_unchecked(i) }
+    }
+    fn get_asserted(&self, i: usize) -> u8 {
+        assert!(i < self.len);
+        unsafe { *self.data.get_unchecked(i) }
+    }
+    fn get_unchecked_wrapper(&self, i: usize) -> u8 {
+        unsafe { *self.data.get_unchecked(i) }
+    }
+}
+`)
+	if len(rep.InteriorFns) != 3 {
+		t.Fatalf("interior fns = %d", len(rep.InteriorFns))
+	}
+	unchecked := rep.UncheckedInterior()
+	if len(unchecked) != 1 || unchecked[0].Name != "Buf::get_unchecked_wrapper" {
+		t.Errorf("unchecked = %+v", unchecked)
+	}
+}
+
+func TestPurposeClassification(t *testing.T) {
+	rep, _ := scan(t, `
+fn reuse() { unsafe { libc::open(1); } }
+fn perf(v: Vec<u8>, i: usize) -> u8 { unsafe { *v.get_unchecked(i) } }
+static mut SHARED: u32 = 0;
+fn share() { unsafe { SHARED = 1; } }
+`)
+	purposes := rep.CountPurposes()
+	if purposes[PurposeReuse] != 1 {
+		t.Errorf("reuse = %d", purposes[PurposeReuse])
+	}
+	if purposes[PurposePerf] != 1 {
+		t.Errorf("perf = %d", purposes[PurposePerf])
+	}
+	if purposes[PurposeSharing] != 1 {
+		t.Errorf("sharing = %d", purposes[PurposeSharing])
+	}
+}
+
+func TestUnsafeFnCallsResolvedAcrossCrate(t *testing.T) {
+	rep, _ := scan(t, `
+unsafe fn low_level() { let p = 0 as *mut u8; *p = 1; }
+fn wrapper() {
+    unsafe { low_level(); }
+}
+`)
+	found := false
+	for _, u := range rep.Usages {
+		if u.Kind == "region" && u.Function == "wrapper" {
+			for _, op := range u.Ops {
+				if op == OpCallUnsafe {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("call to user unsafe fn not classified")
+	}
+}

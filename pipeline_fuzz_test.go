@@ -1,0 +1,127 @@
+package rustprobe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/dfree"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/interiormut"
+	"rustprobe/internal/detect/lockorder"
+	"rustprobe/internal/detect/uaf"
+	"rustprobe/internal/detect/uninit"
+	"rustprobe/internal/interp"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+// soupWords is a vocabulary of lexically valid fragments likely to build
+// deep, weird-but-parseable programs.
+var soupWords = []string{
+	"fn", "f", "g", "(", ")", "{", "}", "let", "mut", "x", "y", "=", "1",
+	";", "match", "if", "else", "unsafe", "impl", "struct", "S", "enum",
+	"E", "&", "*", "->", "::", ".", ",", "<", ">", "[", "]", "loop",
+	"while", "for", "in", "return", "break", "continue", "|", "move",
+	"self", "Some", "None", "Ok", "Err", "=>", "_", "'a", "#", "+", "-",
+	"lock", "unwrap", "drop", "Vec", "new", "Mutex", "Arc", "as",
+	"*mut", "u8", "i32", "vec", "!", "..", "?", "trait", "pub", "static",
+	"const", "use", "mod", "0..10", "true", "false", `"s"`,
+}
+
+func soup(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	n := 1 + r.Intn(120)
+	for i := 0; i < n; i++ {
+		b.WriteString(soupWords[r.Intn(len(soupWords))])
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// TestPipelineNeverPanics pushes random token soup through the whole
+// pipeline — parse, resolve, lower, every static detector, and the
+// dynamic explorer. Diagnostics are fine; panics are not.
+func TestPipelineNeverPanics(t *testing.T) {
+	detectors := []detect.Detector{
+		uaf.New(), doublelock.New(), lockorder.New(),
+		dfree.New(), uninit.New(), interiormut.New(),
+	}
+	for seed := int64(0); seed < 400; seed++ {
+		src := soup(seed)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d panicked: %v\nsource: %s", seed, r, src)
+				}
+			}()
+			fset := source.NewFileSet()
+			f := fset.Add("soup.rs", src)
+			diags := source.NewDiagnostics(fset)
+			crate := parser.ParseFile(f, diags)
+			prog := resolve.Crates(fset, diags, crate)
+			bodies := lower.Program(prog, diags)
+			ctx := detect.NewContext(prog, bodies)
+			for _, d := range detectors {
+				d.Run(ctx)
+			}
+			interp.RunAll(bodies, interp.Config{MaxSteps: 512, MaxPaths: 16})
+		}()
+	}
+}
+
+// TestPipelineNeverPanicsOnMutatedCorpus mutates real corpus files by
+// deleting random byte ranges — realistic partial programs.
+func TestPipelineNeverPanicsOnMutatedCorpus(t *testing.T) {
+	res, err := AnalyzeCorpus("patterns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	files := corpusContents(t)
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		base := files[r.Intn(len(files))]
+		if len(base) < 10 {
+			continue
+		}
+		lo := r.Intn(len(base) - 1)
+		hi := lo + r.Intn(len(base)-lo)
+		mutated := base[:lo] + base[hi:]
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("trial %d panicked: %v\nsource:\n%s", trial, rec, mutated)
+				}
+			}()
+			fset := source.NewFileSet()
+			f := fset.Add("mut.rs", mutated)
+			diags := source.NewDiagnostics(fset)
+			crate := parser.ParseFile(f, diags)
+			prog := resolve.Crates(fset, diags, crate)
+			bodies := lower.Program(prog, diags)
+			ctx := detect.NewContext(prog, bodies)
+			uaf.New().Run(ctx)
+			doublelock.New().Run(ctx)
+		}()
+	}
+}
+
+func corpusContents(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, g := range []string{"patterns", "detector-eval", "unsafe"} {
+		res, err := AnalyzeCorpus(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Fset.Files() {
+			out = append(out, f.Content)
+		}
+	}
+	return out
+}
