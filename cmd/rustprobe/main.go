@@ -9,6 +9,7 @@
 //	rustprobe -detect uaf,double-lock src/
 //	rustprobe -corpus detector-eval   # run on the embedded §7 corpus
 //	rustprobe -mir 'Engine::step' file.rs   # dump a function's MIR
+//	rustprobe -fail-on-findings src/  # CI gate: exit 2 when findings exist
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		explain   = flag.String("explain", "", "render the named function's source annotated with lifetime events (acquire/implicit-unlock/drop) and exit")
 		dynamic   = flag.Bool("dynamic", false, "run the bounded dynamic explorer (Miri-style) instead of the static detectors")
 		asJSON    = flag.Bool("json", false, "emit findings as JSON")
+		failOn    = flag.Bool("fail-on-findings", false, "exit with code 2 when any finding (or dynamic error) is reported, for use as a CI gate")
 		list      = flag.Bool("list", false, "list available detectors and exit")
 	)
 	flag.Parse()
@@ -84,7 +86,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%d dynamic error(s)\n", total)
-		if total > 0 {
+		if *failOn && total > 0 {
 			os.Exit(2)
 		}
 		return
@@ -103,7 +105,7 @@ func main() {
 		}
 		fmt.Printf("%d finding(s)\n", len(findings))
 	}
-	if len(findings) > 0 {
+	if *failOn && len(findings) > 0 {
 		os.Exit(2)
 	}
 }

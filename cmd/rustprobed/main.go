@@ -1,0 +1,81 @@
+// Command rustprobed serves the rustprobe analysis pipeline as a
+// long-running HTTP JSON daemon backed by the concurrent engine
+// (bounded worker pool + per-detector parallelism + content-hash LRU
+// result cache).
+//
+// Endpoints:
+//
+//	POST /v1/analyze    {"files": {"lib.rs": "..."}} or {"corpus": "patterns"},
+//	                    optional {"detectors": ["use-after-free", ...]}
+//	GET  /v1/detectors  detector registry
+//	GET  /healthz       liveness
+//	GET  /stats         engine counters (cache, queue, per-stage latency)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests finish, then the engine drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"rustprobe/internal/engine"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8642", "listen address")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker pool size")
+		queue    = flag.Int("queue", 64, "pending-job queue depth")
+		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (LRU; negative disables)")
+		timeout  = flag.Duration("request-timeout", 30*time.Second, "per-request analysis budget (0 disables)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cacheCap,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng, *timeout),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rustprobed: listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
+			*addr, *workers, *queue, *cacheCap, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			eng.Close()
+			log.Fatalf("rustprobed: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("rustprobed: signal received, shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "rustprobed: shutdown: %v\n", err)
+		}
+	}
+	eng.Close()
+	log.Printf("rustprobed: stopped")
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"rustprobe"
+	"rustprobe/internal/engine"
+)
+
+// maxBodyBytes bounds a single /v1/analyze payload (sources are text;
+// 32 MiB is far beyond any crate the subset frontend will see).
+const maxBodyBytes = 32 << 20
+
+// server routes the rustprobed HTTP API onto an engine.
+type server struct {
+	eng     *engine.Engine
+	timeout time.Duration // per-request analysis budget; 0 = none
+	started time.Time
+}
+
+// newServer builds the daemon's HTTP handler; tests mount it on
+// net/http/httptest listeners.
+func newServer(eng *engine.Engine, timeout time.Duration) http.Handler {
+	s := &server{eng: eng, timeout: timeout, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/detectors", s.handleDetectors)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// analyzeResponse is the wire shape of a successful analysis.
+type analyzeResponse struct {
+	Findings []engine.Finding     `json:"findings"`
+	Unsafe   engine.UnsafeSummary `json:"unsafe"`
+	CacheHit bool                 `json:"cache_hit"`
+	ElapsedMS float64             `json:"elapsed_ms"`
+}
+
+// errorResponse is the wire shape of every failure.
+type errorResponse struct {
+	Error       string `json:"error"`
+	Diagnostics string `json:"diagnostics,omitempty"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only", "")
+		return
+	}
+	var req engine.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err), "")
+		return
+	}
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	resp, err := s.eng.Analyze(ctx, req)
+	if err != nil {
+		var reqErr *engine.RequestError
+		var srcErr *engine.SourceError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, reqErr.Error(), "")
+		case errors.As(err, &srcErr):
+			writeError(w, http.StatusUnprocessableEntity, srcErr.Error(), srcErr.Diags)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "analysis timed out", "")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), "")
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Findings:  resp.Findings,
+		Unsafe:    resp.Unsafe,
+		CacheHit:  resp.CacheHit,
+		ElapsedMS: float64(resp.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+func (s *server) handleDetectors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"detectors": rustprobe.DetectorNames()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg, diags string) {
+	writeJSON(w, status, errorResponse{Error: msg, Diagnostics: diags})
+}

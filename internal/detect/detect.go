@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"rustprobe/internal/callgraph"
 	"rustprobe/internal/hir"
@@ -68,13 +69,17 @@ func (f Finding) Format(fset *source.FileSet) string {
 	return b.String()
 }
 
-// Context carries everything a detector needs.
+// Context carries everything a detector needs. Program, Bodies, Graph
+// and Fset are immutable after NewContext, and the points-to cache is
+// mutex-guarded, so independent detectors may share one Context from
+// concurrent goroutines.
 type Context struct {
 	Program *hir.Program
 	Bodies  map[string]*mir.Body
 	Graph   *callgraph.Graph
 	Fset    *source.FileSet
 
+	mu  sync.Mutex
 	pts map[string]*pointsto.Result
 }
 
@@ -89,12 +94,22 @@ func NewContext(prog *hir.Program, bodies map[string]*mir.Body) *Context {
 	}
 }
 
-// PointsTo returns (caching) the points-to result for a function.
+// PointsTo returns (caching) the points-to result for a function. The
+// analysis runs outside the lock so concurrent detectors never serialize
+// on each other's fixpoints; a rare duplicate computation is discarded.
 func (c *Context) PointsTo(fn string) *pointsto.Result {
+	c.mu.Lock()
 	if r, ok := c.pts[fn]; ok {
+		c.mu.Unlock()
 		return r
 	}
+	c.mu.Unlock()
 	r := pointsto.Analyze(c.Bodies[fn])
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.pts[fn]; ok {
+		return prev
+	}
 	c.pts[fn] = r
 	return r
 }

@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is a mutex-guarded LRU over analysis responses, keyed by the
+// request content hash. Stored responses are treated as immutable: hits
+// hand back the same *Response that the first analysis produced.
+type cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *cache) get(key string) (*Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+func (c *cache) put(key string, resp *Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

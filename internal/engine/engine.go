@@ -1,0 +1,333 @@
+// Package engine wraps the rustprobe pipeline in a concurrent analysis
+// engine: a bounded worker pool serves independent analysis requests in
+// parallel, each job overlaps its per-detector passes (every detector in
+// rustprobe.Detectors() is independent given the shared detect.Context),
+// and a content-hash LRU cache answers repeated submissions of unchanged
+// code without re-analysis. cmd/rustprobed fronts this engine with an
+// HTTP JSON API; cmd and library clients can embed it directly.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"rustprobe"
+	"rustprobe/internal/corpus"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/source"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the analysis pool size; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the pending-job buffer; 0 means 64.
+	QueueDepth int
+	// CacheCapacity is the LRU entry bound; 0 means 256, negative
+	// disables caching entirely (used by benchmarks).
+	CacheCapacity int
+}
+
+// Request is one unit of analysis work: either an inline file set or the
+// name of an embedded corpus group, plus an optional detector selection
+// (empty means the full static suite, as in rustprobe.Result.Detect).
+type Request struct {
+	Files     map[string]string `json:"files,omitempty"`
+	Corpus    string            `json:"corpus,omitempty"`
+	Detectors []string          `json:"detectors,omitempty"`
+}
+
+// Finding is a fully resolved, serializable detector report (positions
+// are materialized so cached responses need no FileSet).
+type Finding struct {
+	Kind     string   `json:"kind"`
+	Severity string   `json:"severity"`
+	Function string   `json:"function"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Column   int      `json:"column"`
+	Message  string   `json:"message"`
+	Notes    []string `json:"notes,omitempty"`
+}
+
+// UnsafeSummary condenses the §4 unsafe-usage scan of the analyzed code.
+type UnsafeSummary struct {
+	Regions int `json:"regions"`
+	Fns     int `json:"fns"`
+	Traits  int `json:"traits"`
+	Total   int `json:"total"`
+}
+
+// Response is the result of one analysis request. Cached responses are
+// shared between submissions; treat Findings as read-only.
+type Response struct {
+	Findings []Finding     `json:"findings"`
+	Unsafe   UnsafeSummary `json:"unsafe"`
+	CacheHit bool          `json:"cache_hit"`
+	Elapsed  time.Duration `json:"-"`
+}
+
+// RequestError reports an invalid request (bad shape, unknown corpus
+// group or detector name); servers map it to 400.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return "engine: " + e.msg }
+
+// SourceError reports that the submitted sources failed to parse;
+// servers map it to 422. Diags carries the rendered diagnostics.
+type SourceError struct{ Diags string }
+
+func (e *SourceError) Error() string { return "engine: syntax errors in submitted sources" }
+
+// Engine is the concurrent analysis engine. Create with New, submit
+// with Analyze, snapshot activity with Stats, stop with Close.
+type Engine struct {
+	cfg   Config
+	jobs  chan *job
+	cache *cache // nil when disabled
+	ctr   counters
+
+	mu     sync.RWMutex // guards closed vs. sends on jobs
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type job struct {
+	req  Request
+	key  string
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *Response
+	err  error
+}
+
+// New starts an engine with cfg's pool and cache sizes.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	e := &Engine{cfg: cfg, jobs: make(chan *job, cfg.QueueDepth)}
+	switch {
+	case cfg.CacheCapacity == 0:
+		e.cache = newCache(256)
+	case cfg.CacheCapacity > 0:
+		e.cache = newCache(cfg.CacheCapacity)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for j := range e.jobs {
+				e.run(j)
+			}
+		}()
+	}
+	return e
+}
+
+// Close stops accepting work, drains queued jobs, and waits for in-flight
+// analyses to finish. Analyze calls after Close return an error.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Analyze submits a request and blocks until its response, a request
+// error, or ctx cancellation. On cancellation the job may still complete
+// in the background and populate the cache for the next submission.
+func (e *Engine) Analyze(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	e.ctr.submitted.Add(1)
+	key := req.key()
+	if e.cache != nil {
+		if cached, ok := e.cache.get(key); ok {
+			e.ctr.cacheHits.Add(1)
+			out := *cached
+			out.CacheHit = true
+			out.Elapsed = time.Since(start)
+			return &out, nil
+		}
+		e.ctr.cacheMisses.Add(1)
+	}
+	j := &job{req: req, key: key, done: make(chan jobResult, 1)}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("engine: closed")
+	}
+	// The read lock is held across the send so Close cannot close the
+	// channel mid-send; workers keep draining, so the send cannot block
+	// Close indefinitely.
+	select {
+	case e.jobs <- j:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-j.done:
+		if r.resp == nil {
+			return nil, r.err
+		}
+		// Copy before stamping Elapsed: the cached response is shared.
+		out := *r.resp
+		out.Elapsed = time.Since(start)
+		return &out, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one job on a worker goroutine: frontend, then the
+// detector fan-out and the unsafe scan in parallel.
+func (e *Engine) run(j *job) {
+	e.ctr.inFlight.Add(1)
+	defer e.ctr.inFlight.Add(-1)
+	start := time.Now()
+
+	res, err := analyzeFrontend(j.req)
+	e.ctr.frontendNs.Add(int64(time.Since(start)))
+	if err != nil {
+		e.ctr.failed.Add(1)
+		j.done <- jobResult{nil, err}
+		return
+	}
+
+	var (
+		wg       sync.WaitGroup
+		findings []rustprobe.Finding
+		scan     UnsafeSummary
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		t := time.Now()
+		findings = res.DetectParallel(j.req.Detectors...)
+		e.ctr.detectNs.Add(int64(time.Since(t)))
+	}()
+	go func() {
+		defer wg.Done()
+		t := time.Now()
+		rep := res.ScanUnsafe()
+		scan = UnsafeSummary{Regions: rep.Regions, Fns: rep.Fns, Traits: rep.Traits, Total: rep.TotalUsages()}
+		e.ctr.scanNs.Add(int64(time.Since(t)))
+	}()
+	wg.Wait()
+
+	resp := &Response{Findings: FindingsFrom(res.Fset, findings), Unsafe: scan}
+	if e.cache != nil {
+		e.cache.put(j.key, resp)
+	}
+	e.ctr.completed.Add(1)
+	e.ctr.analyzeNs.Add(int64(time.Since(start)))
+	j.done <- jobResult{resp, nil}
+}
+
+func analyzeFrontend(req Request) (*rustprobe.Result, error) {
+	if req.Corpus != "" {
+		res, err := rustprobe.AnalyzeCorpus(req.Corpus)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		return res, nil
+	}
+	res, err := rustprobe.AnalyzeFiles(req.Files)
+	if err != nil {
+		if res != nil && res.Diags.HasErrors() {
+			return nil, &SourceError{Diags: res.Diags.String()}
+		}
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return res, nil
+}
+
+func validate(req Request) error {
+	if len(req.Files) == 0 && req.Corpus == "" {
+		return &RequestError{"empty request: provide files or a corpus group"}
+	}
+	if len(req.Files) > 0 && req.Corpus != "" {
+		return &RequestError{"files and corpus are mutually exclusive"}
+	}
+	if req.Corpus != "" {
+		switch corpus.Group(req.Corpus) {
+		case corpus.GroupDetectorEval, corpus.GroupPatterns, corpus.GroupUnsafe, corpus.GroupApps, corpus.GroupAll:
+		default:
+			return &RequestError{fmt.Sprintf("unknown corpus group %q", req.Corpus)}
+		}
+	}
+	known := map[string]bool{}
+	for _, n := range rustprobe.DetectorNames() {
+		known[n] = true
+	}
+	for _, n := range req.Detectors {
+		if !known[n] {
+			return &RequestError{fmt.Sprintf("unknown detector %q", n)}
+		}
+	}
+	return nil
+}
+
+// key content-hashes the request: SHA-256 over the sorted filename+source
+// pairs (length-prefixed so boundaries cannot collide), the corpus group,
+// and the sorted detector selection.
+func (r Request) key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "corpus\x00%s\x00", r.Corpus)
+	names := make([]string, 0, len(r.Files))
+	for n := range r.Files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		src := r.Files[n]
+		fmt.Fprintf(h, "file\x00%d\x00%s\x00%d\x00%s\x00", len(n), n, len(src), src)
+	}
+	ds := append([]string(nil), r.Detectors...)
+	sort.Strings(ds)
+	for _, d := range ds {
+		fmt.Fprintf(h, "detector\x00%s\x00", d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FindingsFrom resolves detector findings against fset into the
+// serializable engine shape.
+func FindingsFrom(fset *source.FileSet, fs []detect.Finding) []Finding {
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		pos := fset.Position(f.Span.Start)
+		out = append(out, Finding{
+			Kind:     string(f.Kind),
+			Severity: f.Severity.String(),
+			Function: f.Function,
+			File:     pos.File,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  f.Message,
+			Notes:    f.Notes,
+		})
+	}
+	return out
+}

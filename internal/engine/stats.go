@@ -1,0 +1,65 @@
+package engine
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of engine activity, cheap enough to
+// serve from a hot /stats endpoint. Cumulative per-stage latencies are
+// reported in milliseconds; divide by JobsCompleted for averages.
+type Stats struct {
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	JobsInFlight  int64  `json:"jobs_in_flight"`
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCompleted uint64 `json:"jobs_completed"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheSize     int    `json:"cache_size"`
+	CacheCapacity int    `json:"cache_capacity"`
+
+	FrontendMSTotal   float64 `json:"frontend_ms_total"`
+	DetectMSTotal     float64 `json:"detect_ms_total"`
+	UnsafeScanMSTotal float64 `json:"unsafe_scan_ms_total"`
+	AnalyzeMSTotal    float64 `json:"analyze_ms_total"`
+}
+
+// counters is the engine-internal atomic backing for Stats.
+type counters struct {
+	inFlight  atomic.Int64
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	frontendNs atomic.Int64
+	detectNs   atomic.Int64
+	scanNs     atomic.Int64
+	analyzeNs  atomic.Int64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:       e.cfg.Workers,
+		QueueDepth:    len(e.jobs),
+		JobsInFlight:  e.ctr.inFlight.Load(),
+		JobsSubmitted: e.ctr.submitted.Load(),
+		JobsCompleted: e.ctr.completed.Load(),
+		JobsFailed:    e.ctr.failed.Load(),
+		CacheHits:     e.ctr.cacheHits.Load(),
+		CacheMisses:   e.ctr.cacheMisses.Load(),
+
+		FrontendMSTotal:   float64(e.ctr.frontendNs.Load()) / 1e6,
+		DetectMSTotal:     float64(e.ctr.detectNs.Load()) / 1e6,
+		UnsafeScanMSTotal: float64(e.ctr.scanNs.Load()) / 1e6,
+		AnalyzeMSTotal:    float64(e.ctr.analyzeNs.Load()) / 1e6,
+	}
+	if e.cache != nil {
+		s.CacheSize = e.cache.len()
+		s.CacheCapacity = e.cache.cap
+	}
+	return s
+}

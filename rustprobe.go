@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"rustprobe/internal/ast"
 	"rustprobe/internal/corpus"
@@ -59,7 +60,8 @@ type Result struct {
 	Fset    *source.FileSet
 	Diags   *source.Diagnostics
 
-	ctx *detect.Context
+	ctxOnce sync.Once
+	ctx     *detect.Context
 }
 
 // AnalyzeSource parses and lowers a single source string.
@@ -92,7 +94,10 @@ func AnalyzeFiles(files map[string]string) (*Result, error) {
 	return res, nil
 }
 
-// AnalyzeDir loads every .rs file under dir (recursively).
+// AnalyzeDir loads every .rs file under dir (recursively). Files are
+// keyed by their slash-separated path relative to dir, so findings,
+// diagnostics and content-hash cache keys for identical trees are
+// identical regardless of where the tree lives on the host.
 func AnalyzeDir(dir string) (*Result, error) {
 	files := map[string]string{}
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
@@ -106,7 +111,11 @@ func AnalyzeDir(dir string) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		files[path] = string(data)
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		files[filepath.ToSlash(rel)] = string(data)
 		return nil
 	})
 	if err != nil {
@@ -129,11 +138,13 @@ func AnalyzeCorpus(group string) (*Result, error) {
 	return &Result{Program: prog, Bodies: bodies, Fset: prog.Fset, Diags: diags}, nil
 }
 
-// Context returns (building lazily) the shared detector context.
+// Context returns (building lazily) the shared detector context. The
+// context is built exactly once and is safe to hand to concurrent
+// detector runs.
 func (r *Result) Context() *detect.Context {
-	if r.ctx == nil {
+	r.ctxOnce.Do(func() {
 		r.ctx = detect.NewContext(r.Program, r.Bodies)
-	}
+	})
 	return r.ctx
 }
 
@@ -178,6 +189,41 @@ func (r *Result) Detect(names ...string) []Finding {
 	}
 	if want["dynamic"] {
 		out = append(out, dynamic.New().Run(r.Context())...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// DetectParallel runs the same detector selection as Detect, but with
+// each detector pass on its own goroutine over the shared Context.
+// The merged, sorted findings are identical to Detect's; the engine
+// uses this to overlap independent passes within one analysis job.
+func (r *Result) DetectParallel(names ...string) []Finding {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	ds := Detectors()
+	if want["dynamic"] {
+		ds = append(ds, dynamic.New())
+	}
+	ctx := r.Context() // build once, before the fan-out
+	results := make([][]Finding, len(ds))
+	var wg sync.WaitGroup
+	for i, d := range ds {
+		if len(want) > 0 && !want[d.Name()] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, d Detector) {
+			defer wg.Done()
+			results[i] = d.Run(ctx)
+		}(i, d)
+	}
+	wg.Wait()
+	var out []Finding
+	for _, fs := range results {
+		out = append(out, fs...)
 	}
 	detect.SortFindings(out)
 	return out

@@ -67,6 +67,54 @@ fn f() {
 	}
 }
 
+// AnalyzeDir must key files relative to the scanned root so findings and
+// content-hash cache keys for identical trees match across machines.
+func TestAnalyzeDirRelativePaths(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "a.rs"), []byte("fn f() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := res.Fset.Files()
+	if len(files) != 1 || files[0].Name != "sub/a.rs" {
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name)
+		}
+		t.Errorf("file names = %v, want [sub/a.rs]", names)
+	}
+}
+
+// DetectParallel must produce findings identical to the serial Detect,
+// for every selection shape the engine submits.
+func TestDetectParallelMatchesDetect(t *testing.T) {
+	for _, group := range []string{"detector-eval", "patterns", "unsafe", "all"} {
+		res, err := AnalyzeCorpus(group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, names := range [][]string{nil, {"use-after-free"}, {"double-lock", "conflicting-lock-order"}} {
+			serial := res.Detect(names...)
+			parallel := res.DetectParallel(names...)
+			if len(serial) != len(parallel) {
+				t.Fatalf("%s %v: serial %d findings, parallel %d", group, names, len(serial), len(parallel))
+			}
+			for i := range serial {
+				if serial[i].Format(res.Fset) != parallel[i].Format(res.Fset) {
+					t.Errorf("%s %v: finding %d diverges:\n serial:   %s\n parallel: %s",
+						group, names, i, serial[i].Format(res.Fset), parallel[i].Format(res.Fset))
+				}
+			}
+		}
+	}
+}
+
 func TestAnalyzeCorpusGroups(t *testing.T) {
 	for _, g := range []string{"detector-eval", "patterns", "unsafe", "all"} {
 		res, err := AnalyzeCorpus(g)
