@@ -94,6 +94,112 @@ func (g *Graph) TransitiveCallees(start string) map[string]bool {
 	return seen
 }
 
+// SCC is one strongly connected component of the call graph. Members are
+// sorted; Recursive is true for multi-function components and for
+// single functions that call themselves.
+type SCC struct {
+	Members   []string
+	Recursive bool
+}
+
+// SCCs returns the Tarjan condensation of the call graph in
+// callee-before-caller order: every component appears before any
+// component that calls into it, so iterating the slice front-to-back
+// visits callees first — the order bottom-up summary propagation needs.
+// The result is deterministic: roots are visited in sorted name order and
+// edges in block order, and each component's Members are sorted.
+func (g *Graph) SCCs() []SCC {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+		visited        bool
+	}
+	states := map[string]*nodeState{}
+	var stack []string
+	var sccs []SCC
+	next := 0
+
+	// Iterative Tarjan: the explicit frame stack keeps pathological
+	// (fuzzed) call chains from overflowing the goroutine stack.
+	type frame struct {
+		node string
+		edge int // next outgoing edge to examine
+	}
+	var strongconnect func(root string)
+	strongconnect = func(root string) {
+		frames := []frame{{node: root}}
+		st := &nodeState{index: next, lowlink: next, onStack: true, visited: true}
+		states[root] = st
+		next++
+		stack = append(stack, root)
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ns := states[f.node]
+			if f.edge < len(g.Callees[f.node]) {
+				callee := g.Callees[f.node][f.edge].Callee
+				f.edge++
+				cs := states[callee]
+				if cs == nil || !cs.visited {
+					cs = &nodeState{index: next, lowlink: next, onStack: true, visited: true}
+					states[callee] = cs
+					next++
+					stack = append(stack, callee)
+					frames = append(frames, frame{node: callee})
+				} else if cs.onStack {
+					if cs.index < ns.lowlink {
+						ns.lowlink = cs.index
+					}
+				}
+				continue
+			}
+			// All edges done: pop the frame, fold lowlink into the parent,
+			// and emit the component if this node is its root.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := states[frames[len(frames)-1].node]
+				if ns.lowlink < parent.lowlink {
+					parent.lowlink = ns.lowlink
+				}
+			}
+			if ns.lowlink != ns.index {
+				continue
+			}
+			var members []string
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				states[top].onStack = false
+				members = append(members, top)
+				if top == f.node {
+					break
+				}
+			}
+			sort.Strings(members)
+			sccs = append(sccs, SCC{Members: members, Recursive: isRecursive(g, members)})
+		}
+	}
+	for _, n := range g.Names() {
+		if st := states[n]; st == nil || !st.visited {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+// isRecursive reports whether a component needs fixpoint iteration: more
+// than one member, or a single member with a self edge.
+func isRecursive(g *Graph, members []string) bool {
+	if len(members) > 1 {
+		return true
+	}
+	for _, e := range g.Callees[members[0]] {
+		if e.Callee == members[0] {
+			return true
+		}
+	}
+	return false
+}
+
 // PostOrder returns functions in callee-before-caller order (cycles broken
 // arbitrarily but deterministically), for bottom-up summary propagation.
 func (g *Graph) PostOrder() []string {

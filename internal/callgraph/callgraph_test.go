@@ -96,3 +96,115 @@ fn odd(n: i32) -> bool { even(n - 1) }
 	}
 	_ = mir.Call{}
 }
+
+func TestSCCsCondensationOrder(t *testing.T) {
+	g := buildGraph(t, chainSrc)
+	sccs := g.SCCs()
+	if len(sccs) != len(g.Bodies) {
+		t.Fatalf("acyclic graph should condense to singletons: %d vs %d", len(sccs), len(g.Bodies))
+	}
+	pos := map[string]int{}
+	for i, s := range sccs {
+		if s.Recursive {
+			t.Errorf("acyclic component marked recursive: %v", s.Members)
+		}
+		for _, m := range s.Members {
+			pos[m] = i
+		}
+	}
+	// Callees must appear before their callers.
+	for caller, edges := range g.Callees {
+		for _, e := range edges {
+			if pos[e.Callee] > pos[caller] {
+				t.Errorf("callee %s condensed after caller %s", e.Callee, caller)
+			}
+		}
+	}
+}
+
+func TestSCCsMutualRecursion(t *testing.T) {
+	g := buildGraph(t, `
+fn even(n: i32) -> bool { odd(n - 1) }
+fn odd(n: i32) -> bool { even(n - 1) }
+fn probe() { even(4); }
+fn leaf() {}
+`)
+	sccs := g.SCCs()
+	var cycle *SCC
+	for i := range sccs {
+		if len(sccs[i].Members) == 2 {
+			cycle = &sccs[i]
+		}
+	}
+	if cycle == nil {
+		t.Fatalf("no 2-function component: %+v", sccs)
+	}
+	if !cycle.Recursive {
+		t.Error("cycle not marked recursive")
+	}
+	if cycle.Members[0] != "even" || cycle.Members[1] != "odd" {
+		t.Errorf("members not sorted: %v", cycle.Members)
+	}
+	// probe calls into the cycle, so its singleton must come later.
+	pos := map[string]int{}
+	for i, s := range sccs {
+		for _, m := range s.Members {
+			pos[m] = i
+		}
+	}
+	if pos["probe"] < pos["even"] {
+		t.Error("caller condensed before the cycle it calls into")
+	}
+}
+
+func TestSCCsSelfRecursion(t *testing.T) {
+	g := buildGraph(t, `
+fn fact(n: i32) -> i32 { if n > 1 { return n * fact(n - 1); } 1 }
+fn plain() {}
+`)
+	for _, s := range g.SCCs() {
+		switch s.Members[0] {
+		case "fact":
+			if !s.Recursive {
+				t.Error("self-recursive function not marked recursive")
+			}
+		case "plain":
+			if s.Recursive {
+				t.Error("plain function marked recursive")
+			}
+		}
+	}
+}
+
+// TestSCCsDeterministic: repeated condensations of the same program (and
+// of a fresh graph over the same source) are identical — the property the
+// summary framework's reproducible iteration order rests on.
+func TestSCCsDeterministic(t *testing.T) {
+	src := `
+struct R { m: Mutex<i32> }
+impl R {
+    fn a(&self, n: i32) { self.b(n); }
+    fn b(&self, n: i32) { self.c(n); self.a(n); }
+    fn c(&self, n: i32) { self.b(n); }
+    fn d(&self) { self.a(1); }
+}
+fn free() {}
+`
+	ref := buildGraph(t, src).SCCs()
+	for trial := 0; trial < 20; trial++ {
+		got := buildGraph(t, src).SCCs()
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: %d components vs %d", trial, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Recursive != ref[i].Recursive || len(got[i].Members) != len(ref[i].Members) {
+				t.Fatalf("trial %d: component %d differs: %+v vs %+v", trial, i, got[i], ref[i])
+			}
+			for j := range ref[i].Members {
+				if got[i].Members[j] != ref[i].Members[j] {
+					t.Fatalf("trial %d: member order differs: %v vs %v", trial, got[i].Members, ref[i].Members)
+				}
+			}
+		}
+	}
+}

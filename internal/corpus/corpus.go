@@ -61,6 +61,7 @@ var groupFiles = map[Group][]string{
 		"rust/redox/relibc_fdopen.rs",
 		"rust/redox/uninit_read.rs",
 		"rust/tikv/double_lock_match.rs",
+		"rust/tikv/registry_cycle.rs",
 		"rust/tikv/atomicity.rs",
 		"rust/tock/mmio_share.rs",
 		"rust/ethereum/authority_round.rs",

@@ -128,13 +128,13 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 	for _, f := range findings {
 		flagged[f.Function] = true
 	}
-	mustFlag := []string{"sign", "do_request"}
+	mustFlag := []string{"sign", "do_request", "RegionRegistry::broken_reload"}
 	for _, fn := range mustFlag {
 		if !flagged[fn] {
 			t.Errorf("buggy pattern %s not flagged\n%s", fn, dump(ctx, findings))
 		}
 	}
-	mustNotFlag := []string{"sign_fixed", "do_request_fixed"}
+	mustNotFlag := []string{"sign_fixed", "do_request_fixed", "RegionRegistry::fixed_reload"}
 	for _, fn := range mustNotFlag {
 		if flagged[fn] {
 			t.Errorf("fixed pattern %s flagged\n%s", fn, dump(ctx, findings))
@@ -272,6 +272,7 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 		"conflicting-lock-order|Ledger::path_a",                            // lock_order.rs AB-BA
 		"double-free|duplicate_owner",                                      // ptr::read duplication
 		"double-lock|Cache::double_borrow",                                 // RefCell borrow_mut x2
+		"double-lock|RegionRegistry::broken_reload",                        // registry_cycle.rs SCC-fixpoint summary
 		"double-lock|do_request",                                           // Figure 8
 		"invalid-free|_fdopen",                                             // Figure 6
 		"uninitialized-read|read_garbage",                                  // alloc-then-read

@@ -1,0 +1,49 @@
+// Caller-holds/callee-locks deadlock behind a recursive maintenance
+// cycle (modeled on TiKV's region-registry upkeep): audit, balance and
+// compact call each other — audit <-> balance and balance <-> compact —
+// and audit takes the registry lock in a scoped critical section.
+// Propagating "may acquire self.regions" from audit around both cycles
+// to compact needs a summary fixpoint over the SCC; a bounded number of
+// post-order rounds leaves compact's lock-set empty and the deadlock in
+// broken_reload (guard live across the compact() call) goes unreported.
+
+struct RegionRegistry {
+    regions: Mutex<i32>,
+}
+
+impl RegionRegistry {
+    fn audit(&self, n: i32) -> i32 {
+        let healthy = { let g = self.regions.lock().unwrap(); *g };
+        if n > 0 {
+            return self.balance(n - 1);
+        }
+        healthy
+    }
+
+    fn balance(&self, n: i32) -> i32 {
+        if n > 2 {
+            return self.audit(n - 1);
+        }
+        if n > 0 {
+            return self.compact(n - 1);
+        }
+        0
+    }
+
+    fn compact(&self, n: i32) -> i32 {
+        if n > 0 {
+            return self.balance(n - 1);
+        }
+        1
+    }
+
+    pub fn broken_reload(&self) {
+        let g = self.regions.lock().unwrap();
+        let compacted = self.compact(4);
+    }
+
+    pub fn fixed_reload(&self) {
+        let before = { let g = self.regions.lock().unwrap(); *g };
+        let compacted = self.compact(4);
+    }
+}

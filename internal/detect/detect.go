@@ -97,6 +97,8 @@ func NewContext(prog *hir.Program, bodies map[string]*mir.Body) *Context {
 // PointsTo returns (caching) the points-to result for a function. The
 // analysis runs outside the lock so concurrent detectors never serialize
 // on each other's fixpoints; a rare duplicate computation is discarded.
+// Unknown function names yield an empty result rather than panicking on
+// a nil body.
 func (c *Context) PointsTo(fn string) *pointsto.Result {
 	c.mu.Lock()
 	if r, ok := c.pts[fn]; ok {
@@ -104,7 +106,11 @@ func (c *Context) PointsTo(fn string) *pointsto.Result {
 		return r
 	}
 	c.mu.Unlock()
-	r := pointsto.Analyze(c.Bodies[fn])
+	body := c.Bodies[fn]
+	if body == nil {
+		return &pointsto.Result{PointsTo: map[mir.LocalID]map[mir.LocalID]bool{}}
+	}
+	r := pointsto.Analyze(body)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.pts[fn]; ok {

@@ -45,6 +45,23 @@ func TestSortFindings(t *testing.T) {
 	}
 }
 
+// TestContextPointsToUnknownFunction: an unresolved callee name must get
+// an empty result, not a nil-body dereference panic inside the analysis.
+func TestContextPointsToUnknownFunction(t *testing.T) {
+	prog := hir.NewProgram(source.NewFileSet())
+	ctx := NewContext(prog, map[string]*mir.Body{})
+	r := ctx.PointsTo("does_not_exist")
+	if r == nil {
+		t.Fatal("nil result for unknown function")
+	}
+	if len(r.PointsTo) != 0 {
+		t.Errorf("unknown function has points-to facts: %v", r.PointsTo)
+	}
+	if tg := r.Targets(0); tg != nil {
+		t.Errorf("Targets on empty result = %v", tg)
+	}
+}
+
 func TestContextPointsToCached(t *testing.T) {
 	prog := hir.NewProgram(source.NewFileSet())
 	body := &mir.Body{Func: &hir.FuncDef{Qualified: "f"}}

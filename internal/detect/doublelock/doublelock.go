@@ -17,6 +17,7 @@ import (
 	"rustprobe/internal/dataflow"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/mir"
+	"rustprobe/internal/summary"
 )
 
 // Mode distinguishes guard kinds.
@@ -159,6 +160,18 @@ func liveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]guardInfo)
 				state.Clear(int(st.Local))
 			case mir.Assign:
 				if !st.Place.IsLocal() {
+					// A guard moved into a non-local place (a struct
+					// field, a slot behind a pointer) leaves the source
+					// local: clear it so a later reacquisition is not a
+					// false positive. The destination's storage is not a
+					// tracked local, so ownership conservatively escapes.
+					if use, ok := st.Rvalue.(mir.Use); ok {
+						if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() {
+							if _, isGuard := origins[pl.Local]; isGuard {
+								state.Clear(int(pl.Local))
+							}
+						}
+					}
 					return
 				}
 				if use, ok := st.Rvalue.(mir.Use); ok {
@@ -260,37 +273,33 @@ func heldAt(state dataflow.BitSet, origins map[mir.LocalID]guardInfo) map[string
 	return held
 }
 
-// translate maps a callee-namespace lock id into the caller's namespace
-// through the call's receiver path. Returns "" when untranslatable.
-func translate(calleeID, recvPath string) string {
-	if strings.HasPrefix(calleeID, "static ") {
-		return calleeID
-	}
-	if recvPath == "" {
-		return ""
-	}
-	if calleeID == "self" {
-		return recvPath
-	}
-	if strings.HasPrefix(calleeID, "self.") {
-		return recvPath + calleeID[len("self"):]
-	}
-	return ""
-}
-
 // buildSummaries computes, bottom-up over the call graph, the set of lock
 // ids each function may acquire (transitively), expressed in its own
-// namespace (only self-rooted and static ids propagate upward).
+// namespace (only self-rooted and static ids propagate upward). The SCC
+// fixpoint in internal/summary makes the propagation sound through
+// mutual recursion and call chains of any length — the previous bounded
+// two-round pass silently under-approximated cyclic call graphs.
 func (d *Detector) buildSummaries(ctx *detect.Context) map[string]map[string]Mode {
-	sums := map[string]map[string]Mode{}
-	order := ctx.Graph.PostOrder()
-	for round := 0; round < 2; round++ {
-		for _, name := range order {
+	prob := &summary.Problem[map[string]Mode]{
+		Bottom: func(string) map[string]Mode { return map[string]Mode{} },
+		Equal: func(a, b map[string]Mode) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for id, m := range a {
+				if bm, ok := b[id]; !ok || bm != m {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(name string, get summary.Lookup[map[string]Mode]) map[string]Mode {
 			body := ctx.Bodies[name]
-			s := sums[name]
-			if s == nil {
-				s = map[string]Mode{}
-				sums[name] = s
+			s := map[string]Mode{}
+			add := func(id string, mode Mode) {
+				if cur, exists := s[id]; !exists || mode > cur {
+					s[id] = mode
+				}
 			}
 			for _, blk := range body.Blocks {
 				c, ok := blk.Term.(mir.Call)
@@ -298,32 +307,33 @@ func (d *Detector) buildSummaries(ctx *detect.Context) map[string]map[string]Mod
 					continue
 				}
 				if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
-					if cur, exists := s[c.RecvPath]; !exists || mode > cur {
-						s[c.RecvPath] = mode
-					}
+					add(c.RecvPath, mode)
 					continue
 				}
 				calleeName := resolvedCallee(ctx, c)
 				if calleeName == "" {
 					continue
 				}
-				for id, mode := range sums[calleeName] {
-					tid := translate(id, c.RecvPath)
+				cs, known := get(calleeName)
+				if !known {
+					continue
+				}
+				for id, mode := range cs {
+					tid := summary.Translate(id, c.RecvPath)
 					if tid == "" {
 						continue
 					}
 					// Only ids that remain self-rooted or static are part
 					// of this function's upward summary.
 					if strings.HasPrefix(tid, "self") || strings.HasPrefix(tid, "static ") {
-						if cur, exists := s[tid]; !exists || mode > cur {
-							s[tid] = mode
-						}
+						add(tid, mode)
 					}
 				}
 			}
-		}
+			return s
+		},
 	}
-	return sums
+	return summary.Compute(ctx.Graph, prob).Summaries
 }
 
 func resolvedCallee(ctx *detect.Context, c mir.Call) string {
@@ -389,7 +399,7 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 			continue
 		}
 		for id, mode := range sums[calleeName] {
-			tid := translate(id, c.RecvPath)
+			tid := summary.Translate(id, c.RecvPath)
 			if tid == "" {
 				continue
 			}

@@ -319,3 +319,133 @@ fn f(a: Mutex<S>, b: Mutex<S>) {
 		t.Fatalf("different nested locks flagged: %+v", findings)
 	}
 }
+
+// --- SCC-fixpoint summary regressions ----------------------------------
+// The previous buildSummaries ran exactly two bounded post-order rounds,
+// so lock-sets never converged on cyclic call graphs. These cases lock in
+// the fixpoint behaviour.
+
+func TestMutualRecursionDoubleLock(t *testing.T) {
+	// A→B→A: the lock-set must travel around the two-cycle to reach the
+	// caller-holds/callee-locks site in broken().
+	src := `
+struct S { m: Mutex<i32> }
+impl S {
+    fn a(&self, n: i32) -> i32 {
+        let v = { let g = self.m.lock().unwrap(); *g };
+        if n > 0 { return self.b(n - 1); }
+        v
+    }
+    fn b(&self, n: i32) -> i32 {
+        if n > 1 { return self.a(n - 1); }
+        1
+    }
+    fn broken(&self) {
+        let g = self.m.lock().unwrap();
+        let v = self.b(2);
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Function != "S::broken" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+func TestThreeCycleDoubleLock(t *testing.T) {
+	// A→B→C→A with the acquisition inside the cycle.
+	src := `
+struct S { m: Mutex<i32> }
+impl S {
+    fn a(&self, n: i32) -> i32 {
+        let v = { let g = self.m.lock().unwrap(); *g };
+        if n > 0 { return self.b(n - 1); }
+        v
+    }
+    fn b(&self, n: i32) -> i32 {
+        if n > 0 { return self.c(n - 1); }
+        1
+    }
+    fn c(&self, n: i32) -> i32 {
+        if n > 0 { return self.a(n - 1); }
+        2
+    }
+    fn broken(&self) {
+        let g = self.m.lock().unwrap();
+        let v = self.c(3);
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Function != "S::broken" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+// TestInterlockedCyclesDoubleLock is the shape the bounded two-round pass
+// provably missed: two cycles sharing a node (audit↔balance,
+// balance↔compact). The lock acquired in audit needs three propagation
+// waves to reach compact's summary — post-order processes compact first
+// and balance's summary is still empty for the first two rounds, so the
+// old pass left compact's lock-set empty and broken() went unflagged.
+func TestInterlockedCyclesDoubleLock(t *testing.T) {
+	src := `
+struct R { regions: Mutex<i32> }
+impl R {
+    fn audit(&self, n: i32) -> i32 {
+        let v = { let g = self.regions.lock().unwrap(); *g };
+        if n > 0 { return self.balance(n - 1); }
+        v
+    }
+    fn balance(&self, n: i32) -> i32 {
+        if n > 2 { return self.audit(n - 1); }
+        if n > 0 { return self.compact(n - 1); }
+        0
+    }
+    fn compact(&self, n: i32) -> i32 {
+        if n > 0 { return self.balance(n - 1); }
+        1
+    }
+    fn broken(&self) {
+        let g = self.regions.lock().unwrap();
+        let v = self.compact(4);
+    }
+    fn fixed(&self) {
+        let v0 = { let g = self.regions.lock().unwrap(); *g };
+        let v = self.compact(4);
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Function != "R::broken" {
+		t.Errorf("function = %s", findings[0].Function)
+	}
+}
+
+// TestGuardMovedIntoStructReleasesTracking: an Assign whose destination
+// is a field projection moves the guard out of the source local; the old
+// transfer ignored non-local destinations entirely, leaving the local
+// "held" forever and false-positives on the later reacquisition.
+func TestGuardMovedIntoStructReleasesTracking(t *testing.T) {
+	src := `
+struct Holder { slot: MutexGuard<i32> }
+fn f(mu: Mutex<i32>, h: Holder) {
+    let g = mu.lock().unwrap();
+    h.slot = g;
+    let k = mu.lock().unwrap();
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("guard moved into struct still flagged: %+v", findings)
+	}
+}

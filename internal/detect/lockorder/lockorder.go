@@ -3,6 +3,10 @@
 // (7 of 38 Mutex/RwLock bugs). It reuses the double-lock machinery's guard
 // lifetimes: for every acquisition performed while another lock is held it
 // records an ordered pair, then reports pairs observed in both directions.
+// The check is inter-procedural: per-function acquisition summaries built
+// on the shared SCC-fixpoint framework (internal/summary) let a call made
+// while a lock is held contribute pairs for every lock the callee may
+// transitively acquire.
 package lockorder
 
 import (
@@ -15,10 +19,15 @@ import (
 	"rustprobe/internal/detect"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/source"
+	"rustprobe/internal/summary"
 )
 
 // Detector finds AB-BA lock order conflicts.
-type Detector struct{}
+type Detector struct {
+	// IntraOnly disables the bottom-up acquisition summaries:
+	// caller-holds/callee-acquires orderings are then invisible.
+	IntraOnly bool
+}
 
 // New returns the detector.
 func New() *Detector { return &Detector{} }
@@ -34,9 +43,13 @@ type acquisition struct {
 
 // Run implements detect.Detector.
 func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	var sums map[string]map[string]bool
+	if !d.IntraOnly {
+		sums = buildSummaries(ctx)
+	}
 	var acqs []acquisition
 	for _, name := range ctx.Graph.Names() {
-		acqs = append(acqs, collect(ctx, name)...)
+		acqs = append(acqs, collect(ctx, name, sums)...)
 	}
 
 	// Normalize lock ids across functions: methods of the same type refer
@@ -91,8 +104,80 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 	return out
 }
 
-// collect finds (held, acquired) pairs in one function.
-func collect(ctx *detect.Context, name string) []acquisition {
+// buildSummaries computes, bottom-up, the set of lock ids each function
+// may (transitively) acquire, in its own namespace; shares the SCC
+// fixpoint engine with the double-lock detector so cyclic call graphs
+// converge instead of being cut off after a bounded number of rounds.
+func buildSummaries(ctx *detect.Context) map[string]map[string]bool {
+	prob := &summary.Problem[map[string]bool]{
+		Bottom: func(string) map[string]bool { return map[string]bool{} },
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for id := range a {
+				if !b[id] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(name string, get summary.Lookup[map[string]bool]) map[string]bool {
+			body := ctx.Bodies[name]
+			s := map[string]bool{}
+			for _, blk := range body.Blocks {
+				c, ok := blk.Term.(mir.Call)
+				if !ok {
+					continue
+				}
+				switch c.Intrinsic {
+				case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
+					if c.RecvPath != "" {
+						s[c.RecvPath] = true
+					}
+					continue
+				}
+				calleeName := resolvedCallee(ctx, c)
+				if calleeName == "" {
+					continue
+				}
+				cs, known := get(calleeName)
+				if !known {
+					continue
+				}
+				for id := range cs {
+					tid := summary.Translate(id, c.RecvPath)
+					if tid == "" {
+						continue
+					}
+					if strings.HasPrefix(tid, "self") || strings.HasPrefix(tid, "static ") {
+						s[tid] = true
+					}
+				}
+			}
+			return s
+		},
+	}
+	return summary.Compute(ctx.Graph, prob).Summaries
+}
+
+func resolvedCallee(ctx *detect.Context, c mir.Call) string {
+	if c.Def != nil {
+		if _, ok := ctx.Bodies[c.Def.Qualified]; ok {
+			return c.Def.Qualified
+		}
+	}
+	if _, ok := ctx.Bodies[c.Callee]; ok {
+		return c.Callee
+	}
+	return ""
+}
+
+// collect finds (held, acquired) pairs in one function: direct
+// acquisitions made while another guard is live, plus — through sums —
+// calls made while a guard is live to functions that transitively
+// acquire other locks.
+func collect(ctx *detect.Context, name string, sums map[string]map[string]bool) []acquisition {
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
 
@@ -149,18 +234,28 @@ func collect(ctx *detect.Context, name string) []acquisition {
 			case mir.StorageDead:
 				state.Clear(int(st.Local))
 			case mir.Assign:
-				if st.Place.IsLocal() {
+				if !st.Place.IsLocal() {
+					// Guard moved into a field/deref place: the source
+					// local no longer holds it (same rule as doublelock).
 					if use, ok := st.Rvalue.(mir.Use); ok {
-						if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+						if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() {
 							if _, isGuard := origins[pl.Local]; isGuard {
 								state.Clear(int(pl.Local))
-								state.Set(int(st.Place.Local))
-								return
 							}
 						}
 					}
-					state.Clear(int(st.Place.Local))
+					return
 				}
+				if use, ok := st.Rvalue.(mir.Use); ok {
+					if pl, ok := mir.OperandPlace(use.X); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
+						if _, isGuard := origins[pl.Local]; isGuard {
+							state.Clear(int(pl.Local))
+							state.Set(int(st.Place.Local))
+							return
+						}
+					}
+				}
+				state.Clear(int(st.Place.Local))
 			}
 		},
 		TransferTerm: func(state dataflow.BitSet, _ mir.BlockID, term mir.Terminator) {
@@ -198,12 +293,7 @@ func collect(ctx *detect.Context, name string) []acquisition {
 			continue
 		}
 		c, ok := blk.Term.(mir.Call)
-		if !ok || c.RecvPath == "" {
-			continue
-		}
-		switch c.Intrinsic {
-		case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
-		default:
+		if !ok {
 			continue
 		}
 		state := res.StateAt(blk.ID, len(blk.Stmts))
@@ -213,11 +303,39 @@ func collect(ctx *detect.Context, name string) []acquisition {
 				held[id] = true
 			}
 		})
-		for id := range held {
-			if id == c.RecvPath {
+		if len(held) == 0 {
+			continue
+		}
+		switch c.Intrinsic {
+		case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
+			if c.RecvPath == "" {
 				continue
 			}
-			out = append(out, acquisition{first: id, second: c.RecvPath, fn: name, span: c.Span})
+			for id := range held {
+				if id == c.RecvPath {
+					continue
+				}
+				out = append(out, acquisition{first: id, second: c.RecvPath, fn: name, span: c.Span})
+			}
+		default:
+			// Inter-procedural: a call made while a guard is live orders
+			// the held lock before everything the callee may acquire.
+			calleeName := resolvedCallee(ctx, c)
+			if calleeName == "" || sums == nil {
+				continue
+			}
+			for id := range sums[calleeName] {
+				tid := summary.Translate(id, c.RecvPath)
+				if tid == "" {
+					continue
+				}
+				for h := range held {
+					if h == tid {
+						continue // same lock twice: the double-lock detector's case
+					}
+					out = append(out, acquisition{first: h, second: tid, fn: name, span: c.Span})
+				}
+			}
 		}
 	}
 	return out

@@ -89,3 +89,129 @@ impl Shared {
 		t.Fatalf("drop-separated acquisitions flagged: %+v", findings)
 	}
 }
+
+// --- inter-procedural acquisition summaries ----------------------------
+
+// TestInterProceduralABBA: path1 orders a before b only through a callee
+// that takes b internally; path2 orders b before a directly. The
+// SCC-fixpoint acquisition summaries make the callee's lock visible at
+// path1's call site.
+func TestInterProceduralABBA(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn read_b(&self) -> i32 {
+        let g = self.b.lock().unwrap();
+        *g
+    }
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let v = self.read_b();
+    }
+    fn path2(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+	if findings[0].Kind != detect.KindLockOrder {
+		t.Errorf("kind = %s", findings[0].Kind)
+	}
+}
+
+// TestInterProceduralABBAIntraOnlyMisses pins the ablation: without
+// summaries the callee acquisition is invisible and no conflict exists.
+func TestInterProceduralABBAIntraOnlyMisses(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn read_b(&self) -> i32 {
+        let g = self.b.lock().unwrap();
+        *g
+    }
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let v = self.read_b();
+    }
+    fn path2(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }
+}
+`
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	findings := (&Detector{IntraOnly: true}).Run(ctx)
+	if len(findings) != 0 {
+		t.Fatalf("intra-only should miss the callee acquisition: %+v", findings)
+	}
+}
+
+// TestRecursiveCalleeOrdering: the callee's acquisition sits behind a
+// mutual-recursion cycle, so only a converged fixpoint sees it.
+func TestRecursiveCalleeOrdering(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn ping(&self, n: i32) -> i32 {
+        if n > 0 { return self.pong(n - 1); }
+        0
+    }
+    fn pong(&self, n: i32) -> i32 {
+        let v = { let g = self.b.lock().unwrap(); *g };
+        if n > 0 { return self.ping(n - 1); }
+        v
+    }
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let v = self.ping(2);
+    }
+    fn path2(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %d, want 1: %+v", len(findings), findings)
+	}
+}
+
+// TestConsistentInterProceduralOrderClean: both paths take a then b (one
+// via a callee) — consistent order, no conflict.
+func TestConsistentInterProceduralOrderClean(t *testing.T) {
+	src := `
+struct Shared { a: Mutex<i32>, b: Mutex<i32> }
+impl Shared {
+    fn read_b(&self) -> i32 {
+        let g = self.b.lock().unwrap();
+        *g
+    }
+    fn path1(&self) {
+        let ga = self.a.lock().unwrap();
+        let v = self.read_b();
+    }
+    fn path2(&self) {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+    }
+}
+`
+	findings := analyze(t, src)
+	if len(findings) != 0 {
+		t.Fatalf("consistent order flagged: %+v", findings)
+	}
+}

@@ -6,8 +6,10 @@ import (
 )
 
 // cache is a mutex-guarded LRU over analysis responses, keyed by the
-// request content hash. Stored responses are treated as immutable: hits
-// hand back the same *Response that the first analysis produced.
+// request content hash. Stored responses are immutable; hits hand back a
+// defensive copy (including a fresh Findings slice) so one caller
+// sorting or filtering its response cannot race another's read of the
+// shared cached value.
 type cache struct {
 	mu    sync.Mutex
 	cap   int
@@ -36,7 +38,13 @@ func (c *cache) get(key string) (*Response, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	stored := el.Value.(*cacheEntry).resp
+	cp := *stored
+	if stored.Findings != nil {
+		cp.Findings = make([]Finding, len(stored.Findings))
+		copy(cp.Findings, stored.Findings)
+	}
+	return &cp, true
 }
 
 func (c *cache) put(key string, resp *Response) {

@@ -224,3 +224,83 @@ func TestEngineClose(t *testing.T) {
 		t.Error("Analyze after Close should fail")
 	}
 }
+
+// TestEngineCacheHitsAreIsolated: every cache hit must receive its own
+// Findings slice — a caller sorting, truncating, or rewriting its
+// response must not be visible to any other caller or corrupt the
+// cached value for future submissions.
+func TestEngineCacheHitsAreIsolated(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	req := engine.Request{Files: map[string]string{"multi.rs": `
+fn use_after_free() {
+    let v = Vec::new();
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+struct S { v: i32 }
+fn relock(mu: Mutex<S>) {
+    let a = mu.lock().unwrap();
+    let b = mu.lock().unwrap();
+}
+`}}
+
+	baseline, err := eng.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Findings) < 2 {
+		t.Fatalf("want >= 2 findings to make mutation observable, got %+v", baseline.Findings)
+	}
+	want := append([]engine.Finding(nil), baseline.Findings...)
+
+	hit, err := eng.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("resubmission was not a cache hit")
+	}
+	// Vandalize the hit's response in place.
+	hit.Findings[0], hit.Findings[1] = hit.Findings[1], hit.Findings[0]
+	hit.Findings[0].Message = "mutated"
+	hit.Findings = hit.Findings[:1]
+
+	again, err := eng.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Fatal("third submission was not a cache hit")
+	}
+	if !reflect.DeepEqual(again.Findings, want) {
+		t.Errorf("mutation through a cache hit leaked into the cache:\ngot  %+v\nwant %+v", again.Findings, want)
+	}
+
+	// Concurrent hits mutating their own copies must be race-free
+	// (meaningful under -race) and observation-free.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := eng.Analyze(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range r.Findings {
+				r.Findings[j].Message = "scribbled"
+			}
+		}()
+	}
+	wg.Wait()
+	final, err := eng.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.Findings, want) {
+		t.Errorf("concurrent mutation leaked into the cache: %+v", final.Findings)
+	}
+}

@@ -66,10 +66,14 @@ func (l *Lexer) peekAt(n int) byte {
 }
 
 func (l *Lexer) bump() byte {
-	c := l.peek()
-	if c != 0 {
-		l.pos++
+	// Advance on any in-bounds byte — including a literal NUL, which peek()
+	// cannot distinguish from end-of-input. Gating the advance on c != 0
+	// would leave pos stuck on embedded NULs and loop Tokenize forever.
+	if l.pos >= len(l.src) {
+		return 0
 	}
+	c := l.src[l.pos]
+	l.pos++
 	return c
 }
 

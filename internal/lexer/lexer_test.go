@@ -162,3 +162,22 @@ pub fn sign(data: Option<&[u8]>) {
 		t.Error("missing EOF")
 	}
 }
+
+// TestNulByteMakesProgress: a literal NUL in the source must lex as an
+// Illegal token and advance — found by FuzzPipeline, where an embedded
+// "\x00" left the scanner stuck emitting Illegal tokens forever.
+func TestNulByteMakesProgress(t *testing.T) {
+	fset := source.NewFileSet()
+	f := fset.Add("t.rs", "fn\x00\x80f")
+	diags := source.NewDiagnostics(fset)
+	toks := New(f, diags).Tokenize()
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Fatal("missing EOF")
+	}
+	if !diags.HasErrors() {
+		t.Error("expected errors for NUL and invalid UTF-8 bytes")
+	}
+	if n := len(toks); n > 8 {
+		t.Errorf("lexer emitted %d tokens for a 5-byte input; not making progress", n)
+	}
+}

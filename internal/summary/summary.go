@@ -1,0 +1,135 @@
+// Package summary is the shared bottom-up inter-procedural summary
+// framework used by the double-lock and lock-order detectors. It walks
+// the Tarjan condensation of the call graph in callee-before-caller
+// order and, inside each strongly connected component, iterates a
+// detector-supplied transfer function to fixpoint — so summaries
+// propagate soundly through mutual recursion and arbitrarily long call
+// chains, which a bounded number of post-order passes cannot guarantee.
+// A per-SCC iteration cap keeps pathological (non-monotone or fuzzed)
+// transfer functions from looping; components that hit the cap are
+// reported via Truncated rather than silently producing partial results.
+package summary
+
+import (
+	"strings"
+
+	"rustprobe/internal/callgraph"
+)
+
+// DefaultMaxIter caps fixpoint rounds per SCC when Problem.MaxIter is
+// unset. A monotone transfer over a finite lock-id universe converges in
+// at most |SCC| rounds; the default leaves generous headroom while
+// bounding fuzz-shaped cycles.
+const DefaultMaxIter = 64
+
+// Lookup reads the current summary of a callee. ok is false for
+// functions outside the analyzed body set.
+type Lookup[S any] func(callee string) (S, bool)
+
+// Problem describes one bottom-up summary computation.
+type Problem[S any] struct {
+	// Bottom returns the initial (least) summary for fn.
+	Bottom func(fn string) S
+	// Transfer recomputes fn's summary from its body, reading callee
+	// summaries through get. It must be monotone in the callee summaries
+	// for the fixpoint to converge; the iteration cap backstops it.
+	Transfer func(fn string, get Lookup[S]) S
+	// Equal reports summary equality (the convergence check).
+	Equal func(a, b S) bool
+	// MaxIter caps iterations per SCC; <= 0 selects DefaultMaxIter.
+	MaxIter int
+}
+
+// Result holds the computed summaries.
+type Result[S any] struct {
+	Summaries map[string]S
+	// Truncated marks functions whose SCC hit the iteration cap before
+	// converging; their summaries are a sound-so-far under-approximation.
+	Truncated map[string]bool
+	// TruncatedSCCs counts capped components (0 on healthy programs).
+	TruncatedSCCs int
+}
+
+// Compute runs the framework over every function in the call graph.
+// Iteration order is deterministic: SCCs in condensation order, members
+// in sorted name order.
+func Compute[S any](g *callgraph.Graph, p *Problem[S]) *Result[S] {
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	res := &Result[S]{Summaries: map[string]S{}, Truncated: map[string]bool{}}
+	get := func(callee string) (S, bool) {
+		s, ok := res.Summaries[callee]
+		return s, ok
+	}
+	for _, scc := range g.SCCs() {
+		for _, fn := range scc.Members {
+			res.Summaries[fn] = p.Bottom(fn)
+		}
+		if !scc.Recursive {
+			fn := scc.Members[0]
+			res.Summaries[fn] = p.Transfer(fn, get)
+			continue
+		}
+		converged := false
+		for iter := 0; iter < maxIter && !converged; iter++ {
+			converged = true
+			for _, fn := range scc.Members {
+				next := p.Transfer(fn, get)
+				if !p.Equal(res.Summaries[fn], next) {
+					converged = false
+				}
+				res.Summaries[fn] = next
+			}
+		}
+		if !converged {
+			res.TruncatedSCCs++
+			for _, fn := range scc.Members {
+				res.Truncated[fn] = true
+			}
+		}
+	}
+	return res
+}
+
+// Translate maps a callee-namespace resource id (a lock path such as
+// "self.client") into the caller's namespace through the call's receiver
+// path. Static ids are namespace-free. Returns "" when the id cannot be
+// expressed in the caller ("mu" rooted at a callee parameter, or a call
+// with no receiver path).
+func Translate(calleeID, recvPath string) string {
+	if strings.HasPrefix(calleeID, "static ") {
+		return calleeID
+	}
+	calleeID = NormalizePath(calleeID)
+	recvPath = NormalizePath(recvPath)
+	if recvPath == "" {
+		return ""
+	}
+	if calleeID == "self" {
+		return recvPath
+	}
+	if strings.HasPrefix(calleeID, "self.") {
+		return recvPath + calleeID[len("self"):]
+	}
+	return ""
+}
+
+// NormalizePath canonicalizes deref-shaped receiver paths: "(*self).f",
+// "*self.f" and "self.f" all name the same lock, so derefs are stripped
+// before prefix matching (a deref never changes which lock a path
+// denotes, only how it is reached).
+func NormalizePath(p string) string {
+	for {
+		switch {
+		case strings.HasPrefix(p, "(*") && strings.Contains(p, ")"):
+			i := strings.Index(p, ")")
+			p = p[2:i] + p[i+1:]
+		case strings.HasPrefix(p, "*"):
+			p = p[1:]
+		default:
+			return p
+		}
+	}
+}

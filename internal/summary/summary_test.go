@@ -1,0 +1,231 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"rustprobe/internal/callgraph"
+	"rustprobe/internal/mir"
+)
+
+// graphOf builds a call graph directly from an adjacency list (edges in
+// declaration order, like block order in a real body).
+func graphOf(adj map[string][]string) *callgraph.Graph {
+	g := &callgraph.Graph{
+		Bodies:  map[string]*mir.Body{},
+		Callees: map[string][]callgraph.Edge{},
+		Callers: map[string][]callgraph.Edge{},
+	}
+	for fn := range adj {
+		g.Bodies[fn] = &mir.Body{}
+	}
+	for fn, callees := range adj {
+		for _, c := range callees {
+			if _, ok := g.Bodies[c]; !ok {
+				g.Bodies[c] = &mir.Body{}
+			}
+			e := callgraph.Edge{Caller: fn, Callee: c}
+			g.Callees[fn] = append(g.Callees[fn], e)
+			g.Callers[c] = append(g.Callers[c], e)
+		}
+	}
+	return g
+}
+
+// setProblem is the canonical monotone problem: each function's summary
+// is seeds[fn] unioned with every callee summary.
+func setProblem(seeds map[string][]string) *Problem[map[string]bool] {
+	return &Problem[map[string]bool]{
+		Bottom: func(string) map[string]bool { return map[string]bool{} },
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(fn string, get Lookup[map[string]bool]) map[string]bool {
+			out := map[string]bool{}
+			for _, s := range seeds[fn] {
+				out[s] = true
+			}
+			return out
+		},
+	}
+}
+
+func keys(m map[string]bool) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+func TestComputeChain(t *testing.T) {
+	g := graphOf(map[string][]string{"a": {"b"}, "b": {"c"}, "c": nil})
+	p := setProblem(map[string][]string{"c": {"L"}})
+	p.Transfer = unionTransfer(g, map[string][]string{"c": {"L"}})
+	res := Compute(g, p)
+	for _, fn := range []string{"a", "b", "c"} {
+		if !res.Summaries[fn]["L"] {
+			t.Errorf("%s missing L: %v", fn, res.Summaries[fn])
+		}
+	}
+	if len(res.Truncated) != 0 || res.TruncatedSCCs != 0 {
+		t.Errorf("acyclic chain truncated: %+v", res)
+	}
+}
+
+// unionTransfer seeds each function and unions in all callee summaries —
+// the lock-set shape both detectors use.
+func unionTransfer(g *callgraph.Graph, seeds map[string][]string) func(string, Lookup[map[string]bool]) map[string]bool {
+	return func(fn string, get Lookup[map[string]bool]) map[string]bool {
+		out := map[string]bool{}
+		for _, s := range seeds[fn] {
+			out[s] = true
+		}
+		for _, e := range g.Callees[fn] {
+			cs, ok := get(e.Callee)
+			if !ok {
+				continue
+			}
+			for k := range cs {
+				out[k] = true
+			}
+		}
+		return out
+	}
+}
+
+// TestComputeFigureEightFixpoint: two cycles sharing a node (a<->b,
+// b<->c) need three propagation waves for a seed in `a` to reach `c` —
+// the shape the old bounded two-round pass missed.
+func TestComputeFigureEightFixpoint(t *testing.T) {
+	g := graphOf(map[string][]string{
+		"a": {"b"},
+		"b": {"a", "c"},
+		"c": {"b"},
+	})
+	p := setProblem(nil)
+	p.Transfer = unionTransfer(g, map[string][]string{"a": {"L"}})
+	res := Compute(g, p)
+	for _, fn := range []string{"a", "b", "c"} {
+		if !res.Summaries[fn]["L"] {
+			t.Errorf("%s missing L after fixpoint: %v", fn, res.Summaries[fn])
+		}
+	}
+	if res.TruncatedSCCs != 0 {
+		t.Errorf("well-behaved cycle truncated")
+	}
+}
+
+// TestComputeTruncation: a transfer that grows forever hits the per-SCC
+// cap and is reported, not looped.
+func TestComputeTruncation(t *testing.T) {
+	g := graphOf(map[string][]string{"x": {"y"}, "y": {"x"}, "z": nil})
+	round := 0
+	p := &Problem[map[string]bool]{
+		MaxIter: 8,
+		Bottom:  func(string) map[string]bool { return map[string]bool{} },
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(fn string, get Lookup[map[string]bool]) map[string]bool {
+			round++
+			return map[string]bool{fmt.Sprintf("v%d", round): true}
+		},
+	}
+	res := Compute(g, p)
+	if res.TruncatedSCCs != 1 {
+		t.Fatalf("TruncatedSCCs = %d, want 1", res.TruncatedSCCs)
+	}
+	if !res.Truncated["x"] || !res.Truncated["y"] {
+		t.Errorf("cycle members not marked truncated: %v", res.Truncated)
+	}
+	if res.Truncated["z"] {
+		t.Error("acyclic function marked truncated")
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b"}, "b": {"a", "c"}, "c": {"b"}, "d": {"a", "c"},
+	}
+	seeds := map[string][]string{"a": {"L1"}, "c": {"L2"}}
+	ref := ""
+	for trial := 0; trial < 10; trial++ {
+		g := graphOf(adj)
+		p := setProblem(nil)
+		p.Transfer = unionTransfer(g, seeds)
+		res := Compute(g, p)
+		var lines []string
+		for fn, s := range res.Summaries {
+			lines = append(lines, fn+"="+keys(s))
+		}
+		sort.Strings(lines)
+		got := strings.Join(lines, ";")
+		if trial == 0 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Fatalf("trial %d differs:\n%s\nvs\n%s", trial, got, ref)
+		}
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	cases := []struct {
+		calleeID, recvPath, want string
+	}{
+		{"self", "self.client", "self.client"},
+		{"self.state", "self.inner", "self.inner.state"},
+		{"self.state", "registry", "registry.state"},
+		{"static GLOBAL", "", "static GLOBAL"},
+		{"static GLOBAL", "anything", "static GLOBAL"},
+		{"mu", "self.inner", ""},                                // callee-parameter lock: untranslatable
+		{"self.state", "", ""},                                  // no receiver path
+		{"(*self).state", "conn", "conn.state"},                 // deref-shaped callee id
+		{"*self.state", "conn", "conn.state"},                   // prefix-deref form
+		{"(*(*self).a).b", "conn", "conn.a.b"},                  // nested derefs
+		{"self.state", "(*handle).inner", "handle.inner.state"}, // deref-shaped receiver
+		{"(*self)", "conn", "conn"},
+	}
+	for _, c := range cases {
+		if got := Translate(c.calleeID, c.recvPath); got != c.want {
+			t.Errorf("Translate(%q, %q) = %q, want %q", c.calleeID, c.recvPath, got, c.want)
+		}
+	}
+}
+
+func TestNormalizePath(t *testing.T) {
+	cases := map[string]string{
+		"self.a":         "self.a",
+		"(*self).a":      "self.a",
+		"*self":          "self",
+		"(*(*self).a).b": "self.a.b",
+		"plain":          "plain",
+		"":               "",
+	}
+	for in, want := range cases {
+		if got := NormalizePath(in); got != want {
+			t.Errorf("NormalizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

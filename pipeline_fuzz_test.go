@@ -125,3 +125,43 @@ func corpusContents(t *testing.T) []string {
 	}
 	return out
 }
+
+// FuzzPipeline is the native-fuzzing entry point behind the CI smoke
+// step (go test -run=^$ -fuzz=FuzzPipeline -fuzztime=30s .): seeded with
+// the deterministic token soup above plus lock-heavy hand seeds, it
+// pushes arbitrary inputs through parse → resolve → lower → every static
+// detector, so detector panics (like the nil-body points-to crash) are
+// caught before merge.
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(0); seed < 40; seed++ {
+		f.Add(soup(seed))
+	}
+	f.Add(`
+struct S { m: Mutex<i32> }
+impl S {
+    fn a(&self) { let g = self.m.lock().unwrap(); self.b(); }
+    fn b(&self) { self.a(); }
+}
+`)
+	f.Add("fn f(mu: Mutex<i32>) { let g = mu.lock().unwrap(); let h = mu.lock().unwrap(); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		fset := source.NewFileSet()
+		file := fset.Add("fuzz.rs", src)
+		diags := source.NewDiagnostics(fset)
+		crate := parser.ParseFile(file, diags)
+		prog := resolve.Crates(fset, diags, crate)
+		bodies := lower.Program(prog, diags)
+		ctx := detect.NewContext(prog, bodies)
+		for _, d := range []detect.Detector{
+			uaf.New(), doublelock.New(), lockorder.New(),
+			dfree.New(), uninit.New(), interiormut.New(),
+		} {
+			d.Run(ctx)
+		}
+		// Unknown-function points-to must return empty, never panic.
+		ctx.PointsTo("no_such_function")
+	})
+}
