@@ -21,15 +21,18 @@ import (
 	"testing"
 
 	"rustprobe"
+	"rustprobe/internal/callgraph"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/engine"
 	"rustprobe/internal/lower"
 	"rustprobe/internal/report"
 	"rustprobe/internal/rtsim"
 	"rustprobe/internal/study"
+	"rustprobe/internal/summary"
 	"rustprobe/internal/unsafety"
 )
 
@@ -226,6 +229,69 @@ func BenchmarkDetectDoubleLock(b *testing.B) {
 		findings := doublelock.New().Run(ctx)
 		if len(findings) != study.DoubleLockBugsFound {
 			b.Fatalf("findings = %d", len(findings))
+		}
+	}
+}
+
+// BenchmarkDetectRace times the §6.2 data-race detector (thread-escape +
+// inter-procedural locksets + pairing) over the patterns corpus, where it
+// must find exactly the five seeded races.
+func BenchmarkDetectRace(b *testing.B) {
+	prog, diags, err := corpus.Load(corpus.GroupPatterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := lower.Program(prog, diags)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := detect.NewContext(prog, bodies)
+		b.StartTimer()
+		findings := race.New().Run(ctx)
+		if len(findings) != study.RaceBugsFound {
+			b.Fatalf("findings = %d", len(findings))
+		}
+	}
+}
+
+// BenchmarkSummaryFixpoint isolates the SCC-fixpoint summary framework
+// both detectors build on: a lockset-style union transfer over the whole
+// corpus call graph (including the recursive registry_cycle SCC).
+func BenchmarkSummaryFixpoint(b *testing.B) {
+	prog, diags, err := corpus.Load(corpus.GroupAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := lower.Program(prog, diags)
+	g := callgraph.Build(bodies)
+	prob := &summary.Problem[map[string]bool]{
+		Bottom: func(string) map[string]bool { return nil },
+		Transfer: func(fn string, get summary.Lookup[map[string]bool]) map[string]bool {
+			out := map[string]bool{fn: true}
+			for _, e := range g.Callees[fn] {
+				s, _ := get(e.Callee)
+				for k := range s {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := summary.Compute(g, prob)
+		if len(res.Summaries) == 0 || res.TruncatedSCCs != 0 {
+			b.Fatalf("summaries = %d, truncated SCCs = %d", len(res.Summaries), res.TruncatedSCCs)
 		}
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/report"
 	"rustprobe/internal/study"
@@ -86,7 +87,8 @@ func main() {
 			fmt.Print(report.NBlkFixSection(db))
 		case "detectors":
 			uafTP, uafFP, dlTP, dlFP := measureDetectors()
-			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP))
+			raceTP, raceFP := measureRaceDetector()
+			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP))
 		case "insights":
 			fmt.Print(report.InsightsSection())
 		case "mining":
@@ -197,6 +199,29 @@ func measureDetectors() (uafTP, uafFP, dlTP, dlFP int) {
 			dlFP++
 		} else {
 			dlTP++
+		}
+	}
+	return
+}
+
+// measureRaceDetector runs the §6.2 data-race detector over the patterns
+// corpus, which seeds one racy sharing shape per studied project next to
+// its synchronized fix; findings in *_fixed (or other clean) functions
+// count as false positives.
+func measureRaceDetector() (raceTP, raceFP int) {
+	res, err := rustprobe.AnalyzeCorpus("patterns")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range race.New().Run(res.Context()) {
+		if f.Kind != detect.KindDataRace {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") || strings.Contains(f.Function, "fp_") {
+			raceFP++
+		} else {
+			raceTP++
 		}
 	}
 	return

@@ -54,20 +54,25 @@ var groupFiles = map[Group][]string{
 	},
 	GroupPatterns: {
 		"rust/servo/bioslice_sign.rs",
+		"rust/servo/race_reflow.rs",
 		"rust/servo/queue_peek_pop.rs",
 		"rust/servo/blocking_patterns.rs",
 		"rust/servo/buffer_overflow.rs",
 		"rust/servo/channel_deadlock.rs",
 		"rust/redox/relibc_fdopen.rs",
+		"rust/redox/race_scheme.rs",
 		"rust/redox/uninit_read.rs",
 		"rust/tikv/double_lock_match.rs",
 		"rust/tikv/registry_cycle.rs",
+		"rust/tikv/race_metrics.rs",
 		"rust/tikv/atomicity.rs",
 		"rust/tock/mmio_share.rs",
 		"rust/ethereum/authority_round.rs",
 		"rust/ethereum/lock_order.rs",
+		"rust/ethereum/race_sealer.rs",
 		"rust/ethereum/condvar.rs",
 		"rust/libs/nonblocking_patterns.rs",
+		"rust/libs/race_negative.rs",
 		"rust/libs/double_free_read.rs",
 		"rust/libs/lazy_init.rs",
 		"rust/std/testcell.rs",

@@ -10,6 +10,7 @@ import (
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/interiormut"
 	"rustprobe/internal/detect/lockorder"
+	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/detect/uninit"
 	"rustprobe/internal/lower"
@@ -115,6 +116,42 @@ func TestSection7DoubleLockResults(t *testing.T) {
 	}
 }
 
+// TestSection62RaceResults pins the §6.2 extension: the data-race
+// detector finds the five seeded non-blocking races in the patterns
+// corpus (one per studied project) and stays silent on every
+// synchronized fixed variant and negative-control shape.
+func TestSection62RaceResults(t *testing.T) {
+	ctx := loadCtx(t, GroupPatterns)
+	findings := race.New().Run(ctx)
+	var tps, fps int
+	for _, f := range findings {
+		if f.Kind != detect.KindDataRace {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") {
+			fps++
+		} else {
+			tps++
+		}
+	}
+	if tps != study.RaceBugsFound {
+		t.Errorf("race true positives = %d, want %d\n%s", tps, study.RaceBugsFound, dump(ctx, findings))
+	}
+	if fps != study.RaceFalsePos {
+		t.Errorf("race false positives = %d, want %d\n%s", fps, study.RaceFalsePos, dump(ctx, findings))
+	}
+	// One finding per seeded race, in the expected function.
+	perFn := map[string]int{}
+	for _, f := range findings {
+		perFn[f.Function]++
+	}
+	for _, fn := range []string{"push_work", "dispatch", "spawn_reflow", "audit_workers", "shard_counters"} {
+		if perFn[fn] != 1 {
+			t.Errorf("function %s flagged %d times, want 1\n%s", fn, perFn[fn], dump(ctx, findings))
+		}
+	}
+}
+
 // TestPatternsFlagBuggyNotFixed runs both detectors over the figure
 // patterns: every figure's buggy function must be flagged, every fixed
 // variant must stay clean.
@@ -123,18 +160,22 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 	var findings []detect.Finding
 	findings = append(findings, uaf.New().Run(ctx)...)
 	findings = append(findings, doublelock.New().Run(ctx)...)
+	findings = append(findings, race.New().Run(ctx)...)
 
 	flagged := map[string]bool{}
 	for _, f := range findings {
 		flagged[f.Function] = true
 	}
-	mustFlag := []string{"sign", "do_request", "RegionRegistry::broken_reload"}
+	mustFlag := []string{"sign", "do_request", "RegionRegistry::broken_reload",
+		"push_work", "dispatch", "spawn_reflow", "audit_workers", "shard_counters"}
 	for _, fn := range mustFlag {
 		if !flagged[fn] {
 			t.Errorf("buggy pattern %s not flagged\n%s", fn, dump(ctx, findings))
 		}
 	}
-	mustNotFlag := []string{"sign_fixed", "do_request_fixed", "RegionRegistry::fixed_reload"}
+	mustNotFlag := []string{"sign_fixed", "do_request_fixed", "RegionRegistry::fixed_reload",
+		"push_work_fixed", "spawn_reflow_fixed", "guarded_update", "single_thread_alias",
+		"guard_handoff", "atomic_counter"}
 	for _, fn := range mustNotFlag {
 		if flagged[fn] {
 			t.Errorf("fixed pattern %s flagged\n%s", fn, dump(ctx, findings))
@@ -202,6 +243,7 @@ func TestAppsGroupClean(t *testing.T) {
 	var findings []detect.Finding
 	findings = append(findings, uaf.New().Run(ctx)...)
 	findings = append(findings, doublelock.New().Run(ctx)...)
+	findings = append(findings, race.New().Run(ctx)...)
 	if len(findings) != 0 {
 		t.Fatalf("apps group flagged:\n%s", dump(ctx, findings))
 	}
@@ -261,7 +303,7 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 	var got []string
 	for _, d := range []detect.Detector{
 		uaf.New(), doublelock.New(), lockorder.New(),
-		dfree.New(), uninit.New(), interiormut.New(),
+		dfree.New(), uninit.New(), interiormut.New(), race.New(),
 	} {
 		for _, f := range d.Run(ctx) {
 			got = append(got, string(f.Kind)+"|"+f.Function)
@@ -270,6 +312,11 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 	sort.Strings(got)
 	want := []string{
 		"conflicting-lock-order|Ledger::path_a",                            // lock_order.rs AB-BA
+		"data-race|audit_workers",                                          // race_metrics.rs static mut via helper
+		"data-race|dispatch",                                               // race_scheme.rs Vec push vs len
+		"data-race|push_work",                                              // race_sealer.rs counter vs read
+		"data-race|shard_counters",                                         // race_metrics.rs loop-spawn self-race
+		"data-race|spawn_reflow",                                           // race_reflow.rs write/write
 		"double-free|duplicate_owner",                                      // ptr::read duplication
 		"double-lock|Cache::double_borrow",                                 // RefCell borrow_mut x2
 		"double-lock|RegionRegistry::broken_reload",                        // registry_cycle.rs SCC-fixpoint summary

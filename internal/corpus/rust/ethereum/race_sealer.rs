@@ -1,0 +1,37 @@
+// OpenEthereum-style sealing pipeline (§6.2 non-blocking): the miner
+// shares its pending seal state with sealer threads via Arc. The buggy
+// path reads the attempt counter the sealer is concurrently incrementing,
+// without the sealing lock.
+
+struct SealState {
+    nonce_floor: u64,
+    attempts: u64,
+}
+
+// Buggy: sealer writes attempts while the miner reads it post-spawn.
+fn push_work(state: Arc<SealState>, rounds: u64) {
+    let sealer = Arc::clone(&state);
+    thread::spawn(move || {
+        let mut n = 0;
+        while n < rounds {
+            sealer.attempts += 1;
+            n += 1;
+        }
+    });
+    state.nonce_floor = state.attempts + 1;
+}
+
+// The committed fix: seal state moves behind a mutex.
+fn push_work_fixed(state: Arc<Mutex<SealState>>, rounds: u64) {
+    let sealer = Arc::clone(&state);
+    thread::spawn(move || {
+        let mut n = 0;
+        while n < rounds {
+            let mut s = sealer.lock().unwrap();
+            s.attempts += 1;
+            n += 1;
+        }
+    });
+    let mut s = state.lock().unwrap();
+    s.nonce_floor = s.attempts + 1;
+}

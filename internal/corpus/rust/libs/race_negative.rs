@@ -1,0 +1,51 @@
+// Negative control cases for the race detector, modeled on the paper's
+// §6.2 fix strategies: synchronized or single-threaded sharing shapes.
+// Every function here must stay silent.
+
+struct Board {
+    cells: u64,
+}
+
+struct Journal {
+    lines: u64,
+}
+
+// Fix pattern 1: both threads take the mutex around the access.
+fn guarded_update(m: Arc<Mutex<Board>>) {
+    let h = Arc::clone(&m);
+    thread::spawn(move || {
+        let mut g = h.lock().unwrap();
+        g.cells += 1;
+    });
+    let mut g2 = m.lock().unwrap();
+    g2.cells += 1;
+}
+
+// Fix pattern 2: Rc stays on one thread; aliasing alone is no race.
+fn single_thread_alias(j: Rc<Journal>) {
+    let alias = Rc::clone(&j);
+    alias.lines += 1;
+    j.lines += 1;
+}
+
+// Fix pattern 3: the guard moves into the spawned thread, carrying
+// ownership of the locked data across the spawn boundary.
+fn guard_handoff(m: Arc<Mutex<Journal>>) {
+    let g = m.lock().unwrap();
+    thread::spawn(move || {
+        g.lines += 1;
+    });
+}
+
+// Fix pattern 4: the counter becomes atomic; fetch_add synchronizes.
+fn atomic_counter(b: Arc<BoardAtomic>) {
+    let h = Arc::clone(&b);
+    thread::spawn(move || {
+        h.cells.fetch_add(1, Ordering::SeqCst);
+    });
+    b.cells.fetch_add(1, Ordering::SeqCst);
+}
+
+struct BoardAtomic {
+    cells: AtomicU64,
+}

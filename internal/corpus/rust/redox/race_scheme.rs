@@ -1,0 +1,17 @@
+// Redox-style scheme daemon (§6.2 non-blocking): event workers push into
+// a shared reply queue while the dispatcher inspects it. The Vec's
+// interior mutation (push reallocates) races with the concurrent read.
+
+struct ReplyQueue {
+    replies: Vec<u64>,
+    seq: u64,
+}
+
+// Buggy: worker pushes while the dispatcher reads the queue length.
+fn dispatch(queue: Arc<ReplyQueue>) {
+    let worker = Arc::clone(&queue);
+    thread::spawn(move || {
+        worker.replies.push(7);
+    });
+    queue.seq = queue.replies.len() as u64 + queue.seq;
+}

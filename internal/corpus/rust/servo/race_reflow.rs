@@ -1,0 +1,32 @@
+// Servo-style shared layout state (§6.2 non-blocking): the script thread
+// hands the layout worker an Arc to the document stats and keeps mutating
+// them while the worker runs. The studied Servo bugs in this class share a
+// flag or counter across the script/layout boundary without a lock.
+
+struct DocStats {
+    dirty_nodes: u64,
+    reflow_count: u64,
+}
+
+// Buggy: the worker and the spawner both write dirty_nodes with no
+// synchronization.
+fn spawn_reflow(stats: Arc<DocStats>) {
+    let worker = Arc::clone(&stats);
+    thread::spawn(move || {
+        worker.reflow_count += 1;
+        worker.dirty_nodes = 0;
+    });
+    stats.dirty_nodes += 1;
+}
+
+// The committed fix: both sides take the document mutex.
+fn spawn_reflow_fixed(stats: Arc<Mutex<DocStats>>) {
+    let worker = Arc::clone(&stats);
+    thread::spawn(move || {
+        let mut s = worker.lock().unwrap();
+        s.reflow_count += 1;
+        s.dirty_nodes = 0;
+    });
+    let mut s = stats.lock().unwrap();
+    s.dirty_nodes += 1;
+}

@@ -1,0 +1,37 @@
+// TiKV-style global metrics (§6.2 non-blocking): a static mut counter
+// bumped from worker threads through a helper function. The race is only
+// visible inter-procedurally — the write sits in note_slow, two call
+// levels below the spawn.
+
+static mut SLOW_QUERIES: u64 = 0;
+
+fn note_slow() {
+    unsafe {
+        SLOW_QUERIES += 1;
+    }
+}
+
+// Buggy: two workers race on the unprotected global.
+fn audit_workers() {
+    thread::spawn(move || {
+        note_slow();
+    });
+    thread::spawn(move || {
+        note_slow();
+    });
+}
+
+struct DbStats {
+    flushes: u64,
+}
+
+// Buggy: one closure spawned per shard; its instances race with each
+// other even though the spawner never touches the stats again.
+fn shard_counters(db: Arc<DbStats>) {
+    for i in 0..4 {
+        let shard = Arc::clone(&db);
+        thread::spawn(move || {
+            shard.flushes += 1;
+        });
+    }
+}

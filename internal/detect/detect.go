@@ -30,6 +30,7 @@ const (
 	KindUninitRead     Kind = "uninitialized-read"
 	KindInteriorMut    Kind = "unsynchronized-interior-mutability"
 	KindBorrowConflict Kind = "borrow-conflict"
+	KindDataRace       Kind = "data-race"
 )
 
 // Severity ranks findings.

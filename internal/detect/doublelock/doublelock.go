@@ -41,10 +41,13 @@ func (m Mode) String() string {
 	}
 }
 
-// guardInfo describes a guard-holding local.
-type guardInfo struct {
-	lockID string
-	mode   Mode
+// Guard describes a guard-holding local: the lock it came from (a
+// source-level path such as "self.client") and the acquisition mode.
+// Exported because the race detector reuses the same guard machinery for
+// its lockset computation.
+type Guard struct {
+	Lock string
+	Mode Mode
 }
 
 // Detector is the double-lock detector.
@@ -92,14 +95,14 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 	return out
 }
 
-// guardOrigins statically assigns a guardInfo to each local that may hold
+// Guards statically assigns a Guard to each local that may hold
 // a guard, by propagating from acquiring calls through moves and unwrap.
-func guardOrigins(body *mir.Body) map[mir.LocalID]guardInfo {
-	origins := map[mir.LocalID]guardInfo{}
+func Guards(body *mir.Body) map[mir.LocalID]Guard {
+	origins := map[mir.LocalID]Guard{}
 	changed := true
 	for changed {
 		changed = false
-		set := func(l mir.LocalID, gi guardInfo) {
+		set := func(l mir.LocalID, gi Guard) {
 			if _, ok := origins[l]; !ok {
 				origins[l] = gi
 				changed = true
@@ -121,12 +124,12 @@ func guardOrigins(body *mir.Body) map[mir.LocalID]guardInfo {
 			}
 			if c, ok := blk.Term.(mir.Call); ok && c.Dest.IsLocal() {
 				if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
-					set(c.Dest.Local, guardInfo{lockID: c.RecvPath, mode: mode})
+					set(c.Dest.Local, Guard{Lock: c.RecvPath, Mode: mode})
 				}
 				// A successful try_lock also yields a guard that blocks a
 				// later lock(); the try itself never deadlocks.
 				if c.Intrinsic == mir.IntrinsicTryLock && c.RecvPath != "" {
-					set(c.Dest.Local, guardInfo{lockID: c.RecvPath, mode: ModeLock})
+					set(c.Dest.Local, Guard{Lock: c.RecvPath, Mode: ModeLock})
 				}
 				switch c.Intrinsic {
 				case mir.IntrinsicUnwrap, mir.IntrinsicTryLock, mir.IntrinsicCondvarWait:
@@ -148,9 +151,9 @@ func guardOrigins(body *mir.Body) map[mir.LocalID]guardInfo {
 	return origins
 }
 
-// liveGuards runs the forward may-analysis: bit l set means local l holds
+// LiveGuards runs the forward may-analysis: bit l set means local l holds
 // a live (unreleased) guard.
-func liveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]guardInfo) *dataflow.Result {
+func LiveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]Guard) *dataflow.Result {
 	prob := &dataflow.Problem{
 		Bits: len(body.Locals),
 		Join: dataflow.JoinUnion,
@@ -159,6 +162,19 @@ func liveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]guardInfo)
 			case mir.StorageDead:
 				state.Clear(int(st.Local))
 			case mir.Assign:
+				// Guards moved into an aggregate (a struct literal or a
+				// closure environment) leave their source locals: ownership
+				// transfers into the aggregate value, so the source no
+				// longer releases on scope end.
+				if agg, ok := st.Rvalue.(mir.Aggregate); ok {
+					for _, op := range agg.Ops {
+						if pl, ok := mir.OperandPlace(op); ok && pl.IsLocal() && mir.IsMove(op) {
+							if _, isGuard := origins[pl.Local]; isGuard {
+								state.Clear(int(pl.Local))
+							}
+						}
+					}
+				}
 				if !st.Place.IsLocal() {
 					// A guard moved into a non-local place (a struct
 					// field, a slot behind a pointer) leaves the source
@@ -259,14 +275,14 @@ func liveGuards(body *mir.Body, g *cfg.Graph, origins map[mir.LocalID]guardInfo)
 	return dataflow.Forward(g, prob)
 }
 
-// heldAt returns the lock identities live at a program point.
-func heldAt(state dataflow.BitSet, origins map[mir.LocalID]guardInfo) map[string]Mode {
+// Held returns the lock identities live at a program point.
+func Held(state dataflow.BitSet, origins map[mir.LocalID]Guard) map[string]Mode {
 	held := map[string]Mode{}
 	state.ForEach(func(l int) {
 		if gi, ok := origins[mir.LocalID(l)]; ok {
 			// Writes dominate in the merged view.
-			if cur, exists := held[gi.lockID]; !exists || gi.mode > cur {
-				held[gi.lockID] = gi.mode
+			if cur, exists := held[gi.Lock]; !exists || gi.Mode > cur {
+				held[gi.Lock] = gi.Mode
 			}
 		}
 	})
@@ -360,8 +376,8 @@ func (d *Detector) conflicts(heldMode, mode Mode) bool {
 func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[string]map[string]Mode) []detect.Finding {
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
-	origins := guardOrigins(body)
-	res := liveGuards(body, g, origins)
+	origins := Guards(body)
+	res := LiveGuards(body, g, origins)
 
 	var out []detect.Finding
 	for _, blk := range body.Blocks {
@@ -373,7 +389,7 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 			continue
 		}
 		state := res.StateAt(blk.ID, len(blk.Stmts))
-		held := heldAt(state, origins)
+		held := Held(state, origins)
 
 		if mode, isAcq := acquireIntrinsic(c.Intrinsic); isAcq && c.RecvPath != "" {
 			if heldMode, isHeld := held[c.RecvPath]; isHeld && d.conflicts(heldMode, mode) {

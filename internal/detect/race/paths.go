@@ -1,0 +1,276 @@
+package race
+
+import (
+	"strings"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/pointsto"
+	"rustprobe/internal/summary"
+	"rustprobe/internal/types"
+)
+
+// resolver renders MIR places of one function as canonical source-level
+// path strings — the same namespace the lock identities already use
+// ("self.client", "queue", "static COUNTER") — so accesses made through
+// different handles to the same storage compare equal. It layers three
+// alias sources:
+//
+//   - pointee: a symbolic-path alias map seeded by Ref/AddrOf and forwarded
+//     through Arc::clone / .clone() on handle types / unwrap, so
+//     `let svc = Arc::clone(&service)` makes svc-rooted paths
+//     service-rooted;
+//   - guards: a guard-holding local resolves to its lock's path, so
+//     `*queue.lock().unwrap()` and the other thread's copy unify on
+//     "queue";
+//   - pointsto: locals whose storage root is known from internal/pointsto
+//     fall back to the root local's name when the symbolic map has no
+//     entry.
+type resolver struct {
+	body    *mir.Body
+	guards  map[mir.LocalID]doublelock.Guard
+	pts     *pointsto.Result
+	pointee map[mir.LocalID]string
+	byName  map[string]mir.LocalID
+}
+
+func newResolver(ctx *detect.Context, name string, body *mir.Body, guards map[mir.LocalID]doublelock.Guard) *resolver {
+	r := &resolver{
+		body:    body,
+		guards:  guards,
+		pts:     ctx.PointsTo(name),
+		pointee: map[mir.LocalID]string{},
+		byName:  map[string]mir.LocalID{},
+	}
+	for _, l := range body.Locals {
+		if l.Name != "" {
+			if _, dup := r.byName[l.Name]; !dup {
+				r.byName[l.Name] = l.ID
+			}
+		}
+	}
+	r.propagate()
+	return r
+}
+
+// canonName resolves a variable name to its canonical root path (following
+// the alias map, so "svc" canonicalizes to "service" after
+// `let svc = Arc::clone(&service)`). Unknown names return "".
+func (r *resolver) canonName(name string) string {
+	l, ok := r.byName[name]
+	if !ok {
+		return ""
+	}
+	return r.rootPath(l)
+}
+
+// canonPath canonicalizes a source-level path (like a Call.RecvPath) by
+// rewriting its root through the alias map.
+func (r *resolver) canonPath(path string) string {
+	path = summary.NormalizePath(path)
+	root := pathRoot(path)
+	if strings.HasPrefix(root, "static ") {
+		return path
+	}
+	if canon := r.canonName(root); canon != "" && canon != root {
+		return rewriteRoot(path, root, canon)
+	}
+	return path
+}
+
+// handleLike reports whether a value of type t is a shared handle: copying
+// or cloning it yields another name for the same storage.
+func handleLike(t types.Type) bool {
+	if types.IsPointerLike(t) {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	return ok && (n.Name == "Arc" || n.Name == "Rc")
+}
+
+// propagate fills the pointee map to a fixpoint. First assignment wins
+// (deterministic in block/statement order), mirroring guard-origin
+// propagation: a local that may alias two different paths keeps the first,
+// an under-approximation that favors precision over recall.
+func (r *resolver) propagate() {
+	set := func(l mir.LocalID, p string) bool {
+		if p == "" {
+			return false
+		}
+		if _, ok := r.pointee[l]; ok {
+			return false
+		}
+		r.pointee[l] = p
+		return true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range r.body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				dest := as.Place.Local
+				switch rv := as.Rvalue.(type) {
+				case mir.Ref:
+					if set(dest, r.placePath(rv.Place)) {
+						changed = true
+					}
+				case mir.AddrOf:
+					if set(dest, r.placePath(rv.Place)) {
+						changed = true
+					}
+				case mir.Use:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if p, has := r.pointee[pl.Local]; has && set(dest, p) {
+							changed = true
+						}
+					}
+				case mir.Cast:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if p, has := r.pointee[pl.Local]; has && set(dest, p) {
+							changed = true
+						}
+					}
+				}
+			}
+			c, ok := blk.Term.(mir.Call)
+			if !ok || !c.Dest.IsLocal() {
+				continue
+			}
+			switch c.Intrinsic {
+			case mir.IntrinsicArcClone, mir.IntrinsicUnwrap, mir.IntrinsicCondvarWait:
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+						if set(c.Dest.Local, r.valuePath(pl)) {
+							changed = true
+						}
+					}
+				}
+			case mir.IntrinsicClone:
+				// .clone() duplicates the value; only handle types (Arc,
+				// Rc, references) keep the clone aliased to the original
+				// storage. Deep clones of owned data are fresh.
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+						if handleLike(r.localType(pl.Local)) {
+							if set(c.Dest.Local, r.valuePath(pl)) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *resolver) localType(l mir.LocalID) types.Type {
+	if int(l) < len(r.body.Locals) {
+		return r.body.Locals[l].Ty
+	}
+	return types.UnknownType
+}
+
+// rootPath resolves the canonical path of a local's storage-or-referent:
+// a guard local names its lock's contents, a handle/reference names what it
+// points at, a named local names itself. Temporaries with no alias
+// information resolve to "" and their accesses are dropped.
+func (r *resolver) rootPath(l mir.LocalID) string {
+	if g, ok := r.guards[l]; ok {
+		return g.Lock
+	}
+	if p, ok := r.pointee[l]; ok {
+		return p
+	}
+	loc := r.body.Local(l)
+	if loc.Name != "" {
+		return loc.Name
+	}
+	// Last resort: a single known points-to root lends the temp its name.
+	if targets := r.pts.Targets(l); len(targets) == 1 {
+		for t := range targets {
+			if t != l && int(t) < len(r.body.Locals) && r.body.Locals[t].Name != "" {
+				return r.body.Locals[t].Name
+			}
+		}
+	}
+	return ""
+}
+
+// placePath renders a place as a canonical path. Dereferences are elided —
+// a deref never changes which abstract location a path denotes, only how
+// it is reached — matching summary.NormalizePath's treatment of lock ids.
+func (r *resolver) placePath(p mir.Place) string {
+	root := r.rootPath(p.Local)
+	if root == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(root)
+	for _, pr := range p.Proj {
+		switch pr := pr.(type) {
+		case mir.FieldProj:
+			b.WriteString(".")
+			b.WriteString(pr.Name)
+		case mir.IndexProj:
+			b.WriteString("[_]")
+		}
+	}
+	return b.String()
+}
+
+// valuePath is the path denoted by the *value* stored at a place: for a
+// bare local that's its referent (or itself, for named locals); with
+// projections it is the projected path (our paths conflate a reference
+// with its target, like the lock-id scheme).
+func (r *resolver) valuePath(p mir.Place) string {
+	return r.placePath(p)
+}
+
+// pathRoot returns the leading segment of a canonical path ("self.a.b" →
+// "self", "static C" → "static C", "jobs[_]" → "jobs").
+func pathRoot(p string) string {
+	if rest, ok := strings.CutPrefix(p, "static "); ok {
+		if i := strings.IndexAny(rest, ".["); i >= 0 {
+			return "static " + rest[:i]
+		}
+		return p
+	}
+	if i := strings.IndexAny(p, ".["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// rewriteRoot replaces the root segment of path with to.
+func rewriteRoot(path, root, to string) string {
+	if path == root {
+		return to
+	}
+	return to + path[len(root):]
+}
+
+// overlap reports whether two canonical paths may name overlapping
+// storage: equal, or one a field/index extension of the other.
+func overlap(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if strings.HasPrefix(a, b) && (a[len(b)] == '.' || a[len(b)] == '[') {
+		return true
+	}
+	if strings.HasPrefix(b, a) && (b[len(a)] == '.' || b[len(a)] == '[') {
+		return true
+	}
+	return false
+}
+
+// pathDepth counts path segments, bounding translated paths through
+// recursive call chains.
+func pathDepth(p string) int {
+	return 1 + strings.Count(p, ".") + strings.Count(p, "[")
+}

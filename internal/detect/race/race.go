@@ -1,0 +1,643 @@
+// Package race implements a static data-race detector for the paper's
+// §6.2 non-blocking bugs: unsynchronized accesses to memory shared across
+// a thread::spawn boundary. Three cooperating analyses feed the report:
+//
+//  1. a thread-escape analysis marks the abstract places reachable from
+//     spawn-closure captures (recorded by internal/lower as capture
+//     pseudo-arguments), from Arc::clone aliases, and from `static mut`
+//     items, layered on the per-function points-to results;
+//  2. an inter-procedural lockset computation — which locks are held at
+//     each MIR statement — runs as a monotone transfer function on the
+//     internal/summary SCC fixpoint, reusing the double-lock detector's
+//     guard-lifetime machinery and extending it across calls;
+//  3. a conflicting-access pairer reports two accesses to the same escaped
+//     place, at least one a write, from distinct spawn contexts, whose
+//     locksets share no common lock.
+//
+// Known approximations (documented in DESIGN.md): join() establishing
+// happens-before is ignored (a post-spawn access in the spawner is assumed
+// concurrent with the thread), RefCell borrows count as locks, and paths
+// conflate a reference with its referent exactly like the lock-id scheme.
+package race
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+	"rustprobe/internal/summary"
+)
+
+// maxPathDepth bounds translated paths through recursive call chains, the
+// same role the summary iteration cap plays for lock ids.
+const maxPathDepth = 8
+
+// Access is one shared-memory access in a function's summary, expressed
+// in that function's namespace.
+type Access struct {
+	Path     string
+	Write    bool
+	Interior bool // mutation via an unknown &self-style method (push, insert, ...)
+	Fn       string
+	Span     source.Span
+	At       mir.BlockID // block in the summary owner's body, for post-spawn filtering
+	Locks    map[string]doublelock.Mode
+}
+
+func (a *Access) key() string {
+	return fmt.Sprintf("%s|%t|%s|%d|%d", a.Path, a.Write, a.Fn, a.Span.Start, a.At)
+}
+
+func (a *Access) clone() *Access {
+	c := *a
+	c.Locks = make(map[string]doublelock.Mode, len(a.Locks))
+	for k, v := range a.Locks {
+		c.Locks[k] = v
+	}
+	return &c
+}
+
+// accSummary is a function's access set keyed by Access.key. The lattice
+// is monotone: the key set only grows and the per-key locksets only shrink
+// (intersection), so the SCC fixpoint terminates.
+type accSummary map[string]*Access
+
+// mutatingMethods names container methods that mutate their receiver; a
+// call through an unknown callee with such a name is an interior write.
+// Atomic operations (store, fetch_add, swap, ...) are deliberately absent:
+// they synchronize.
+var mutatingMethods = map[string]bool{
+	"push": true, "push_back": true, "push_front": true, "push_str": true,
+	"insert": true, "remove": true, "pop": true, "pop_front": true,
+	"clear": true, "truncate": true, "extend": true, "append": true,
+	"set": true, "replace": true, "set_len": true, "write_all": true,
+	"retain": true, "sort": true, "drain": true,
+}
+
+// Detector is the data-race detector.
+type Detector struct{}
+
+// New returns the detector with default configuration.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "race" }
+
+type spawnSite struct {
+	at      mir.BlockID
+	target  mir.BlockID
+	closure string
+	span    source.Span
+}
+
+type callSite struct {
+	callee   string
+	at       mir.BlockID
+	argPaths []string
+	held     map[string]doublelock.Mode
+}
+
+// funcInfo caches the per-function analyses shared by the summary
+// transfer (which the SCC fixpoint re-runs) and the pairing phase.
+type funcInfo struct {
+	name   string
+	body   *mir.Body
+	g      *cfg.Graph
+	res    *resolver
+	own    []*Access
+	calls  []callSite
+	spawns []spawnSite
+}
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	infos := map[string]*funcInfo{}
+	for _, name := range ctx.Graph.Names() {
+		infos[name] = d.analyze(ctx, name)
+	}
+	sums := d.buildSummaries(ctx, infos)
+
+	var out []detect.Finding
+	seen := map[string]bool{}
+	for _, name := range ctx.Graph.Names() {
+		out = append(out, d.pair(ctx, infos, sums, name, seen)...)
+	}
+	detect.SortFindings(out)
+	return out
+}
+
+// analyze collects the intra-procedural facts of one function: its own
+// accesses with locksets, its resolved call sites, and its spawn sites.
+func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	guards := doublelock.Guards(body)
+	live := doublelock.LiveGuards(body, g, guards)
+	res := newResolver(ctx, name, body, guards)
+	info := &funcInfo{name: name, body: body, g: g, res: res}
+
+	closureOf := closureLocals(body)
+
+	heldAt := func(blk mir.BlockID, idx int) map[string]doublelock.Mode {
+		held := doublelock.Held(live.StateAt(blk, idx), guards)
+		canon := make(map[string]doublelock.Mode, len(held))
+		for id, m := range held {
+			canon[res.canonPath(id)] = m
+		}
+		return canon
+	}
+	record := func(pl mir.Place, write, interior bool, sp source.Span, blk mir.BlockID, held map[string]doublelock.Mode) {
+		if len(pl.Proj) == 0 && !isStaticLocal(body, pl.Local) {
+			return // a bare binding is not a shared-memory access
+		}
+		p := res.placePath(pl)
+		if p == "" || pathDepth(p) > maxPathDepth {
+			return
+		}
+		info.own = append(info.own, &Access{
+			Path: p, Write: write, Interior: interior,
+			Fn: name, Span: sp, At: blk, Locks: held,
+		})
+	}
+	readOperand := func(op mir.Operand, sp source.Span, blk mir.BlockID, held map[string]doublelock.Mode) {
+		if pl, ok := mir.OperandPlace(op); ok {
+			record(pl, false, false, sp, blk, held)
+		}
+	}
+
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		for i, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			held := heldAt(blk.ID, i)
+			record(as.Place, true, false, as.Span, blk.ID, held)
+			switch rv := as.Rvalue.(type) {
+			case mir.Use:
+				readOperand(rv.X, as.Span, blk.ID, held)
+			case mir.Cast:
+				readOperand(rv.X, as.Span, blk.ID, held)
+			case mir.BinaryOp:
+				readOperand(rv.L, as.Span, blk.ID, held)
+				readOperand(rv.R, as.Span, blk.ID, held)
+			case mir.UnaryOp:
+				readOperand(rv.X, as.Span, blk.ID, held)
+			case mir.Aggregate:
+				for _, op := range rv.Ops {
+					readOperand(op, as.Span, blk.ID, held)
+				}
+			case mir.Discriminant:
+				record(rv.Place, false, false, as.Span, blk.ID, held)
+			}
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok {
+			continue
+		}
+		held := heldAt(blk.ID, len(blk.Stmts))
+		if c.Intrinsic == mir.IntrinsicSpawn {
+			for _, a := range c.Args {
+				pl, ok := mir.OperandPlace(a)
+				if !ok {
+					continue
+				}
+				if cn, isClosure := closureOf[pl.Local]; isClosure {
+					info.spawns = append(info.spawns, spawnSite{
+						at: blk.ID, target: c.Target, closure: cn, span: c.Span,
+					})
+					break
+				}
+			}
+			continue
+		}
+		for _, a := range c.Args {
+			readOperand(a, c.Span, blk.ID, held)
+		}
+		callee := resolvedCallee(ctx, c)
+		if callee != "" {
+			cs := callSite{callee: callee, at: blk.ID, held: held}
+			for _, a := range c.Args {
+				p := ""
+				if pl, ok := mir.OperandPlace(a); ok {
+					p = res.valuePath(pl)
+				}
+				cs.argPaths = append(cs.argPaths, p)
+			}
+			info.calls = append(info.calls, cs)
+		} else if c.Intrinsic == mir.IntrinsicNone && c.RecvPath != "" && mutatingMethods[methodName(c.Callee)] {
+			// A mutating container method through an unknown callee is an
+			// interior write to the receiver's storage.
+			p := res.canonPath(c.RecvPath)
+			if p != "" && pathDepth(p) <= maxPathDepth {
+				info.own = append(info.own, &Access{
+					Path: p, Write: true, Interior: true,
+					Fn: name, Span: c.Span, At: blk.ID, Locks: held,
+				})
+			}
+		}
+	}
+	return info
+}
+
+// buildSummaries runs the inter-procedural access/lockset computation:
+// each function's summary is its own accesses plus its callees' summaries
+// translated through the call-site argument paths, with the caller's held
+// locks added to inherited accesses. Same-site duplicates intersect their
+// locksets, keeping the transfer monotone.
+func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo) map[string]accSummary {
+	prob := &summary.Problem[accSummary]{
+		Bottom: func(string) accSummary { return accSummary{} },
+		Equal:  summariesEqual,
+		Transfer: func(name string, get summary.Lookup[accSummary]) accSummary {
+			info := infos[name]
+			s := accSummary{}
+			for _, a := range info.own {
+				mergeAccess(s, a)
+			}
+			for _, cs := range info.calls {
+				calleeSum, known := get(cs.callee)
+				if !known {
+					continue
+				}
+				params := paramNames(ctx.Bodies[cs.callee])
+				for _, a := range calleeSum {
+					p := summary.TranslateRoot(a.Path, params, cs.argPaths)
+					if p == "" || pathDepth(p) > maxPathDepth {
+						continue
+					}
+					t := a.clone()
+					t.Path = p
+					t.At = cs.at
+					t.Locks = translateLocks(a.Locks, params, cs.argPaths)
+					for id, m := range cs.held {
+						if cur, ok := t.Locks[id]; !ok || m > cur {
+							t.Locks[id] = m
+						}
+					}
+					mergeAccess(s, t)
+				}
+			}
+			return s
+		},
+	}
+	return summary.Compute(ctx.Graph, prob).Summaries
+}
+
+// mergeAccess inserts a into s, intersecting locksets on key collision
+// (an access reachable along two call paths is only protected by locks
+// held along both).
+func mergeAccess(s accSummary, a *Access) {
+	prev, ok := s[a.key()]
+	if !ok {
+		s[a.key()] = a
+		return
+	}
+	for id, m := range prev.Locks {
+		am, has := a.Locks[id]
+		if !has {
+			delete(prev.Locks, id)
+			continue
+		}
+		if am < m {
+			prev.Locks[id] = am
+		}
+	}
+}
+
+func translateLocks(locks map[string]doublelock.Mode, params, argPaths []string) map[string]doublelock.Mode {
+	out := map[string]doublelock.Mode{}
+	for id, m := range locks {
+		if t := summary.TranslateRoot(id, params, argPaths); t != "" {
+			out[t] = m
+		}
+	}
+	return out
+}
+
+func summariesEqual(a, b accSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av.Locks) != len(bv.Locks) {
+			return false
+		}
+		for id, m := range av.Locks {
+			if bm, has := bv.Locks[id]; !has || bm != m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedAccs flattens a summary into a deterministic slice: by span,
+// then path, writes before reads. The write-first tiebreak matters for
+// compound assignments (`x += 1` is a read and a write at one span):
+// pairKey ignores the access kind, so the first pair encountered wins,
+// and sorting keeps that choice stable across runs.
+func sortedAccs(s accSummary) []*Access {
+	out := make([]*Access, 0, len(s))
+	for _, a := range s {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Span.Start != out[j].Span.Start {
+			return out[i].Span.Start < out[j].Span.Start
+		}
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		if out[i].Write != out[j].Write {
+			return out[i].Write
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].At < out[j].At
+	})
+	return out
+}
+
+// spawnCtx is one thread context at the pairing stage: the accesses a
+// spawned closure (or the spawner's post-spawn continuation) may perform,
+// rewritten into the spawning function's namespace.
+type spawnCtx struct {
+	label  string
+	accs   []*Access
+	inLoop bool
+}
+
+// pair reports conflicting access pairs for one spawning function.
+func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums map[string]accSummary, name string, seen map[string]bool) []detect.Finding {
+	info := infos[name]
+	if len(info.spawns) == 0 {
+		return nil
+	}
+
+	// Thread-escape set: the canonical roots captured by any spawned
+	// closure. Statics always escape.
+	escaped := map[string]bool{}
+	var ctxs []spawnCtx
+	for _, sp := range info.spawns {
+		cbody := ctx.Bodies[sp.closure]
+		if cbody == nil {
+			continue
+		}
+		caps := map[string]bool{}
+		for _, c := range cbody.Captures {
+			caps[c] = true
+			if root := info.res.canonName(c); root != "" {
+				escaped[pathRoot(root)] = true
+			}
+		}
+		sc := spawnCtx{
+			label:  sp.closure,
+			inLoop: info.g.ReachableFrom(sp.target)[sp.at],
+		}
+		for _, a := range sortedAccs(sums[sp.closure]) {
+			root := pathRoot(a.Path)
+			var rewritten *Access
+			switch {
+			case strings.HasPrefix(root, "static "):
+				rewritten = a.clone()
+			case caps[root]:
+				// Capture-rooted: rename into the spawner's namespace
+				// through the alias map (svc → service).
+				canon := info.res.canonName(root)
+				if canon == "" {
+					canon = root
+				}
+				rewritten = a.clone()
+				rewritten.Path = rewriteRoot(a.Path, root, canon)
+				newLocks := map[string]doublelock.Mode{}
+				for id, m := range rewritten.Locks {
+					lr := pathRoot(id)
+					if caps[lr] {
+						if lc := info.res.canonName(lr); lc != "" {
+							id = rewriteRoot(id, lr, lc)
+						}
+					}
+					newLocks[id] = m
+				}
+				rewritten.Locks = newLocks
+			default:
+				// Rooted in closure-local storage: thread-private.
+				continue
+			}
+			sc.accs = append(sc.accs, rewritten)
+		}
+		ctxs = append(ctxs, sc)
+
+		// The spawner's own continuation is a context too: accesses at
+		// program points reachable after the spawn, on escaped roots.
+		reach := info.g.ReachableFrom(sp.target)
+		var mainAccs []*Access
+		for _, a := range sortedAccs(sums[name]) {
+			if !reach[a.At] {
+				continue
+			}
+			root := pathRoot(a.Path)
+			if escaped[root] || strings.HasPrefix(root, "static ") {
+				mainAccs = append(mainAccs, a)
+			}
+		}
+		if len(mainAccs) > 0 {
+			ctxs = append(ctxs, spawnCtx{label: name, accs: mainAccs})
+		}
+	}
+
+	var out []detect.Finding
+	emit := func(a, b *Access) {
+		root := pathRoot(a.Path)
+		if !escaped[root] && !strings.HasPrefix(root, "static ") &&
+			!escaped[pathRoot(b.Path)] && !strings.HasPrefix(pathRoot(b.Path), "static ") {
+			return
+		}
+		key := pairKey(a, b)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		primary, other := a, b
+		if !primary.Write {
+			primary, other = other, primary
+		}
+		out = append(out, detect.Finding{
+			Kind:     detect.KindDataRace,
+			Severity: detect.SeverityError,
+			Function: name,
+			Span:     primary.Span,
+			Message: fmt.Sprintf("data race on %q: %s in %s is concurrent with %s in %s and no common lock protects them",
+				primary.Path, verb(primary), primary.Fn, verb(other), other.Fn),
+			Notes: []string{
+				fmt.Sprintf("first access: %s at %s holding %s", verb(primary), ctx.Fset.Position(primary.Span.Start), locksString(primary.Locks)),
+				fmt.Sprintf("second access: %s at %s holding %s", verb(other), ctx.Fset.Position(other.Span.Start), locksString(other.Locks)),
+				fmt.Sprintf("the place escapes to another thread via the closure spawned in %s", name),
+			},
+		})
+	}
+	for i := range ctxs {
+		for j := i; j < len(ctxs); j++ {
+			if i == j && !ctxs[i].inLoop {
+				continue
+			}
+			conflicts(ctxs[i].accs, ctxs[j].accs, i == j, emit)
+		}
+	}
+	return out
+}
+
+// conflicts pairs the accesses of two thread contexts. For a self-pair
+// (one closure spawned in a loop), an access races with its own other
+// instance, so identical sites are allowed.
+func conflicts(as, bs []*Access, selfPair bool, emit func(a, b *Access)) {
+	for i, a := range as {
+		start := 0
+		if selfPair {
+			start = i // avoid reporting each unordered pair twice
+		}
+		for _, b := range bs[start:] {
+			if !a.Write && !b.Write {
+				continue
+			}
+			if !overlap(a.Path, b.Path) {
+				continue
+			}
+			if protected(a, b) {
+				continue
+			}
+			emit(a, b)
+		}
+	}
+}
+
+// protected reports whether a common lock serializes the two accesses
+// (shared read-locks do not serialize two readers, but two readers never
+// race anyway; a shared read-lock against a write-lock does).
+func protected(a, b *Access) bool {
+	for id, am := range a.Locks {
+		if bm, ok := b.Locks[id]; ok {
+			if am == doublelock.ModeRead && bm == doublelock.ModeRead {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// pairKey identifies a conflicting site pair. The access kind is left out:
+// a `+=` desugars into a read and a write at the same span, and reporting
+// both pairings of the same two source sites would read as duplicates.
+func pairKey(a, b *Access) string {
+	ka := fmt.Sprintf("%s|%s:%d", a.Path, a.Fn, a.Span.Start)
+	kb := fmt.Sprintf("%s|%s:%d", b.Path, b.Fn, b.Span.Start)
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	return ka + "||" + kb
+}
+
+func verb(a *Access) string {
+	switch {
+	case a.Interior:
+		return "an interior mutation"
+	case a.Write:
+		return "a write"
+	default:
+		return "a read"
+	}
+}
+
+func locksString(locks map[string]doublelock.Mode) string {
+	if len(locks) == 0 {
+		return "no locks"
+	}
+	ids := make([]string, 0, len(locks))
+	for id := range locks {
+		ids = append(ids, fmt.Sprintf("%s(%s)", id, locks[id]))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+// closureLocals maps locals holding a closure value to the closure body
+// name, propagated through moves so `let cl = || ...; spawn(cl)` resolves.
+func closureLocals(body *mir.Body) map[mir.LocalID]string {
+	out := map[mir.LocalID]string{}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				if _, done := out[as.Place.Local]; done {
+					continue
+				}
+				switch rv := as.Rvalue.(type) {
+				case mir.Aggregate:
+					if rv.Kind == mir.AggClosure {
+						out[as.Place.Local] = rv.Name
+						changed = true
+					}
+				case mir.Use:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if cn, has := out[pl.Local]; has {
+							out[as.Place.Local] = cn
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func paramNames(body *mir.Body) []string {
+	if body == nil {
+		return nil
+	}
+	out := make([]string, 0, body.ArgCount)
+	for i := 1; i <= body.ArgCount && i < len(body.Locals); i++ {
+		out = append(out, body.Locals[i].Name)
+	}
+	return out
+}
+
+func methodName(callee string) string {
+	if i := strings.LastIndex(callee, "::"); i >= 0 {
+		return callee[i+2:]
+	}
+	return callee
+}
+
+func isStaticLocal(body *mir.Body, l mir.LocalID) bool {
+	return int(l) < len(body.Locals) && strings.HasPrefix(body.Locals[l].Name, "static ")
+}
+
+func resolvedCallee(ctx *detect.Context, c mir.Call) string {
+	if c.Def != nil {
+		if _, ok := ctx.Bodies[c.Def.Qualified]; ok {
+			return c.Def.Qualified
+		}
+	}
+	if _, ok := ctx.Bodies[c.Callee]; ok {
+		return c.Callee
+	}
+	return ""
+}

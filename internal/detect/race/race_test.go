@@ -1,0 +1,224 @@
+package race
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func analyze(t *testing.T, src string) []detect.Finding {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	ctx := detect.NewContext(prog, bodies)
+	return New().Run(ctx)
+}
+
+func dump(fs []detect.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(string(f.Kind) + "|" + f.Function + ": " + f.Message + "\n")
+	}
+	return b.String()
+}
+
+// Two spawned closures mutate the same captured shared structure with no
+// lock: the canonical §6.2 shape.
+func TestRaceTwoSpawnsOnSharedField(t *testing.T) {
+	fs := analyze(t, `
+struct Stats { hits: u64 }
+fn tally(stats: Arc<Stats>) {
+    let a = Arc::clone(&stats);
+    let b = Arc::clone(&stats);
+    thread::spawn(move || { a.hits += 1; });
+    thread::spawn(move || { b.hits += 1; });
+}
+`)
+	if len(fs) == 0 {
+		t.Fatalf("expected a race on stats.hits, got none")
+	}
+	for _, f := range fs {
+		if f.Function != "tally" {
+			t.Errorf("finding in %s, want tally:\n%s", f.Function, dump(fs))
+		}
+	}
+}
+
+// The spawner keeps writing after the spawn: spawner-vs-thread race.
+func TestRaceSpawnerContinuation(t *testing.T) {
+	fs := analyze(t, `
+struct Shared { n: u64 }
+fn run(s: Arc<Shared>) {
+    let h = Arc::clone(&s);
+    thread::spawn(move || { h.n += 1; });
+    s.n += 1;
+}
+`)
+	if len(fs) == 0 {
+		t.Fatal("expected a spawner-vs-thread race on s.n")
+	}
+}
+
+// A static mut incremented from a spawned thread and the spawner.
+func TestRaceStaticMut(t *testing.T) {
+	fs := analyze(t, `
+static mut COUNTER: u64 = 0;
+fn bump() {
+    thread::spawn(move || { unsafe { COUNTER += 1; } });
+    unsafe { COUNTER += 1; }
+}
+`)
+	if len(fs) == 0 {
+		t.Fatal("expected a race on static COUNTER")
+	}
+}
+
+// One closure spawned in a loop races with its own other instances.
+func TestRaceSpawnInLoop(t *testing.T) {
+	fs := analyze(t, `
+struct Queue { items: u64 }
+fn fan_out(q: Arc<Queue>) {
+    for i in 0..4 {
+        let h = Arc::clone(&q);
+        thread::spawn(move || { h.items += 1; });
+    }
+}
+`)
+	if len(fs) == 0 {
+		t.Fatal("expected a race between loop-spawned instances")
+	}
+}
+
+// Negative: both sides lock the mutex around the access.
+func TestNoRaceWhenLockProtected(t *testing.T) {
+	fs := analyze(t, `
+struct State { n: u64 }
+fn protected(m: Arc<Mutex<State>>) {
+    let h = Arc::clone(&m);
+    thread::spawn(move || {
+        let mut g = h.lock().unwrap();
+        g.n += 1;
+    });
+    let mut g2 = m.lock().unwrap();
+    g2.n += 1;
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("lock-protected accesses flagged:\n%s", dump(fs))
+	}
+}
+
+// Negative: Rc never crosses a thread boundary — single-threaded sharing
+// is not a race.
+func TestNoRaceSingleThreadedRc(t *testing.T) {
+	fs := analyze(t, `
+struct Doc { edits: u64 }
+fn single(doc: Rc<Doc>) {
+    let alias = Rc::clone(&doc);
+    alias.edits += 1;
+    doc.edits += 1;
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("single-threaded Rc flagged:\n%s", dump(fs))
+	}
+}
+
+// Negative: the guard moves into the spawned closure; the thread works on
+// locked data while the spawner never touches it again.
+func TestNoRaceGuardMovedAcrossSpawn(t *testing.T) {
+	fs := analyze(t, `
+struct Buf { data: u64 }
+fn handoff(m: Arc<Mutex<Buf>>) {
+    let g = m.lock().unwrap();
+    thread::spawn(move || {
+        g.data += 1;
+    });
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("guard handoff flagged:\n%s", dump(fs))
+	}
+}
+
+// Negative: atomics synchronize; fetch_add from two threads is not a race.
+func TestNoRaceAtomics(t *testing.T) {
+	fs := analyze(t, `
+struct Metrics { hits: AtomicU64 }
+fn count(m: Arc<Metrics>) {
+    let h = Arc::clone(&m);
+    thread::spawn(move || { h.hits.fetch_add(1, Ordering::SeqCst); });
+    m.hits.fetch_add(1, Ordering::SeqCst);
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("atomic accesses flagged:\n%s", dump(fs))
+	}
+}
+
+// Negative: accesses before the spawn are ordered by the spawn edge.
+func TestNoRacePreSpawnAccess(t *testing.T) {
+	fs := analyze(t, `
+struct Cfg { n: u64 }
+fn setup(c: Arc<Cfg>) {
+    c.n = 4;
+    let h = Arc::clone(&c);
+    thread::spawn(move || { let v = h.n; });
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("pre-spawn write flagged:\n%s", dump(fs))
+	}
+}
+
+// Inter-procedural: the write happens in a helper the closure calls, with
+// the lockset computed through the call chain on the callee side only —
+// the spawner side takes no lock, so the race remains.
+func TestRaceThroughHelperCall(t *testing.T) {
+	fs := analyze(t, `
+struct Book { entries: u64 }
+fn append(b: Arc<Book>) {
+    b.entries += 1;
+}
+fn run(book: Arc<Book>) {
+    let h = Arc::clone(&book);
+    thread::spawn(move || { append(h); });
+    book.entries += 1;
+}
+`)
+	if len(fs) == 0 {
+		t.Fatal("expected race through helper call")
+	}
+}
+
+// Inter-procedural negative: both sides reach the write through a helper
+// that locks first.
+func TestNoRaceThroughLockingHelper(t *testing.T) {
+	fs := analyze(t, `
+struct Ledger { total: u64 }
+fn add(m: Arc<Mutex<Ledger>>) {
+    let mut g = m.lock().unwrap();
+    g.total += 1;
+}
+fn run(led: Arc<Mutex<Ledger>>) {
+    let h = Arc::clone(&led);
+    thread::spawn(move || { add(h); });
+    add(led);
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("locking helper flagged:\n%s", dump(fs))
+	}
+}

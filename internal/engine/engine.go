@@ -224,8 +224,10 @@ func (e *Engine) run(j *job) {
 	go func() {
 		defer wg.Done()
 		t := time.Now()
-		findings = res.DetectParallel(j.req.Detectors...)
+		var times map[string]time.Duration
+		findings, times = res.DetectParallelTimed(j.req.Detectors...)
 		e.ctr.detectNs.Add(int64(time.Since(t)))
+		e.ctr.addDetectorTimes(times)
 	}()
 	go func() {
 		defer wg.Done()

@@ -180,6 +180,36 @@ func TestEngineCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestEnginePerDetectorStats: the /stats breakdown accumulates wall time
+// under each detector that actually ran, and only those.
+func TestEnginePerDetectorStats(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1, CacheCapacity: -1})
+	defer eng.Close()
+
+	if _, err := eng.Analyze(context.Background(), engine.Request{
+		Files: map[string]string{"dl.rs": doubleLockSrc}, Detectors: []string{"double-lock"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if len(s.DetectorMSTotal) != 1 {
+		t.Fatalf("breakdown after a single-detector job = %+v, want only double-lock", s.DetectorMSTotal)
+	}
+	if _, ok := s.DetectorMSTotal["double-lock"]; !ok {
+		t.Fatalf("breakdown missing double-lock: %+v", s.DetectorMSTotal)
+	}
+
+	if _, err := eng.Analyze(context.Background(), engine.Request{Corpus: "patterns"}); err != nil {
+		t.Fatal(err)
+	}
+	s = eng.Stats()
+	for _, name := range []string{"use-after-free", "double-lock", "race"} {
+		if _, ok := s.DetectorMSTotal[name]; !ok {
+			t.Errorf("full-suite job left no %s entry: %+v", name, s.DetectorMSTotal)
+		}
+	}
+}
+
 func TestEngineRequestValidation(t *testing.T) {
 	eng := engine.New(engine.Config{Workers: 1})
 	defer eng.Close()

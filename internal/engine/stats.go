@@ -1,6 +1,10 @@
 package engine
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Stats is a point-in-time snapshot of engine activity, cheap enough to
 // serve from a hot /stats endpoint. Cumulative per-stage latencies are
@@ -22,6 +26,10 @@ type Stats struct {
 	DetectMSTotal     float64 `json:"detect_ms_total"`
 	UnsafeScanMSTotal float64 `json:"unsafe_scan_ms_total"`
 	AnalyzeMSTotal    float64 `json:"analyze_ms_total"`
+
+	// DetectorMSTotal breaks DetectMSTotal down by detector name
+	// (cumulative wall time per pass across all completed jobs).
+	DetectorMSTotal map[string]float64 `json:"detector_ms_total"`
 }
 
 // counters is the engine-internal atomic backing for Stats.
@@ -38,6 +46,25 @@ type counters struct {
 	detectNs   atomic.Int64
 	scanNs     atomic.Int64
 	analyzeNs  atomic.Int64
+
+	detectorMu sync.Mutex
+	detectorNs map[string]int64
+}
+
+// addDetectorTimes folds one job's per-detector wall times into the
+// cumulative breakdown.
+func (c *counters) addDetectorTimes(times map[string]time.Duration) {
+	if len(times) == 0 {
+		return
+	}
+	c.detectorMu.Lock()
+	defer c.detectorMu.Unlock()
+	if c.detectorNs == nil {
+		c.detectorNs = make(map[string]int64, len(times))
+	}
+	for name, d := range times {
+		c.detectorNs[name] += int64(d)
+	}
 }
 
 // Stats snapshots the engine counters.
@@ -57,6 +84,14 @@ func (e *Engine) Stats() Stats {
 		UnsafeScanMSTotal: float64(e.ctr.scanNs.Load()) / 1e6,
 		AnalyzeMSTotal:    float64(e.ctr.analyzeNs.Load()) / 1e6,
 	}
+	e.ctr.detectorMu.Lock()
+	if len(e.ctr.detectorNs) > 0 {
+		s.DetectorMSTotal = make(map[string]float64, len(e.ctr.detectorNs))
+		for name, ns := range e.ctr.detectorNs {
+			s.DetectorMSTotal[name] = float64(ns) / 1e6
+		}
+	}
+	e.ctr.detectorMu.Unlock()
 	if e.cache != nil {
 		s.CacheSize = e.cache.len()
 		s.CacheCapacity = e.cache.cap

@@ -722,10 +722,83 @@ func (b *builder) lowerClosure(e *ast.ClosureExpr) (mir.Operand, types.Type) {
 	// Lower the closure body as a standalone pseudo-function so detectors
 	// see inside it.
 	name := b.closureName()
-	sub := newBuilder(b.prog, b.diags, b.closureFuncDef(name, e), b.out)
-	b.out[name] = sub.lowerFn()
+	fd := b.closureFuncDef(name, e)
+	// Captured variables become trailing pseudo-parameters: names inside
+	// the closure body resolve to real locals, and inter-procedural
+	// analyses translate capture-rooted paths like ordinary arguments.
+	// The closure aggregate carries one operand per capture (a move for
+	// `move` closures, matching Rust ownership transfer into the closure
+	// environment).
+	captures := b.freeVars(e)
+	var ops []mir.Operand
+	for _, cap := range captures {
+		id, _ := b.lookupVar(cap)
+		l := b.body.Local(id)
+		fd.Params = append(fd.Params, hir.ParamDef{Name: cap, Ty: l.Ty})
+		if e.Move {
+			ops = append(ops, b.operandFor(mir.PlaceOf(id), l.Ty))
+		} else {
+			ops = append(ops, mir.Copy{Place: mir.PlaceOf(id)})
+		}
+	}
+	sub := newBuilder(b.prog, b.diags, fd, b.out)
+	cbody := sub.lowerFn()
+	cbody.Captures = captures
+	capSet := map[string]bool{}
+	for _, c := range captures {
+		capSet[c] = true
+	}
+	for i := 1; i <= cbody.ArgCount && i < len(cbody.Locals); i++ {
+		if capSet[cbody.Locals[i].Name] {
+			cbody.Locals[i].IsCapture = true
+		}
+	}
+	b.out[name] = cbody
 	ty := types.NamedOf("Closure")
 	tmp := b.newTemp(ty, e.Sp)
-	b.emit(mir.Assign{Place: mir.PlaceOf(tmp), Rvalue: mir.Aggregate{Kind: mir.AggClosure, Name: name}, Span: e.Sp})
+	b.emit(mir.Assign{Place: mir.PlaceOf(tmp), Rvalue: mir.Aggregate{Kind: mir.AggClosure, Name: name, Ops: ops}, Span: e.Sp})
 	return b.operandFor(mir.PlaceOf(tmp), ty), ty
+}
+
+// freeVars returns the closure's free variables: single-segment paths used
+// in its body that are not bound by its parameters or by any pattern inside
+// it, yet resolve to a variable of the enclosing function. Order is first
+// use, so capture lists are deterministic.
+func (b *builder) freeVars(e *ast.ClosureExpr) []string {
+	bound := map[string]bool{}
+	for _, p := range e.Params {
+		if p.Name != "" {
+			bound[p.Name] = true
+		}
+		if p.Pat != nil {
+			ast.Inspect(p.Pat, func(n ast.Node) {
+				if bp, ok := n.(*ast.BindPat); ok {
+					bound[bp.Name] = true
+				}
+			})
+		}
+	}
+	ast.Inspect(e.Body, func(n ast.Node) {
+		if bp, ok := n.(*ast.BindPat); ok {
+			bound[bp.Name] = true
+		}
+	})
+	var names []string
+	seen := map[string]bool{}
+	ast.Inspect(e.Body, func(n ast.Node) {
+		pe, ok := n.(*ast.PathExpr)
+		if !ok || !pe.IsLocal() {
+			return
+		}
+		name := pe.Name()
+		if name == "" || bound[name] || seen[name] {
+			return
+		}
+		if _, ok := b.lookupVar(name); !ok {
+			return
+		}
+		seen[name] = true
+		names = append(names, name)
+	})
+	return names
 }

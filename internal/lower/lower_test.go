@@ -315,6 +315,73 @@ fn f() {
 	}
 }
 
+func TestLowerClosureCaptures(t *testing.T) {
+	bodies := lowerSrc(t, `
+fn f() {
+    let shared = Arc::new(0);
+    let limit = 3;
+    thread::spawn(move || { consume(shared, limit); });
+}
+`)
+	cb := body(t, bodies, "f::closure#0")
+	if len(cb.Captures) != 2 || cb.Captures[0] != "shared" || cb.Captures[1] != "limit" {
+		t.Fatalf("captures = %v, want [shared limit]", cb.Captures)
+	}
+	// Captures are trailing pseudo-arguments so names resolve inside the
+	// closure body and paths translate like parameters.
+	var capLocals []string
+	for i := 1; i <= cb.ArgCount && i < len(cb.Locals); i++ {
+		if cb.Locals[i].IsCapture {
+			capLocals = append(capLocals, cb.Locals[i].Name)
+		}
+	}
+	if len(capLocals) != 2 {
+		t.Errorf("capture locals = %v, want 2 IsCapture args\n%s", capLocals, cb)
+	}
+	// The closure aggregate in f carries one operand per capture; the
+	// move closure moves the non-Copy Arc out of the enclosing frame.
+	fb := body(t, bodies, "f")
+	found := false
+	for _, blk := range fb.Blocks {
+		for _, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			agg, ok := as.Rvalue.(mir.Aggregate)
+			if !ok || agg.Kind != mir.AggClosure {
+				continue
+			}
+			found = true
+			if len(agg.Ops) != 2 {
+				t.Errorf("closure aggregate ops = %d, want 2\n%s", len(agg.Ops), fb)
+			}
+			if len(agg.Ops) > 0 {
+				if _, isMove := agg.Ops[0].(mir.Move); !isMove {
+					t.Errorf("move closure should move Arc capture, got %T", agg.Ops[0])
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no closure aggregate in f\n%s", fb)
+	}
+}
+
+func TestLowerClosureCaptureNotFreeVar(t *testing.T) {
+	// Names bound inside the closure (params, lets) are not captures.
+	bodies := lowerSrc(t, `
+fn g() {
+    let outer = 1;
+    let cl = |x: u32| { let y = x; y + outer };
+}
+`)
+	cb := body(t, bodies, "g::closure#0")
+	if len(cb.Captures) != 1 || cb.Captures[0] != "outer" {
+		t.Fatalf("captures = %v, want [outer]", cb.Captures)
+	}
+}
+
 func TestLowerStaticAccess(t *testing.T) {
 	bodies := lowerSrc(t, `
 static mut COUNTER: u32 = 0;

@@ -33,7 +33,10 @@ type Local struct {
 	Ty     types.Type
 	IsArg  bool
 	IsTemp bool
-	Span   source.Span
+	// IsCapture marks the pseudo-arguments of a closure body that stand
+	// for its captured variables; they share the captured local's name.
+	IsCapture bool
+	Span      source.Span
 }
 
 func (l *Local) String() string {
@@ -49,6 +52,11 @@ type Body struct {
 	Locals   []*Local
 	Blocks   []*Block
 	ArgCount int
+	// Captures lists, for closure bodies, the names of the enclosing-
+	// function variables the closure captures (in first-use order). The
+	// same names appear as trailing IsCapture arguments so capture-rooted
+	// paths translate across the spawn boundary like ordinary parameters.
+	Captures []string
 	Span     source.Span
 }
 

@@ -126,7 +126,12 @@ func Analyze(body *mir.Body) *Result {
 			// moves keep the alias chain alive across the call.
 			if c, ok := blk.Term.(mir.Call); ok {
 				switch c.Intrinsic {
-				case mir.IntrinsicUnwrap, mir.IntrinsicClone, mir.IntrinsicCondvarWait:
+				case mir.IntrinsicUnwrap, mir.IntrinsicClone, mir.IntrinsicCondvarWait,
+					mir.IntrinsicArcClone:
+					// Arc::clone(&x) yields a second handle on x's storage:
+					// the clone aliases the original allocation, which is
+					// what lets the race detector unify accesses made
+					// through different Arc handles.
 					if len(c.Args) > 0 {
 						if pl, ok := mir.OperandPlace(c.Args[0]); ok {
 							if addAll(c.Dest.Local, r.PointsTo[pl.Local]) {

@@ -286,8 +286,9 @@ func NBlkFixSection(db *study.Database) string {
 	return b.String()
 }
 
-// DetectorSection renders §7's detector results given measured counts.
-func DetectorSection(uafTP, uafFP, dlTP, dlFP int) string {
+// DetectorSection renders §7's detector results given measured counts,
+// plus the §6.2 data-race detector row measured on the patterns corpus.
+func DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP int) string {
 	var b strings.Builder
 	b.WriteString("Section 7. Detector results (paper vs measured on corpus).\n")
 	fmt.Fprintf(&b, "  %-22s %8s %8s\n", "", "paper", "measured")
@@ -295,6 +296,8 @@ func DetectorSection(uafTP, uafFP, dlTP, dlFP int) string {
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "UAF false positives", study.UAFFalsePositives, uafFP)
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "double-lock bugs", study.DoubleLockBugsFound, dlTP)
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "double-lock false pos", study.DoubleLockFalsePos, dlFP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "data races (6.2)", study.RaceBugsFound, raceTP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "data-race false pos", study.RaceFalsePos, raceFP)
 	return b.String()
 }
 

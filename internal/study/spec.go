@@ -244,6 +244,11 @@ const (
 	UAFFalsePositives   = 3
 	DoubleLockBugsFound = 6
 	DoubleLockFalsePos  = 0
+	// §6.2 extension: seeded non-blocking data races the thread-escape +
+	// lockset detector must find in the patterns corpus (one per studied
+	// project), with no reports on the synchronized fixed variants.
+	RaceBugsFound = 5
+	RaceFalsePos  = 0
 )
 
 // BugsFixedAfter2016 is Figure 2's headline: 145 of the 170 studied bugs

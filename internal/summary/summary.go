@@ -116,6 +116,32 @@ func Translate(calleeID, recvPath string) string {
 	return ""
 }
 
+// TranslateRoot generalizes Translate to arbitrary parameter roots: a
+// callee-namespace path rooted at the i-th parameter name is rewritten
+// onto the caller's i-th argument path. Static-rooted ids pass through
+// unchanged (they name the same item in every namespace). Paths rooted at
+// a callee local that is not a parameter — or at a parameter whose
+// argument has no caller-side path — do not survive translation and
+// return "".
+func TranslateRoot(calleeID string, params, argPaths []string) string {
+	if strings.HasPrefix(calleeID, "static ") {
+		return calleeID
+	}
+	calleeID = NormalizePath(calleeID)
+	for i, p := range params {
+		if p == "" || i >= len(argPaths) || argPaths[i] == "" {
+			continue
+		}
+		if calleeID == p {
+			return NormalizePath(argPaths[i])
+		}
+		if strings.HasPrefix(calleeID, p) && (calleeID[len(p)] == '.' || calleeID[len(p)] == '[') {
+			return NormalizePath(argPaths[i]) + calleeID[len(p):]
+		}
+	}
+	return ""
+}
+
 // NormalizePath canonicalizes deref-shaped receiver paths: "(*self).f",
 // "*self.f" and "self.f" all name the same lock, so derefs are stripped
 // before prefix matching (a deref never changes which lock a path

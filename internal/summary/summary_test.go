@@ -214,6 +214,30 @@ func TestTranslate(t *testing.T) {
 	}
 }
 
+func TestTranslateRoot(t *testing.T) {
+	params := []string{"self", "queue", "n"}
+	args := []string{"self.inner", "self.jobs", ""}
+	cases := []struct {
+		calleeID, want string
+	}{
+		{"self", "self.inner"},
+		{"self.state", "self.inner.state"},
+		{"queue", "self.jobs"},
+		{"queue.head", "self.jobs.head"},
+		{"queue[0]", "self.jobs[0]"},
+		{"queuex", ""}, // prefix match must stop at a separator
+		{"n", ""},      // argument has no caller-side path
+		{"local", ""},  // callee-local root: untranslatable
+		{"static G", "static G"},
+		{"(*queue).head", "self.jobs.head"},
+	}
+	for _, c := range cases {
+		if got := TranslateRoot(c.calleeID, params, args); got != c.want {
+			t.Errorf("TranslateRoot(%q) = %q, want %q", c.calleeID, got, c.want)
+		}
+	}
+}
+
 func TestNormalizePath(t *testing.T) {
 	cases := map[string]string{
 		"self.a":         "self.a",

@@ -10,6 +10,7 @@ import (
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/interiormut"
 	"rustprobe/internal/detect/lockorder"
+	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/detect/uninit"
 	"rustprobe/internal/interp"
@@ -49,7 +50,7 @@ func soup(seed int64) string {
 func TestPipelineNeverPanics(t *testing.T) {
 	detectors := []detect.Detector{
 		uaf.New(), doublelock.New(), lockorder.New(),
-		dfree.New(), uninit.New(), interiormut.New(),
+		dfree.New(), uninit.New(), interiormut.New(), race.New(),
 	}
 	for seed := int64(0); seed < 400; seed++ {
 		src := soup(seed)
@@ -107,6 +108,7 @@ func TestPipelineNeverPanicsOnMutatedCorpus(t *testing.T) {
 			ctx := detect.NewContext(prog, bodies)
 			uaf.New().Run(ctx)
 			doublelock.New().Run(ctx)
+			race.New().Run(ctx)
 		}()
 	}
 }
@@ -144,6 +146,15 @@ impl S {
 }
 `)
 	f.Add("fn f(mu: Mutex<i32>) { let g = mu.lock().unwrap(); let h = mu.lock().unwrap(); }")
+	f.Add(`
+struct T { n: u64 }
+fn r(s: Arc<T>) {
+    let h = Arc::clone(&s);
+    thread::spawn(move || { h.n += 1; });
+    s.n += 1;
+}
+`)
+	f.Add("fn s() { thread::spawn(move || { thread::spawn(move || { x += 1; }); }); }")
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {
 			t.Skip("oversized input")
@@ -157,7 +168,7 @@ impl S {
 		ctx := detect.NewContext(prog, bodies)
 		for _, d := range []detect.Detector{
 			uaf.New(), doublelock.New(), lockorder.New(),
-			dfree.New(), uninit.New(), interiormut.New(),
+			dfree.New(), uninit.New(), interiormut.New(), race.New(),
 		} {
 			d.Run(ctx)
 		}

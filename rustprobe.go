@@ -6,7 +6,9 @@
 // dataflow analyses, and the paper's bug detectors — use-after-free and
 // double-lock, plus the extensions its §7 recommendations call for
 // (conflicting lock orders, invalid/double free, uninitialized reads,
-// unsynchronized interior mutability) — together with the paper's
+// unsynchronized interior mutability, and §6.2 data races via
+// thread-escape plus inter-procedural locksets) — together with the
+// paper's
 // empirical-study pipeline (bug taxonomy, unsafe-usage scanner, and every
 // table and figure as a regenerable report).
 //
@@ -26,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"rustprobe/internal/ast"
 	"rustprobe/internal/corpus"
@@ -35,6 +38,7 @@ import (
 	"rustprobe/internal/detect/dynamic"
 	"rustprobe/internal/detect/interiormut"
 	"rustprobe/internal/detect/lockorder"
+	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/detect/uninit"
 	"rustprobe/internal/hir"
@@ -159,6 +163,7 @@ func Detectors() []Detector {
 		dfree.New(),
 		uninit.New(),
 		interiormut.New(),
+		race.New(),
 	}
 }
 
@@ -199,6 +204,14 @@ func (r *Result) Detect(names ...string) []Finding {
 // The merged, sorted findings are identical to Detect's; the engine
 // uses this to overlap independent passes within one analysis job.
 func (r *Result) DetectParallel(names ...string) []Finding {
+	out, _ := r.DetectParallelTimed(names...)
+	return out
+}
+
+// DetectParallelTimed is DetectParallel plus a per-detector wall-time
+// breakdown (keyed by detector name), which the engine accumulates into
+// its /stats counters.
+func (r *Result) DetectParallelTimed(names ...string) ([]Finding, map[string]time.Duration) {
 	want := map[string]bool{}
 	for _, n := range names {
 		want[n] = true
@@ -209,24 +222,33 @@ func (r *Result) DetectParallel(names ...string) []Finding {
 	}
 	ctx := r.Context() // build once, before the fan-out
 	results := make([][]Finding, len(ds))
+	elapsed := make([]time.Duration, len(ds))
+	ran := make([]bool, len(ds))
 	var wg sync.WaitGroup
 	for i, d := range ds {
 		if len(want) > 0 && !want[d.Name()] {
 			continue
 		}
+		ran[i] = true
 		wg.Add(1)
 		go func(i int, d Detector) {
 			defer wg.Done()
+			t := time.Now()
 			results[i] = d.Run(ctx)
+			elapsed[i] = time.Since(t)
 		}(i, d)
 	}
 	wg.Wait()
 	var out []Finding
-	for _, fs := range results {
+	times := make(map[string]time.Duration, len(ds))
+	for i, fs := range results {
 		out = append(out, fs...)
+		if ran[i] {
+			times[ds[i].Name()] += elapsed[i]
+		}
 	}
 	detect.SortFindings(out)
-	return out
+	return out, times
 }
 
 // ScanUnsafe runs the §4 unsafe-usage scanner over the parsed crates.
