@@ -37,6 +37,23 @@ fn guard_handoff(m: Arc<Mutex<Journal>>) {
     });
 }
 
+// Fix pattern 1, field-stored variant: the mutex lives inside a shared
+// struct, so the lock() receiver is a projected path — the acquire's own
+// read of that field must not count as an unguarded access.
+fn guarded_field_update(s: Arc<Scoreboard>) {
+    let h = Arc::clone(&s);
+    thread::spawn(move || {
+        let mut g = h.tally.lock().unwrap();
+        *g += 1;
+    });
+    let mut g2 = s.tally.lock().unwrap();
+    *g2 += 1;
+}
+
+struct Scoreboard {
+    tally: Mutex<u64>,
+}
+
 // Fix pattern 4: the counter becomes atomic; fetch_add synchronizes.
 fn atomic_counter(b: Arc<BoardAtomic>) {
     let h = Arc::clone(&b);

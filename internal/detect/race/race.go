@@ -161,7 +161,10 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 		}
 		info.own = append(info.own, &Access{
 			Path: p, Write: write, Interior: interior,
-			Fn: name, Span: sp, At: blk, Locks: held,
+			// Every Access owns its lock map: the held map is shared by all
+			// accesses recorded at one statement, and summary merging must
+			// never reach back into a sibling's (or info.own's) lockset.
+			Fn: name, Span: sp, At: blk, Locks: cloneLocks(held),
 		})
 	}
 	readOperand := func(op mir.Operand, sp source.Span, blk mir.BlockID, held map[string]doublelock.Mode) {
@@ -219,8 +222,16 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 			}
 			continue
 		}
-		for _, a := range c.Args {
-			readOperand(a, c.Span, blk.ID, held)
+		switch c.Intrinsic {
+		case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite, mir.IntrinsicTryLock:
+			// An acquire does read the mutex/rwlock value, but that read is
+			// serialized by the lock's own internal synchronization — and its
+			// receiver path is the very lock id the guarded accesses resolve
+			// through, so recording it would flag correctly-guarded code.
+		default:
+			for _, a := range c.Args {
+				readOperand(a, c.Span, blk.ID, held)
+			}
 		}
 		callee := resolvedCallee(ctx, c)
 		if callee != "" {
@@ -240,7 +251,7 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 			if p != "" && pathDepth(p) <= maxPathDepth {
 				info.own = append(info.own, &Access{
 					Path: p, Write: true, Interior: true,
-					Fn: name, Span: c.Span, At: blk.ID, Locks: held,
+					Fn: name, Span: c.Span, At: blk.ID, Locks: cloneLocks(held),
 				})
 			}
 		}
@@ -294,23 +305,36 @@ func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInf
 
 // mergeAccess inserts a into s, intersecting locksets on key collision
 // (an access reachable along two call paths is only protected by locks
-// held along both).
+// held along both). The stored access is cloned before the intersection:
+// summary entries alias info.own and prior-iteration summaries, and
+// mutating those in place would break the transfer's purity — shrinking
+// locksets across fixpoint iterations and sibling accesses.
 func mergeAccess(s accSummary, a *Access) {
 	prev, ok := s[a.key()]
 	if !ok {
 		s[a.key()] = a
 		return
 	}
-	for id, m := range prev.Locks {
+	merged := prev.clone()
+	for id, m := range merged.Locks {
 		am, has := a.Locks[id]
 		if !has {
-			delete(prev.Locks, id)
+			delete(merged.Locks, id)
 			continue
 		}
 		if am < m {
-			prev.Locks[id] = am
+			merged.Locks[id] = am
 		}
 	}
+	s[a.key()] = merged
+}
+
+func cloneLocks(locks map[string]doublelock.Mode) map[string]doublelock.Mode {
+	out := make(map[string]doublelock.Mode, len(locks))
+	for id, m := range locks {
+		out[id] = m
+	}
+	return out
 }
 
 func translateLocks(locks map[string]doublelock.Mode, params, argPaths []string) map[string]doublelock.Mode {
@@ -370,11 +394,13 @@ func sortedAccs(s accSummary) []*Access {
 }
 
 // spawnCtx is one thread context at the pairing stage: the accesses a
-// spawned closure (or the spawner's post-spawn continuation) may perform,
-// rewritten into the spawning function's namespace.
+// spawned closure may perform, rewritten into the spawning function's
+// namespace, plus the spawn site's continuation block for pairing against
+// the spawner's post-spawn accesses.
 type spawnCtx struct {
 	label  string
 	accs   []*Access
+	target mir.BlockID
 	inLoop bool
 }
 
@@ -385,9 +411,25 @@ func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums ma
 		return nil
 	}
 
-	// Thread-escape set: the canonical roots captured by any spawned
-	// closure. Statics always escape.
+	// First pass — thread-escape set: the canonical roots captured by any
+	// spawned closure, collected over all spawns before any context is
+	// built so the result cannot depend on spawn order. Statics always
+	// escape.
 	escaped := map[string]bool{}
+	for _, sp := range info.spawns {
+		cbody := ctx.Bodies[sp.closure]
+		if cbody == nil {
+			continue
+		}
+		for _, c := range cbody.Captures {
+			if root := info.res.canonName(c); root != "" {
+				escaped[pathRoot(root)] = true
+			}
+		}
+	}
+
+	// Second pass — one context per spawn site, holding the closure's
+	// summary accesses rewritten into the spawner's namespace.
 	var ctxs []spawnCtx
 	for _, sp := range info.spawns {
 		cbody := ctx.Bodies[sp.closure]
@@ -397,12 +439,10 @@ func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums ma
 		caps := map[string]bool{}
 		for _, c := range cbody.Captures {
 			caps[c] = true
-			if root := info.res.canonName(c); root != "" {
-				escaped[pathRoot(root)] = true
-			}
 		}
 		sc := spawnCtx{
 			label:  sp.closure,
+			target: sp.target,
 			inLoop: info.g.ReachableFrom(sp.target)[sp.at],
 		}
 		for _, a := range sortedAccs(sums[sp.closure]) {
@@ -438,22 +478,16 @@ func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums ma
 			sc.accs = append(sc.accs, rewritten)
 		}
 		ctxs = append(ctxs, sc)
+	}
 
-		// The spawner's own continuation is a context too: accesses at
-		// program points reachable after the spawn, on escaped roots.
-		reach := info.g.ReachableFrom(sp.target)
-		var mainAccs []*Access
-		for _, a := range sortedAccs(sums[name]) {
-			if !reach[a.At] {
-				continue
-			}
-			root := pathRoot(a.Path)
-			if escaped[root] || strings.HasPrefix(root, "static ") {
-				mainAccs = append(mainAccs, a)
-			}
-		}
-		if len(mainAccs) > 0 {
-			ctxs = append(ctxs, spawnCtx{label: name, accs: mainAccs})
+	// The spawner's post-spawn accesses on escaped roots form its
+	// continuation. They are paired per spawn below — never against each
+	// other, since they are program-ordered on the spawner thread.
+	var spawnerAccs []*Access
+	for _, a := range sortedAccs(sums[name]) {
+		root := pathRoot(a.Path)
+		if escaped[root] || strings.HasPrefix(root, "static ") {
+			spawnerAccs = append(spawnerAccs, a)
 		}
 	}
 
@@ -487,6 +521,8 @@ func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums ma
 			},
 		})
 	}
+	// Thread vs thread: distinct spawn sites always run concurrently; a
+	// loop-spawned closure additionally races with its own other instances.
 	for i := range ctxs {
 		for j := i; j < len(ctxs); j++ {
 			if i == j && !ctxs[i].inLoop {
@@ -494,6 +530,19 @@ func (d *Detector) pair(ctx *detect.Context, infos map[string]*funcInfo, sums ma
 			}
 			conflicts(ctxs[i].accs, ctxs[j].accs, i == j, emit)
 		}
+	}
+	// Thread vs spawner continuation: a spawner access races with spawn k's
+	// thread only if it sits at a program point reachable after spawn k —
+	// accesses before the spawn happen-before the thread starts.
+	for i := range ctxs {
+		reach := info.g.ReachableFrom(ctxs[i].target)
+		var cont []*Access
+		for _, a := range spawnerAccs {
+			if reach[a.At] {
+				cont = append(cont, a)
+			}
+		}
+		conflicts(ctxs[i].accs, cont, false, emit)
 	}
 	return out
 }
@@ -508,6 +557,12 @@ func conflicts(as, bs []*Access, selfPair bool, emit func(a, b *Access)) {
 			start = i // avoid reporting each unordered pair twice
 		}
 		for _, b := range bs[start:] {
+			if a == b && !selfPair {
+				// A pointer-identical access across two contexts is one
+				// event, not two concurrent ones; only a loop self-pair
+				// makes the same site mean two thread instances.
+				continue
+			}
 			if !a.Write && !b.Write {
 				continue
 			}
