@@ -10,6 +10,7 @@
 //	rustprobe -corpus detector-eval   # run on the embedded §7 corpus
 //	rustprobe -mir 'Engine::step' file.rs   # dump a function's MIR
 //	rustprobe -fail-on-findings src/  # CI gate: exit 2 when findings exist
+//	rustprobe -selftest               # differential self-check over 200 seeds
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"rustprobe"
+	"rustprobe/internal/difftest"
 	"rustprobe/internal/interp"
 	"rustprobe/internal/visualize"
 )
@@ -34,12 +36,24 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit findings as JSON")
 		failOn    = flag.Bool("fail-on-findings", false, "exit with code 2 when any finding (or dynamic error) is reported, for use as a CI gate")
 		list      = flag.Bool("list", false, "list available detectors and exit")
+		selftest  = flag.Bool("selftest", false, "run the differential self-check (seeded bug-injecting generator vs static detectors vs dynamic oracle) and exit; non-zero on any violation")
+		seeds     = flag.Int64("seeds", 200, "seed count for -selftest")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, n := range rustprobe.DetectorNames() {
 			fmt.Println(n)
+		}
+		return
+	}
+
+	if *selftest {
+		s := difftest.Run(0, *seeds)
+		fmt.Print(s.Table())
+		if v := s.Violations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "rustprobe: selftest failed with %d violation(s)\n", len(v))
+			os.Exit(2)
 		}
 		return
 	}

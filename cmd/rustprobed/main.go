@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"rustprobe/internal/difftest"
 	"rustprobe/internal/engine"
 )
 
@@ -38,6 +39,8 @@ func main() {
 		queue    = flag.Int("queue", 64, "pending-job queue depth")
 		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (LRU; negative disables)")
 		timeout  = flag.Duration("request-timeout", 30*time.Second, "per-request analysis budget (0 disables)")
+		selftest = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
+		seeds    = flag.Int64("seeds", 200, "seed count for -selftest")
 	)
 	flag.Parse()
 
@@ -46,6 +49,19 @@ func main() {
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCap,
 	})
+
+	if *selftest {
+		// Preflight: the generated-corpus cross-check runs through the
+		// exact pool/cache configuration the daemon would serve with.
+		s := difftest.RunWithEngine(0, *seeds, eng)
+		fmt.Print(s.Table())
+		eng.Close()
+		if v := s.Violations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "rustprobed: selftest failed with %d violation(s)\n", len(v))
+			os.Exit(2)
+		}
+		return
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(eng, *timeout),

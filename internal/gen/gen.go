@@ -1,0 +1,742 @@
+// Package gen is a deterministic, seeded generator of Rust-subset
+// programs with known-label bug injections — the manufactured ground
+// truth the differential harness (internal/difftest) measures every
+// detector against. The paper's §7 evaluation rests on hand-picked
+// known-buggy code; SafeDrop and the all-Rust-CVEs study both argue
+// detector quality claims need a corpus at scale, and because the whole
+// pipeline is deterministic we can manufacture one: each seed expands a
+// composable template (moves, drops, raw-pointer derefs, Mutex/RwLock
+// guards, thread::spawn closures, Arc clones) and either injects exactly
+// one bug of a known kind at a known line or emits the patched clean
+// variant, so every generated program carries an oracle label.
+//
+// Determinism contract: Generate(seed) returns byte-identical source for
+// the same seed, forever. The templates are grown from corpus shapes the
+// detectors provably handle (internal/corpus/rust), with identifiers,
+// constants and clean filler functions varied per seed so the harness
+// exercises the frontend and analyses beyond the fixed fixtures.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind labels the injected bug. The values match detect.Kind strings so
+// the harness can compare without importing this package into detect.
+type Kind string
+
+// Injectable bug kinds.
+const (
+	KindUseAfterFree Kind = "use-after-free"
+	KindDoubleLock   Kind = "double-lock"
+	KindLockOrder    Kind = "conflicting-lock-order"
+	KindUninitRead   Kind = "uninitialized-read"
+	KindDataRace     Kind = "data-race"
+	KindInvalidFree  Kind = "invalid-free"
+	KindDoubleFree   Kind = "double-free"
+)
+
+// Kinds is the injection menu in stable order.
+var Kinds = []Kind{
+	KindUseAfterFree, KindDoubleLock, KindLockOrder, KindUninitRead,
+	KindDataRace, KindInvalidFree, KindDoubleFree,
+}
+
+// Program is one generated source with its oracle label.
+type Program struct {
+	Seed     int64
+	Kind     Kind   // the injected (or patched-out) bug kind
+	Buggy    bool   // false: the patched clean variant
+	Template string // template name, for discrepancy logs
+	Source   string
+	// FuncName is the qualified function holding the injection site
+	// ("Type::method" or a free function name).
+	FuncName string
+	// Line is the 1-based source line of the injected statement in the
+	// buggy variant (the patch site in the clean one).
+	Line int
+	// DynVisible reports whether the dynamic explorer (internal/interp)
+	// can structurally witness this template's bug. False for shapes the
+	// static detectors prove inter-procedurally but interp's
+	// lock-context-only call inlining cannot observe; the differential
+	// harness skips the static-vs-dynamic cross-check for those and
+	// counts them instead of logging spurious discrepancies.
+	DynVisible bool
+}
+
+// String summarizes the program for logs.
+func (p *Program) String() string {
+	variant := "clean"
+	if p.Buggy {
+		variant = "buggy"
+	}
+	return fmt.Sprintf("seed=%d %s/%s (%s) at %s:%d", p.Seed, p.Kind, variant, p.Template, p.FuncName, p.Line)
+}
+
+// Generate derives everything — kind, buggy-or-clean, template, names,
+// filler — from the seed. Even split: half of all seeds are clean.
+func Generate(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	kind := Kinds[rng.Intn(len(Kinds))]
+	buggy := rng.Intn(2) == 0
+	return build(seed, rng, kind, buggy)
+}
+
+// New generates the program for an explicit kind and variant; the seed
+// still controls the template and all identifier/filler choices.
+func New(seed int64, kind Kind, buggy bool) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	// Burn the same two draws Generate makes so New(seed, k, b) and
+	// Generate(seed) agree on template choice for matching (k, b).
+	rng.Intn(len(Kinds))
+	rng.Intn(2)
+	return build(seed, rng, kind, buggy)
+}
+
+func build(seed int64, rng *rand.Rand, kind Kind, buggy bool) *Program {
+	e := &emitter{rng: rng, line: 1, used: map[string]bool{}}
+	tmpls := templates[kind]
+	t := tmpls[rng.Intn(len(tmpls))]
+
+	p := &Program{Seed: seed, Kind: kind, Buggy: buggy, Template: t.name, DynVisible: !t.dynInvisible}
+	variant := "clean"
+	if buggy {
+		variant = "buggy"
+	}
+	e.lnf("// generated: seed=%d kind=%s variant=%s template=%s", seed, kind, variant, t.name)
+	e.ln("")
+	e.fillerFns(rng.Intn(3))
+	t.emit(e, p, buggy)
+	e.fillerFns(rng.Intn(2))
+	p.Source = e.b.String()
+	return p
+}
+
+// emitter accumulates source and tracks the current 1-based line.
+type emitter struct {
+	rng  *rand.Rand
+	b    strings.Builder
+	line int
+	used map[string]bool
+}
+
+func (e *emitter) ln(s string) {
+	e.b.WriteString(s)
+	e.b.WriteByte('\n')
+	e.line++
+}
+
+func (e *emitter) lnf(format string, args ...any) { e.ln(fmt.Sprintf(format, args...)) }
+
+// mark returns the line number the next ln() call will occupy.
+func (e *emitter) mark() int { return e.line }
+
+// Name pools. None of these collide with the std names the lowering
+// models (Mutex, Arc, Vec, ...), and picks are de-duplicated per program.
+var (
+	structPool = []string{"Packet", "Frame", "Entry", "Ledger", "Node", "Record", "Shard", "Job", "Registry", "Batch"}
+	fieldPool  = []string{"len", "count", "seq", "ticks", "size", "val", "acc", "bits", "gen_id", "slots"}
+	verbPool   = []string{"poll", "flush", "drain", "merge", "scan", "sync_up", "probe", "reap", "advance", "audit"}
+	nounPool   = []string{"queue", "cache", "index", "store", "batch", "ring", "table", "log", "pool", "chunk"}
+)
+
+func (e *emitter) pick(pool []string) string {
+	for {
+		s := pool[e.rng.Intn(len(pool))]
+		if !e.used[s] {
+			e.used[s] = true
+			return s
+		}
+	}
+}
+
+func (e *emitter) structName() string { return e.pick(structPool) }
+func (e *emitter) fieldName() string  { return e.pick(fieldPool) }
+
+func (e *emitter) fnName() string {
+	for {
+		s := verbPool[e.rng.Intn(len(verbPool))] + "_" + nounPool[e.rng.Intn(len(nounPool))]
+		if !e.used[s] {
+			e.used[s] = true
+			return s
+		}
+	}
+}
+
+// fillerFns emits n clean arithmetic helpers: pure, lock-free,
+// pointer-free, thread-free, so they can never contribute findings and
+// only exercise the frontend and dataflow at varied shapes.
+func (e *emitter) fillerFns(n int) {
+	for i := 0; i < n; i++ {
+		name := e.fnName()
+		k := e.rng.Intn(90) + 1
+		switch e.rng.Intn(3) {
+		case 0:
+			e.lnf("fn %s(x: i32) -> i32 {", name)
+			e.lnf("    let y = x + %d;", k)
+			e.ln("    y * 2")
+			e.ln("}")
+		case 1:
+			e.lnf("fn %s(x: i32) -> i32 {", name)
+			e.lnf("    let mut acc_v = 0;")
+			e.lnf("    for i in 0..%d {", e.rng.Intn(6)+2)
+			e.ln("        acc_v += x + i;")
+			e.ln("    }")
+			e.ln("    acc_v")
+			e.ln("}")
+		default:
+			e.lnf("fn %s(x: i32) -> i32 {", name)
+			e.lnf("    if x > %d { x - 1 } else { x + 1 }", k)
+			e.ln("}")
+		}
+		e.ln("")
+	}
+}
+
+// template is one composable program shape with a buggy and a patched
+// emission.
+type template struct {
+	name string
+	emit func(e *emitter, p *Program, buggy bool)
+	// dynInvisible marks shapes interp cannot witness (see Program.DynVisible).
+	dynInvisible bool
+}
+
+var templates = map[Kind][]template{
+	KindUseAfterFree: {
+		{name: "uaf-block-escape", emit: emitUAFBlockEscape},
+		{name: "uaf-scratch-buffer", emit: emitUAFScratchBuffer},
+		{name: "uaf-drop-then-deref", emit: emitUAFDropThenDeref},
+		{name: "uaf-interproc-sink", emit: emitUAFInterprocSink, dynInvisible: true},
+	},
+	KindDoubleLock: {
+		{name: "dl-sequential", emit: emitDLSequential},
+		{name: "dl-cond-guard", emit: emitDLCondGuard},
+		{name: "dl-rwlock-upgrade", emit: emitDLRwUpgrade},
+		{name: "dl-interproc", emit: emitDLInterproc},
+		{name: "dl-match-scrutinee", emit: emitDLMatchScrutinee},
+	},
+	KindLockOrder: {
+		{name: "lo-inverted-pair", emit: emitLOInvertedPair},
+	},
+	KindUninitRead: {
+		{name: "un-direct-read", emit: emitUNDirectRead},
+		{name: "un-binop-read", emit: emitUNBinopRead},
+		{name: "un-ptr-read", emit: emitUNPtrRead},
+	},
+	KindDataRace: {
+		{name: "race-spawner-vs-worker", emit: emitRaceSpawnerWorker},
+		{name: "race-loop-spawn", emit: emitRaceLoopSpawn},
+	},
+	KindInvalidFree: {
+		{name: "if-assign-uninit", emit: emitIFAssignUninit},
+	},
+	KindDoubleFree: {
+		{name: "df-ptr-read-dup", emit: emitDFPtrReadDup},
+	},
+}
+
+// --- use-after-free ------------------------------------------------------
+
+// The Redox localtime shape (corpus bug 1): a pointer into a block-scoped
+// Box escapes the block. Patch: the owner outlives the dereference.
+func emitUAFBlockEscape(e *emitter, p *Program, buggy bool) {
+	s, f, fn := e.structName(), e.fieldName(), e.fnName()
+	p.FuncName = fn
+	e.lnf("struct %s { %s: i32 }", s, f)
+	e.ln("")
+	e.lnf("impl %s {", s)
+	e.lnf("    fn new(v: i32) -> %s { %s { %s: v } }", s, s, f)
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub fn %s(t: i32) {", fn)
+	if buggy {
+		e.ln("    let p = {")
+		p.Line = e.mark()
+		e.lnf("        let owner = Box::new(%s::new(t));", s)
+		e.ln("        owner.as_ptr()")
+		e.ln("    };")
+	} else {
+		p.Line = e.mark()
+		e.lnf("    let owner = Box::new(%s::new(t));", s)
+		e.ln("    let p = owner.as_ptr();")
+	}
+	e.ln("    unsafe {")
+	e.lnf("        let got = (*p).%s;", f)
+	e.ln("        consume(got);")
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// The Redox realpath shape (corpus bug 3): a scratch vec dies with its
+// block; the saved pointer is dereferenced after.
+func emitUAFScratchBuffer(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	size := 16 << e.rng.Intn(5)
+	p.FuncName = fn
+	e.lnf("pub fn %s(n: i32) -> u8 {", fn)
+	if buggy {
+		e.ln("    let p = {")
+		p.Line = e.mark()
+		e.lnf("        let scratch = vec![0u8; %d];", size)
+		e.ln("        consume(n);")
+		e.ln("        scratch.as_ptr()")
+		e.ln("    };")
+	} else {
+		p.Line = e.mark()
+		e.lnf("    let scratch = vec![0u8; %d];", size)
+		e.ln("    consume(n);")
+		e.ln("    let p = scratch.as_ptr();")
+	}
+	e.ln("    unsafe { *p }")
+	e.ln("}")
+	e.ln("")
+}
+
+// Explicit drop before the dereference; the patch drops after.
+func emitUAFDropThenDeref(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	p.FuncName = fn
+	e.lnf("pub fn %s() {", fn)
+	e.ln("    let data = Vec::new();")
+	e.ln("    let p = data.as_ptr();")
+	if buggy {
+		p.Line = e.mark()
+		e.ln("    drop(data);")
+		e.ln("    unsafe { let x = *p; }")
+	} else {
+		p.Line = e.mark()
+		e.ln("    unsafe { let x = *p; }")
+		e.ln("    drop(data);")
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// The Figure 7 CMS_sign shape, inter-procedural: the dangling pointer is
+// handed to a local helper whose summary proves it dereferences its
+// argument. interp's call inlining carries only lock context, so only the
+// static detector can witness this one (DynVisible=false).
+func emitUAFInterprocSink(e *emitter, p *Program, buggy bool) {
+	fn, sink := e.fnName(), e.fnName()
+	size := 16 << e.rng.Intn(5)
+	p.FuncName = fn
+	e.lnf("fn %s(p: *const u8) -> u8 {", sink)
+	e.ln("    unsafe { *p }")
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub fn %s(n: i32) -> u8 {", fn)
+	if buggy {
+		e.ln("    let p = {")
+		p.Line = e.mark()
+		e.lnf("        let scratch = vec![0u8; %d];", size)
+		e.ln("        consume(n);")
+		e.ln("        scratch.as_ptr()")
+		e.ln("    };")
+		e.lnf("    %s(p)", sink)
+	} else {
+		p.Line = e.mark()
+		e.lnf("    let scratch = vec![0u8; %d];", size)
+		e.ln("    consume(n);")
+		e.ln("    let p = scratch.as_ptr();")
+		e.lnf("    %s(p)", sink)
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// --- double lock ---------------------------------------------------------
+
+// lockStruct emits the shared state struct double-lock templates use:
+// two Mutex fields and one RwLock field over a named inner.
+type lockNames struct {
+	s, inner, f, a, b, c string
+}
+
+func (e *emitter) lockStruct() lockNames {
+	n := lockNames{
+		s:     e.structName(),
+		inner: e.structName(),
+		f:     e.fieldName(),
+		a:     e.fieldName(),
+		b:     e.fieldName(),
+		c:     e.fieldName(),
+	}
+	e.lnf("struct %s { %s: i32 }", n.inner, n.f)
+	e.ln("")
+	e.lnf("struct %s {", n.s)
+	e.lnf("    %s: Mutex<%s>,", n.a, n.inner)
+	e.lnf("    %s: Mutex<%s>,", n.b, n.inner)
+	e.lnf("    %s: RwLock<%s>,", n.c, n.inner)
+	e.ln("}")
+	e.ln("")
+	return n
+}
+
+// Corpus bug 3 shape: plain sequential re-acquisition with the first
+// guard still bound. Patch: an explicit drop ends the critical section.
+func emitDLSequential(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	m := e.fnName()
+	p.FuncName = n.s + "::" + m
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) {", m)
+	e.lnf("        let g = self.%s.lock().unwrap();", n.a)
+	if buggy {
+		p.Line = e.mark()
+		e.lnf("        let h = self.%s.lock().unwrap();", n.a)
+		e.lnf("        use_both(g.%s, h.%s);", n.f, n.f)
+	} else {
+		e.lnf("        let v = g.%s;", n.f)
+		p.Line = e.mark()
+		e.ln("        drop(g);")
+		e.lnf("        let h = self.%s.lock().unwrap();", n.a)
+		e.lnf("        use_both(v, h.%s);", n.f)
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// Corpus bug 2 shape: the if-condition's temporary guard is held through
+// the branch. Patch: bind the read to a let so the temp dies first.
+func emitDLCondGuard(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	m := e.fnName()
+	p.FuncName = n.s + "::" + m
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) {", m)
+	if buggy {
+		e.lnf("        if self.%s.lock().unwrap().%s > 0 {", n.a, n.f)
+		p.Line = e.mark()
+		e.lnf("            let mut g = self.%s.lock().unwrap();", n.a)
+		e.lnf("            g.%s = 0;", n.f)
+		e.ln("        }")
+	} else {
+		p.Line = e.mark()
+		e.lnf("        let v = self.%s.lock().unwrap().%s;", n.a, n.f)
+		e.ln("        if v > 0 {")
+		e.lnf("            let mut g = self.%s.lock().unwrap();", n.a)
+		e.lnf("            g.%s = 0;", n.f)
+		e.ln("        }")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// Corpus bug 5 shape: RwLock upgrade attempt — write() while the read
+// guard lives. Patch: drop the read guard before upgrading.
+func emitDLRwUpgrade(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	m := e.fnName()
+	p.FuncName = n.s + "::" + m
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) {", m)
+	e.lnf("        let r = self.%s.read().unwrap();", n.c)
+	if buggy {
+		e.lnf("        if r.%s > 0 {", n.f)
+		p.Line = e.mark()
+		e.lnf("            let mut w = self.%s.write().unwrap();", n.c)
+		e.lnf("            w.%s = 0;", n.f)
+		e.ln("        }")
+	} else {
+		e.lnf("        let v = r.%s;", n.f)
+		p.Line = e.mark()
+		e.ln("        drop(r);")
+		e.ln("        if v > 0 {")
+		e.lnf("            let mut w = self.%s.write().unwrap();", n.c)
+		e.lnf("            w.%s = 0;", n.f)
+		e.ln("        }")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// Corpus bug 4 shape: the callee locks a field the caller still holds.
+// Patch: the caller ends its critical section before the call.
+func emitDLInterproc(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	caller, callee := e.fnName(), e.fnName()
+	p.FuncName = n.s + "::" + caller
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) -> i32 {", callee)
+	e.lnf("        let q = self.%s.lock().unwrap();", n.b)
+	e.lnf("        q.%s", n.f)
+	e.ln("    }")
+	e.ln("")
+	e.lnf("    fn %s(&self) {", caller)
+	e.lnf("        let g = self.%s.lock().unwrap();", n.b)
+	if buggy {
+		p.Line = e.mark()
+		e.lnf("        let v = self.%s();", callee)
+		e.lnf("        use_both(g.%s, v);", n.f)
+	} else {
+		e.lnf("        let held = g.%s;", n.f)
+		p.Line = e.mark()
+		e.ln("        drop(g);")
+		e.lnf("        let v = self.%s();", callee)
+		e.ln("        use_both(held, v);")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// Corpus bug 1 shape (the paper's Figure 8): the match scrutinee's guard
+// temporary lives until the end of the match, so locking again inside an
+// arm self-deadlocks. Patch: bind the scrutinee to a let first.
+func emitDLMatchScrutinee(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	m, helper := e.fnName(), e.fnName()
+	p.FuncName = n.s + "::" + m
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) {", m)
+	if buggy {
+		e.lnf("        match %s(self.%s.read().unwrap().%s) {", helper, n.c, n.f)
+		p.Line = e.mark()
+		e.ln("            Ok(v) => {")
+		e.lnf("                let mut w = self.%s.write().unwrap();", n.c)
+		e.lnf("                w.%s = v;", n.f)
+		e.ln("            }")
+		e.ln("            Err(x) => {}")
+		e.ln("        };")
+	} else {
+		p.Line = e.mark()
+		e.lnf("        let checked = %s(self.%s.read().unwrap().%s);", helper, n.c, n.f)
+		e.ln("        match checked {")
+		e.ln("            Ok(v) => {")
+		e.lnf("                let mut w = self.%s.write().unwrap();", n.c)
+		e.lnf("                w.%s = v;", n.f)
+		e.ln("            }")
+		e.ln("            Err(x) => {}")
+		e.ln("        };")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+	e.lnf("fn %s(n: i32) -> Result<i32, i32> {", helper)
+	e.lnf("    if n > %d { Ok(n) } else { Err(n) }", e.rng.Intn(50))
+	e.ln("}")
+	e.ln("")
+}
+
+// --- conflicting lock order ----------------------------------------------
+
+// The parity-ethereum ledger shape: two methods acquire the same two
+// locks in opposite orders. Patch: consistent ordering.
+func emitLOInvertedPair(e *emitter, p *Program, buggy bool) {
+	n := e.lockStruct()
+	m1, m2 := e.fnName(), e.fnName()
+	p.FuncName = n.s + "::" + m2
+	e.lnf("impl %s {", n.s)
+	e.lnf("    fn %s(&self) {", m1)
+	e.lnf("        let x = self.%s.lock().unwrap();", n.a)
+	e.lnf("        let y = self.%s.lock().unwrap();", n.b)
+	e.lnf("        use_both(x.%s, y.%s);", n.f, n.f)
+	e.ln("    }")
+	e.ln("")
+	e.lnf("    fn %s(&self) {", m2)
+	if buggy {
+		p.Line = e.mark()
+		e.lnf("        let y = self.%s.lock().unwrap();", n.b)
+		e.lnf("        let x = self.%s.lock().unwrap();", n.a)
+	} else {
+		p.Line = e.mark()
+		e.lnf("        let x = self.%s.lock().unwrap();", n.a)
+		e.lnf("        let y = self.%s.lock().unwrap();", n.b)
+	}
+	e.lnf("        use_both(x.%s, y.%s);", n.f, n.f)
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// --- uninitialized read --------------------------------------------------
+
+// The Table 2 unsafe->safe shape: an alloc()'d buffer read before any
+// initializing write. Patch: ptr::write first.
+func emitUNDirectRead(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	size := 8 << e.rng.Intn(6)
+	k := e.rng.Intn(200) + 1
+	p.FuncName = fn
+	e.lnf("pub unsafe fn %s() -> u8 {", fn)
+	e.lnf("    let buf = alloc(%d) as *mut u8;", size)
+	if !buggy {
+		e.lnf("    ptr::write(buf, %du8);", k)
+	}
+	p.Line = e.mark()
+	e.ln("    *buf")
+	e.ln("}")
+	e.ln("")
+}
+
+// The read feeds arithmetic instead of returning directly.
+func emitUNBinopRead(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	size := 8 << e.rng.Intn(6)
+	k := e.rng.Intn(200) + 1
+	p.FuncName = fn
+	e.lnf("pub unsafe fn %s(n: u8) -> u8 {", fn)
+	e.lnf("    let buf = alloc(%d) as *mut u8;", size)
+	if !buggy {
+		e.lnf("    ptr::write(buf, %du8);", k)
+	}
+	p.Line = e.mark()
+	e.ln("    let v = *buf + n;")
+	e.ln("    v")
+	e.ln("}")
+	e.ln("")
+}
+
+// ptr::read from the uninitialized allocation.
+func emitUNPtrRead(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	size := 8 << e.rng.Intn(6)
+	k := e.rng.Intn(200) + 1
+	p.FuncName = fn
+	e.lnf("pub unsafe fn %s() -> u8 {", fn)
+	e.lnf("    let buf = alloc(%d) as *mut u8;", size)
+	if !buggy {
+		e.lnf("    ptr::write(buf, %du8);", k)
+	}
+	p.Line = e.mark()
+	e.ln("    let v = ptr::read(buf);")
+	e.ln("    v")
+	e.ln("}")
+	e.ln("")
+}
+
+// --- data race -----------------------------------------------------------
+
+// The Servo reflow shape: spawner and worker both write through Arc
+// aliases with no synchronization. Patch: both sides take the mutex.
+func emitRaceSpawnerWorker(e *emitter, p *Program, buggy bool) {
+	s, f, g, fn := e.structName(), e.fieldName(), e.fieldName(), e.fnName()
+	p.FuncName = fn
+	e.lnf("struct %s {", s)
+	e.lnf("    %s: u64,", f)
+	e.lnf("    %s: u64,", g)
+	e.ln("}")
+	e.ln("")
+	if buggy {
+		e.lnf("fn %s(shared: Arc<%s>) {", fn, s)
+		e.ln("    let worker = Arc::clone(&shared);")
+		e.ln("    thread::spawn(move || {")
+		p.Line = e.mark()
+		e.lnf("        worker.%s += 1;", f)
+		e.lnf("        worker.%s = 0;", g)
+		e.ln("    });")
+		e.lnf("    shared.%s += 1;", f)
+	} else {
+		e.lnf("fn %s(shared: Arc<Mutex<%s>>) {", fn, s)
+		e.ln("    let worker = Arc::clone(&shared);")
+		e.ln("    thread::spawn(move || {")
+		p.Line = e.mark()
+		e.ln("        let mut st = worker.lock().unwrap();")
+		e.lnf("        st.%s += 1;", f)
+		e.lnf("        st.%s = 0;", g)
+		e.ln("    });")
+		e.ln("    let mut st2 = shared.lock().unwrap();")
+		e.lnf("    st2.%s += 1;", f)
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// The TiKV shard-counter shape: one closure spawned per iteration; its
+// instances race with each other. Patch: the mutex serializes them.
+func emitRaceLoopSpawn(e *emitter, p *Program, buggy bool) {
+	s, f, fn := e.structName(), e.fieldName(), e.fnName()
+	iters := e.rng.Intn(6) + 2
+	p.FuncName = fn
+	e.lnf("struct %s {", s)
+	e.lnf("    %s: u64,", f)
+	e.ln("}")
+	e.ln("")
+	if buggy {
+		e.lnf("fn %s(db: Arc<%s>) {", fn, s)
+		e.lnf("    for i in 0..%d {", iters)
+		e.ln("        let shard = Arc::clone(&db);")
+		e.ln("        thread::spawn(move || {")
+		p.Line = e.mark()
+		e.lnf("            shard.%s += 1;", f)
+		e.ln("        });")
+		e.ln("    }")
+	} else {
+		e.lnf("fn %s(db: Arc<Mutex<%s>>) {", fn, s)
+		e.lnf("    for i in 0..%d {", iters)
+		e.ln("        let shard = Arc::clone(&db);")
+		e.ln("        thread::spawn(move || {")
+		p.Line = e.mark()
+		e.ln("            let mut st = shard.lock().unwrap();")
+		e.lnf("            st.%s += 1;", f)
+		e.ln("        });")
+		e.ln("    }")
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// --- invalid free --------------------------------------------------------
+
+// The Figure 6 relibc _fdopen shape: assigning a struct with drop glue
+// through a pointer to fresh (uninitialized) memory drops the garbage
+// previous value. Patch: ptr::write initializes without dropping.
+func emitIFAssignUninit(e *emitter, p *Program, buggy bool) {
+	s, f, fn := e.structName(), e.fieldName(), e.fnName()
+	size := 32 << e.rng.Intn(4)
+	cap := 16 << e.rng.Intn(5)
+	p.FuncName = fn
+	e.lnf("pub struct %s {", s)
+	e.lnf("    %s: Vec<u8>,", f)
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub unsafe fn %s() -> *mut %s {", fn, s)
+	e.lnf("    let slot = alloc(%d) as *mut %s;", size, s)
+	p.Line = e.mark()
+	if buggy {
+		e.lnf("    *slot = %s { %s: vec![0u8; %d] };", s, f, cap)
+	} else {
+		e.lnf("    ptr::write(slot, %s { %s: vec![0u8; %d] });", s, f, cap)
+	}
+	e.ln("    slot")
+	e.ln("}")
+	e.ln("")
+}
+
+// --- double free ---------------------------------------------------------
+
+// The §5.1 shape: ptr::read duplicates ownership, so the original and the
+// duplicate both drop the same heap value. Two patch styles: a plain move
+// (single owner), or mem::forget on the original.
+func emitDFPtrReadDup(e *emitter, p *Program, buggy bool) {
+	s, f, fn := e.structName(), e.fieldName(), e.fnName()
+	forgetPatch := e.rng.Intn(2) == 0
+	p.FuncName = fn
+	e.lnf("struct %s {", s)
+	e.lnf("    %s: Box<i32>,", f)
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub fn %s(t1: %s) -> i32 {", fn, s)
+	if buggy {
+		p.Line = e.mark()
+		e.ln("    let t2 = unsafe { ptr::read(&t1) };")
+	} else if forgetPatch {
+		e.ln("    let t2 = unsafe { ptr::read(&t1) };")
+		p.Line = e.mark()
+		e.ln("    mem::forget(t1);")
+	} else {
+		p.Line = e.mark()
+		e.ln("    let t2 = t1;")
+	}
+	e.lnf("    consume(0);")
+	e.ln("    0")
+	e.ln("}")
+	e.ln("")
+}

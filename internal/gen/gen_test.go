@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// The determinism contract: Generate(seed) is byte-identical forever
+// within a build, and across repeated calls.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if a.Source != b.Source {
+			t.Fatalf("seed %d: sources differ", seed)
+		}
+		if a.Kind != b.Kind || a.Buggy != b.Buggy || a.Template != b.Template ||
+			a.FuncName != b.FuncName || a.Line != b.Line || a.DynVisible != b.DynVisible {
+			t.Fatalf("seed %d: labels differ: %s vs %s", seed, a, b)
+		}
+	}
+}
+
+// New must agree with Generate when asked for the same (kind, variant):
+// both burn the same rng draws, so template and identifier choices match.
+func TestNewMatchesGenerate(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		want := Generate(seed)
+		got := New(seed, want.Kind, want.Buggy)
+		if got.Source != want.Source || got.Template != want.Template || got.Line != want.Line {
+			t.Fatalf("seed %d: New(%s, %v) disagrees with Generate", seed, want.Kind, want.Buggy)
+		}
+	}
+}
+
+// Every label must be well-formed: a known kind, a non-empty template,
+// a function name that appears in the source, and an injection line
+// inside the program.
+func TestLabelsWellFormed(t *testing.T) {
+	known := map[Kind]bool{}
+	for _, k := range Kinds {
+		known[k] = true
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		p := Generate(seed)
+		if !known[p.Kind] {
+			t.Fatalf("seed %d: unknown kind %q", seed, p.Kind)
+		}
+		if p.Template == "" || p.FuncName == "" {
+			t.Fatalf("seed %d: empty template or function name: %s", seed, p)
+		}
+		// FuncName may be qualified ("Type::method").
+		base := p.FuncName
+		if i := strings.LastIndex(base, "::"); i >= 0 {
+			base = base[i+2:]
+		}
+		if !strings.Contains(p.Source, "fn "+base) {
+			t.Fatalf("seed %d: function %q not in source", seed, base)
+		}
+		lines := strings.Count(p.Source, "\n")
+		if p.Line < 1 || p.Line > lines {
+			t.Fatalf("seed %d: line %d outside program (%d lines)", seed, p.Line, lines)
+		}
+	}
+}
+
+// Both variants of every registered template must be reachable from the
+// seed space (the differential suites otherwise never exercise them).
+func TestAllTemplatesReachable(t *testing.T) {
+	type key struct {
+		tmpl  string
+		buggy bool
+	}
+	want := map[key]bool{}
+	for _, tmpls := range templates {
+		for _, tm := range tmpls {
+			want[key{tm.name, true}] = false
+			want[key{tm.name, false}] = false
+		}
+	}
+	for seed := int64(0); seed < 3000; seed++ {
+		p := Generate(seed)
+		want[key{p.Template, p.Buggy}] = true
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("template %s (buggy=%v) never generated in 3000 seeds", k.tmpl, k.buggy)
+		}
+	}
+}
+
+// Seeds split roughly evenly between buggy and clean so both halves of
+// the oracle get comparable coverage.
+func TestVariantSplit(t *testing.T) {
+	buggy := 0
+	const n = 1000
+	for seed := int64(0); seed < n; seed++ {
+		if Generate(seed).Buggy {
+			buggy++
+		}
+	}
+	if buggy < n/3 || buggy > 2*n/3 {
+		t.Fatalf("buggy split %d/%d is far from even", buggy, n)
+	}
+}

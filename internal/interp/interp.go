@@ -109,12 +109,30 @@ func RunWith(body *mir.Body, cfg Config, bodies map[string]*mir.Body) *Result {
 type machineState struct {
 	cells []cellState
 	// pointees[l] = storage roots local l points into (dynamic points-to).
+	// Roots at indices >= len(body.Locals) are pseudo heap roots created
+	// by alloc(): heap memory has its own lifecycle (uninit until written,
+	// dead after dealloc) independent of any stack temporary's storage.
 	pointees []map[mir.LocalID]bool
 	// guards[l] = lock identity held by local l (empty when none).
 	guards []string
+	// valueOf[l] = the local whose value l owns. Identity except for
+	// ptr::read duplicates, which share their original's value root so
+	// dropping both surfaces as a double drop (the §5.1 double free).
+	valueOf []mir.LocalID
 	// heldLocks is the multiset of lock identities currently held.
 	heldLocks map[string]int
 	steps     int
+}
+
+// newHeapRoot appends a fresh uninitialized pseudo root modeling one
+// alloc() result and returns its id.
+func (s *machineState) newHeapRoot() mir.LocalID {
+	id := mir.LocalID(len(s.cells))
+	s.cells = append(s.cells, stateUninit)
+	s.pointees = append(s.pointees, nil)
+	s.guards = append(s.guards, "")
+	s.valueOf = append(s.valueOf, id)
+	return id
 }
 
 func newState(body *mir.Body) *machineState {
@@ -122,7 +140,11 @@ func newState(body *mir.Body) *machineState {
 		cells:     make([]cellState, len(body.Locals)),
 		pointees:  make([]map[mir.LocalID]bool, len(body.Locals)),
 		guards:    make([]string, len(body.Locals)),
+		valueOf:   make([]mir.LocalID, len(body.Locals)),
 		heldLocks: map[string]int{},
+	}
+	for i := range s.valueOf {
+		s.valueOf[i] = mir.LocalID(i)
 	}
 	// Return place and arguments start live and initialized.
 	s.cells[mir.ReturnLocal] = stateUninit
@@ -143,6 +165,7 @@ func (s *machineState) clone() *machineState {
 		cells:     append([]cellState(nil), s.cells...),
 		pointees:  make([]map[mir.LocalID]bool, len(s.pointees)),
 		guards:    append([]string(nil), s.guards...),
+		valueOf:   append([]mir.LocalID(nil), s.valueOf...),
 		heldLocks: map[string]int{},
 		steps:     s.steps,
 	}
@@ -254,9 +277,59 @@ func (ex *explorer) step(s *machineState, st mir.Statement, trace []string) {
 		ex.releaseGuard(s, st.Local)
 	case mir.Assign:
 		ex.readRvalue(s, st.Rvalue, st.Span, trace)
-		ex.writePlace(s, st.Place, st.Span, trace)
+		ex.writePlace(s, st.Place, st.Span, trace, assignDropsGlue(ex.body, st))
 		ex.flowAssign(s, st)
 	}
+}
+
+// assignDropsGlue reports whether the assigned value's type has drop
+// glue, so overwriting a garbage previous value through a raw pointer
+// actually runs a destructor (the Figure 6 invalid free). Mirrors the
+// static dfree detector's typeNeedsDrop so the two oracles agree.
+func assignDropsGlue(body *mir.Body, as mir.Assign) bool {
+	var ty types.Type
+	switch rv := as.Rvalue.(type) {
+	case mir.Use:
+		switch op := rv.X.(type) {
+		case mir.Copy:
+			ty = body.Local(op.Place.Local).Ty
+		case mir.Move:
+			ty = body.Local(op.Place.Local).Ty
+		case mir.Const:
+			ty = op.Ty
+		}
+	case mir.Aggregate:
+		ty = types.NamedOf(rv.Name)
+	default:
+		return false
+	}
+	return typeNeedsDrop(ty)
+}
+
+func typeNeedsDrop(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		switch t.Name {
+		case "PhantomData", "Ordering":
+			return false
+		}
+		return true
+	case *types.Tuple:
+		for _, e := range t.Elems {
+			if typeNeedsDrop(e) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localName renders a local or pseudo heap root for messages.
+func (ex *explorer) localName(l mir.LocalID) string {
+	if int(l) < len(ex.body.Locals) {
+		return ex.body.Local(l).String()
+	}
+	return fmt.Sprintf("heap allocation #%d", int(l)-len(ex.body.Locals))
 }
 
 // readRvalue checks every read the rvalue performs.
@@ -313,17 +386,19 @@ func (ex *explorer) readPlace(s *machineState, p mir.Place, sp source.Span, trac
 		case stateDead, stateMoved:
 			ex.emit(ErrUseAfterFree, sp, trace,
 				"pointer %s dereferences storage of %s after its lifetime ended",
-				ex.body.Local(p.Local), ex.body.Local(root))
+				ex.body.Local(p.Local), ex.localName(root))
 		case stateUninit:
 			ex.emit(ErrUninitRead, sp, trace,
 				"pointer %s reads uninitialized storage of %s",
-				ex.body.Local(p.Local), ex.body.Local(root))
+				ex.body.Local(p.Local), ex.localName(root))
 		}
 	}
 }
 
 // writePlace validates a write access path and updates init state.
-func (ex *explorer) writePlace(s *machineState, p mir.Place, sp source.Span, trace []string) {
+// dropsGlue reports whether the assigned value's type has drop glue (so
+// overwriting uninitialized memory frees garbage — the Figure 6 shape).
+func (ex *explorer) writePlace(s *machineState, p mir.Place, sp source.Span, trace []string, dropsGlue bool) {
 	if p.IsLocal() {
 		if s.cells[p.Local] == stateDead {
 			s.cells[p.Local] = stateInit // defensive: lowering artifact
@@ -340,15 +415,17 @@ func (ex *explorer) writePlace(s *machineState, p mir.Place, sp source.Span, tra
 			if s.cells[root] == stateDead || s.cells[root] == stateMoved {
 				ex.emit(ErrUseAfterFree, sp, trace,
 					"pointer %s writes storage of %s after its lifetime ended",
-					ex.body.Local(p.Local), ex.body.Local(root))
+					ex.body.Local(p.Local), ex.localName(root))
 			}
 			// Writing through a pointer to uninitialized memory with a
 			// plain assignment drops the previous (garbage) value when the
 			// written type has drop glue: the Figure 6 invalid free.
 			if s.cells[root] == stateUninit && rootIsRawAlloc(ex.body, p.Local) {
-				ex.emit(ErrInvalidFree, sp, trace,
-					"assignment through %s drops an uninitialized previous value",
-					ex.body.Local(p.Local))
+				if dropsGlue {
+					ex.emit(ErrInvalidFree, sp, trace,
+						"assignment through %s drops an uninitialized previous value",
+						ex.body.Local(p.Local))
+				}
 				s.cells[root] = stateInit
 			}
 		}
@@ -366,6 +443,7 @@ func (ex *explorer) flowAssign(s *machineState, st mir.Assign) {
 		return
 	}
 	dest := st.Place.Local
+	s.valueOf[dest] = dest // fresh value unless a move transfers an alias below
 	setPointees := func(roots map[mir.LocalID]bool) {
 		s.pointees[dest] = roots
 	}
@@ -380,6 +458,12 @@ func (ex *explorer) flowAssign(s *machineState, st mir.Assign) {
 			if g := s.guards[pl.Local]; g != "" {
 				s.guards[dest] = g
 				s.guards[pl.Local] = ""
+			}
+			// A move of a ptr::read duplicate carries the shared value
+			// root along; plain moves keep identity (drop elaboration
+			// already elides the source's drop).
+			if mir.IsMove(rv.X) && s.valueOf[pl.Local] != pl.Local {
+				s.valueOf[dest] = s.valueOf[pl.Local]
 			}
 			return
 		}
@@ -419,6 +503,23 @@ func (ex *explorer) dynDrop(s *machineState, p mir.Place, sp source.Span, trace 
 		return
 	}
 	l := p.Local
+	if root := s.valueOf[l]; root != l {
+		// l holds a ptr::read duplicate: dropping it frees the shared
+		// value, so the double-drop check runs against the value root.
+		switch s.cells[root] {
+		case stateMoved, stateDead:
+			ex.emit(ErrDoubleDrop, sp, trace,
+				"%s, a ptr::read duplicate of %s, dropped after that value was already freed (double drop)",
+				ex.body.Local(l), ex.localName(root))
+		default:
+			s.cells[root] = stateMoved
+		}
+		if s.cells[l] == stateInit {
+			s.cells[l] = stateMoved
+		}
+		ex.releaseGuard(s, l)
+		return
+	}
 	switch s.cells[l] {
 	case stateDead:
 		ex.emit(ErrDoubleDrop, sp, trace, "%s dropped after its storage already ended", ex.body.Local(l))
@@ -456,6 +557,7 @@ func (ex *explorer) dynCall(s *machineState, c mir.Call, trace []string) {
 	if c.Dest.IsLocal() {
 		s.cells[c.Dest.Local] = stateInit
 		s.pointees[c.Dest.Local] = nil
+		s.valueOf[c.Dest.Local] = c.Dest.Local
 	}
 	switch c.Intrinsic {
 	case mir.IntrinsicLock, mir.IntrinsicRead, mir.IntrinsicWrite:
@@ -500,13 +602,83 @@ func (ex *explorer) dynCall(s *machineState, c mir.Call, trace []string) {
 			}
 		}
 	case mir.IntrinsicAlloc:
-		// Fresh uninitialized memory: model the allocation as the dest
-		// local pointing at itself in the uninit state is not expressible;
-		// instead mark dest as a raw allocation pointer whose pointee set
-		// is a fresh pseudo-root — approximated by self-pointing.
+		// Fresh uninitialized memory: a pseudo heap root with its own
+		// lifecycle — uninit until an initializing write, unaffected by
+		// the StorageDead of whatever stack temporary held the pointer.
 		if c.Dest.IsLocal() {
-			s.pointees[c.Dest.Local] = map[mir.LocalID]bool{c.Dest.Local: true}
+			root := s.newHeapRoot()
+			s.pointees[c.Dest.Local] = map[mir.LocalID]bool{root: true}
 			s.cells[c.Dest.Local] = stateInit
+		}
+	case mir.IntrinsicPtrWrite:
+		// ptr::write(p, v) initializes p's pointee without dropping the
+		// previous value: every pointee root becomes initialized.
+		if len(c.Args) > 0 {
+			if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+				for root := range s.pointees[pl.Local] {
+					if root == pl.Local {
+						continue
+					}
+					if s.cells[root] == stateUninit || s.cells[root] == stateMoved {
+						s.cells[root] = stateInit
+					}
+				}
+			}
+		}
+	case mir.IntrinsicPtrRead:
+		// ptr::read(p) reads through the pointer: uninitialized or dead
+		// pointees surface here like any other dereference.
+		if len(c.Args) > 0 {
+			if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+				for root := range s.pointees[pl.Local] {
+					if root == pl.Local {
+						continue
+					}
+					switch s.cells[root] {
+					case stateUninit:
+						ex.emit(ErrUninitRead, c.Span, trace,
+							"ptr::read through %s of uninitialized storage of %s",
+							ex.localName(pl.Local), ex.localName(root))
+					case stateDead:
+						ex.emit(ErrUseAfterFree, c.Span, trace,
+							"ptr::read through %s of storage of %s after its lifetime ended",
+							ex.localName(pl.Local), ex.localName(root))
+					}
+				}
+				// The result duplicates ownership of the pointee: record a
+				// shared value root so dropping both copies is a double
+				// drop. Only stack values participate — heap pseudo roots
+				// are plain buffers here — and only an unambiguous single
+				// root keeps the model deterministic.
+				if c.Dest.IsLocal() {
+					dup := mir.LocalID(-1)
+					n := 0
+					for root := range s.pointees[pl.Local] {
+						if root != pl.Local && int(root) < len(ex.body.Locals) {
+							n++
+							if dup < 0 || root < dup {
+								dup = root
+							}
+						}
+					}
+					if n == 1 {
+						s.valueOf[c.Dest.Local] = s.valueOf[dup]
+					}
+				}
+			}
+		}
+	case mir.IntrinsicDealloc:
+		// dealloc/free ends the heap allocation's lifetime; later reads
+		// through any alias are use-after-free. Only pseudo heap roots
+		// die — freeing a stack pointer is a different bug class.
+		if len(c.Args) > 0 {
+			if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() {
+				for root := range s.pointees[pl.Local] {
+					if int(root) >= len(ex.body.Locals) {
+						s.cells[root] = stateDead
+					}
+				}
+			}
 		}
 	case mir.IntrinsicForget:
 		// Already handled by the move of the argument.

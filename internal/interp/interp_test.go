@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"strings"
 	"testing"
 
 	"rustprobe/internal/lower"
@@ -125,10 +126,203 @@ fn f(t1: Holder) {
     let t2 = unsafe { ptr::read(&t1) };
 }
 `, "f")
-	// ptr::read is opaque to the dynamic model (it sees a fresh dest),
-	// so no error is required here — this pins that it at least runs.
-	if r.Paths == 0 {
-		t.Fatal("no paths explored")
+	// ptr::read duplicates ownership: t2 and t1 drop the same Box.
+	if !hasKind(r, ErrDoubleDrop) {
+		t.Fatalf("expected double drop, got %+v", r.Errors)
+	}
+}
+
+func hasKind(r *Result, k ErrorKind) bool {
+	for _, e := range r.Errors {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// runAll lowers the source and runs fn with the whole program available
+// for call inlining (the inherited-locks interprocedural model).
+func runAll(t *testing.T, src, fn string) *Result {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	bodies := lower.Program(prog, diags)
+	body, ok := bodies[fn]
+	if !ok {
+		t.Fatalf("no body %q", fn)
+	}
+	return RunWith(body, Config{}, bodies)
+}
+
+func TestDynamicNoDoubleDropOnMove(t *testing.T) {
+	r := run(t, `
+struct Holder { b: Box<i32> }
+fn f(t1: Holder) {
+    let t2 = t1;
+}
+`, "f")
+	// A plain move leaves a single owner; drop elaboration already elides
+	// the source's drop, so the shared-value-root model must stay silent.
+	if len(r.Errors) != 0 {
+		t.Fatalf("clean move reported: %v", r.Errors)
+	}
+}
+
+func TestDynamicNoDoubleDropAfterForget(t *testing.T) {
+	r := run(t, `
+struct Holder { b: Box<i32> }
+fn f(t1: Holder) {
+    let t2 = unsafe { ptr::read(&t1) };
+    mem::forget(t1);
+}
+`, "f")
+	if len(r.Errors) != 0 {
+		t.Fatalf("forget variant reported: %v", r.Errors)
+	}
+}
+
+// Figure 6 (relibc _fdopen): assigning a droppy struct through a pointer
+// to fresh allocation drops the uninitialized previous value.
+func TestDynamicInvalidFree(t *testing.T) {
+	r := run(t, `
+pub struct FILE { buf: Vec<u8> }
+pub unsafe fn f() {
+    let p = alloc(32) as *mut FILE;
+    *p = FILE { buf: vec![0u8; 16] };
+}
+`, "f")
+	if !hasKind(r, ErrInvalidFree) {
+		t.Fatalf("expected invalid free, got %+v", r.Errors)
+	}
+}
+
+func TestDynamicInvalidFreeFixedByPtrWrite(t *testing.T) {
+	r := run(t, `
+pub struct FILE { buf: Vec<u8> }
+pub unsafe fn f() {
+    let p = alloc(32) as *mut FILE;
+    ptr::write(p, FILE { buf: vec![0u8; 16] });
+}
+`, "f")
+	if len(r.Errors) != 0 {
+		t.Fatalf("ptr::write fix reported: %v", r.Errors)
+	}
+}
+
+// Heap allocations are pseudo roots with their own lifecycle: uninit
+// until written, independent of the stack temporaries that held the
+// pointer (regression for the generator-exposed alloc model gap).
+func TestDynamicUninitReadFromAlloc(t *testing.T) {
+	r := run(t, `
+pub unsafe fn f() -> u8 {
+    let buf = alloc(8) as *mut u8;
+    *buf
+}
+`, "f")
+	if !hasKind(r, ErrUninitRead) {
+		t.Fatalf("expected uninit read, got %+v", r.Errors)
+	}
+}
+
+func TestDynamicAllocWriteThenReadClean(t *testing.T) {
+	r := run(t, `
+pub unsafe fn f() -> u8 {
+    let buf = alloc(8) as *mut u8;
+    ptr::write(buf, 7u8);
+    let v = ptr::read(buf);
+    v
+}
+`, "f")
+	if len(r.Errors) != 0 {
+		t.Fatalf("initialized alloc reported: %v", r.Errors)
+	}
+}
+
+func TestDynamicUAFAfterDealloc(t *testing.T) {
+	r := run(t, `
+pub unsafe fn f() -> u8 {
+    let buf = alloc(8) as *mut u8;
+    ptr::write(buf, 7u8);
+    dealloc(buf);
+    *buf
+}
+`, "f")
+	if !hasKind(r, ErrUseAfterFree) {
+		t.Fatalf("expected use after free, got %+v", r.Errors)
+	}
+}
+
+// The corpus bug 4 shape: the callee locks a field the caller already
+// holds; inlining carries the caller's lock context into the callee.
+func TestDynamicDeadlockInterproc(t *testing.T) {
+	r := runAll(t, `
+struct Inner { v: i32 }
+struct S { mu: Mutex<Inner> }
+impl S {
+    fn callee(&self) -> i32 {
+        let q = self.mu.lock().unwrap();
+        q.v
+    }
+    fn caller(&self) {
+        let g = self.mu.lock().unwrap();
+        let v = self.callee();
+        use_both(g.v, v);
+    }
+}
+`, "S::caller")
+	if !hasKind(r, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %+v", r.Errors)
+	}
+	// The error's trace must record the inlined call so a triager can see
+	// the acquisition context.
+	found := false
+	for _, e := range r.Errors {
+		if e.Kind == ErrDeadlock {
+			for _, step := range e.Trace {
+				if strings.Contains(step, "call ") {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("deadlock trace has no call step: %+v", r.Errors)
+	}
+}
+
+// Branch decisions along the erroring path are recorded as bbN->bbM trace
+// steps.
+func TestBranchTraceRecorded(t *testing.T) {
+	r := run(t, `
+fn f(c: bool) {
+    let v = vec![1u8];
+    let p = v.as_ptr();
+    if c {
+        drop(v);
+    }
+    unsafe { let x = *p; }
+}
+`, "f")
+	found := false
+	for _, e := range r.Errors {
+		if e.Kind != ErrUseAfterFree {
+			continue
+		}
+		for _, step := range e.Trace {
+			if strings.Contains(step, "->") && strings.HasPrefix(step, "bb") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no branch step in any UAF trace: %+v", r.Errors)
 	}
 }
 

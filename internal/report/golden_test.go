@@ -1,0 +1,74 @@
+package report
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"rustprobe/internal/study"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.txt from the current report output")
+
+// golden renders every table, figure, and text section that is a pure
+// function of the study database — the full bugstudy surface except the
+// corpus-measured detector numbers, which have their own differential
+// harness (internal/difftest).
+func golden() string {
+	db := study.Build()
+	var b strings.Builder
+	emit := func(title, body string) {
+		fmt.Fprintf(&b, "===== %s =====\n%s\n", title, body)
+	}
+	emit("Table 1", Table1(db))
+	emit("Table 2", Table2(db))
+	emit("Table 3", Table3(db))
+	emit("Table 4", Table4(db))
+	emit("Figure 1", Figure1())
+	emit("Figure 2", Figure2(db))
+	emit("Section: unsafe usage", UnsafeUsageSection())
+	emit("Section: unsafe removals", RemovalSection())
+	emit("Section: interior unsafe", InteriorSection())
+	emit("Section: memory fixes", MemFixSection(db))
+	emit("Section: blocking fixes", BlkFixSection(db))
+	emit("Section: non-blocking fixes", NBlkFixSection(db))
+	emit("Section: insights", InsightsSection())
+	return b.String()
+}
+
+// TestGoldenReport pins the complete report output byte-for-byte. On an
+// intentional change, regenerate with:
+//
+//	go test ./internal/report -run TestGoldenReport -update
+func TestGoldenReport(t *testing.T) {
+	got := golden()
+	const path = "testdata/golden.txt"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d bytes to %s", len(got), path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("report output diverged from golden at line %d:\n got: %q\nwant: %q\n(regenerate intentionally with -update)",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("report output length changed: got %d lines, golden %d lines (regenerate intentionally with -update)",
+		len(gotLines), len(wantLines))
+}
