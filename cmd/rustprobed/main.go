@@ -10,6 +10,15 @@
 //	GET  /v1/detectors  detector registry
 //	GET  /healthz       liveness
 //	GET  /stats         engine counters (cache, queue, per-stage latency)
+//	GET  /metrics       the same counters in Prometheus text format
+//	GET  /debug/pprof/  net/http/pprof (only with -pprof)
+//
+// The serving layer is hardened for real traffic: a panicking analysis
+// pass costs only its own request (500) and never a pool worker, a full
+// queue fails fast with 503 + Retry-After (-queue-reject), identical
+// in-flight requests are singleflighted into one analysis, and a client
+// that times out or disconnects cancels its job instead of burning a
+// worker.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests finish, then the engine drains.
@@ -39,6 +48,8 @@ func main() {
 		queue    = flag.Int("queue", 64, "pending-job queue depth")
 		cacheCap = flag.Int("cache", 256, "result cache capacity in entries (LRU; negative disables)")
 		timeout  = flag.Duration("request-timeout", 30*time.Second, "per-request analysis budget (0 disables)")
+		reject   = flag.Bool("queue-reject", true, "fail fast with 503 + Retry-After when the job queue is full (false blocks instead)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		selftest = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
 		seeds    = flag.Int64("seeds", 200, "seed count for -selftest")
 	)
@@ -48,6 +59,7 @@ func main() {
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCap,
+		QueueReject:   *reject,
 	})
 
 	if *selftest {
@@ -64,7 +76,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, *timeout),
+		Handler:           newServer(eng, serverOptions{timeout: *timeout, pprof: *pprofOn}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -73,8 +85,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rustprobed: listening on %s (workers=%d queue=%d cache=%d timeout=%s)",
-			*addr, *workers, *queue, *cacheCap, *timeout)
+		log.Printf("rustprobed: listening on %s (workers=%d queue=%d cache=%d timeout=%s queue-reject=%t pprof=%t)",
+			*addr, *workers, *queue, *cacheCap, *timeout, *reject, *pprofOn)
 		errc <- srv.ListenAndServe()
 	}()
 

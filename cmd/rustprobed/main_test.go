@@ -26,7 +26,7 @@ const figure5Src = `fn grow(v: Vec<i32>) {
 func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	eng := engine.New(engine.Config{Workers: 2})
-	srv := httptest.NewServer(newServer(eng, 5*time.Second))
+	srv := httptest.NewServer(newServer(eng, serverOptions{timeout: 5 * time.Second}))
 	t.Cleanup(func() {
 		srv.Close()
 		eng.Close()

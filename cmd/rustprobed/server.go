@@ -2,10 +2,17 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"rustprobe"
@@ -16,31 +23,95 @@ import (
 // 32 MiB is far beyond any crate the subset frontend will see).
 const maxBodyBytes = 32 << 20
 
+// serverOptions configures the daemon's HTTP handler.
+type serverOptions struct {
+	timeout time.Duration // per-request analysis budget; 0 = none
+	pprof   bool          // mount net/http/pprof under /debug/pprof/
+}
+
 // server routes the rustprobed HTTP API onto an engine.
 type server struct {
 	eng     *engine.Engine
-	timeout time.Duration // per-request analysis budget; 0 = none
+	opts    serverOptions
 	started time.Time
 }
 
 // newServer builds the daemon's HTTP handler; tests mount it on
-// net/http/httptest listeners.
-func newServer(eng *engine.Engine, timeout time.Duration) http.Handler {
-	s := &server{eng: eng, timeout: timeout, started: time.Now()}
+// net/http/httptest listeners. Every request gets an X-Request-ID and
+// one structured access-log line.
+func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
+	s := &server{eng: eng, opts: opts, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/detectors", s.handleDetectors)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if opts.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return withRequestID(mux)
 }
+
+// --- request IDs + access log ----------------------------------------------
+
+type requestIDKey struct{}
+
+// reqPrefix distinguishes daemon restarts in aggregated logs; reqSeq
+// orders requests within one process.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// withRequestID stamps every request with a unique ID (echoed in the
+// X-Request-ID response header and threaded through the context for
+// handler logs) and emits one key=value access-log line per request.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		log.Printf("rustprobed: req=%s method=%s path=%s status=%d elapsed=%s",
+			id, r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// requestID recovers the middleware's ID for handler-level log lines.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// --- handlers ---------------------------------------------------------------
 
 // analyzeResponse is the wire shape of a successful analysis.
 type analyzeResponse struct {
-	Findings []engine.Finding     `json:"findings"`
-	Unsafe   engine.UnsafeSummary `json:"unsafe"`
-	CacheHit bool                 `json:"cache_hit"`
-	ElapsedMS float64             `json:"elapsed_ms"`
+	Findings  []engine.Finding     `json:"findings"`
+	Unsafe    engine.UnsafeSummary `json:"unsafe"`
+	CacheHit  bool                 `json:"cache_hit"`
+	ElapsedMS float64              `json:"elapsed_ms"`
 }
 
 // errorResponse is the wire shape of every failure.
@@ -63,22 +134,38 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
-	if s.timeout > 0 {
+	if s.opts.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		ctx, cancel = context.WithTimeout(ctx, s.opts.timeout)
 		defer cancel()
 	}
 	resp, err := s.eng.Analyze(ctx, req)
 	if err != nil {
 		var reqErr *engine.RequestError
 		var srcErr *engine.SourceError
+		var intErr *engine.InternalError
 		switch {
 		case errors.As(err, &reqErr):
 			writeError(w, http.StatusBadRequest, reqErr.Error(), "")
 		case errors.As(err, &srcErr):
 			writeError(w, http.StatusUnprocessableEntity, srcErr.Error(), srcErr.Diags)
+		case errors.Is(err, engine.ErrQueueFull):
+			// Backpressure, not failure: tell the client to retry.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "analysis queue is full, retry later", "")
+		case errors.Is(err, engine.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down", "")
+		case errors.As(err, &intErr):
+			// The panic was isolated to this request; the worker pool
+			// is intact. Stack goes to the log, not the client.
+			log.Printf("rustprobed: req=%s analysis panicked: %s\n%s",
+				requestID(r.Context()), intErr.Panic, intErr.Stack)
+			writeError(w, http.StatusInternalServerError, "internal error: analysis pass panicked", "")
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "analysis timed out", "")
+		case errors.Is(err, context.Canceled):
+			// Client went away; 499 is the de-facto code for that.
+			writeError(w, 499, "client closed request", "")
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error(), "")
 		}
@@ -119,12 +206,71 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.eng.Stats())
 }
 
+// handleMetrics renders the engine counters in the Prometheus text
+// exposition format (hand-rolled: the repo takes no dependencies).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
+		return
+	}
+	st := s.eng.Stats()
+	var b strings.Builder
+	metric := func(name, typ, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	metric("rustprobed_jobs_submitted_total", "counter", "Requests accepted after validation.", float64(st.JobsSubmitted))
+	metric("rustprobed_jobs_completed_total", "counter", "Analyses run to completion.", float64(st.JobsCompleted))
+	metric("rustprobed_jobs_failed_total", "counter", "Jobs failed (frontend errors and panics).", float64(st.JobsFailed))
+	metric("rustprobed_jobs_canceled_total", "counter", "Jobs abandoned by every waiter before completion.", float64(st.JobsCanceled))
+	metric("rustprobed_panics_total", "counter", "Analysis passes that panicked (isolated per request; pool intact).", float64(st.Panics))
+	metric("rustprobed_queue_rejected_total", "counter", "Submissions fast-failed with 503 because the queue was full.", float64(st.QueueRejected))
+	metric("rustprobed_dedup_hits_total", "counter", "Submissions coalesced onto an identical in-flight analysis.", float64(st.DedupHits))
+	metric("rustprobed_queue_depth", "gauge", "Jobs waiting in the queue.", float64(st.QueueDepth))
+	metric("rustprobed_queue_capacity", "gauge", "Queue slot capacity.", float64(st.QueueCapacity))
+	metric("rustprobed_workers", "gauge", "Analysis worker pool size.", float64(st.Workers))
+	metric("rustprobed_jobs_in_flight", "gauge", "Jobs currently on a worker.", float64(st.JobsInFlight))
+	metric("rustprobed_cache_hits_total", "counter", "Result-cache hits.", float64(st.CacheHits))
+	metric("rustprobed_cache_misses_total", "counter", "Result-cache misses.", float64(st.CacheMisses))
+	ratio := 0.0
+	if st.CacheHits+st.CacheMisses > 0 {
+		ratio = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	metric("rustprobed_cache_hit_ratio", "gauge", "Cache hits / lookups since start.", ratio)
+	metric("rustprobed_cache_size", "gauge", "Result-cache entries.", float64(st.CacheSize))
+	metric("rustprobed_cache_capacity", "gauge", "Result-cache entry bound.", float64(st.CacheCapacity))
+	metric("rustprobed_frontend_ms_total", "counter", "Cumulative frontend wall time (ms).", st.FrontendMSTotal)
+	metric("rustprobed_detect_ms_total", "counter", "Cumulative detector fan-out wall time (ms).", st.DetectMSTotal)
+	metric("rustprobed_unsafe_scan_ms_total", "counter", "Cumulative unsafe-scan wall time (ms).", st.UnsafeScanMSTotal)
+	metric("rustprobed_analyze_ms_total", "counter", "Cumulative end-to-end analysis wall time (ms).", st.AnalyzeMSTotal)
+	metric("rustprobed_uptime_seconds", "gauge", "Seconds since the daemon started.", time.Since(s.started).Seconds())
+	if len(st.DetectorMSTotal) > 0 {
+		fmt.Fprintf(&b, "# HELP rustprobed_detector_wall_ms_total Cumulative wall time per detector pass (ms).\n")
+		fmt.Fprintf(&b, "# TYPE rustprobed_detector_wall_ms_total counter\n")
+		names := make([]string, 0, len(st.DetectorMSTotal))
+		for name := range st.DetectorMSTotal {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "rustprobed_detector_wall_ms_total{detector=%q} %g\n", name, st.DetectorMSTotal[name])
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := fmt.Fprint(w, b.String()); err != nil {
+		log.Printf("rustprobed: metrics write failed: %v", err)
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status header and any partial body are already on the
+		// wire; logging is all that makes the truncation diagnosable.
+		log.Printf("rustprobed: response encode failed (status=%d): %v", status, err)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, msg, diags string) {

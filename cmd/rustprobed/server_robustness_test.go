@@ -1,0 +1,410 @@
+package main
+
+// HTTP-level robustness tests: the daemon's behaviour when the engine
+// underneath is saturated (503), panicking (500), past its deadline
+// (504), or handed identical concurrent work (singleflight). These sit
+// on httptest servers with small, deliberately constrained engines and
+// drive the failure paths through the real handler stack.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rustprobe/internal/engine"
+)
+
+// waitForStat polls an engine-stats condition; the deadline is generous
+// because CI machines stall, but every wait in practice is microseconds.
+func waitForStat(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// analyzeBody builds a /v1/analyze payload over a single file.
+func analyzeBody(t *testing.T, name, src string) string {
+	t.Helper()
+	b, err := json.Marshal(engine.Request{Files: map[string]string{name: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestServerQueueFull503(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+
+	eng := engine.New(engine.Config{
+		Workers:     1,
+		QueueDepth:  1,
+		QueueReject: true,
+		TestDetectHook: func(ctx context.Context, req engine.Request) {
+			if _, slow := req.Files["slow.rs"]; slow {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+				}
+			}
+		},
+	})
+	srv := httptest.NewServer(newServer(eng, serverOptions{timeout: 30 * time.Second}))
+	defer srv.Close()
+	defer eng.Close()
+	defer release() // LIFO: unblock the worker before Close drains it
+
+	var wg sync.WaitGroup
+	slowPost := func(i int) {
+		defer wg.Done()
+		body := analyzeBody(t, "slow.rs", fmt.Sprintf("fn f_%d() {}\n", i))
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Errorf("slow post %d: %v", i, err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// Fill the single worker, then the single queue slot — staggered so
+	// the worker's queue pop cannot race the depth we are counting on.
+	wg.Add(1)
+	go slowPost(0)
+	waitForStat(t, "first job on the worker", func() bool { return eng.Stats().JobsInFlight == 1 })
+	wg.Add(1)
+	go slowPost(1)
+	waitForStat(t, "second job queued", func() bool { return eng.Stats().QueueDepth == 1 })
+
+	// The next distinct request must be rejected immediately, not block.
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json",
+		strings.NewReader(analyzeBody(t, "slow.rs", "fn f_reject() {}\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("queue-full rejection took %s, want fast-fail", elapsed)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "queue is full") {
+		t.Errorf("error payload = %+v (%v)", e, err)
+	}
+	if got := eng.Stats().QueueRejected; got != 1 {
+		t.Errorf("QueueRejected = %d, want 1", got)
+	}
+
+	release()
+	wg.Wait()
+}
+
+func TestServerDetectorPanic500(t *testing.T) {
+	eng := engine.New(engine.Config{
+		Workers: 2,
+		TestDetectHook: func(ctx context.Context, req engine.Request) {
+			if _, boom := req.Files["boom.rs"]; boom {
+				panic("injected detector panic")
+			}
+		},
+	})
+	srv := httptest.NewServer(newServer(eng, serverOptions{timeout: 30 * time.Second}))
+	defer srv.Close()
+	defer eng.Close()
+
+	// Quiet the panic's server-side stack log for the duration.
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json",
+		strings.NewReader(analyzeBody(t, "boom.rs", "fn f() {}\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "panicked") {
+		t.Errorf("error payload = %+v", e)
+	}
+	// The stack trace stays server-side: logged, never in the response.
+	if !strings.Contains(logBuf.String(), "injected detector panic") {
+		t.Errorf("panic not logged server-side: %q", logBuf.String())
+	}
+	if strings.Contains(e.Error, "injected detector panic") {
+		t.Errorf("panic detail leaked to the client: %+v", e)
+	}
+
+	// The pool survived: /metrics records the panic and the very next
+	// request is served normally by the same workers.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), "rustprobed_panics_total 1") {
+		t.Errorf("metrics missing panic count:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "rustprobed_workers 2") {
+		t.Errorf("metrics missing worker gauge:\n%s", metrics)
+	}
+
+	ok, err := http.Post(srv.URL+"/v1/analyze", "application/json",
+		strings.NewReader(analyzeBody(t, "fine.rs", "fn g() {}\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(ok.Body)
+		t.Fatalf("post-panic request status = %d: %s", ok.StatusCode, body)
+	}
+	if st := eng.Stats(); st.Panics != 1 || st.JobsCompleted != 1 || st.JobsInFlight != 0 {
+		t.Errorf("stats after panic = %+v", st)
+	}
+}
+
+func TestServerTimeout504CancelsWork(t *testing.T) {
+	cancelled := make(chan struct{}, 1)
+	eng := engine.New(engine.Config{
+		Workers: 1,
+		TestDetectHook: func(ctx context.Context, req engine.Request) {
+			if _, slow := req.Files["slow.rs"]; slow {
+				<-ctx.Done() // hold the worker until the request deadline fires
+				cancelled <- struct{}{}
+			}
+		},
+	})
+	srv := httptest.NewServer(newServer(eng, serverOptions{timeout: 100 * time.Millisecond}))
+	defer srv.Close()
+	defer eng.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json",
+		strings.NewReader(analyzeBody(t, "slow.rs", "fn f() {}\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "timed out") {
+		t.Errorf("error payload = %+v (%v)", e, err)
+	}
+	// The deadline propagated into the analysis: the in-flight work saw
+	// ctx.Done, not just the HTTP layer.
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("analysis never observed the cancellation")
+	}
+	waitForStat(t, "worker freed after timeout", func() bool {
+		s := eng.Stats()
+		return s.JobsCanceled == 1 && s.JobsInFlight == 0
+	})
+
+	// The freed worker serves the next request.
+	ok, err := http.Post(srv.URL+"/v1/analyze", "application/json",
+		strings.NewReader(analyzeBody(t, "fine.rs", "fn g() {}\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusOK {
+		t.Fatalf("post-timeout request status = %d", ok.StatusCode)
+	}
+}
+
+func TestServerSingleflight16Identical(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+
+	eng := engine.New(engine.Config{
+		Workers: 4,
+		TestDetectHook: func(ctx context.Context, req engine.Request) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		},
+	})
+	srv := httptest.NewServer(newServer(eng, serverOptions{timeout: 30 * time.Second}))
+	defer srv.Close()
+	defer eng.Close()
+	defer release()
+
+	const clients = 16
+	body := analyzeBody(t, "shared.rs", "fn shared() -> i32 { 7 }\n")
+	statuses := make(chan int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				statuses <- 0
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Hold the one leader at the gate until all 15 followers have
+	// coalesced onto its flight; only then let the analysis finish.
+	waitForStat(t, "15 followers deduped", func() bool { return eng.Stats().DedupHits == clients-1 })
+	release()
+	wg.Wait()
+	close(statuses)
+	for st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("status = %d, want 200", st)
+		}
+	}
+	if st := eng.Stats(); st.JobsCompleted != 1 {
+		t.Errorf("JobsCompleted = %d, want exactly 1 analysis for %d identical requests (stats %+v)",
+			st.JobsCompleted, clients, st)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	// Run one real analysis so per-detector series exist.
+	if resp, body := postAnalyze(t, srv.URL, analyzeBody(t, "fig5.rs", figure5Src)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, series := range []string{
+		"rustprobed_jobs_submitted_total 1",
+		"rustprobed_jobs_completed_total 1",
+		"rustprobed_panics_total 0",
+		"rustprobed_queue_rejected_total 0",
+		"rustprobed_dedup_hits_total 0",
+		"rustprobed_queue_depth 0",
+		"rustprobed_workers 2",
+		"rustprobed_cache_misses_total 1",
+		"# TYPE rustprobed_jobs_submitted_total counter",
+		"# TYPE rustprobed_queue_depth gauge",
+		"# HELP rustprobed_panics_total",
+		`rustprobed_detector_wall_ms_total{detector="use-after-free"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q:\n%s", series, text)
+		}
+	}
+	if resp, _ := http.Post(srv.URL+"/metrics", "text/plain", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerPprofFlag(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1})
+	defer eng.Close()
+
+	on := httptest.NewServer(newServer(eng, serverOptions{pprof: true}))
+	defer on.Close()
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status = %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(newServer(eng, serverOptions{}))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerRequestIDHeader(t *testing.T) {
+	srv, _ := newTestServer(t)
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if id == "" {
+			t.Fatal("missing X-Request-ID header")
+		}
+		if ids[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		ids[id] = true
+	}
+}
+
+func TestWriteJSONLogsEncodeFailure(t *testing.T) {
+	var buf bytes.Buffer
+	log.SetOutput(&buf)
+	defer log.SetOutput(os.Stderr)
+
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, make(chan int)) // channels are not JSON-encodable
+	if !strings.Contains(buf.String(), "encode failed") {
+		t.Errorf("encode failure not logged: %q", buf.String())
+	}
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d (header was already committed before the body failed)", rec.Code)
+	}
+}

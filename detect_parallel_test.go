@@ -1,0 +1,102 @@
+package rustprobe
+
+// White-box tests for the context-aware detector fan-out: panic
+// isolation (a panicking pass becomes a typed *PanicError instead of
+// killing the process or a pool worker) and cancellation (a dead
+// request stops the fan-out at detector granularity). These live in
+// package rustprobe to reach the testDetectors seam.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"rustprobe/internal/detect"
+)
+
+type panickyDetector struct{}
+
+func (panickyDetector) Name() string                  { return "test-panic" }
+func (panickyDetector) Run(*detect.Context) []Finding { panic("injected pass panic") }
+
+type countingDetector struct{ ran *bool }
+
+func (countingDetector) Name() string                    { return "test-count" }
+func (d countingDetector) Run(*detect.Context) []Finding { *d.ran = true; return nil }
+
+func analyzeClean(t *testing.T) *Result {
+	t.Helper()
+	res, err := AnalyzeSource("clean.rs", "fn add(a: i32, b: i32) -> i32 { a + b }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDetectParallelCtxPanicIsolation(t *testing.T) {
+	testDetectors = []Detector{panickyDetector{}}
+	defer func() { testDetectors = nil }()
+
+	res := analyzeClean(t)
+	fs, times, err := res.DetectParallelTimedCtx(context.Background())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Detector != "test-panic" {
+		t.Errorf("Detector = %q", pe.Detector)
+	}
+	if pe.Value != "injected pass panic" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "panickyDetector") {
+		t.Errorf("stack not captured: %q", pe.Stack)
+	}
+	if !strings.Contains(pe.Error(), "test-panic") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+	if fs != nil {
+		t.Errorf("findings returned alongside a panic: %+v", fs)
+	}
+	// The healthy passes still ran and were timed.
+	if _, ok := times["use-after-free"]; !ok {
+		t.Errorf("times missing healthy detectors: %+v", times)
+	}
+}
+
+func TestDetectParallelCtxCancelled(t *testing.T) {
+	ran := false
+	testDetectors = []Detector{countingDetector{ran: &ran}}
+	defer func() { testDetectors = nil }()
+
+	res := analyzeClean(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead before the fan-out starts
+	fs, _, err := res.DetectParallelTimedCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if fs != nil {
+		t.Errorf("cancelled fan-out returned findings: %+v", fs)
+	}
+	if ran {
+		t.Error("detector ran despite pre-cancelled context")
+	}
+}
+
+// TestDetectParallelTimedRepanics: the non-context entry point keeps the
+// historical contract — a detector panic surfaces as a panic to the
+// caller, not as a silently dropped error.
+func TestDetectParallelTimedRepanics(t *testing.T) {
+	testDetectors = []Detector{panickyDetector{}}
+	defer func() { testDetectors = nil }()
+
+	res := analyzeClean(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("DetectParallelTimed swallowed a detector panic")
+		}
+	}()
+	res.DetectParallelTimed()
+}

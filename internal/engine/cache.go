@@ -7,9 +7,10 @@ import (
 
 // cache is a mutex-guarded LRU over analysis responses, keyed by the
 // request content hash. Stored responses are immutable; hits hand back a
-// defensive copy (including a fresh Findings slice) so one caller
-// sorting or filtering its response cannot race another's read of the
-// shared cached value.
+// deep defensive copy (fresh Findings slice AND fresh Notes backing
+// arrays — see Response.clone) so one caller sorting, filtering, or
+// appending to its response cannot race another's read of the shared
+// cached value.
 type cache struct {
 	mu    sync.Mutex
 	cap   int
@@ -38,13 +39,7 @@ func (c *cache) get(key string) (*Response, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	stored := el.Value.(*cacheEntry).resp
-	cp := *stored
-	if stored.Findings != nil {
-		cp.Findings = make([]Finding, len(stored.Findings))
-		copy(cp.Findings, stored.Findings)
-	}
-	return &cp, true
+	return el.Value.(*cacheEntry).resp.clone(), true
 }
 
 func (c *cache) put(key string, resp *Response) {

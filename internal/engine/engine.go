@@ -11,8 +11,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -32,6 +34,14 @@ type Config struct {
 	// CacheCapacity is the LRU entry bound; 0 means 256, negative
 	// disables caching entirely (used by benchmarks).
 	CacheCapacity int
+	// QueueReject makes Analyze fail fast with ErrQueueFull when the
+	// pending-job queue is saturated, instead of blocking for a slot.
+	// Servers enable it to convert saturation into 503 backpressure.
+	QueueReject bool
+	// TestDetectHook, when non-nil, runs on the worker goroutine after
+	// the frontend and before the detector fan-out. Tests use it to
+	// inject panics and stalls into a job; production never sets it.
+	TestDetectHook func(ctx context.Context, req Request)
 }
 
 // Request is one unit of analysis work: either an inline file set or the
@@ -64,13 +74,31 @@ type UnsafeSummary struct {
 	Total   int `json:"total"`
 }
 
-// Response is the result of one analysis request. Cached responses are
-// shared between submissions; treat Findings as read-only.
+// Response is the result of one analysis request. Every caller gets its
+// own deep copy (see clone), so responses are safe to mutate.
 type Response struct {
 	Findings []Finding     `json:"findings"`
 	Unsafe   UnsafeSummary `json:"unsafe"`
 	CacheHit bool          `json:"cache_hit"`
 	Elapsed  time.Duration `json:"-"`
+}
+
+// clone deep-copies the response: a fresh Findings slice and fresh Notes
+// backing arrays, so a caller sorting, truncating, or appending to its
+// response cannot race or corrupt another caller's view of the shared
+// cached/singleflighted value.
+func (r *Response) clone() *Response {
+	out := *r
+	if r.Findings != nil {
+		out.Findings = make([]Finding, len(r.Findings))
+		copy(out.Findings, r.Findings)
+		for i := range out.Findings {
+			if notes := out.Findings[i].Notes; notes != nil {
+				out.Findings[i].Notes = append([]string(nil), notes...)
+			}
+		}
+	}
+	return &out
 }
 
 // RequestError reports an invalid request (bad shape, unknown corpus
@@ -85,6 +113,26 @@ type SourceError struct{ Diags string }
 
 func (e *SourceError) Error() string { return "engine: syntax errors in submitted sources" }
 
+// ErrQueueFull reports that the pending-job queue was saturated and the
+// engine was configured to reject rather than block (Config.QueueReject);
+// servers map it to 503 with a Retry-After hint.
+var ErrQueueFull = errors.New("engine: analysis queue is full")
+
+// ErrClosed reports a submission after Close; servers map it to 503.
+var ErrClosed = errors.New("engine: closed")
+
+// InternalError reports that an analysis pass panicked. The panic was
+// recovered on the worker, the pool stays at full strength, and only the
+// offending request fails; servers map it to 500 and log the stack.
+type InternalError struct {
+	Panic string // rendered recover() value
+	Stack string // stack of the panicking goroutine
+}
+
+func (e *InternalError) Error() string {
+	return "engine: internal error: analysis panicked: " + e.Panic
+}
+
 // Engine is the concurrent analysis engine. Create with New, submit
 // with Analyze, snapshot activity with Stats, stop with Close.
 type Engine struct {
@@ -93,20 +141,22 @@ type Engine struct {
 	cache *cache // nil when disabled
 	ctr   counters
 
+	flightMu sync.Mutex // guards flights
+	flights  map[string]*flight
+
 	mu     sync.RWMutex // guards closed vs. sends on jobs
 	closed bool
 	wg     sync.WaitGroup
 }
 
+// job is one queued unit of work. Its ctx is the owning flight's
+// context: cancelled once every waiter has given up, which lets a
+// worker skip (or stop fanning out) work nobody is waiting for.
 type job struct {
-	req  Request
-	key  string
-	done chan jobResult
-}
-
-type jobResult struct {
-	resp *Response
-	err  error
+	req    Request
+	key    string
+	ctx    context.Context
+	flight *flight
 }
 
 // New starts an engine with cfg's pool and cache sizes.
@@ -117,7 +167,7 @@ func New(cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	e := &Engine{cfg: cfg, jobs: make(chan *job, cfg.QueueDepth)}
+	e := &Engine{cfg: cfg, jobs: make(chan *job, cfg.QueueDepth), flights: make(map[string]*flight)}
 	switch {
 	case cfg.CacheCapacity == 0:
 		e.cache = newCache(256)
@@ -136,8 +186,11 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Close stops accepting work, drains queued jobs, and waits for in-flight
-// analyses to finish. Analyze calls after Close return an error.
+// Close shuts the engine down reject-then-drain, deterministically:
+// first new submissions start failing fast with ErrClosed, then the
+// workers drain every already-queued job to completion (a client waiting
+// on a queued job gets its real response, not an error), and finally
+// Close returns once the pool is idle. Calling Close twice is a no-op.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -151,8 +204,13 @@ func (e *Engine) Close() {
 }
 
 // Analyze submits a request and blocks until its response, a request
-// error, or ctx cancellation. On cancellation the job may still complete
-// in the background and populate the cache for the next submission.
+// error, or ctx cancellation. Identical concurrent submissions are
+// singleflighted on the content-hash key: one analysis runs and every
+// waiter receives its own deep copy of the result. The underlying job
+// is cancelled only when the last waiter gives up, so a cancelled
+// client frees its worker instead of burning it to completion. With
+// Config.QueueReject set, a saturated queue fails fast with ErrQueueFull
+// instead of blocking.
 func (e *Engine) Analyze(ctx context.Context, req Request) (*Response, error) {
 	start := time.Now()
 	if err := validate(req); err != nil {
@@ -163,80 +221,149 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Response, error) {
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
 			e.ctr.cacheHits.Add(1)
-			out := *cached
-			out.CacheHit = true
-			out.Elapsed = time.Since(start)
-			return &out, nil
+			cached.CacheHit = true
+			cached.Elapsed = time.Since(start)
+			return cached, nil
 		}
 		e.ctr.cacheMisses.Add(1)
 	}
-	j := &job{req: req, key: key, done: make(chan jobResult, 1)}
+
+	f, leader := e.joinFlight(key)
+	if !leader {
+		// An identical request is already in flight: wait for its
+		// result instead of analyzing the same content again.
+		e.ctr.dedupHits.Add(1)
+		return e.await(ctx, f, start)
+	}
+
+	j := &job{req: req, key: key, ctx: f.ctx, flight: f}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
-		return nil, fmt.Errorf("engine: closed")
+		e.finishFlight(f, key, nil, ErrClosed)
+		return e.await(ctx, f, start)
 	}
 	// The read lock is held across the send so Close cannot close the
 	// channel mid-send; workers keep draining, so the send cannot block
 	// Close indefinitely.
-	select {
-	case e.jobs <- j:
-		e.mu.RUnlock()
-	case <-ctx.Done():
-		e.mu.RUnlock()
-		return nil, ctx.Err()
-	}
-	select {
-	case r := <-j.done:
-		if r.resp == nil {
-			return nil, r.err
+	if e.cfg.QueueReject {
+		select {
+		case e.jobs <- j:
+			e.mu.RUnlock()
+		default:
+			e.mu.RUnlock()
+			e.ctr.queueRejected.Add(1)
+			e.finishFlight(f, key, nil, ErrQueueFull)
+			return e.await(ctx, f, start)
 		}
-		// Copy before stamping Elapsed: the cached response is shared.
-		out := *r.resp
-		out.Elapsed = time.Since(start)
-		return &out, r.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	} else {
+		select {
+		case e.jobs <- j:
+			e.mu.RUnlock()
+		case <-ctx.Done():
+			e.mu.RUnlock()
+			e.ctr.canceled.Add(1)
+			e.finishFlight(f, key, nil, ctx.Err())
+			return e.await(ctx, f, start)
+		}
 	}
+	return e.await(ctx, f, start)
 }
 
 // run executes one job on a worker goroutine: frontend, then the
-// detector fan-out and the unsafe scan in parallel.
+// detector fan-out and the unsafe scan in parallel. Every exit path —
+// including a panic anywhere in the pipeline — finishes the job's
+// flight exactly once, so clients never block on a lost worker and the
+// pool never shrinks.
 func (e *Engine) run(j *job) {
 	e.ctr.inFlight.Add(1)
 	defer e.ctr.inFlight.Add(-1)
 	start := time.Now()
 
+	finished := false
+	finish := func(resp *Response, err error) {
+		finished = true
+		e.finishFlight(j.flight, j.key, resp, err)
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			e.ctr.panics.Add(1)
+			e.ctr.failed.Add(1)
+			if !finished {
+				finish(nil, &InternalError{Panic: fmt.Sprint(v), Stack: string(debug.Stack())})
+			}
+		}
+	}()
+
+	if err := j.ctx.Err(); err != nil {
+		// Every waiter gave up while the job sat in the queue: skip
+		// the work entirely and free the worker for live requests.
+		e.ctr.canceled.Add(1)
+		finish(nil, err)
+		return
+	}
+
 	res, err := analyzeFrontend(j.req)
 	e.ctr.frontendNs.Add(int64(time.Since(start)))
 	if err != nil {
 		e.ctr.failed.Add(1)
-		j.done <- jobResult{nil, err}
+		finish(nil, err)
 		return
 	}
 
+	if hook := e.cfg.TestDetectHook; hook != nil {
+		hook(j.ctx, j.req)
+	}
+
+	// The §4 unsafe scan overlaps the detector fan-out. Its recover
+	// keeps a scanner panic on this side goroutine from killing the
+	// whole process instead of just this job.
 	var (
-		wg       sync.WaitGroup
-		findings []rustprobe.Finding
-		scan     UnsafeSummary
+		scan      UnsafeSummary
+		scanPanic *InternalError
+		scanDone  = make(chan struct{})
 	)
-	wg.Add(2)
 	go func() {
-		defer wg.Done()
-		t := time.Now()
-		var times map[string]time.Duration
-		findings, times = res.DetectParallelTimed(j.req.Detectors...)
-		e.ctr.detectNs.Add(int64(time.Since(t)))
-		e.ctr.addDetectorTimes(times)
-	}()
-	go func() {
-		defer wg.Done()
+		defer close(scanDone)
+		defer func() {
+			if v := recover(); v != nil {
+				scanPanic = &InternalError{Panic: fmt.Sprint(v), Stack: string(debug.Stack())}
+			}
+		}()
 		t := time.Now()
 		rep := res.ScanUnsafe()
 		scan = UnsafeSummary{Regions: rep.Regions, Fns: rep.Fns, Traits: rep.Traits, Total: rep.TotalUsages()}
 		e.ctr.scanNs.Add(int64(time.Since(t)))
 	}()
-	wg.Wait()
+	t := time.Now()
+	findings, times, derr := res.DetectParallelTimedCtx(j.ctx, j.req.Detectors...)
+	e.ctr.detectNs.Add(int64(time.Since(t)))
+	e.ctr.addDetectorTimes(times)
+	<-scanDone
+
+	switch {
+	case scanPanic != nil:
+		e.ctr.panics.Add(1)
+		e.ctr.failed.Add(1)
+		finish(nil, scanPanic)
+		return
+	case derr != nil:
+		var pe *rustprobe.PanicError
+		if errors.As(derr, &pe) {
+			e.ctr.panics.Add(1)
+			e.ctr.failed.Add(1)
+			finish(nil, &InternalError{
+				Panic: fmt.Sprintf("detector %s: %v", pe.Detector, pe.Value),
+				Stack: string(pe.Stack),
+			})
+			return
+		}
+		// Cancelled mid-job: the fan-out stopped early, nobody is
+		// waiting for the result.
+		e.ctr.canceled.Add(1)
+		finish(nil, derr)
+		return
+	}
 
 	resp := &Response{Findings: FindingsFrom(res.Fset, findings), Unsafe: scan}
 	if e.cache != nil {
@@ -244,7 +371,7 @@ func (e *Engine) run(j *job) {
 	}
 	e.ctr.completed.Add(1)
 	e.ctr.analyzeNs.Add(int64(time.Since(start)))
-	j.done <- jobResult{resp, nil}
+	finish(resp, nil)
 }
 
 func analyzeFrontend(req Request) (*rustprobe.Result, error) {

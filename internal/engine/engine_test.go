@@ -104,8 +104,11 @@ func TestEngineMatchesSerialUnderConcurrency(t *testing.T) {
 	if s.JobsSubmitted != rounds*uint64(len(reqs)) {
 		t.Errorf("submitted = %d, want %d", s.JobsSubmitted, rounds*len(reqs))
 	}
-	if s.JobsCompleted+s.CacheHits != s.JobsSubmitted {
-		t.Errorf("completed(%d) + hits(%d) != submitted(%d)", s.JobsCompleted, s.CacheHits, s.JobsSubmitted)
+	// Every submission is either analyzed, served from cache, or
+	// coalesced onto an identical in-flight analysis (singleflight).
+	if s.JobsCompleted+s.CacheHits+s.DedupHits != s.JobsSubmitted {
+		t.Errorf("completed(%d) + hits(%d) + dedup(%d) != submitted(%d)",
+			s.JobsCompleted, s.CacheHits, s.DedupHits, s.JobsSubmitted)
 	}
 	if s.JobsInFlight != 0 || s.QueueDepth != 0 {
 		t.Errorf("idle engine reports in-flight=%d queue=%d", s.JobsInFlight, s.QueueDepth)

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// flight is one in-progress analysis shared by every concurrent
+// submission of the same content-hash key (singleflight): the first
+// submitter (the leader) enqueues the job, later identical submissions
+// join as waiters, and all of them receive the one result when the
+// worker finishes. The flight owns the job's context: it is cancelled
+// only once the last waiter has given up, so one impatient client among
+// several does not cancel work the others still want, while a job whose
+// waiters have all left stops burning a worker.
+type flight struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed after resp/err are set
+
+	resp *Response
+	err  error
+
+	mu      sync.Mutex
+	waiters int
+}
+
+// leave records one waiter giving up or finishing; the last one out
+// cancels the job's context (harmless after completion).
+func (f *flight) leave() {
+	f.mu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+	}
+	f.mu.Unlock()
+}
+
+// joinFlight returns the in-flight analysis for key, creating it (and
+// reporting leader=true) when none exists.
+func (e *Engine) joinFlight(key string) (f *flight, leader bool) {
+	e.flightMu.Lock()
+	defer e.flightMu.Unlock()
+	if f, ok := e.flights[key]; ok {
+		f.mu.Lock()
+		f.waiters++
+		f.mu.Unlock()
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f = &flight{ctx: ctx, cancel: cancel, done: make(chan struct{}), waiters: 1}
+	e.flights[key] = f
+	return f, true
+}
+
+// finishFlight publishes the result (or error) to every waiter and
+// retires the flight; later identical submissions start fresh (and, on
+// success, hit the cache instead).
+func (e *Engine) finishFlight(f *flight, key string, resp *Response, err error) {
+	e.flightMu.Lock()
+	if e.flights[key] == f {
+		delete(e.flights, key)
+	}
+	e.flightMu.Unlock()
+	f.resp, f.err = resp, err
+	close(f.done)
+	f.cancel()
+}
+
+// await blocks until the flight completes or ctx is cancelled, handing
+// back a defensive deep copy of the shared response.
+func (e *Engine) await(ctx context.Context, f *flight, start time.Time) (*Response, error) {
+	select {
+	case <-f.done:
+		f.leave()
+		if f.err != nil {
+			return nil, f.err
+		}
+		out := f.resp.clone()
+		out.Elapsed = time.Since(start)
+		return out, nil
+	case <-ctx.Done():
+		f.leave()
+		return nil, ctx.Err()
+	}
+}

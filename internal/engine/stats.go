@@ -12,10 +12,24 @@ import (
 type Stats struct {
 	Workers       int    `json:"workers"`
 	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
 	JobsInFlight  int64  `json:"jobs_in_flight"`
 	JobsSubmitted uint64 `json:"jobs_submitted"`
 	JobsCompleted uint64 `json:"jobs_completed"`
 	JobsFailed    uint64 `json:"jobs_failed"`
+	// JobsCanceled counts jobs abandoned by every waiter (timeout or
+	// disconnect) before completion; their analysis work was skipped or
+	// cut short at the fan-out boundary.
+	JobsCanceled uint64 `json:"jobs_canceled"`
+	// Panics counts analysis passes that panicked; each cost only its
+	// own request (HTTP 500), never a pool worker.
+	Panics uint64 `json:"panics"`
+	// QueueRejected counts fast-fail ErrQueueFull rejections
+	// (Config.QueueReject backpressure).
+	QueueRejected uint64 `json:"queue_rejected"`
+	// DedupHits counts submissions coalesced onto an identical
+	// in-flight analysis (singleflight) instead of running their own.
+	DedupHits uint64 `json:"dedup_hits"`
 
 	CacheHits     uint64 `json:"cache_hits"`
 	CacheMisses   uint64 `json:"cache_misses"`
@@ -34,10 +48,14 @@ type Stats struct {
 
 // counters is the engine-internal atomic backing for Stats.
 type counters struct {
-	inFlight  atomic.Int64
-	submitted atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
+	inFlight      atomic.Int64
+	submitted     atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	canceled      atomic.Uint64
+	panics        atomic.Uint64
+	queueRejected atomic.Uint64
+	dedupHits     atomic.Uint64
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
@@ -72,10 +90,15 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:       e.cfg.Workers,
 		QueueDepth:    len(e.jobs),
+		QueueCapacity: cap(e.jobs),
 		JobsInFlight:  e.ctr.inFlight.Load(),
 		JobsSubmitted: e.ctr.submitted.Load(),
 		JobsCompleted: e.ctr.completed.Load(),
 		JobsFailed:    e.ctr.failed.Load(),
+		JobsCanceled:  e.ctr.canceled.Load(),
+		Panics:        e.ctr.panics.Load(),
+		QueueRejected: e.ctr.queueRejected.Load(),
+		DedupHits:     e.ctr.dedupHits.Load(),
 		CacheHits:     e.ctr.cacheHits.Load(),
 		CacheMisses:   e.ctr.cacheMisses.Load(),
 

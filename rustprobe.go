@@ -22,9 +22,12 @@
 package rustprobe
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -209,9 +212,50 @@ func (r *Result) DetectParallel(names ...string) []Finding {
 }
 
 // DetectParallelTimed is DetectParallel plus a per-detector wall-time
-// breakdown (keyed by detector name), which the engine accumulates into
-// its /stats counters.
+// breakdown (keyed by detector name). A detector panic re-panics on the
+// caller's goroutine (matching Detect's behavior); context-aware callers
+// that want panics as values use DetectParallelTimedCtx.
 func (r *Result) DetectParallelTimed(names ...string) ([]Finding, map[string]time.Duration) {
+	out, times, err := r.DetectParallelTimedCtx(context.Background(), names...)
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panic(fmt.Sprintf("%v\n%s", pe, pe.Stack))
+		}
+	}
+	return out, times
+}
+
+// PanicError reports that a detector pass panicked during the parallel
+// fan-out. The recovered value and the panicking goroutine's stack are
+// preserved so servers can isolate the failure and log it instead of
+// losing the process (or a pool worker) to one bad input.
+type PanicError struct {
+	Detector string
+	Value    any
+	Stack    []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("rustprobe: detector %s panicked: %v", e.Detector, e.Value)
+}
+
+// testDetectors is appended to the fan-out's registry by package tests to
+// exercise panic isolation without a real detector that can panic.
+var testDetectors []Detector
+
+// DetectParallelTimedCtx is the context-aware detector fan-out: each
+// selected detector runs on its own goroutine over the shared Context,
+// with a per-detector recover. It returns the merged, sorted findings
+// and a per-detector wall-time breakdown.
+//
+// If ctx is cancelled, detectors not yet launched are skipped and the
+// context error is returned once the in-flight passes drain (individual
+// passes are not interruptible; cancellation stops the fan-out at
+// detector granularity). If any pass panics, a *PanicError for the
+// first panicking detector is returned instead of findings. The timing
+// breakdown is valid in every case.
+func (r *Result) DetectParallelTimedCtx(ctx context.Context, names ...string) ([]Finding, map[string]time.Duration, error) {
 	want := map[string]bool{}
 	for _, n := range names {
 		want[n] = true
@@ -220,35 +264,58 @@ func (r *Result) DetectParallelTimed(names ...string) ([]Finding, map[string]tim
 	if want["dynamic"] {
 		ds = append(ds, dynamic.New())
 	}
-	ctx := r.Context() // build once, before the fan-out
+	ds = append(ds, testDetectors...)
+	rctx := r.Context() // build once, before the fan-out
 	results := make([][]Finding, len(ds))
 	elapsed := make([]time.Duration, len(ds))
 	ran := make([]bool, len(ds))
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		panicMu    sync.Mutex
+		firstPanic *PanicError
+	)
 	for i, d := range ds {
 		if len(want) > 0 && !want[d.Name()] {
 			continue
+		}
+		if ctx.Err() != nil {
+			break // cancelled: skip the rest of the fan-out
 		}
 		ran[i] = true
 		wg.Add(1)
 		go func(i int, d Detector) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicMu.Lock()
+					if firstPanic == nil {
+						firstPanic = &PanicError{Detector: d.Name(), Value: v, Stack: debug.Stack()}
+					}
+					panicMu.Unlock()
+				}
+			}()
 			t := time.Now()
-			results[i] = d.Run(ctx)
+			results[i] = d.Run(rctx)
 			elapsed[i] = time.Since(t)
 		}(i, d)
 	}
 	wg.Wait()
-	var out []Finding
 	times := make(map[string]time.Duration, len(ds))
+	var out []Finding
 	for i, fs := range results {
 		out = append(out, fs...)
 		if ran[i] {
 			times[ds[i].Name()] += elapsed[i]
 		}
 	}
+	if firstPanic != nil {
+		return nil, times, firstPanic
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, times, err
+	}
 	detect.SortFindings(out)
-	return out, times
+	return out, times, nil
 }
 
 // ScanUnsafe runs the §4 unsafe-usage scanner over the parsed crates.
