@@ -1,0 +1,228 @@
+// Command benchrecord runs the repo's serving-path benchmarks and emits
+// a machine-readable record (BENCH_6.json at the repo root) so perf
+// claims are pinned to a committed artifact instead of a prose number.
+// CI regenerates it as a build artifact; the committed copy is the
+// reference trajectory later PRs compare against.
+//
+// The record covers:
+//
+//   - the fixed embedded corpus groups (frontend + full detector suite),
+//   - a generated fleet of seeded programs analyzed cold (empty result
+//     store: every request pays the full pipeline) and warm (same store
+//     directory, fresh engine — the restart shape: every request is an
+//     LRU miss served from disk),
+//   - the warm/cold ratio, which -check gates at >= 10x.
+//
+// Usage:
+//
+//	benchrecord -o BENCH_6.json -seeds 1000 -check
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rustprobe"
+	"rustprobe/internal/engine"
+	"rustprobe/internal/gen"
+	"rustprobe/internal/store"
+)
+
+type benchResult struct {
+	N           int     `json:"n"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type record struct {
+	Schema          int                    `json:"schema"`
+	AnalyzerVersion string                 `json:"analyzer_version"`
+	StoreVersion    string                 `json:"store_version"`
+	GoVersion       string                 `json:"go_version"`
+	GOMAXPROCS      int                    `json:"gomaxprocs"`
+	Seeds           int                    `json:"seeds"`
+	Benchmarks      map[string]benchResult `json:"benchmarks"`
+	// WarmColdRatio is cold ns/op divided by warm ns/op for the
+	// generated fleet: how much faster an unchanged repo re-analyzes
+	// through the persistent store after a restart.
+	WarmColdRatio float64 `json:"warm_cold_ratio"`
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		N:           r.N,
+		NsPerOp:     r.NsPerOp(),
+		MsPerOp:     float64(r.NsPerOp()) / 1e6,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// fleet pre-generates the seeded programs once so the benchmarks measure
+// analysis, not generation.
+func fleet(seeds int) []map[string]string {
+	out := make([]map[string]string, seeds)
+	for i := range out {
+		p := gen.Generate(int64(i))
+		out[i] = map[string]string{"gen.rs": p.Source}
+	}
+	return out
+}
+
+// analyzeFleet pushes every program through a fresh engine backed by the
+// store at dir. Each program is a distinct request key, so the in-memory
+// LRU never answers within one pass — hits come from the store or not at
+// all.
+func analyzeFleet(b *testing.B, dir string, programs []map[string]string) {
+	st, err := store.Open(dir, engine.StoreVersion())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := engine.New(engine.Config{Store: st})
+	defer e.Close()
+	ctx := context.Background()
+	for _, files := range programs {
+		if _, err := e.Analyze(ctx, engine.Request{Files: files}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// seedStore runs one untimed pass so the warm benchmark starts against a
+// fully populated store.
+func seedStore(dir string, programs []map[string]string) error {
+	st, err := store.Open(dir, engine.StoreVersion())
+	if err != nil {
+		return err
+	}
+	e := engine.New(engine.Config{Store: st})
+	defer e.Close()
+	ctx := context.Background()
+	for _, files := range programs {
+		if _, err := e.Analyze(ctx, engine.Request{Files: files}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_6.json", "output path for the benchmark record")
+		seeds  = flag.Int("seeds", 1000, "generated-program count for the fleet benchmarks")
+		check  = flag.Bool("check", false, "exit non-zero unless the warm/cold ratio is >= 10")
+		groups = flag.String("corpus", "detector-eval,patterns,unsafe", "comma-separated embedded corpus groups to time")
+	)
+	flag.Parse()
+
+	rec := record{
+		Schema:          1,
+		AnalyzerVersion: rustprobe.AnalyzerVersion,
+		StoreVersion:    engine.StoreVersion(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Seeds:           *seeds,
+		Benchmarks:      map[string]benchResult{},
+	}
+
+	for _, g := range splitList(*groups) {
+		g := g
+		fmt.Fprintf(os.Stderr, "bench corpus/%s...\n", g)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := rustprobe.AnalyzeCorpus(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res.Detect()
+			}
+		})
+		rec.Benchmarks["corpus/"+g] = toResult(r)
+	}
+
+	programs := fleet(*seeds)
+
+	fmt.Fprintf(os.Stderr, "bench gen%d/cold-store...\n", *seeds)
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "benchrecord-cold-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			analyzeFleet(b, dir, programs)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	rec.Benchmarks[fmt.Sprintf("gen%d/cold-store", *seeds)] = toResult(cold)
+
+	// Warm: one cold pass seeds the store, then every iteration restarts
+	// the engine over the same directory — the daemon-restart shape the
+	// store exists for.
+	warmDir, err := os.MkdirTemp("", "benchrecord-warm-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(warmDir)
+	if err := seedStore(warmDir, programs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "bench gen%d/warm-store...\n", *seeds)
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			analyzeFleet(b, warmDir, programs)
+		}
+	})
+	rec.Benchmarks[fmt.Sprintf("gen%d/warm-store", *seeds)] = toResult(warm)
+
+	if warm.NsPerOp() > 0 {
+		rec.WarmColdRatio = float64(cold.NsPerOp()) / float64(warm.NsPerOp())
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: warm/cold ratio %.1fx over %d seeds\n", *out, rec.WarmColdRatio, *seeds)
+
+	if *check && rec.WarmColdRatio < 10 {
+		fmt.Fprintf(os.Stderr, "benchrecord: warm/cold ratio %.1fx is below the 10x floor\n", rec.WarmColdRatio)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

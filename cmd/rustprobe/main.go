@@ -11,6 +11,7 @@
 //	rustprobe -mir 'Engine::step' file.rs   # dump a function's MIR
 //	rustprobe -fail-on-findings src/  # CI gate: exit 2 when findings exist
 //	rustprobe -selftest               # differential self-check over 200 seeds
+//	rustprobe -incremental src/       # re-analyze only what changed since last run
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"rustprobe"
@@ -38,6 +40,8 @@ func main() {
 		list      = flag.Bool("list", false, "list available detectors and exit")
 		selftest  = flag.Bool("selftest", false, "run the differential self-check (seeded bug-injecting generator vs static detectors vs dynamic oracle) and exit; non-zero on any violation")
 		seeds     = flag.Int64("seeds", 200, "seed count for -selftest")
+		incr      = flag.Bool("incremental", false, "analyze a directory incrementally, persisting hashes and findings to a state file so unchanged functions are not re-analyzed on the next run")
+		stateFile = flag.String("state", "", "state file for -incremental (default: <dir>/.rustprobe-state.json)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,43 @@ func main() {
 		fmt.Print(s.Table())
 		if v := s.Violations(); len(v) > 0 {
 			fmt.Fprintf(os.Stderr, "rustprobe: selftest failed with %d violation(s)\n", len(v))
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *incr {
+		if *detectors != "" || *dynamic || *mirDump != "" || *explain != "" || *corpusGrp != "" {
+			fmt.Fprintln(os.Stderr, "rustprobe: -incremental always runs the full detector suite over a directory; it cannot be combined with -detect, -dynamic, -mir, -explain or -corpus")
+			os.Exit(1)
+		}
+		if len(flag.Args()) != 1 {
+			fmt.Fprintln(os.Stderr, "rustprobe: -incremental needs exactly one directory argument")
+			os.Exit(1)
+		}
+		dir := flag.Arg(0)
+		statePath := *stateFile
+		if statePath == "" {
+			statePath = filepath.Join(dir, ".rustprobe-state.json")
+		}
+		findings, note, err := runIncremental(dir, statePath, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(findings); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		} else {
+			for _, f := range findings {
+				fmt.Println(f.format())
+			}
+			fmt.Printf("%d finding(s); %s\n", len(findings), note)
+		}
+		if *failOn && len(findings) > 0 {
 			os.Exit(2)
 		}
 		return

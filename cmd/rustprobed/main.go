@@ -5,9 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze    {"files": {"lib.rs": "..."}} or {"corpus": "patterns"},
-//	                    optional {"detectors": ["use-after-free", ...]}
-//	GET  /v1/detectors  detector registry
+//	POST /v1/analyze        {"files": {"lib.rs": "..."}} or {"corpus": "patterns"},
+//	                        optional {"detectors": ["use-after-free", ...]}
+//	POST /v1/analyze-batch  {"files": {"a.rs": "...", "b.rs": "..."}}: many named
+//	                        files analyzed independently, per-file findings and
+//	                        isolated per-file errors
+//	GET  /v1/detectors      detector registry
 //	GET  /healthz       liveness
 //	GET  /stats         engine counters (cache, queue, per-stage latency)
 //	GET  /metrics       the same counters in Prometheus text format
@@ -19,6 +22,15 @@
 // in-flight requests are singleflighted into one analysis, and a client
 // that times out or disconnects cancels its job instead of burning a
 // worker.
+//
+// With -store-dir the daemon keeps a persistent content-addressed result
+// store under the in-memory LRU: results survive restarts, a fresh
+// process serves previously-analyzed content from disk (visible as
+// rustprobed_store_hits_total in /metrics), and replicas sharing the
+// directory share each other's work. Entries are versioned against the
+// analyzer + detector set, so upgrading the binary self-invalidates
+// stale results, and corrupt or truncated entries are quarantined
+// instead of failing startup or serving garbage.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests finish, then the engine drains.
@@ -39,6 +51,7 @@ import (
 
 	"rustprobe/internal/difftest"
 	"rustprobe/internal/engine"
+	"rustprobe/internal/store"
 )
 
 func main() {
@@ -50,16 +63,28 @@ func main() {
 		timeout  = flag.Duration("request-timeout", 30*time.Second, "per-request analysis budget (0 disables)")
 		reject   = flag.Bool("queue-reject", true, "fail fast with 503 + Retry-After when the job queue is full (false blocks instead)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+		storeDir = flag.String("store-dir", "", "directory for the persistent content-addressed result store (empty disables; results then live only in the in-memory LRU)")
 		selftest = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
 		seeds    = flag.Int64("seeds", 200, "seed count for -selftest")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, engine.StoreVersion())
+		if err != nil {
+			log.Fatalf("rustprobed: open result store %s: %v", *storeDir, err)
+		}
+		log.Printf("rustprobed: result store at %s (version %s, %d entries)", *storeDir, engine.StoreVersion(), st.Len())
+	}
 
 	eng := engine.New(engine.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheCap,
 		QueueReject:   *reject,
+		Store:         st,
 	})
 
 	if *selftest {

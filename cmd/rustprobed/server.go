@@ -43,6 +43,7 @@ func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
 	s := &server{eng: eng, opts: opts, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze-batch", s.handleAnalyzeBatch)
 	mux.HandleFunc("/v1/detectors", s.handleDetectors)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -108,10 +109,13 @@ func requestID(ctx context.Context) string {
 
 // analyzeResponse is the wire shape of a successful analysis.
 type analyzeResponse struct {
-	Findings  []engine.Finding     `json:"findings"`
-	Unsafe    engine.UnsafeSummary `json:"unsafe"`
-	CacheHit  bool                 `json:"cache_hit"`
-	ElapsedMS float64              `json:"elapsed_ms"`
+	Findings []engine.Finding     `json:"findings"`
+	Unsafe   engine.UnsafeSummary `json:"unsafe"`
+	CacheHit bool                 `json:"cache_hit"`
+	// StoreHit marks a result read from the persistent store rather
+	// than recomputed — the restart/replica fast path.
+	StoreHit  bool    `json:"store_hit,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // errorResponse is the wire shape of every failure.
@@ -175,7 +179,68 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Findings:  resp.Findings,
 		Unsafe:    resp.Unsafe,
 		CacheHit:  resp.CacheHit,
+		StoreHit:  resp.StoreHit,
 		ElapsedMS: float64(resp.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+// batchResponse is the wire shape of a batch analysis: per-file results
+// (findings or an isolated error classification), never a partial map.
+type batchResponse struct {
+	Results     map[string]*engine.BatchEntry `json:"results"`
+	Files       int                           `json:"files"`
+	Errors      int                           `json:"errors"`
+	SetCacheHit bool                          `json:"set_cache_hit"`
+	ElapsedMS   float64                       `json:"elapsed_ms"`
+}
+
+// handleAnalyzeBatch serves POST /v1/analyze-batch: many named files in
+// one request, analyzed independently. Request-level failures (bad JSON,
+// empty set, unknown detector, timeout, saturation) map to the same
+// status codes as /v1/analyze; per-file failures are isolated inside
+// their entries with an error_kind clients can branch on.
+func (s *server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only", "")
+		return
+	}
+	var req engine.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err), "")
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.timeout)
+		defer cancel()
+	}
+	resp, err := s.eng.AnalyzeBatch(ctx, req)
+	if err != nil {
+		var reqErr *engine.RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, reqErr.Error(), "")
+		case errors.Is(err, engine.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down", "")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "batch analysis timed out", "")
+		case errors.Is(err, context.Canceled):
+			writeError(w, 499, "client closed request", "")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), "")
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results:     resp.Results,
+		Files:       resp.Files,
+		Errors:      resp.Errors,
+		SetCacheHit: resp.SetCacheHit,
+		ElapsedMS:   float64(resp.Elapsed) / float64(time.Millisecond),
 	})
 }
 
@@ -237,7 +302,19 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	metric("rustprobed_cache_hit_ratio", "gauge", "Cache hits / lookups since start.", ratio)
 	metric("rustprobed_cache_size", "gauge", "Result-cache entries.", float64(st.CacheSize))
+	metric("rustprobed_cache_entries", "gauge", "Result-cache entries (alias of rustprobed_cache_size).", float64(st.CacheEntries))
 	metric("rustprobed_cache_capacity", "gauge", "Result-cache entry bound.", float64(st.CacheCapacity))
+	metric("rustprobed_cache_evictions_total", "counter", "LRU entries evicted under capacity pressure.", float64(st.CacheEvictions))
+	metric("rustprobed_store_hits_total", "counter", "Persistent-store hits (results served from disk, e.g. after a restart).", float64(st.StoreHits))
+	metric("rustprobed_store_misses_total", "counter", "Persistent-store misses.", float64(st.StoreMisses))
+	metric("rustprobed_store_puts_total", "counter", "Results persisted write-behind to the store.", float64(st.StorePuts))
+	metric("rustprobed_store_put_errors_total", "counter", "Failed store writes.", float64(st.StorePutErrors))
+	metric("rustprobed_store_quarantined_total", "counter", "Corrupt, truncated, or version-mismatched store entries quarantined at read.", float64(st.StoreQuarantined))
+	metric("rustprobed_store_entries", "gauge", "Entries in the persistent store (this handle's view).", float64(st.StoreEntries))
+	metric("rustprobed_batch_requests_total", "counter", "Batch submissions accepted.", float64(st.BatchSubmitted))
+	metric("rustprobed_batch_set_hits_total", "counter", "Whole-set batch cache hits (unchanged repo resubmissions).", float64(st.BatchSetHits))
+	metric("rustprobed_batch_files_total", "counter", "Files fanned out by batch requests.", float64(st.BatchFiles))
+	metric("rustprobed_batch_file_errors_total", "counter", "Per-file errors isolated inside batch responses.", float64(st.BatchFileErrors))
 	metric("rustprobed_frontend_ms_total", "counter", "Cumulative frontend wall time (ms).", st.FrontendMSTotal)
 	metric("rustprobed_detect_ms_total", "counter", "Cumulative detector fan-out wall time (ms).", st.DetectMSTotal)
 	metric("rustprobed_unsafe_scan_ms_total", "counter", "Cumulative unsafe-scan wall time (ms).", st.UnsafeScanMSTotal)

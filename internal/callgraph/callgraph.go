@@ -94,6 +94,35 @@ func (g *Graph) TransitiveCallees(start string) map[string]bool {
 	return seen
 }
 
+// TransitiveCallers returns every function from which any of the start
+// functions is reachable, excluding the starts themselves unless they
+// participate in a cycle reaching a start. This is the "dirty closure"
+// primitive of incremental analysis: when a function's body changes,
+// exactly its transitive callers can observe different summaries.
+func (g *Graph) TransitiveCallers(starts ...string) map[string]bool {
+	seen := map[string]bool{}
+	var work []string
+	for _, s := range starts {
+		for _, e := range g.Callers[s] {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				work = append(work, e.Caller)
+			}
+		}
+	}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range g.Callers[cur] {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				work = append(work, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
 // SCC is one strongly connected component of the call graph. Members are
 // sorted; Recursive is true for multi-function components and for
 // single functions that call themselves.

@@ -208,3 +208,19 @@ fn free() {}
 		}
 	}
 }
+
+func TestTransitiveCallers(t *testing.T) {
+	g := buildGraph(t, chainSrc)
+	callers := g.TransitiveCallers("c")
+	if !callers["a"] || !callers["b"] {
+		t.Errorf("c's transitive callers = %v, want a and b", callers)
+	}
+	if callers["c"] || callers["helper"] || callers["S::m"] {
+		t.Errorf("unrelated functions marked as callers: %v", callers)
+	}
+	// Multi-start union: helper's callers join in.
+	both := g.TransitiveCallers("c", "helper")
+	if !both["S::m"] || !both["a"] || !both["b"] {
+		t.Errorf("multi-start callers = %v", both)
+	}
+}

@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"testing"
+
+	"rustprobe/internal/engine"
+	"rustprobe/internal/store"
+)
+
+// TestStoreBackedEngineDifferential runs the differential harness through
+// an engine with the persistent result store underneath its LRU, twice
+// over the same seeds with an engine restart in between. The first pass
+// populates the store; the second is served from disk (fresh engine, so
+// every request is an LRU miss). Both passes must be violation-free —
+// i.e. findings decoded from store entries are indistinguishable from
+// findings computed by the pipeline — which gates the store's encode/
+// decode round-trip and version keying against every detector at once.
+func TestStoreBackedEngineDifferential(t *testing.T) {
+	const seedCount = 50
+	dir := t.TempDir()
+
+	run := func(pass string) *Summary {
+		st, err := store.Open(dir, engine.StoreVersion())
+		if err != nil {
+			t.Fatalf("%s: open store: %v", pass, err)
+		}
+		eng := engine.New(engine.Config{Workers: 2, QueueDepth: 16, CacheCapacity: 64, Store: st})
+		defer eng.Close()
+		s := RunWithEngine(0, seedCount, eng)
+		if v := s.Violations(); len(v) > 0 {
+			t.Fatalf("%s pass: %d violation(s), first: %s", pass, len(v), v[0])
+		}
+		return s
+	}
+
+	run("cold")
+
+	// Restarted engine, same store directory: the harness's engine-vs-
+	// direct cross-check now compares disk-served results against fresh
+	// pipeline runs.
+	st, err := store.Open(dir, engine.StoreVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Workers: 2, QueueDepth: 16, CacheCapacity: 64, Store: st})
+	defer eng.Close()
+	s := RunWithEngine(0, seedCount, eng)
+	if v := s.Violations(); len(v) > 0 {
+		t.Fatalf("warm pass: %d violation(s), first: %s", len(v), v[0])
+	}
+	if stats := st.Stats(); stats.Hits == 0 {
+		t.Fatalf("warm pass never hit the store: %+v", stats)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -23,7 +24,22 @@ import (
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/source"
+	"rustprobe/internal/store"
 )
+
+// StoreVersion derives the persistent result-store entry version from
+// the analyzer release and the detector registry: a new analyzer version
+// or any detector-set change produces a new version string, so entries
+// written by an older build self-invalidate (quarantine on read) instead
+// of serving stale findings.
+func StoreVersion() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "analyzer\x00%s\x00", rustprobe.AnalyzerVersion)
+	for _, n := range rustprobe.DetectorNames() {
+		fmt.Fprintf(h, "detector\x00%s\x00", n)
+	}
+	return "rustprobe-" + rustprobe.AnalyzerVersion + "-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
 
 // Config sizes the engine.
 type Config struct {
@@ -38,6 +54,12 @@ type Config struct {
 	// pending-job queue is saturated, instead of blocking for a slot.
 	// Servers enable it to convert saturation into 503 backpressure.
 	QueueReject bool
+	// Store, when non-nil, is the persistent content-addressed result
+	// tier under the in-memory LRU: read-through on an LRU miss,
+	// write-behind on completion. It survives restarts and may be shared
+	// by several engines (replicas on one volume). Open it with
+	// store.Open(dir, StoreVersion()).
+	Store *store.Store
 	// TestDetectHook, when non-nil, runs on the worker goroutine after
 	// the frontend and before the detector fan-out. Tests use it to
 	// inject panics and stalls into a job; production never sets it.
@@ -80,6 +102,10 @@ type Response struct {
 	Findings []Finding     `json:"findings"`
 	Unsafe   UnsafeSummary `json:"unsafe"`
 	CacheHit bool          `json:"cache_hit"`
+	// StoreHit marks a CacheHit that was served from the persistent
+	// store tier (disk) rather than the in-memory LRU — e.g. the first
+	// resubmission after a daemon restart.
+	StoreHit bool          `json:"store_hit,omitempty"`
 	Elapsed  time.Duration `json:"-"`
 }
 
@@ -136,10 +162,12 @@ func (e *InternalError) Error() string {
 // Engine is the concurrent analysis engine. Create with New, submit
 // with Analyze, snapshot activity with Stats, stop with Close.
 type Engine struct {
-	cfg   Config
-	jobs  chan *job
-	cache *cache // nil when disabled
-	ctr   counters
+	cfg        Config
+	jobs       chan *job
+	cache      *lru[*Response]      // nil when disabled
+	batchCache *lru[*BatchResponse] // whole-set batch results; nil when disabled
+	ctr        counters
+	storeWG    sync.WaitGroup // in-flight write-behind store puts
 
 	flightMu sync.Mutex // guards flights
 	flights  map[string]*flight
@@ -168,11 +196,20 @@ func New(cfg Config) *Engine {
 		cfg.QueueDepth = 64
 	}
 	e := &Engine{cfg: cfg, jobs: make(chan *job, cfg.QueueDepth), flights: make(map[string]*flight)}
-	switch {
-	case cfg.CacheCapacity == 0:
-		e.cache = newCache(256)
-	case cfg.CacheCapacity > 0:
-		e.cache = newCache(cfg.CacheCapacity)
+	cacheCap := cfg.CacheCapacity
+	if cacheCap == 0 {
+		cacheCap = 256
+	}
+	if cacheCap > 0 {
+		e.cache = newLRU(cacheCap, (*Response).clone)
+		// Whole-set batch results are assembled from per-file entries,
+		// so a small set-level cache suffices to make an unchanged-repo
+		// resubmission O(1) instead of O(files).
+		batchCap := cacheCap / 4
+		if batchCap < 16 {
+			batchCap = 16
+		}
+		e.batchCache = newLRU(batchCap, (*BatchResponse).clone)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -201,6 +238,9 @@ func (e *Engine) Close() {
 	close(e.jobs)
 	e.mu.Unlock()
 	e.wg.Wait()
+	// Flush write-behind puts so a restart (or a replica) sees every
+	// result this engine completed.
+	e.storeWG.Wait()
 }
 
 // Analyze submits a request and blocks until its response, a request
@@ -217,7 +257,7 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Response, error) {
 		return nil, err
 	}
 	e.ctr.submitted.Add(1)
-	key := req.key()
+	key := req.Key()
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
 			e.ctr.cacheHits.Add(1)
@@ -226,6 +266,16 @@ func (e *Engine) Analyze(ctx context.Context, req Request) (*Response, error) {
 			return cached, nil
 		}
 		e.ctr.cacheMisses.Add(1)
+	}
+	// Read-through to the persistent tier: a result computed before the
+	// last restart (or by another replica sharing the store) is served
+	// from disk and promoted into the LRU.
+	if hit, ok := e.storeGet(key); ok {
+		out := hit.clone()
+		out.CacheHit = true
+		out.StoreHit = true
+		out.Elapsed = time.Since(start)
+		return out, nil
 	}
 
 	f, leader := e.joinFlight(key)
@@ -369,9 +419,50 @@ func (e *Engine) run(j *job) {
 	if e.cache != nil {
 		e.cache.put(j.key, resp)
 	}
+	e.storePut(j.key, resp)
 	e.ctr.completed.Add(1)
 	e.ctr.analyzeNs.Add(int64(time.Since(start)))
 	finish(resp, nil)
+}
+
+// storeGet consults the persistent tier (read-through). A hit is
+// promoted into the LRU so repeat traffic stays in memory.
+func (e *Engine) storeGet(key string) (*Response, bool) {
+	if e.cfg.Store == nil {
+		return nil, false
+	}
+	payload, ok := e.cfg.Store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		// The entry passed its checksum but no longer decodes — a
+		// same-version engine with a different Response shape wrote it.
+		// Treat as a miss; the fresh result overwrites it.
+		return nil, false
+	}
+	if e.cache != nil {
+		e.cache.put(key, &resp)
+	}
+	return &resp, true
+}
+
+// storePut persists a completed response write-behind: the waiter's
+// reply never blocks on disk, and Close drains the in-flight writes.
+func (e *Engine) storePut(key string, resp *Response) {
+	if e.cfg.Store == nil {
+		return
+	}
+	e.storeWG.Add(1)
+	go func() {
+		defer e.storeWG.Done()
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		e.cfg.Store.Put(key, payload) // put failures are counted by the store
+	}()
 }
 
 func analyzeFrontend(req Request) (*rustprobe.Result, error) {
@@ -418,10 +509,12 @@ func validate(req Request) error {
 	return nil
 }
 
-// key content-hashes the request: SHA-256 over the sorted filename+source
+// Key content-hashes the request: SHA-256 over the sorted filename+source
 // pairs (length-prefixed so boundaries cannot collide), the corpus group,
-// and the sorted detector selection.
-func (r Request) key() string {
+// and the sorted detector selection. It is the cache key at both tiers
+// (LRU and persistent store), exported so tools can address stored
+// entries for a known input.
+func (r Request) Key() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "corpus\x00%s\x00", r.Corpus)
 	names := make([]string, 0, len(r.Files))

@@ -35,6 +35,29 @@ type Stats struct {
 	CacheMisses   uint64 `json:"cache_misses"`
 	CacheSize     int    `json:"cache_size"`
 	CacheCapacity int    `json:"cache_capacity"`
+	// CacheEntries mirrors CacheSize under the name the eviction metrics
+	// use; CacheEvictions counts entries pushed out by LRU pressure
+	// since start (0 until the working set exceeds CacheCapacity).
+	CacheEntries   int    `json:"cache_entries"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// Store* snapshot the persistent content-addressed tier (zero when
+	// no store is configured). StoreHits are cold-start/replica hits
+	// served from disk; StoreQuarantined counts corrupt, truncated, or
+	// version-mismatched entries moved aside at read time.
+	StoreHits        uint64 `json:"store_hits"`
+	StoreMisses      uint64 `json:"store_misses"`
+	StorePuts        uint64 `json:"store_puts"`
+	StorePutErrors   uint64 `json:"store_put_errors"`
+	StoreQuarantined uint64 `json:"store_quarantined"`
+	StoreEntries     int64  `json:"store_entries"`
+
+	// Batch API activity: whole-set submissions, O(1) set-level cache
+	// hits, per-file fan-out volume and isolated per-file failures.
+	BatchSubmitted  uint64 `json:"batch_submitted"`
+	BatchSetHits    uint64 `json:"batch_set_hits"`
+	BatchFiles      uint64 `json:"batch_files"`
+	BatchFileErrors uint64 `json:"batch_file_errors"`
 
 	FrontendMSTotal   float64 `json:"frontend_ms_total"`
 	DetectMSTotal     float64 `json:"detect_ms_total"`
@@ -59,6 +82,11 @@ type counters struct {
 
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	batchSubmitted  atomic.Uint64
+	batchSetHits    atomic.Uint64
+	batchFiles      atomic.Uint64
+	batchFileErrors atomic.Uint64
 
 	frontendNs atomic.Int64
 	detectNs   atomic.Int64
@@ -102,6 +130,11 @@ func (e *Engine) Stats() Stats {
 		CacheHits:     e.ctr.cacheHits.Load(),
 		CacheMisses:   e.ctr.cacheMisses.Load(),
 
+		BatchSubmitted:  e.ctr.batchSubmitted.Load(),
+		BatchSetHits:    e.ctr.batchSetHits.Load(),
+		BatchFiles:      e.ctr.batchFiles.Load(),
+		BatchFileErrors: e.ctr.batchFileErrors.Load(),
+
 		FrontendMSTotal:   float64(e.ctr.frontendNs.Load()) / 1e6,
 		DetectMSTotal:     float64(e.ctr.detectNs.Load()) / 1e6,
 		UnsafeScanMSTotal: float64(e.ctr.scanNs.Load()) / 1e6,
@@ -117,7 +150,18 @@ func (e *Engine) Stats() Stats {
 	e.ctr.detectorMu.Unlock()
 	if e.cache != nil {
 		s.CacheSize = e.cache.len()
+		s.CacheEntries = s.CacheSize
 		s.CacheCapacity = e.cache.cap
+		s.CacheEvictions = e.cache.evicted()
+	}
+	if st := e.cfg.Store; st != nil {
+		ss := st.Stats()
+		s.StoreHits = ss.Hits
+		s.StoreMisses = ss.Misses
+		s.StorePuts = ss.Puts
+		s.StorePutErrors = ss.PutErrors
+		s.StoreQuarantined = ss.Quarantined
+		s.StoreEntries = ss.Entries
 	}
 	return s
 }

@@ -1,0 +1,216 @@
+package engine_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"rustprobe/internal/engine"
+	"rustprobe/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, engine.StoreVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStoreTierSurvivesRestart is the fleet-scale core claim: results
+// computed before a daemon restart are served from disk by the next
+// process, observable as store hits.
+func TestStoreTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := engine.Request{Files: map[string]string{"uaf.rs": uafSrc}}
+
+	// First engine lifetime: compute and persist.
+	e1 := engine.New(engine.Config{Workers: 2, Store: openStore(t, dir)})
+	first, err := e1.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first analysis reported a cache hit")
+	}
+	e1.Close() // drains the write-behind put
+
+	// Second engine lifetime (fresh LRU = simulated restart): the
+	// result must come from the persistent tier without re-analysis.
+	e2 := engine.New(engine.Config{Workers: 2, Store: openStore(t, dir)})
+	defer e2.Close()
+	second, err := e2.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || !second.StoreHit {
+		t.Fatalf("restart replay: CacheHit=%v StoreHit=%v, want both true", second.CacheHit, second.StoreHit)
+	}
+	if !reflect.DeepEqual(first.Findings, second.Findings) {
+		t.Fatalf("store round-trip changed findings:\n%v\nvs\n%v", first.Findings, second.Findings)
+	}
+	st := e2.Stats()
+	if st.StoreHits != 1 {
+		t.Fatalf("StoreHits = %d, want 1", st.StoreHits)
+	}
+	if st.JobsCompleted != 0 {
+		t.Fatalf("restart replay ran %d jobs, want 0", st.JobsCompleted)
+	}
+
+	// The store hit was promoted into the LRU: a third submission is a
+	// memory hit, not a disk read.
+	third, err := e2.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.CacheHit || third.StoreHit {
+		t.Fatalf("post-promotion: CacheHit=%v StoreHit=%v, want memory hit", third.CacheHit, third.StoreHit)
+	}
+}
+
+// TestStoreTierSharedByReplicas runs two engines concurrently over one
+// store directory — the shared-volume replica shape — and checks both
+// serve correct results and at least one benefits from the other's
+// writes.
+func TestStoreTierSharedByReplicas(t *testing.T) {
+	dir := t.TempDir()
+	a := engine.New(engine.Config{Workers: 2, Store: openStore(t, dir)})
+	b := engine.New(engine.Config{Workers: 2, Store: openStore(t, dir)})
+
+	reqs := mixedRequests()
+	want := make([][]engine.Finding, len(reqs))
+	for i, req := range reqs {
+		want[i] = serialResponse(t, req)
+	}
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for i, req := range reqs {
+			for _, e := range []*engine.Engine{a, b} {
+				wg.Add(1)
+				go func(e *engine.Engine, i int, req engine.Request) {
+					defer wg.Done()
+					resp, err := e.Analyze(context.Background(), req)
+					if err != nil {
+						t.Errorf("replica analyze: %v", err)
+						return
+					}
+					if !reflect.DeepEqual(normalize(resp.Findings), normalize(want[i])) {
+						t.Errorf("replica req %d: findings differ", i)
+					}
+				}(e, i, req)
+			}
+		}
+	}
+	wg.Wait()
+	a.Close()
+	b.Close()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.StoreQuarantined+sb.StoreQuarantined != 0 {
+		t.Fatalf("replica sharing quarantined entries: %d/%d", sa.StoreQuarantined, sb.StoreQuarantined)
+	}
+	if sa.StorePutErrors+sb.StorePutErrors != 0 {
+		t.Fatalf("replica sharing put errors: %d/%d", sa.StorePutErrors, sb.StorePutErrors)
+	}
+}
+
+// TestStoreTierQuarantineIsolatesPoison poisons persisted entries in
+// every way the store guards against and checks the engine transparently
+// re-analyzes instead of failing or serving garbage.
+func TestStoreTierQuarantineIsolatesPoison(t *testing.T) {
+	dir := t.TempDir()
+	req := engine.Request{Files: map[string]string{"dl.rs": doubleLockSrc}}
+
+	e1 := engine.New(engine.Config{Workers: 1, Store: openStore(t, dir)})
+	want, err := e1.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	// Truncate every persisted entry (torn write at the worst moment).
+	var poisoned int
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.Contains(path, "quarantine") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		poisoned++
+		return os.WriteFile(path, data[:len(data)/3], 0o644)
+	})
+	if poisoned == 0 {
+		t.Fatal("no persisted entries to poison; write-behind broken?")
+	}
+
+	e2 := engine.New(engine.Config{Workers: 1, Store: openStore(t, dir)})
+	defer e2.Close()
+	got, err := e2.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHit || got.StoreHit {
+		t.Fatal("poisoned entry served as a hit")
+	}
+	if !reflect.DeepEqual(got.Findings, want.Findings) {
+		t.Fatal("re-analysis after quarantine produced different findings")
+	}
+	if st := e2.Stats(); st.StoreQuarantined == 0 {
+		t.Fatalf("StoreQuarantined = 0 after poisoning, stats=%+v", st)
+	}
+}
+
+// TestStoreTierVersionMismatchInvalidates writes entries under an old
+// analyzer version and checks a current-version engine refuses them.
+func TestStoreTierVersionMismatchInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	req := engine.Request{Files: map[string]string{"clean.rs": cleanSrc}}
+	key := req.Key()
+
+	old, err := store.Open(dir, "rustprobe-0-obsolete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, _ := json.Marshal(map[string]any{"findings": []any{map[string]any{
+		"kind": "use-after-free", "severity": "error", "function": "ghost",
+		"file": "clean.rs", "line": 1, "column": 1, "message": "stale result that must never surface",
+	}}})
+	if err := old.Put(key, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	e := engine.New(engine.Config{Workers: 1, Store: openStore(t, dir)})
+	defer e.Close()
+	resp, err := e.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StoreHit {
+		t.Fatal("stale-version entry served")
+	}
+	for _, f := range resp.Findings {
+		if f.Function == "ghost" {
+			t.Fatal("stale findings leaked into a fresh analysis")
+		}
+	}
+	if st := e.Stats(); st.StoreQuarantined != 1 {
+		t.Fatalf("StoreQuarantined = %d, want 1", st.StoreQuarantined)
+	}
+}
+
+// normalize sorts findings into a comparison-stable order matching the
+// engine's output (already sorted) — it exists so reflect.DeepEqual
+// treats nil and empty slices alike.
+func normalize(fs []engine.Finding) []engine.Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	return fs
+}

@@ -29,6 +29,21 @@ func Program(prog *hir.Program, diags *source.Diagnostics) map[string]*mir.Body 
 	return out
 }
 
+// ProgramFiltered lowers only the functions keep selects (closures ride
+// with their owner). Incremental sessions use it to re-lower just the
+// functions whose source changed, merging the result with bodies reused
+// from the previous round.
+func ProgramFiltered(prog *hir.Program, diags *source.Diagnostics, keep func(qualified string) bool) map[string]*mir.Body {
+	out := map[string]*mir.Body{}
+	for _, fd := range prog.SortedFuncs() {
+		if fd.Syntax == nil || fd.Syntax.Body == nil || !keep(fd.Qualified) {
+			continue
+		}
+		lowerInto(prog, diags, fd, out)
+	}
+	return out
+}
+
 // Func lowers a single function (plus its closures) and returns its body.
 func Func(prog *hir.Program, diags *source.Diagnostics, fd *hir.FuncDef) *mir.Body {
 	out := map[string]*mir.Body{}

@@ -1,0 +1,269 @@
+// Package store is a disk-backed, content-addressed analysis-result
+// store: the persistent second cache tier under the engine's in-memory
+// LRU. One file per cache key holds a versioned, checksummed JSON entry;
+// writes go to a temp file in the same directory and are renamed into
+// place, so a crash mid-write can never leave a readable-but-wrong
+// entry, and concurrent writers (multiple engines sharing one store
+// directory, or replicas on a shared volume) settle on whichever rename
+// lands last — both wrote the same content for the same key.
+//
+// Entries carry a version string derived from the analyzer release and
+// the detector registry. A version mismatch means the entry was written
+// by an incompatible analyzer: it is quarantined and reported as a miss,
+// so stale results self-invalidate instead of being served. Truncated or
+// corrupt entries (torn writes from a crashed host, bit rot, manual
+// tampering) are detected by the checksum at entry-open time and
+// quarantined the same way — the store never fails startup, and never
+// returns bytes it cannot prove were a complete, matching write.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of store activity since Open.
+type Stats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Puts        uint64 `json:"puts"`
+	PutErrors   uint64 `json:"put_errors"`
+	Quarantined uint64 `json:"quarantined"`
+	Entries     int64  `json:"entries"`
+}
+
+// Store is a content-addressed entry store rooted at one directory.
+// All methods are safe for concurrent use, including from multiple
+// Store handles (or processes) opened on the same directory.
+type Store struct {
+	dir     string
+	version string
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	puts        atomic.Uint64
+	putErrors   atomic.Uint64
+	quarantined atomic.Uint64
+	entries     atomic.Int64
+
+	// putMu serializes Put per key only coarsely; renames are atomic so
+	// this exists solely to keep the entries counter from double-counting
+	// a concurrent first-write of the same key within one handle.
+	putMu sync.Mutex
+}
+
+// entry is the on-disk JSON shape. Sum is the hex SHA-256 of Payload's
+// raw bytes, so a torn or tampered payload is detectable; Version gates
+// compatibility; Key is recorded for forensics on quarantined files.
+type entry struct {
+	Version string          `json:"version"`
+	Key     string          `json:"key"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+const (
+	quarantineDir = "quarantine"
+	tmpPrefix     = ".tmp-"
+)
+
+// Open roots a store at dir (created if missing), binding it to the
+// given entry version. Stale temp files from a crashed writer are swept;
+// existing entries are counted but not read — validation happens per
+// entry at Get, so a directory full of junk can never fail startup.
+func Open(dir, version string) (*Store, error) {
+	if version == "" {
+		return nil, fmt.Errorf("store: empty version")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, version: version}
+	// Sweep temp files abandoned by a crashed writer and count entries.
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() || sh.Name() == quarantineDir {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if strings.HasPrefix(f.Name(), tmpPrefix) {
+				os.Remove(filepath.Join(dir, sh.Name(), f.Name()))
+				continue
+			}
+			s.entries.Add(1)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Version returns the entry version this handle reads and writes.
+func (s *Store) Version() string { return s.version }
+
+// path shards entries two hex characters deep so one directory never
+// holds the whole fleet's keys.
+func (s *Store) path(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.dir, shard, key)
+}
+
+// validKey keeps keys usable as file names (the engine's SHA-256 hex
+// keys always pass; anything else is rejected rather than trusted).
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the stored payload for key. A missing entry is a plain
+// miss. An unreadable, truncated, corrupt, wrong-key or version-
+// mismatched entry is quarantined (moved aside, never deleted — the
+// bytes stay inspectable) and reported as a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		s.quarantine(key, p, "corrupt")
+		s.misses.Add(1)
+		return nil, false
+	}
+	sum := sha256.Sum256(e.Payload)
+	switch {
+	case e.Version != s.version:
+		s.quarantine(key, p, "version")
+		s.misses.Add(1)
+		return nil, false
+	case e.Key != key || e.Sum != hex.EncodeToString(sum[:]) || len(e.Payload) == 0:
+		s.quarantine(key, p, "corrupt")
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Payload, true
+}
+
+// quarantine moves a bad entry into the quarantine directory under a
+// reason-tagged name. Failure to move (e.g. a concurrent quarantine of
+// the same file) falls back to removal so the poison entry cannot be
+// served again either way.
+func (s *Store) quarantine(key, path, reason string) {
+	s.quarantined.Add(1)
+	s.entries.Add(-1)
+	dst := filepath.Join(s.dir, quarantineDir, reason+"-"+filepath.Base(key))
+	if err := os.Rename(path, dst); err != nil {
+		os.Remove(path)
+	}
+}
+
+// Put writes payload under key: temp file in the entry's shard
+// directory, then an atomic rename into place. Losing a rename race to
+// a concurrent writer of the same key is fine — same key, same content.
+func (s *Store) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if len(payload) == 0 {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: empty payload for key %s", key)
+	}
+	sum := sha256.Sum256(payload)
+	data, err := json.Marshal(entry{
+		Version: s.version,
+		Key:     key,
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: json.RawMessage(payload),
+	})
+	if err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	p := s.path(key)
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+	_, statErr := os.Stat(p)
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	if statErr != nil { // key was absent before this write
+		s.entries.Add(1)
+	}
+	return nil
+}
+
+// Len reports the entry count (as tracked by this handle: counted at
+// Open, adjusted by puts and quarantines; concurrent handles each track
+// their own view).
+func (s *Store) Len() int { return int(s.entries.Load()) }
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     s.entries.Load(),
+	}
+}

@@ -93,6 +93,78 @@ func Compute[S any](g *callgraph.Graph, p *Problem[S]) *Result[S] {
 	return res
 }
 
+// ComputeFrom is Compute with a warm start for incremental re-analysis:
+// functions outside recompute copy their summaries (and truncation marks)
+// from prev instead of re-running Transfer; recomputed functions read the
+// copied callee summaries through the usual lookup.
+//
+// Soundness is the caller's contract: a function may be reused only if
+// its body and the summaries of all its transitive callees are unchanged
+// since prev was computed. The dirty closure "changed functions plus
+// their transitive callers" satisfies this — a clean function can have no
+// dirty callee, or it would itself be a transitive caller of the change.
+// Functions missing from prev are recomputed regardless.
+func ComputeFrom[S any](g *callgraph.Graph, p *Problem[S], prev *Result[S], recompute map[string]bool) *Result[S] {
+	if prev == nil {
+		return Compute(g, p)
+	}
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	res := &Result[S]{Summaries: map[string]S{}, Truncated: map[string]bool{}}
+	get := func(callee string) (S, bool) {
+		s, ok := res.Summaries[callee]
+		return s, ok
+	}
+	for _, scc := range g.SCCs() {
+		// An SCC is reusable only as a unit: a recursive component's
+		// fixpoint entangles all members.
+		reuse := true
+		for _, fn := range scc.Members {
+			if _, ok := prev.Summaries[fn]; !ok || recompute[fn] {
+				reuse = false
+				break
+			}
+		}
+		if reuse {
+			for _, fn := range scc.Members {
+				res.Summaries[fn] = prev.Summaries[fn]
+				if prev.Truncated[fn] {
+					res.Truncated[fn] = true
+				}
+			}
+			continue
+		}
+		for _, fn := range scc.Members {
+			res.Summaries[fn] = p.Bottom(fn)
+		}
+		if !scc.Recursive {
+			fn := scc.Members[0]
+			res.Summaries[fn] = p.Transfer(fn, get)
+			continue
+		}
+		converged := false
+		for iter := 0; iter < maxIter && !converged; iter++ {
+			converged = true
+			for _, fn := range scc.Members {
+				next := p.Transfer(fn, get)
+				if !p.Equal(res.Summaries[fn], next) {
+					converged = false
+				}
+				res.Summaries[fn] = next
+			}
+		}
+		if !converged {
+			res.TruncatedSCCs++
+			for _, fn := range scc.Members {
+				res.Truncated[fn] = true
+			}
+		}
+	}
+	return res
+}
+
 // Translate maps a callee-namespace resource id (a lock path such as
 // "self.client") into the caller's namespace through the call's receiver
 // path. Static ids are namespace-free. Returns "" when the id cannot be

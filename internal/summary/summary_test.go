@@ -253,3 +253,83 @@ func TestNormalizePath(t *testing.T) {
 		}
 	}
 }
+
+// TestComputeFromWarmStart: ComputeFrom must equal Compute while only
+// re-running Transfer for the requested dirty closure.
+func TestComputeFromWarmStart(t *testing.T) {
+	adj := map[string][]string{
+		"a": {"b"}, "b": {"c"}, "c": nil,
+		"x": {"y"}, "y": nil,
+	}
+	g := graphOf(adj)
+	seeds := map[string][]string{"c": {"L"}, "y": {"M"}}
+	p := setProblem(seeds)
+	transferred := map[string]int{}
+	p.Transfer = func(fn string, get Lookup[map[string]bool]) map[string]bool {
+		transferred[fn]++
+		return unionTransfer(g, seeds)(fn, get)
+	}
+	prev := Compute(g, p)
+
+	// "c" changed: its dirty closure is {a, b, c}; x and y are reusable.
+	transferred = map[string]int{}
+	seeds["c"] = []string{"L2"}
+	res := ComputeFrom(g, p, prev, map[string]bool{"a": true, "b": true, "c": true})
+	for _, fn := range []string{"a", "b", "c"} {
+		if transferred[fn] != 1 {
+			t.Errorf("%s transferred %d times, want 1", fn, transferred[fn])
+		}
+		if !res.Summaries[fn]["L2"] {
+			t.Errorf("%s missing propagated L2: %v", fn, res.Summaries[fn])
+		}
+	}
+	for _, fn := range []string{"x", "y"} {
+		if transferred[fn] != 0 {
+			t.Errorf("clean %s recomputed", fn)
+		}
+		if keys(res.Summaries[fn]) != keys(prev.Summaries[fn]) {
+			t.Errorf("%s summary changed on reuse: %v vs %v", fn, res.Summaries[fn], prev.Summaries[fn])
+		}
+	}
+
+	// The warm result must equal a cold recomputation.
+	cold := Compute(g, p)
+	for fn := range g.Bodies {
+		if keys(res.Summaries[fn]) != keys(cold.Summaries[fn]) {
+			t.Errorf("%s: warm %v != cold %v", fn, res.Summaries[fn], cold.Summaries[fn])
+		}
+	}
+}
+
+// TestComputeFromRecursiveSCCUnit: a recursive component reuses or
+// recomputes as a unit, and nil prev degrades to Compute.
+func TestComputeFromRecursiveSCCUnit(t *testing.T) {
+	g := graphOf(map[string][]string{"a": {"b"}, "b": {"a"}, "z": nil})
+	seeds := map[string][]string{"a": {"L"}, "z": {"Z"}}
+	p := setProblem(seeds)
+	p.Transfer = unionTransfer(g, seeds)
+	prev := Compute(g, p)
+
+	// Dirtying only "a" must still recompute "b": the SCC fixpoint is
+	// indivisible.
+	transferred := map[string]int{}
+	inner := p.Transfer
+	p.Transfer = func(fn string, get Lookup[map[string]bool]) map[string]bool {
+		transferred[fn]++
+		return inner(fn, get)
+	}
+	res := ComputeFrom(g, p, prev, map[string]bool{"a": true})
+	if transferred["b"] == 0 {
+		t.Error("SCC member b not recomputed with its dirty partner")
+	}
+	if transferred["z"] != 0 {
+		t.Error("clean singleton z recomputed")
+	}
+	if !res.Summaries["b"]["L"] {
+		t.Errorf("b lost the cycle seed: %v", res.Summaries["b"])
+	}
+
+	if nilPrev := ComputeFrom(g, p, nil, nil); !nilPrev.Summaries["b"]["L"] {
+		t.Error("nil prev did not fall back to full Compute")
+	}
+}

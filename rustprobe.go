@@ -23,6 +23,8 @@ package rustprobe
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
@@ -53,6 +55,14 @@ import (
 	"rustprobe/internal/unsafety"
 )
 
+// AnalyzerVersion names the analysis-semantics revision. Bump it
+// whenever detector behavior, the MIR lowering, or the serialized result
+// shape changes in a way that makes previously persisted results stale:
+// the engine folds it (with the detector registry) into the persistent
+// store's entry version, so old entries self-invalidate instead of being
+// served.
+const AnalyzerVersion = "6"
+
 // Finding re-exports the detector finding type.
 type Finding = detect.Finding
 
@@ -79,18 +89,164 @@ func AnalyzeSource(filename, src string) (*Result, error) {
 // AnalyzeFiles parses and lowers a set of named sources. Parse errors are
 // reported in the returned error; the partial Result is still returned for
 // inspection.
+//
+// Internally the pipeline is split into a per-file frontend phase
+// (parseArtifact: lex + parse + hashing) and a cross-file link phase
+// (link: resolve + lower); incremental sessions reuse frontend artifacts
+// for unchanged files and re-run only the link work that a change can
+// affect.
 func AnalyzeFiles(files map[string]string) (*Result, error) {
 	fset := source.NewFileSet()
 	diags := source.NewDiagnostics(fset)
+	res, _, err := analyzeArtifacts(fset, diags, files)
+	return res, err
+}
+
+// analyzeArtifacts is the full frontend+link pipeline, also returning the
+// per-file artifacts so Session can seed its reuse state.
+func analyzeArtifacts(fset *source.FileSet, diags *source.Diagnostics, files map[string]string) (*Result, map[string]*fileArtifact, error) {
 	names := make([]string, 0, len(files))
 	for n := range files {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var crates []*ast.Crate
+	arts := make(map[string]*fileArtifact, len(files))
+	ordered := make([]*fileArtifact, 0, len(files))
 	for _, n := range names {
-		f := fset.Add(n, files[n])
-		crates = append(crates, parser.ParseFile(f, diags))
+		a := parseArtifact(fset, diags, n, files[n])
+		arts[n] = a
+		ordered = append(ordered, a)
+	}
+	res, err := link(fset, diags, ordered)
+	return res, arts, err
+}
+
+// fileArtifact is the per-file frontend product: the parsed AST plus the
+// hashes incremental reuse decisions key on. interfaceHash digests the
+// source with every function body blanked out — it is stable across
+// body-only edits — and fnBodyHashes digests each function body in
+// declaration order (the order is itself pinned by interfaceHash, so
+// index i names the same function across versions when the interface is
+// unchanged).
+type fileArtifact struct {
+	name         string
+	file         *source.File
+	crate        *ast.Crate
+	interfaceHash string
+	fnBodyHashes []string
+	fnItems      []*ast.FnItem // declaration order, aligned with fnBodyHashes
+}
+
+// parseArtifact runs the per-file frontend: add to the file set, parse,
+// and compute the interface/body hash split.
+func parseArtifact(fset *source.FileSet, diags *source.Diagnostics, name, src string) *fileArtifact {
+	f := fset.Add(name, src)
+	a := &fileArtifact{name: name, file: f, crate: parser.ParseFile(f, diags)}
+	a.fnItems = collectFnItems(a.crate)
+	a.interfaceHash, a.fnBodyHashes = interfaceAndBodyHashes(f, a.fnItems)
+	return a
+}
+
+// interfaceAndBodyHashes digests a file's interface (the source with
+// every function body excised, each replaced by a fixed marker, so the
+// digest is invariant under body-only edits of any length) and each
+// function body in declaration order. Body spans of distinct functions
+// never overlap (closures are not separate FnItems), so a
+// sort-and-splice walk suffices.
+func interfaceAndBodyHashes(f *source.File, fnItems []*ast.FnItem) (string, []string) {
+	bodyHashes := make([]string, len(fnItems))
+	type srcRange struct{ lo, hi int }
+	var bodies []srcRange
+	for i, fn := range fnItems {
+		if fn.Body == nil {
+			continue
+		}
+		sp := fn.Body.Span()
+		lo, hi := sp.Start-f.Base, sp.End-f.Base
+		if lo < 0 || hi > len(f.Content) || lo > hi {
+			bodyHashes[i] = fmt.Sprintf("invalid-span-%d", i)
+			continue
+		}
+		bodyHashes[i] = hashBytes([]byte(f.Content[lo:hi]))
+		bodies = append(bodies, srcRange{lo, hi})
+	}
+	sort.Slice(bodies, func(i, j int) bool { return bodies[i].lo < bodies[j].lo })
+	var iface []byte
+	prev := 0
+	for _, r := range bodies {
+		if r.lo < prev {
+			continue // defensive: overlapping spans from a malformed parse
+		}
+		iface = append(iface, f.Content[prev:r.lo]...)
+		iface = append(iface, 0)
+		prev = r.hi
+	}
+	iface = append(iface, f.Content[prev:]...)
+	return hashBytes(iface), bodyHashes
+}
+
+// FileInterfaceHashes digests each analyzed file's interface — the
+// source with every function body excised — keyed by file name. Two
+// rounds with equal interface hashes differ at most in function bodies,
+// the precondition for incremental re-analysis.
+func (r *Result) FileInterfaceHashes() map[string]string {
+	byName := map[string]*source.File{}
+	for _, f := range r.Fset.Files() {
+		byName[f.Name] = f
+	}
+	out := make(map[string]string, len(r.Program.Crates))
+	for _, crate := range r.Program.Crates {
+		f := byName[crate.FileName]
+		if f == nil {
+			continue
+		}
+		h, _ := interfaceAndBodyHashes(f, collectFnItems(crate))
+		out[crate.FileName] = h
+	}
+	return out
+}
+
+// FuncBodyHashes digests every function's body text, keyed by qualified
+// name. A function whose hash is unchanged between two rounds (with
+// equal interface hashes) lowers to identical MIR.
+func (r *Result) FuncBodyHashes() map[string]string {
+	out := make(map[string]string, len(r.Program.Funcs))
+	for q, fd := range r.Program.Funcs {
+		if fd.Syntax == nil || fd.Syntax.Body == nil {
+			continue
+		}
+		out[q] = hashBytes([]byte(r.Fset.SpanText(fd.Syntax.Body.Span())))
+	}
+	return out
+}
+
+// collectFnItems gathers every function item (top-level, impl methods,
+// trait methods) in declaration order.
+func collectFnItems(crate *ast.Crate) []*ast.FnItem {
+	var out []*ast.FnItem
+	var walk func(items []ast.Item)
+	walk = func(items []ast.Item) {
+		for _, it := range items {
+			switch it := it.(type) {
+			case *ast.FnItem:
+				out = append(out, it)
+			case *ast.ImplItem:
+				walk(it.Items)
+			case *ast.TraitItem:
+				walk(it.Items)
+			}
+		}
+	}
+	walk(crate.Items)
+	return out
+}
+
+// link runs the cross-file phase over frontend artifacts: resolve the
+// crate set into a program registry and lower every function to MIR.
+func link(fset *source.FileSet, diags *source.Diagnostics, arts []*fileArtifact) (*Result, error) {
+	crates := make([]*ast.Crate, len(arts))
+	for i, a := range arts {
+		crates[i] = a.crate
 	}
 	prog := resolve.Crates(fset, diags, crates...)
 	bodies := lower.Program(prog, diags)
@@ -101,17 +257,37 @@ func AnalyzeFiles(files map[string]string) (*Result, error) {
 	return res, nil
 }
 
-// AnalyzeDir loads every .rs file under dir (recursively). Files are
-// keyed by their slash-separated path relative to dir, so findings,
-// diagnostics and content-hash cache keys for identical trees are
-// identical regardless of where the tree lives on the host.
-func AnalyzeDir(dir string) (*Result, error) {
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// skipDirInWalk reports directories AnalyzeDir's walk must not descend
+// into: VCS metadata, cargo build output, and hidden directories — real
+// checkouts keep generated and vendored .rs files there, and analyzing
+// them both slows the walk and pollutes findings.
+func skipDirInWalk(name string) bool {
+	return name == "target" || strings.HasPrefix(name, ".")
+}
+
+// LoadDir reads every .rs file under dir (recursively) into a map keyed
+// by slash-separated path relative to dir, so findings, diagnostics and
+// content-hash cache keys for identical trees are identical regardless of
+// where the tree lives on the host. The walk skips .git, target/ (cargo
+// build output), and other hidden directories.
+func LoadDir(dir string) (map[string]string, error) {
 	files := map[string]string{}
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
-		if d.IsDir() || !strings.HasSuffix(path, ".rs") {
+		if d.IsDir() {
+			if path != dir && skipDirInWalk(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".rs") {
 			return nil
 		}
 		data, err := os.ReadFile(path)
@@ -130,6 +306,16 @@ func AnalyzeDir(dir string) (*Result, error) {
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("rustprobe: no .rs files under %s", dir)
+	}
+	return files, nil
+}
+
+// AnalyzeDir loads every .rs file under dir (see LoadDir for the walk
+// rules) and analyzes them as one crate set.
+func AnalyzeDir(dir string) (*Result, error) {
+	files, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
 	}
 	return AnalyzeFiles(files)
 }
@@ -165,6 +351,33 @@ func Detectors() []Detector {
 		lockorder.New(),
 		dfree.New(),
 		uninit.New(),
+		interiormut.New(),
+		race.New(),
+	}
+}
+
+// localDetectors are the passes whose findings are attributed to the
+// analyzed root function and depend only on that function, its transitive
+// callees, and the (always fully present) resolved program registry.
+// Incremental sessions re-run them only over the dirty callgraph closure
+// and reuse cached findings for every other root.
+func localDetectors() []Detector {
+	return []Detector{
+		uaf.New(),
+		doublelock.New(),
+		dfree.New(),
+		uninit.New(),
+	}
+}
+
+// globalDetectors pair facts across possibly unrelated functions —
+// conflicting lock orders across function pairs, data races across spawn
+// sites and statics, interior-mutability conflicts across one type's
+// methods — so a change anywhere can flip their findings and they always
+// re-run whole-program.
+func globalDetectors() []Detector {
+	return []Detector{
+		lockorder.New(),
 		interiormut.New(),
 		race.New(),
 	}

@@ -1,0 +1,424 @@
+package rustprobe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rustprobe/internal/ast"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+// Session is an incremental analyzer for a repository analyzed many
+// times with small diffs between rounds (the CI-fleet shape). It keeps
+// the previous round's frontend artifacts, MIR bodies, and per-function
+// findings, and on each Analyze call:
+//
+//   - re-lexes/parses only files whose content changed (unchanged files
+//     reuse their parsed AST; the persistent FileSet keeps spans valid),
+//   - re-lowers only functions whose body text changed (body-only edits
+//     keep every other function's MIR),
+//   - re-runs the local detectors only over the dirty callgraph closure —
+//     the changed functions, their transitive callers (whose summaries
+//     can observe the change), and the transitive callees of those (so
+//     every summary lookup stays in-set) — reusing cached findings for
+//     all other roots,
+//   - always re-runs the global detectors (lock-order, data-race,
+//     interior-mutability), whose findings pair facts across unrelated
+//     functions.
+//
+// Any structural change falls back to a full build: a file added or
+// removed, a file's interface hash changing (anything outside function
+// bodies: signatures, types, statics, impls, even comments between
+// items), or the first call. The fallback is the correctness anchor —
+// incremental results are always equal to a from-scratch AnalyzeFiles +
+// Detect of the same sources, which the test suite checks directly.
+//
+// A Session is safe for concurrent use; calls serialize internally.
+type Session struct {
+	mu    sync.Mutex
+	fset  *source.FileSet
+	arts  map[string]*fileArtifact
+	res   *Result
+	src   map[string]string // last successfully analyzed content
+	local map[string][]Finding
+	last  *Update
+}
+
+// Update is one Session.Analyze round: the full analysis view, the
+// merged findings (equal to a from-scratch Detect of the same sources),
+// and what the round actually had to recompute.
+type Update struct {
+	Result   *Result
+	Findings []Finding
+	Stats    UpdateStats
+}
+
+// UpdateStats quantifies one incremental round.
+type UpdateStats struct {
+	// Full marks a from-scratch build; FullReason says why ("first
+	// analysis", "file set changed", "interface changed", ...).
+	Full       bool   `json:"full"`
+	FullReason string `json:"full_reason,omitempty"`
+
+	Files          int `json:"files"`
+	FilesReparsed  int `json:"files_reparsed"`
+	FuncsLowered   int `json:"funcs_lowered"`
+	BodiesReused   int `json:"bodies_reused"`
+	RootsDetected  int `json:"roots_detected"`
+	FindingsReused int `json:"findings_reused"`
+}
+
+// NewSession returns an empty incremental session.
+func NewSession() *Session {
+	return &Session{}
+}
+
+// AnalyzeDir loads dir (see LoadDir for the walk rules) and runs an
+// incremental round over its files.
+func (s *Session) AnalyzeDir(dir string) (*Update, error) {
+	files, err := LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	return s.Analyze(files)
+}
+
+// Analyze runs one round over the given sources, reusing as much of the
+// previous round as the diff allows. On error (syntax errors in the new
+// sources) the session keeps its previous good state, so a later call
+// with fixed sources diffs against the last successful round.
+func (s *Session) Analyze(files map[string]string) (*Update, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.res == nil {
+		return s.full(files, "first analysis")
+	}
+	if len(files) != len(s.src) {
+		return s.full(files, "file set changed")
+	}
+	var changed []string
+	for name, src := range files {
+		old, ok := s.src[name]
+		if !ok {
+			return s.full(files, "file set changed")
+		}
+		if old != src {
+			changed = append(changed, name)
+		}
+	}
+	if len(changed) == 0 {
+		// Nothing to do: replay the last round's view.
+		up := &Update{Result: s.last.Result, Findings: s.last.Findings}
+		up.Stats = UpdateStats{
+			Files:          len(files),
+			BodiesReused:   len(s.res.Bodies),
+			FindingsReused: len(s.last.Findings),
+		}
+		return up, nil
+	}
+	sort.Strings(changed)
+
+	// Per-file frontend for the changed files only. The persistent
+	// FileSet means spans in reused ASTs and cached findings stay valid.
+	diags := source.NewDiagnostics(s.fset)
+	newArts := make(map[string]*fileArtifact, len(changed))
+	for _, name := range changed {
+		newArts[name] = parseArtifact(s.fset, diags, name, files[name])
+	}
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+	}
+
+	// Anything outside a function body changed — signatures, items,
+	// statics — can shift types and resolution program-wide: rebuild.
+	for _, name := range changed {
+		if newArts[name].interfaceHash != s.arts[name].interfaceHash ||
+			len(newArts[name].fnBodyHashes) != len(s.arts[name].fnBodyHashes) {
+			return s.full(files, "interface changed: "+name)
+		}
+	}
+
+	// Link phase: resolve over reused + fresh ASTs in the same sorted
+	// order a full build uses.
+	arts := make([]*fileArtifact, 0, len(files))
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if a, ok := newArts[n]; ok {
+			arts = append(arts, a)
+		} else {
+			arts = append(arts, s.arts[n])
+		}
+	}
+	crates := make([]*ast.Crate, len(arts))
+	for i, a := range arts {
+		crates[i] = a.crate
+	}
+	prog := resolve.Crates(s.fset, diags, crates...)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+	}
+
+	// Diff function bodies at matching declaration indexes (the index
+	// correspondence is pinned by the unchanged interface hash), then map
+	// the changed items to qualified names through the fresh registry.
+	bySyntax := map[*ast.FnItem]string{}
+	for _, fd := range prog.Funcs {
+		if fd.Syntax != nil {
+			bySyntax[fd.Syntax] = fd.Qualified
+		}
+	}
+	changedFns := map[string]bool{}
+	for _, name := range changed {
+		oldA, newA := s.arts[name], newArts[name]
+		for i, h := range newA.fnBodyHashes {
+			if h == oldA.fnBodyHashes[i] {
+				continue
+			}
+			if q, ok := bySyntax[newA.fnItems[i]]; ok {
+				changedFns[q] = true
+			}
+		}
+	}
+
+	// Re-lower exactly the changed functions (closures ride along); every
+	// other body is reused from the previous round.
+	lowered := lower.ProgramFiltered(prog, diags, func(q string) bool { return changedFns[q] })
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+	}
+	bodies := make(map[string]*mir.Body, len(s.res.Bodies))
+	reused := 0
+	for bname, b := range s.res.Bodies {
+		if !changedFns[closureBase(bname)] {
+			bodies[bname] = b
+			reused++
+		}
+	}
+	for bname, b := range lowered {
+		bodies[bname] = b
+	}
+
+	res := &Result{Program: prog, Bodies: bodies, Fset: s.fset, Diags: diags}
+
+	// Incremental detection: local detectors over the dirty callgraph
+	// closure, cached findings for every root outside it, global
+	// detectors over the whole program.
+	changedList := make([]string, 0, len(changedFns))
+	for q := range changedFns {
+		changedList = append(changedList, q)
+	}
+	fresh, global, restricted := res.DetectIncremental(changedList)
+	merged := append([]Finding(nil), fresh...)
+	reusedFindings := 0
+	local := make(map[string][]Finding, len(s.local))
+	for fn, fs := range s.local {
+		if restricted[fn] {
+			continue
+		}
+		local[fn] = fs
+		merged = append(merged, fs...)
+		reusedFindings += len(fs)
+	}
+	for _, f := range fresh {
+		local[f.Function] = append(local[f.Function], f)
+	}
+	merged = append(merged, global...)
+	sortFindingsByPosition(s.fset, merged)
+
+	// Commit.
+	for name, a := range newArts {
+		s.arts[name] = a
+		s.src[name] = files[name]
+	}
+	s.res = res
+	s.local = local
+	up := &Update{Result: res, Findings: merged}
+	up.Stats = UpdateStats{
+		Files:          len(files),
+		FilesReparsed:  len(changed),
+		FuncsLowered:   len(lowered),
+		BodiesReused:   reused,
+		RootsDetected:  len(restricted),
+		FindingsReused: reusedFindings,
+	}
+	s.last = up
+	return up, nil
+}
+
+// full rebuilds the session from scratch and reseeds the reuse state.
+func (s *Session) full(files map[string]string, reason string) (*Update, error) {
+	fset := source.NewFileSet()
+	diags := source.NewDiagnostics(fset)
+	res, arts, err := analyzeArtifacts(fset, diags, files)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := res.Context()
+	var findings []Finding
+	local := map[string][]Finding{}
+	for _, d := range localDetectors() {
+		for _, f := range d.Run(ctx) {
+			findings = append(findings, f)
+			local[f.Function] = append(local[f.Function], f)
+		}
+	}
+	for _, d := range globalDetectors() {
+		findings = append(findings, d.Run(ctx)...)
+	}
+	sortFindingsByPosition(fset, findings)
+
+	s.fset = fset
+	s.arts = arts
+	s.res = res
+	s.local = local
+	s.src = make(map[string]string, len(files))
+	for n, src := range files {
+		s.src[n] = src
+	}
+	up := &Update{Result: res, Findings: findings}
+	up.Stats = UpdateStats{
+		Full:          true,
+		FullReason:    reason,
+		Files:         len(files),
+		FilesReparsed: len(files),
+		FuncsLowered:  len(res.Bodies),
+		RootsDetected: len(res.Bodies),
+	}
+	s.last = up
+	return up, nil
+}
+
+// DetectIncremental runs the detector suite incrementally: changedFns
+// names the functions whose MIR changed since a previous round of this
+// same Result shape (body-only edits; interfaces must be unchanged). It
+// returns the local-detector findings recomputed over the dirty
+// callgraph closure, the always-recomputed global-detector findings, and
+// the recomputed root set — every root outside it kept its previous
+// local findings, which the caller merges back in.
+//
+// The dirty closure is: the changed functions, their transitive callers
+// (whose summaries can observe the change), and the transitive callees
+// of all of those (so every summary or body lookup a local detector
+// makes stays in-set), closed over closure families (a closure body
+// changes exactly when its owner's body text does).
+func (r *Result) DetectIncremental(changedFns []string) (local, global []Finding, recomputed map[string]bool) {
+	changed := make(map[string]bool, len(changedFns))
+	for _, q := range changedFns {
+		changed[q] = true
+	}
+	ctx := r.Context()
+
+	seeds := make([]string, 0, len(changedFns))
+	for bname := range r.Bodies {
+		if changed[closureBase(bname)] {
+			seeds = append(seeds, bname)
+		}
+	}
+	sort.Strings(seeds)
+	recomputed = ctx.Graph.TransitiveCallers(seeds...)
+	for _, bname := range seeds {
+		recomputed[bname] = true
+	}
+	family := map[string][]string{}
+	for bname := range r.Bodies {
+		b := closureBase(bname)
+		family[b] = append(family[b], bname)
+	}
+	var work []string
+	add := func(n string) {
+		if !recomputed[n] {
+			recomputed[n] = true
+		} else {
+			return
+		}
+		work = append(work, n)
+	}
+	for n := range recomputed {
+		work = append(work, n)
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range family[closureBase(n)] {
+			add(m)
+		}
+		for _, e := range ctx.Graph.Callees[n] {
+			add(e.Callee)
+		}
+	}
+
+	restrictedBodies := make(map[string]*mir.Body, len(recomputed))
+	for n := range recomputed {
+		if b, ok := r.Bodies[n]; ok {
+			restrictedBodies[n] = b
+		}
+	}
+	localCtx := detect.NewContext(r.Program, restrictedBodies)
+	for _, d := range localDetectors() {
+		local = append(local, d.Run(localCtx)...)
+	}
+	for _, d := range globalDetectors() {
+		global = append(global, d.Run(ctx)...)
+	}
+	return local, global, recomputed
+}
+
+// closureBase strips the "::closure#N..." suffix lowering appends, naming
+// the source-level function a body belongs to. Closures change exactly
+// when their owner's body text changes, so reuse and dirtiness decisions
+// work at this granularity.
+func closureBase(name string) string {
+	if i := strings.Index(name, "::closure#"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// sortFindingsByPosition orders findings by resolved position (file,
+// line, column) then kind and message. For a single FileSet this matches
+// detect.SortFindings' span ordering; incremental rounds need the
+// resolved form because cached findings carry spans from earlier file-set
+// entries whose raw offsets are not comparable with fresh ones.
+func sortFindingsByPosition(fset *source.FileSet, fs []Finding) {
+	type entry struct {
+		f         Finding
+		file      string
+		line, col int
+	}
+	entries := make([]entry, len(fs))
+	for i, f := range fs {
+		pos := fset.Position(f.Span.Start)
+		entries[i] = entry{f: f, file: pos.File, line: pos.Line, col: pos.Column}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.f.Kind != b.f.Kind {
+			return a.f.Kind < b.f.Kind
+		}
+		return a.f.Message < b.f.Message
+	})
+	for i, e := range entries {
+		fs[i] = e.f
+	}
+}

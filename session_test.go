@@ -1,0 +1,362 @@
+package rustprobe
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rustprobe/internal/gen"
+)
+
+// fullDetect runs a from-scratch analysis and returns the formatted
+// findings, sorted — the oracle every incremental round must match.
+func fullDetect(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	res, err := AnalyzeFiles(files)
+	if err != nil {
+		t.Fatalf("full analysis: %v", err)
+	}
+	findings := res.Detect()
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.Format(res.Fset)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSessionMatchesFullOnMutations drives a multi-file repo through a
+// scripted edit sequence and checks every incremental round's findings
+// equal a from-scratch analysis of the same sources.
+func TestSessionMatchesFullOnMutations(t *testing.T) {
+	base := map[string]string{
+		"lib.rs": `struct Shared { mu: Mutex<i32> }
+impl Shared {
+    fn twice(&self) {
+        let a = self.mu.lock().unwrap();
+        let b = self.mu.lock().unwrap();
+    }
+}
+`,
+		"util.rs": `fn stale(v: Vec<i32>) {
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+fn helper(x: i32) -> i32 {
+    x + 1
+}
+fn caller() {
+    let y = helper(2);
+}
+`,
+		"main.rs": `fn main() {
+    caller();
+}
+`,
+	}
+
+	s := NewSession()
+	check := func(step string, files map[string]string, up *Update) {
+		t.Helper()
+		want := fullDetect(t, files)
+		got := sessionStrings(up)
+		if !equalStrings(got, want) {
+			t.Fatalf("%s: incremental findings diverge from full analysis\n got: %v\nwant: %v", step, got, want)
+		}
+	}
+
+	up, err := s.Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Stats.Full || up.Stats.FullReason != "first analysis" {
+		t.Fatalf("first round stats = %+v, want full build", up.Stats)
+	}
+	check("initial", base, up)
+
+	// Round 2: identical resubmission — nothing recomputed.
+	up, err = s.Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full || up.Stats.FilesReparsed != 0 || up.Stats.FuncsLowered != 0 {
+		t.Fatalf("no-change round stats = %+v, want pure reuse", up.Stats)
+	}
+	check("no-change", base, up)
+
+	// Round 3: body-only edit introducing a new bug in one function.
+	r3 := clone(base)
+	r3["util.rs"] = `fn stale(v: Vec<i32>) {
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+fn helper(x: i32) -> i32 {
+    let w = Vec::new();
+    let q = w.as_ptr();
+    drop(w);
+    unsafe { let z = *q; }
+    x + 1
+}
+fn caller() {
+    let y = helper(2);
+}
+`
+	up, err = s.Analyze(r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full {
+		t.Fatalf("body-only edit forced a full build: %+v", up.Stats)
+	}
+	if up.Stats.FilesReparsed != 1 {
+		t.Fatalf("FilesReparsed = %d, want 1", up.Stats.FilesReparsed)
+	}
+	if up.Stats.FuncsLowered == 0 || up.Stats.BodiesReused == 0 {
+		t.Fatalf("stats = %+v, want partial lowering with reuse", up.Stats)
+	}
+	check("introduce-bug", r3, up)
+
+	// Round 4: revert — the bug disappears again, still incrementally.
+	up, err = s.Analyze(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full {
+		t.Fatalf("revert forced a full build: %+v", up.Stats)
+	}
+	check("revert", base, up)
+
+	// Round 5: interface change (new function) falls back to full.
+	r5 := clone(base)
+	r5["main.rs"] = `fn main() {
+    caller();
+}
+fn fresh() {}
+`
+	up, err = s.Analyze(r5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Stats.Full {
+		t.Fatalf("interface change did not rebuild: %+v", up.Stats)
+	}
+	check("interface-change", r5, up)
+
+	// Round 6: file added falls back to full.
+	r6 := clone(r5)
+	r6["extra.rs"] = "fn extra_fn() {}\n"
+	up, err = s.Analyze(r6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !up.Stats.Full || up.Stats.FullReason != "file set changed" {
+		t.Fatalf("file add stats = %+v, want full(file set changed)", up.Stats)
+	}
+	check("file-add", r6, up)
+}
+
+// TestSessionCrossFileInvalidation is the inter-procedural core case: a
+// body-only edit to a callee in one file must re-analyze its transitive
+// callers in other files, without reparsing those files.
+func TestSessionCrossFileInvalidation(t *testing.T) {
+	outer := `struct S { mu: Mutex<i32> }
+impl S {
+    fn outer(&self) {
+        let g = self.mu.lock().unwrap();
+        self.inner();
+    }
+}
+`
+	files := map[string]string{
+		"a.rs": outer,
+		"b.rs": `impl S {
+    fn inner(&self) {
+        let x = 1;
+    }
+}
+`,
+	}
+	s := NewSession()
+	up, err := s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(up.Findings, "double-lock"); n != 0 {
+		t.Fatalf("clean repo reported %d double-locks", n)
+	}
+
+	// inner now re-locks the mutex outer already holds: outer (in the
+	// unchanged file) must be re-examined and gain a finding.
+	mutated := clone(files)
+	mutated["b.rs"] = `impl S {
+    fn inner(&self) {
+        let g = self.mu.lock().unwrap();
+    }
+}
+`
+	up, err = s.Analyze(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full {
+		t.Fatalf("callee body edit forced full build: %+v", up.Stats)
+	}
+	if up.Stats.FilesReparsed != 1 {
+		t.Fatalf("FilesReparsed = %d, want 1 (only b.rs)", up.Stats.FilesReparsed)
+	}
+	want := fullDetect(t, mutated)
+	got := sessionStrings(up)
+	if !equalStrings(got, want) {
+		t.Fatalf("cross-file invalidation diverged from full analysis\n got: %v\nwant: %v", got, want)
+	}
+	if countKind(up.Findings, "double-lock") == 0 {
+		t.Fatal("caller in unchanged file did not pick up the callee's new lock")
+	}
+
+	// Reverting the callee clears the caller's finding again.
+	up, err = s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(up.Findings, "double-lock"); n != 0 {
+		t.Fatalf("stale caller finding survived revert: %d double-locks", n)
+	}
+}
+
+// TestSessionErrorKeepsState: a round with syntax errors fails without
+// corrupting the session; the next good round still diffs against the
+// last successful one.
+func TestSessionErrorKeepsState(t *testing.T) {
+	files := map[string]string{
+		"a.rs": "fn f(x: i32) -> i32 {\n    x + 1\n}\n",
+		"b.rs": "fn g() {\n    let y = f(1);\n}\n",
+	}
+	s := NewSession()
+	if _, err := s.Analyze(files); err != nil {
+		t.Fatal(err)
+	}
+
+	broken := clone(files)
+	broken["a.rs"] = "fn f(x: i32) -> i32 { x +\n"
+	if _, err := s.Analyze(broken); err == nil {
+		t.Fatal("syntax error round succeeded")
+	}
+
+	fixed := clone(files)
+	fixed["a.rs"] = "fn f(x: i32) -> i32 {\n    x + 2\n}\n"
+	up, err := s.Analyze(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full {
+		t.Fatalf("post-error round lost incremental state: %+v", up.Stats)
+	}
+	want := fullDetect(t, fixed)
+	if got := sessionStrings(up); !equalStrings(got, want) {
+		t.Fatalf("post-error round diverged\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestSessionGeneratedSeeds replays generated programs through one
+// session (each round replaces the file wholesale) and cross-checks every
+// round against a from-scratch analysis — a randomized equivalence sweep
+// over the full detector surface.
+func TestSessionGeneratedSeeds(t *testing.T) {
+	s := NewSession()
+	for seed := int64(0); seed < 40; seed++ {
+		p := gen.Generate(seed)
+		files := map[string]string{"gen.rs": p.Source}
+		up, err := s.Analyze(files)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want := fullDetect(t, files)
+		if got := sessionStrings(up); !equalStrings(got, want) {
+			t.Fatalf("seed %d: incremental diverged\n got: %v\nwant: %v", seed, got, want)
+		}
+	}
+}
+
+// TestAnalyzeDirSkipsJunk: the walk must ignore .git, target/ and hidden
+// directories — real checkouts keep generated or vendored .rs files there
+// that would otherwise collide with the real sources.
+func TestAnalyzeDirSkipsJunk(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("src/lib.rs", "fn real_entry() {}\n")
+	// Junk trees: a conflicting duplicate and outright garbage. If the
+	// walk picked these up, analysis would fail or grow extra functions.
+	write("target/debug/build/lib.rs", "fn real_entry() { broken(\n")
+	write(".git/objects/blob.rs", "fn from_git_object( {\n")
+	write(".cargo-cache/registry/vendored.rs", "fn vendored() {}\n")
+
+	res, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Program.Funcs["real_entry"]; !ok {
+		t.Fatal("real source not analyzed")
+	}
+	if _, ok := res.Program.Funcs["vendored"]; ok {
+		t.Fatal("hidden-directory file leaked into the analysis")
+	}
+	files := res.Fset.Files()
+	if len(files) != 1 || files[0].Name != "src/lib.rs" {
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name)
+		}
+		t.Fatalf("analyzed files = %v, want [src/lib.rs]", names)
+	}
+}
+
+func sessionStrings(up *Update) []string {
+	out := make([]string, len(up.Findings))
+	for i, f := range up.Findings {
+		out[i] = f.Format(up.Result.Fset)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func countKind(fs []Finding, kind string) int {
+	n := 0
+	for _, f := range fs {
+		if string(f.Kind) == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func clone(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
