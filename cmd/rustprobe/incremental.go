@@ -25,6 +25,7 @@ type incrState struct {
 	Files      map[string]string        `json:"files"`      // file -> content hash
 	Interfaces map[string]string        `json:"interfaces"` // file -> interface hash (bodies excised)
 	FnBodies   map[string]string        `json:"fn_bodies"`  // qualified fn -> body hash
+	FnPos      map[string]string        `json:"fn_pos"`     // qualified fn -> decl position fingerprint
 	Findings   []jsonFinding            `json:"findings"`   // merged, sorted; replayed when nothing changed
 	Local      map[string][]jsonFinding `json:"local_findings"`
 }
@@ -187,18 +188,27 @@ func runIncremental(dir, statePath string, out io.Writer) ([]jsonFinding, string
 	}
 	ifaces := res.FileInterfaceHashes()
 	fnBodies := res.FuncBodyHashes()
+	fnPos := res.FuncDeclPositions()
 
 	// Body-only diff? Then the previous run's per-root local findings are
-	// still valid outside the dirty closure.
+	// still valid outside the dirty closure. (States from before the
+	// fn_pos field have a nil FnPos and fall back to a full run.)
 	incremental := prev != nil &&
 		sameKeys(prev.Files, cur) &&
 		mapsEqual(prev.Interfaces, ifaces) &&
-		sameKeys(prev.FnBodies, fnBodies)
+		sameKeys(prev.FnBodies, fnBodies) &&
+		sameKeys(prev.FnPos, fnPos)
 
+	// A function counts as changed when its body text changed OR its
+	// position fingerprint did: prev.Local findings carry File/Line
+	// resolved against the previous revision, so a function shifted by an
+	// edit above it in the same file must be recomputed (along with its
+	// transitive callers, whose cached notes can reference it) rather
+	// than replayed at stale positions.
 	var changed []string
 	if incremental {
 		for q, h := range fnBodies {
-			if prev.FnBodies[q] != h {
+			if prev.FnBodies[q] != h || prev.FnPos[q] != fnPos[q] {
 				changed = append(changed, q)
 			}
 		}
@@ -235,6 +245,7 @@ func runIncremental(dir, statePath string, out io.Writer) ([]jsonFinding, string
 		Files:      cur,
 		Interfaces: ifaces,
 		FnBodies:   fnBodies,
+		FnPos:      fnPos,
 		Findings:   merged,
 		Local:      newLocal,
 	}

@@ -151,6 +151,57 @@ fn caller() {
 	}
 }
 
+// TestRunIncrementalShiftedPositions: growing a function's body shifts
+// the line numbers of every function below it in the same file. Cached
+// findings for those functions carry File/Line resolved against the old
+// revision, so they must be recomputed, not replayed — the output must
+// equal a from-scratch run byte for byte.
+func TestRunIncrementalShiftedPositions(t *testing.T) {
+	mk := func(padBody string) map[string]string {
+		return map[string]string{"x.rs": "fn pad() {\n" + padBody + "}\nfn buggy(v: Vec<i32>) {\n    let p = v.as_ptr();\n    drop(v);\n    unsafe { let z = *p; }\n}\n"}
+	}
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+
+	base := mk("    let a = 1;\n")
+	writeTree(t, dir, base)
+	if _, _, err := runIncremental(dir, statePath, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// pad() grows; buggy()'s body is untouched but moves down two lines.
+	grown := mk("    let a = 1;\n    let b = 2;\n    let c = 3;\n")
+	writeTree(t, dir, grown)
+	got, note, err := runIncremental(dir, statePath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "incremental:") {
+		t.Fatalf("body-only edit note = %q, want incremental", note)
+	}
+	if want := oracle(t, grown); !reflect.DeepEqual(formatted(got), want) {
+		t.Fatalf("shifted finding replayed at stale position\n got: %v\nwant: %v", formatted(got), want)
+	}
+
+	// Same-byte-length edit that removes a newline: offsets are identical,
+	// line numbers still shift.
+	moved := mk("    let a = 1;     let b = 2;\n    let c = 3;\n")
+	if len(moved["x.rs"]) != len(grown["x.rs"]) {
+		t.Fatalf("test invariant: len=%d vs %d, want equal", len(moved["x.rs"]), len(grown["x.rs"]))
+	}
+	writeTree(t, dir, moved)
+	got, note, err = runIncremental(dir, statePath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "incremental:") {
+		t.Fatalf("same-length edit note = %q, want incremental", note)
+	}
+	if want := oracle(t, moved); !reflect.DeepEqual(formatted(got), want) {
+		t.Fatalf("same-length newline move replayed stale positions\n got: %v\nwant: %v", formatted(got), want)
+	}
+}
+
 func TestRunIncrementalStaleState(t *testing.T) {
 	files := map[string]string{"a.rs": "fn f() {}\n"}
 	dir := t.TempDir()

@@ -168,6 +168,36 @@ func (fs *FileSet) FileFor(global int) *File {
 // Files returns the registered files in registration order.
 func (fs *FileSet) Files() []*File { return fs.files }
 
+// Size returns the global-offset space consumed so far — the sum of all
+// registered content lengths (plus one sentinel byte per file). Long-lived
+// owners that re-register edited files use it to decide when the set has
+// outgrown the live sources and should be rebuilt.
+func (fs *FileSet) Size() int { return fs.next }
+
+// Mark is a registration snapshot taken by FileSet.Mark for Rollback.
+type Mark struct {
+	files int
+	next  int
+}
+
+// Mark captures the current registration state. A later Rollback with it
+// discards every file Added since — for callers that register files
+// speculatively (e.g. an incremental round that may abort on syntax
+// errors) and must not leak entries into a long-lived set.
+func (fs *FileSet) Mark() Mark { return Mark{files: len(fs.files), next: fs.next} }
+
+// Rollback discards files registered after m was taken. Spans handed out
+// for the discarded files dangle afterwards, so only roll back when the
+// work that produced them is being discarded wholesale. A mark from a
+// different or already-rolled-back state is ignored.
+func (fs *FileSet) Rollback(m Mark) {
+	if m.files < 0 || m.files > len(fs.files) {
+		return
+	}
+	fs.files = fs.files[:m.files]
+	fs.next = m.next
+}
+
 // Position resolves a global offset to a Position.
 func (fs *FileSet) Position(global int) Position {
 	f := fs.FileFor(global)

@@ -141,3 +141,36 @@ func TestSeverityStrings(t *testing.T) {
 		t.Error("severity strings wrong")
 	}
 }
+
+func TestFileSetMarkRollback(t *testing.T) {
+	fset := NewFileSet()
+	a := fset.Add("a.rs", "fn a() {}\n")
+	mark := fset.Mark()
+	size := fset.Size()
+
+	fset.Add("b.rs", "fn b() {}\n")
+	fset.Add("c.rs", "fn c() {}\n")
+	fset.Rollback(mark)
+
+	if got := len(fset.Files()); got != 1 {
+		t.Fatalf("Files() = %d after rollback, want 1", got)
+	}
+	if fset.Size() != size {
+		t.Fatalf("Size() = %d after rollback, want %d", fset.Size(), size)
+	}
+	// Spans for the surviving file still resolve; a re-Add reuses the
+	// reclaimed offset space.
+	if pos := fset.Position(a.Base); pos.File != "a.rs" || pos.Line != 1 {
+		t.Fatalf("surviving file position = %+v", pos)
+	}
+	b2 := fset.Add("b2.rs", "fn b2() {}\n")
+	if pos := fset.Position(b2.Base); pos.File != "b2.rs" {
+		t.Fatalf("re-added file position = %+v", pos)
+	}
+	// A stale mark (beyond the current set) is ignored.
+	stale := Mark{files: 99, next: 12345}
+	fset.Rollback(stale)
+	if got := len(fset.Files()); got != 2 {
+		t.Fatalf("stale rollback mutated the set: %d files", got)
+	}
+}

@@ -181,13 +181,26 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // quarantine moves a bad entry into the quarantine directory under a
 // reason-tagged name. Failure to move (e.g. a concurrent quarantine of
 // the same file) falls back to removal so the poison entry cannot be
-// served again either way.
+// served again either way. The entries counter is only adjusted when
+// this handle actually took the file off disk — a loser of a concurrent
+// quarantine race must not double-decrement — and is clamped at zero,
+// since the entry may have been written by another handle after Open and
+// so never counted here.
 func (s *Store) quarantine(key, path, reason string) {
 	s.quarantined.Add(1)
-	s.entries.Add(-1)
 	dst := filepath.Join(s.dir, quarantineDir, reason+"-"+filepath.Base(key))
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
+	removed := os.Rename(path, dst) == nil
+	if !removed {
+		removed = os.Remove(path) == nil
+	}
+	if !removed {
+		return
+	}
+	for {
+		n := s.entries.Load()
+		if n <= 0 || s.entries.CompareAndSwap(n, n-1) {
+			return
+		}
 	}
 }
 

@@ -128,6 +128,49 @@ func TestCorruptPayloadQuarantined(t *testing.T) {
 	if got := s.Stats().Quarantined; got != 1 {
 		t.Fatalf("quarantined = %d, want 1", got)
 	}
+	if got := s.Stats().Entries; got != 0 {
+		t.Fatalf("entries = %d after quarantining the only entry, want 0", got)
+	}
+}
+
+// TestQuarantineEntriesCounterNeverNegative: quarantining an entry this
+// handle never counted (dropped into the directory after Open, e.g. by a
+// concurrent handle) must not drive the entries counter negative, and a
+// quarantine that loses the file-removal race must not decrement at all.
+func TestQuarantineEntriesCounterNeverNegative(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "v1") // empty: this handle counted 0 entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("planted")
+	if err := os.MkdirAll(filepath.Dir(s.path(k)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(k), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt planted entry served")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+	if st.Entries < 0 {
+		t.Fatalf("entries = %d, went negative", st.Entries)
+	}
+
+	// Losing the quarantine race entirely (file already gone) leaves the
+	// counter untouched.
+	if err := s.Put(key("real"), []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Entries
+	s.quarantine(key("ghost"), s.path(key("ghost")), "corrupt")
+	if got := s.Stats().Entries; got != before {
+		t.Fatalf("entries = %d after no-op quarantine, want %d", got, before)
+	}
 }
 
 func TestVersionMismatchQuarantined(t *testing.T) {

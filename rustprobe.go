@@ -129,12 +129,12 @@ func analyzeArtifacts(fset *source.FileSet, diags *source.Diagnostics, files map
 // index i names the same function across versions when the interface is
 // unchanged).
 type fileArtifact struct {
-	name         string
-	file         *source.File
-	crate        *ast.Crate
+	name          string
+	file          *source.File
+	crate         *ast.Crate
 	interfaceHash string
-	fnBodyHashes []string
-	fnItems      []*ast.FnItem // declaration order, aligned with fnBodyHashes
+	fnBodyHashes  []string
+	fnItems       []*ast.FnItem // declaration order, aligned with fnBodyHashes
 }
 
 // parseArtifact runs the per-file frontend: add to the file set, parse,
@@ -216,6 +216,26 @@ func (r *Result) FuncBodyHashes() map[string]string {
 			continue
 		}
 		out[q] = hashBytes([]byte(r.Fset.SpanText(fd.Syntax.Body.Span())))
+	}
+	return out
+}
+
+// FuncDeclPositions fingerprints where each function sits in its file:
+// file, byte offset, line and column of the declaration start, keyed by
+// qualified name. Between two rounds with equal interface hashes, a
+// function whose body hash and position fingerprint are both unchanged
+// resolves every span inside its body to identical positions — the
+// precondition for replaying its cached findings verbatim. The offset
+// alone would not be enough: a same-length edit above the function can
+// move newlines without moving bytes, shifting its line numbers.
+func (r *Result) FuncDeclPositions() map[string]string {
+	out := make(map[string]string, len(r.Program.Funcs))
+	for q, fd := range r.Program.Funcs {
+		if fd.Syntax == nil {
+			continue
+		}
+		pos := r.Fset.Position(fd.Syntax.Span().Start)
+		out[q] = fmt.Sprintf("%s:%d:%d:%d", pos.File, pos.Offset, pos.Line, pos.Column)
 	}
 	return out
 }

@@ -21,8 +21,11 @@ import (
 //
 //   - re-lexes/parses only files whose content changed (unchanged files
 //     reuse their parsed AST; the persistent FileSet keeps spans valid),
-//   - re-lowers only functions whose body text changed (body-only edits
-//     keep every other function's MIR),
+//   - re-lowers only functions whose body text changed — plus the
+//     functions in edited files that sit at or after the first changed
+//     byte, whose body text may be identical but whose source positions
+//     shifted: reusing their MIR or cached findings would replay spans
+//     that resolve against the old revision's line numbers,
 //   - re-runs the local detectors only over the dirty callgraph closure —
 //     the changed functions, their transitive callers (whose summaries
 //     can observe the change), and the transitive callees of those (so
@@ -38,6 +41,13 @@ import (
 // items), or the first call. The fallback is the correctness anchor —
 // incremental results are always equal to a from-scratch AnalyzeFiles +
 // Detect of the same sources, which the test suite checks directly.
+//
+// The persistent FileSet is append-only: every reparse of a changed file
+// registers a fresh copy while reused artifacts keep the old ones alive.
+// When the accumulated span space outgrows the live sources (see
+// fsetCompactFactor) a round falls back to a full build, which reseeds a
+// fresh FileSet with exactly one registration per file, bounding the
+// memory a long-lived session can pin.
 //
 // A Session is safe for concurrent use; calls serialize internally.
 type Session struct {
@@ -73,6 +83,15 @@ type UpdateStats struct {
 	RootsDetected  int `json:"roots_detected"`
 	FindingsReused int `json:"findings_reused"`
 }
+
+// FileSet compaction thresholds (vars so tests can tighten them): an
+// incremental round falls back to a full rebuild once the session's
+// append-only FileSet exceeds both fsetCompactMinBytes and
+// fsetCompactFactor times the live source bytes.
+var (
+	fsetCompactFactor   = 8
+	fsetCompactMinBytes = 1 << 20
+)
 
 // NewSession returns an empty incremental session.
 func NewSession() *Session {
@@ -121,18 +140,31 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 			BodiesReused:   len(s.res.Bodies),
 			FindingsReused: len(s.last.Findings),
 		}
-		return up, nil
+		return snapshotUpdate(up), nil
 	}
 	sort.Strings(changed)
 
+	// Compact before the FileSet pins another round of re-registrations.
+	live := 0
+	for _, src := range files {
+		live += len(src)
+	}
+	if s.fset.Size() > fsetCompactMinBytes && s.fset.Size() > fsetCompactFactor*live {
+		return s.full(files, "state compaction")
+	}
+
 	// Per-file frontend for the changed files only. The persistent
 	// FileSet means spans in reused ASTs and cached findings stay valid.
+	// The new registrations are rolled back if this round aborts: error
+	// rounds must not leak entries that belong to no retained artifact.
+	mark := s.fset.Mark()
 	diags := source.NewDiagnostics(s.fset)
 	newArts := make(map[string]*fileArtifact, len(changed))
 	for _, name := range changed {
 		newArts[name] = parseArtifact(s.fset, diags, name, files[name])
 	}
 	if diags.HasErrors() {
+		s.fset.Rollback(mark)
 		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
 	}
 
@@ -166,12 +198,19 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	}
 	prog := resolve.Crates(s.fset, diags, crates...)
 	if diags.HasErrors() {
+		s.fset.Rollback(mark)
 		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
 	}
 
 	// Diff function bodies at matching declaration indexes (the index
 	// correspondence is pinned by the unchanged interface hash), then map
 	// the changed items to qualified names through the fresh registry.
+	// A function whose body text is unchanged but that is not entirely
+	// within the two revisions' common byte prefix is treated as changed
+	// too: bytes at or after the first differing byte may have shifted
+	// line or column (even under a same-length edit that moves a newline),
+	// and replaying its cached findings — or reusing MIR spans bound to
+	// the old registration — would report positions from the old revision.
 	bySyntax := map[*ast.FnItem]string{}
 	for _, fd := range prog.Funcs {
 		if fd.Syntax != nil {
@@ -181,11 +220,13 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	changedFns := map[string]bool{}
 	for _, name := range changed {
 		oldA, newA := s.arts[name], newArts[name]
+		stable := commonPrefixLen(oldA.file.Content, newA.file.Content)
 		for i, h := range newA.fnBodyHashes {
-			if h == oldA.fnBodyHashes[i] {
+			it := newA.fnItems[i]
+			if h == oldA.fnBodyHashes[i] && it.Span().End-newA.file.Base <= stable {
 				continue
 			}
-			if q, ok := bySyntax[newA.fnItems[i]]; ok {
+			if q, ok := bySyntax[it]; ok {
 				changedFns[q] = true
 			}
 		}
@@ -195,6 +236,7 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	// other body is reused from the previous round.
 	lowered := lower.ProgramFiltered(prog, diags, func(q string) bool { return changedFns[q] })
 	if diags.HasErrors() {
+		s.fset.Rollback(mark)
 		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
 	}
 	bodies := make(map[string]*mir.Body, len(s.res.Bodies))
@@ -253,7 +295,7 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 		FindingsReused: reusedFindings,
 	}
 	s.last = up
-	return up, nil
+	return snapshotUpdate(up), nil
 }
 
 // full rebuilds the session from scratch and reseeds the reuse state.
@@ -297,12 +339,50 @@ func (s *Session) full(files map[string]string, reason string) (*Update, error) 
 		RootsDetected: len(res.Bodies),
 	}
 	s.last = up
-	return up, nil
+	return snapshotUpdate(up), nil
+}
+
+// snapshotUpdate returns a caller-owned copy of an update. The session
+// keeps the original (and the finding slices behind it) as reuse state
+// for later rounds, so the copy clones the findings slice and each
+// finding's Notes — a caller that sorts, filters, appends to, or
+// annotates the returned findings cannot corrupt subsequent rounds'
+// merged output (mirroring the engine cache tier's defensive copies).
+func snapshotUpdate(up *Update) *Update {
+	return &Update{Result: up.Result, Findings: cloneFindings(up.Findings), Stats: up.Stats}
+}
+
+func cloneFindings(fs []Finding) []Finding {
+	out := make([]Finding, len(fs))
+	copy(out, fs)
+	for i := range out {
+		out[i].Notes = append([]string(nil), out[i].Notes...)
+	}
+	return out
+}
+
+// commonPrefixLen reports the length of the longest common byte prefix of
+// a and b — positions at offsets strictly below it resolve identically in
+// both revisions.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
 }
 
 // DetectIncremental runs the detector suite incrementally: changedFns
 // names the functions whose MIR changed since a previous round of this
-// same Result shape (body-only edits; interfaces must be unchanged). It
+// same Result shape (body-only edits; interfaces must be unchanged).
+// Callers replaying cached findings for the untouched roots must also
+// include every function whose resolved source position shifted (an edit
+// above it in the same file), or the replayed findings carry positions
+// from the old revision. It
 // returns the local-detector findings recomputed over the dirty
 // callgraph closure, the always-recomputed global-detector findings, and
 // the recomputed root set — every root outside it kept its previous

@@ -1,6 +1,7 @@
 package rustprobe
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -226,6 +227,102 @@ impl S {
 	}
 }
 
+// TestSessionShiftedPositionsMatchFull is the stale-span regression: an
+// edited function sits ABOVE an unrelated buggy function in the same
+// file, so the buggy function's body text is unchanged but its line
+// numbers shift. Replaying its cached finding verbatim would report the
+// bug at the previous revision's position; every round must instead
+// match a from-scratch analysis exactly (the formatted comparison
+// includes resolved file:line:col).
+func TestSessionShiftedPositionsMatchFull(t *testing.T) {
+	mk := func(padBody string) map[string]string {
+		return map[string]string{"x.rs": "fn pad() {\n" + padBody + "}\nfn buggy(v: Vec<i32>) {\n    let p = v.as_ptr();\n    drop(v);\n    unsafe { let x = *p; }\n}\n"}
+	}
+	bodyA := "    let a = 1;\n    let b = 2;\n"
+	// Same byte length as bodyA, one fewer newline: buggy()'s byte offset
+	// stays identical while its line numbers shift up — the case a pure
+	// offset comparison would miss.
+	bodyB := "    let a = 1;     let b = 2;\n"
+	if len(bodyA) != len(bodyB) {
+		t.Fatalf("test invariant: len(bodyA)=%d len(bodyB)=%d, want equal", len(bodyA), len(bodyB))
+	}
+	bodyGrown := bodyA + "    let c = 3;\n    let d = 4;\n"
+
+	s := NewSession()
+	up, err := s.Analyze(mk(bodyA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(up.Findings, "use-after-free"); n != 1 {
+		t.Fatalf("initial round found %d use-after-free, want 1", n)
+	}
+
+	for _, step := range []struct {
+		name string
+		body string
+	}{
+		{"same-length newline move", bodyB},
+		{"grow pad above buggy", bodyGrown},
+		{"shrink back", bodyA},
+	} {
+		files := mk(step.body)
+		up, err = s.Analyze(files)
+		if err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		if up.Stats.Full {
+			t.Fatalf("%s: body-only edit forced a full build: %+v", step.name, up.Stats)
+		}
+		want := fullDetect(t, files)
+		if got := sessionStrings(up); !equalStrings(got, want) {
+			t.Fatalf("%s: cached finding replayed at stale position\n got: %v\nwant: %v", step.name, got, want)
+		}
+	}
+}
+
+// TestSessionUpdateIsCallerOwned: mutating a returned Update's findings
+// (sorting, appending, editing Notes) must not corrupt the session's
+// cached state for later rounds.
+func TestSessionUpdateIsCallerOwned(t *testing.T) {
+	files := map[string]string{"a.rs": `fn stale(v: Vec<i32>) {
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+fn other(w: Vec<i32>) {
+    let q = w.as_ptr();
+    drop(w);
+    unsafe { let y = *q; }
+}
+`}
+	s := NewSession()
+	up, err := s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullDetect(t, files)
+
+	// Vandalize the returned round: reverse order, overwrite contents.
+	for i, j := 0, len(up.Findings)-1; i < j; i, j = i+1, j-1 {
+		up.Findings[i], up.Findings[j] = up.Findings[j], up.Findings[i]
+	}
+	for i := range up.Findings {
+		up.Findings[i].Message = "vandalized"
+		for j := range up.Findings[i].Notes {
+			up.Findings[i].Notes[j] = "vandalized"
+		}
+	}
+
+	// The no-change fast path must replay the pristine cached view.
+	up2, err := s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sessionStrings(up2); !equalStrings(got, want) {
+		t.Fatalf("caller mutation leaked into cached state\n got: %v\nwant: %v", got, want)
+	}
+}
+
 // TestSessionErrorKeepsState: a round with syntax errors fails without
 // corrupting the session; the next good round still diffs against the
 // last successful one.
@@ -241,8 +338,16 @@ func TestSessionErrorKeepsState(t *testing.T) {
 
 	broken := clone(files)
 	broken["a.rs"] = "fn f(x: i32) -> i32 { x +\n"
+	filesBefore := len(s.fset.Files())
+	sizeBefore := s.fset.Size()
 	if _, err := s.Analyze(broken); err == nil {
 		t.Fatal("syntax error round succeeded")
+	}
+	// The failed round's speculative registrations must be rolled back:
+	// they belong to no retained artifact.
+	if n, sz := len(s.fset.Files()), s.fset.Size(); n != filesBefore || sz != sizeBefore {
+		t.Fatalf("error round leaked FileSet state: files %d->%d, size %d->%d",
+			filesBefore, n, sizeBefore, sz)
 	}
 
 	fixed := clone(files)
@@ -257,6 +362,46 @@ func TestSessionErrorKeepsState(t *testing.T) {
 	want := fullDetect(t, fixed)
 	if got := sessionStrings(up); !equalStrings(got, want) {
 		t.Fatalf("post-error round diverged\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestSessionFileSetCompaction: the persistent FileSet grows with every
+// reparse; once it dwarfs the live sources a round must fall back to a
+// full rebuild (reseeding a one-registration-per-file set) instead of
+// pinning old revisions forever — with findings still equal to a
+// from-scratch analysis throughout.
+func TestSessionFileSetCompaction(t *testing.T) {
+	oldFactor, oldMin := fsetCompactFactor, fsetCompactMinBytes
+	fsetCompactFactor, fsetCompactMinBytes = 2, 1
+	defer func() { fsetCompactFactor, fsetCompactMinBytes = oldFactor, oldMin }()
+
+	mk := func(round int) map[string]string {
+		return map[string]string{"a.rs": fmt.Sprintf("fn f(x: i32) -> i32 {\n    x + %d\n}\n", round)}
+	}
+	s := NewSession()
+	if _, err := s.Analyze(mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	compacted := false
+	for round := 1; round <= 8; round++ {
+		files := mk(round)
+		up, err := s.Analyze(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if up.Stats.Full && up.Stats.FullReason == "state compaction" {
+			compacted = true
+			if live := len(files["a.rs"]); s.fset.Size() > 2*live+2 {
+				t.Fatalf("compaction did not reseed the FileSet: size %d for %d live bytes", s.fset.Size(), live)
+			}
+		}
+		want := fullDetect(t, files)
+		if got := sessionStrings(up); !equalStrings(got, want) {
+			t.Fatalf("round %d diverged\n got: %v\nwant: %v", round, got, want)
+		}
+	}
+	if !compacted {
+		t.Fatal("no round compacted the FileSet despite tightened thresholds")
 	}
 }
 
