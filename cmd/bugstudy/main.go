@@ -34,6 +34,7 @@ func main() {
 		section = flag.String("section", "", "print a text-section report")
 		all     = flag.Bool("all", false, "print everything")
 		csvOut  = flag.String("csv", "", "write a figure's data series as CSV: figure1 or figure2")
+		precise = flag.Bool("precise", false, "with -section detectors (or -all): also measure the SafeDrop-style precise UAF mode and print the §7 precision delta")
 	)
 	flag.Parse()
 
@@ -89,6 +90,11 @@ func main() {
 			uafTP, uafFP, dlTP, dlFP := measureDetectors()
 			raceTP, raceFP := measureRaceDetector()
 			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP))
+			if *precise {
+				preTP, preFP := measurePreciseUAF()
+				fmt.Println()
+				fmt.Print(report.DetectorPreciseSection(uafTP, uafFP, preTP, preFP))
+			}
 		case "insights":
 			fmt.Print(report.InsightsSection())
 		case "mining":
@@ -199,6 +205,27 @@ func measureDetectors() (uafTP, uafFP, dlTP, dlFP int) {
 			dlFP++
 		} else {
 			dlTP++
+		}
+	}
+	return
+}
+
+// measurePreciseUAF reruns the §7 UAF measurement with the path-sensitive
+// precise detector, splitting by the same fp_ naming convention.
+func measurePreciseUAF() (tp, fp int) {
+	res, err := rustprobe.AnalyzeCorpus("detector-eval")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range uaf.NewPrecise().Run(res.Context()) {
+		if f.Kind != detect.KindUseAfterFree {
+			continue
+		}
+		if strings.Contains(f.Function, "fp_") {
+			fp++
+		} else {
+			tp++
 		}
 	}
 	return

@@ -42,6 +42,7 @@ func main() {
 		seeds     = flag.Int64("seeds", 200, "seed count for -selftest")
 		incr      = flag.Bool("incremental", false, "analyze a directory incrementally, persisting hashes and findings to a state file so unchanged functions are not re-analyzed on the next run")
 		stateFile = flag.String("state", "", "state file for -incremental (default: <dir>/.rustprobe-state.json)")
+		precise   = flag.Bool("precise", false, "enable the SafeDrop-style path-sensitive precise mode: memory-detector findings refuted by the shared drop-and-alias analysis are suppressed (also applies to -selftest)")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	if *selftest {
-		s := difftest.Run(0, *seeds)
+		s := difftest.RunMode(0, *seeds, *precise)
 		fmt.Print(s.Table())
 		if v := s.Violations(); len(v) > 0 {
 			fmt.Fprintf(os.Stderr, "rustprobe: selftest failed with %d violation(s)\n", len(v))
@@ -104,6 +105,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	res.Precise = *precise
 
 	if *mirDump != "" {
 		body := res.MIR(*mirDump)

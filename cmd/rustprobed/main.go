@@ -66,6 +66,7 @@ func main() {
 		storeDir = flag.String("store-dir", "", "directory for the persistent content-addressed result store (empty disables; results then live only in the in-memory LRU)")
 		selftest = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
 		seeds    = flag.Int64("seeds", 200, "seed count for -selftest")
+		precise  = flag.Bool("precise", false, "force the SafeDrop-style path-sensitive precise mode for every request (clients can also opt in per request with \"precise\": true); also applies to -selftest")
 	)
 	flag.Parse()
 
@@ -90,7 +91,7 @@ func main() {
 	if *selftest {
 		// Preflight: the generated-corpus cross-check runs through the
 		// exact pool/cache configuration the daemon would serve with.
-		s := difftest.RunWithEngine(0, *seeds, eng)
+		s := difftest.RunWithEngineMode(0, *seeds, eng, *precise)
 		fmt.Print(s.Table())
 		eng.Close()
 		if v := s.Violations(); len(v) > 0 {
@@ -101,7 +102,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, serverOptions{timeout: *timeout, pprof: *pprofOn}),
+		Handler:           newServer(eng, serverOptions{timeout: *timeout, pprof: *pprofOn, precise: *precise}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

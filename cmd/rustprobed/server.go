@@ -27,6 +27,7 @@ const maxBodyBytes = 32 << 20
 type serverOptions struct {
 	timeout time.Duration // per-request analysis budget; 0 = none
 	pprof   bool          // mount net/http/pprof under /debug/pprof/
+	precise bool          // force path-sensitive detectors on every request
 }
 
 // server routes the rustprobed HTTP API onto an engine.
@@ -136,6 +137,9 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err), "")
 		return
 	}
+	if s.opts.precise {
+		req.Precise = true
+	}
 
 	ctx := r.Context()
 	if s.opts.timeout > 0 {
@@ -210,6 +214,9 @@ func (s *server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err), "")
 		return
+	}
+	if s.opts.precise {
+		req.Precise = true
 	}
 
 	ctx := r.Context()

@@ -92,6 +92,46 @@ func TestSection7UAFResults(t *testing.T) {
 	}
 }
 
+// TestSection7UAFPreciseResults pins the precise-mode delta on the same
+// evaluation set: the path-sensitive drop-and-alias refuter keeps every
+// true positive and clears each of the three planted false-positive
+// patterns individually.
+func TestSection7UAFPreciseResults(t *testing.T) {
+	ctx := loadCtx(t, GroupDetectorEval)
+	findings := uaf.NewPrecise().Run(ctx)
+	var tps, fps int
+	flagged := map[string]bool{}
+	for _, f := range findings {
+		if f.Kind != detect.KindUseAfterFree {
+			continue
+		}
+		flagged[f.Function] = true
+		if strings.Contains(f.Function, "fp_") {
+			fps++
+		} else {
+			tps++
+		}
+	}
+	if tps != study.UAFPreciseBugsFound {
+		t.Errorf("precise UAF true positives = %d, want %d\n%s", tps, study.UAFPreciseBugsFound, dump(ctx, findings))
+	}
+	if fps != study.UAFPreciseFalsePositives {
+		t.Errorf("precise UAF false positives = %d, want %d\n%s", fps, study.UAFPreciseFalsePositives, dump(ctx, findings))
+	}
+	// Each planted FP cause must be individually refuted, and precise mode
+	// must lose none of the default mode's true positives.
+	for _, fn := range []string{"fp_context", "fp_flow", "fp_path"} {
+		if flagged[fn] {
+			t.Errorf("precise mode still reports planted false positive %s", fn)
+		}
+	}
+	for _, f := range uaf.New().Run(ctx) {
+		if f.Kind == detect.KindUseAfterFree && !strings.Contains(f.Function, "fp_") && !flagged[f.Function] {
+			t.Errorf("precise mode lost default true positive in %s", f.Function)
+		}
+	}
+}
+
 // TestSection7DoubleLockResults pins §7.2: 6 double locks, 0 false
 // positives (the *_fixed and clean variants stay silent).
 func TestSection7DoubleLockResults(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"rustprobe/internal/callgraph"
+	"rustprobe/internal/dropflow"
 	"rustprobe/internal/hir"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/pointsto"
@@ -82,6 +83,11 @@ type Context struct {
 
 	mu  sync.Mutex
 	pts map[string]*pointsto.Result
+
+	dropOnce sync.Once
+	dropSums map[string]*dropflow.FnSummary
+	dropMu   sync.Mutex
+	dropRes  map[string]*dropflow.Result
 }
 
 // NewContext builds a Context, precomputing the call graph.
@@ -92,6 +98,7 @@ func NewContext(prog *hir.Program, bodies map[string]*mir.Body) *Context {
 		Graph:   callgraph.Build(bodies),
 		Fset:    prog.Fset,
 		pts:     map[string]*pointsto.Result{},
+		dropRes: map[string]*dropflow.Result{},
 	}
 }
 
@@ -118,6 +125,42 @@ func (c *Context) PointsTo(fn string) *pointsto.Result {
 		return prev
 	}
 	c.pts[fn] = r
+	return r
+}
+
+// DropFlowSummaries returns (computing once) the shared context-sensitive
+// parameter-dereference summaries used by the precise detectors. The map
+// and the summaries it holds are shared across detectors and must be
+// treated as immutable.
+func (c *Context) DropFlowSummaries() map[string]*dropflow.FnSummary {
+	c.dropOnce.Do(func() {
+		c.dropSums = dropflow.ComputeSummaries(c.Bodies, c.Graph)
+	})
+	return c.dropSums
+}
+
+// DropFlow returns (caching) the path-sensitive drop-and-alias walk for a
+// function. Like PointsTo, the walk runs outside the lock; the shared
+// Result must be treated as immutable by all detectors.
+func (c *Context) DropFlow(fn string) *dropflow.Result {
+	c.dropMu.Lock()
+	if r, ok := c.dropRes[fn]; ok {
+		c.dropMu.Unlock()
+		return r
+	}
+	c.dropMu.Unlock()
+	sums := c.DropFlowSummaries()
+	body := c.Bodies[fn]
+	r := dropflow.Analyze(body, dropflow.Options{Lookup: func(name string) (*dropflow.FnSummary, bool) {
+		s, ok := sums[name]
+		return s, ok
+	}})
+	c.dropMu.Lock()
+	defer c.dropMu.Unlock()
+	if prev, ok := c.dropRes[fn]; ok {
+		return prev
+	}
+	c.dropRes[fn] = r
 	return r
 }
 

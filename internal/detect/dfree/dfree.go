@@ -14,15 +14,23 @@ import (
 	"rustprobe/internal/cfg"
 	"rustprobe/internal/dataflow"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/dropflow"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/types"
 )
 
 // Detector finds invalid-free and double-free patterns.
-type Detector struct{}
+type Detector struct {
+	// Precise drops candidate findings the shared dropflow walk proves
+	// safe on every feasible path. See internal/dropflow.
+	Precise bool
+}
 
 // New returns the detector.
 func New() *Detector { return &Detector{} }
+
+// NewPrecise returns the detector with path-sensitive refutation enabled.
+func NewPrecise() *Detector { return &Detector{Precise: true} }
 
 // Name implements detect.Detector.
 func (*Detector) Name() string { return "drop-bugs" }
@@ -47,6 +55,10 @@ func (d *Detector) checkInvalidFree(ctx *detect.Context, name string) []detect.F
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
 	pts := ctx.PointsTo(name)
+	var df *dropflow.Result
+	if d.Precise {
+		df = ctx.DropFlow(name)
+	}
 
 	// Locals that (may) hold pointers to uninitialized memory, seeded by
 	// alloc intrinsics and spread through copies/casts; flow-sensitive so
@@ -124,6 +136,9 @@ func (d *Detector) checkInvalidFree(ctx *detect.Context, name string) []detect.F
 			}
 			state := res.StateAt(blk.ID, i)
 			if state.Has(int(base)) {
+				if df.RefutesUninit(dropflow.SiteKey{Block: blk.ID, Stmt: i, Local: base}) {
+					continue
+				}
 				out = append(out, detect.Finding{
 					Kind:     detect.KindInvalidFree,
 					Severity: detect.SeverityError,
@@ -189,6 +204,10 @@ func (d *Detector) checkDoubleFree(ctx *detect.Context, name string) []detect.Fi
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
 	pts := ctx.PointsTo(name)
+	var df *dropflow.Result
+	if d.Precise {
+		df = ctx.DropFlow(name)
+	}
 
 	// Which locals are dropped somewhere (reachable)?
 	dropped := map[mir.LocalID]bool{}
@@ -251,6 +270,9 @@ func (d *Detector) checkDoubleFree(ctx *detect.Context, name string) []detect.Fi
 		}
 		for _, o := range owners {
 			if dropped[o] {
+				if df.RefutesDoubleFree(dropflow.SiteKey{Block: blk.ID, Stmt: -1, Local: pl.Local}) {
+					break
+				}
 				out = append(out, detect.Finding{
 					Kind:     detect.KindDoubleFree,
 					Severity: detect.SeverityError,

@@ -16,8 +16,10 @@ import (
 	"rustprobe/internal/cfg"
 	"rustprobe/internal/dataflow"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/dropflow"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/source"
+	"rustprobe/internal/summary"
 	"rustprobe/internal/types"
 )
 
@@ -28,10 +30,18 @@ type Detector struct {
 	// passed to callees are then never reported, trading the Figure 7
 	// class of bugs for zero summary-induced false positives.
 	IntraOnly bool
+	// Precise enables the SafeDrop-style path-sensitive refutation pass:
+	// candidate findings from the paper-faithful analysis are dropped
+	// when the shared dropflow walk proves the site safe on every
+	// feasible path. Off by default so the §7 table stays reproducible.
+	Precise bool
 }
 
 // New returns the detector with inter-procedural analysis enabled.
 func New() *Detector { return &Detector{} }
+
+// NewPrecise returns the detector with path-sensitive refutation enabled.
+func NewPrecise() *Detector { return &Detector{Precise: true} }
 
 // Name implements detect.Detector.
 func (*Detector) Name() string { return "use-after-free" }
@@ -51,81 +61,96 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 }
 
 // buildDerefSummaries computes, bottom-up, which parameters each function
-// may dereference (directly or through calls).
+// may dereference (directly or through calls), as an SCC fixpoint so
+// facts converge through arbitrarily interlocked recursion.
 func buildDerefSummaries(ctx *detect.Context) map[string]map[int]bool {
-	sums := map[string]map[int]bool{}
-	order := ctx.Graph.PostOrder()
-	// Two rounds to tolerate cycles.
-	for round := 0; round < 2; round++ {
-		for _, name := range order {
-			body := ctx.Bodies[name]
-			s := sums[name]
-			if s == nil {
-				s = map[int]bool{}
-				sums[name] = s
+	prob := &summary.Problem[map[int]bool]{
+		Bottom: func(string) map[int]bool { return map[int]bool{} },
+		Transfer: func(name string, get summary.Lookup[map[int]bool]) map[int]bool {
+			return scanDerefParams(ctx, name, get)
+		},
+		Equal: func(a, b map[int]bool) bool {
+			if len(a) != len(b) {
+				return false
 			}
-			paramLocal := func(i int) mir.LocalID { return mir.LocalID(i + 1) }
-			isParam := func(l mir.LocalID) (int, bool) {
-				idx := int(l) - 1
-				if idx >= 0 && idx < body.ArgCount {
-					return idx, true
-				}
-				return 0, false
-			}
-			_ = paramLocal
-			// Track which locals alias parameters (flow-insensitive).
-			pts := ctx.PointsTo(name)
-			aliasParam := func(l mir.LocalID) (int, bool) {
-				if i, ok := isParam(l); ok {
-					return i, true
-				}
-				for t := range pts.Targets(l) {
-					if i, ok := isParam(t); ok {
-						return i, true
-					}
-				}
-				return 0, false
-			}
-			scanPlace := func(p mir.Place) {
-				if !p.HasDeref() {
-					return
-				}
-				if i, ok := aliasParam(p.Local); ok {
-					s[i] = true
+			for k := range a {
+				if !b[k] {
+					return false
 				}
 			}
-			for _, blk := range body.Blocks {
-				for _, st := range blk.Stmts {
-					if as, ok := st.(mir.Assign); ok {
-						scanPlace(as.Place)
-						forEachRvaluePlace(as.Rvalue, scanPlace)
-					}
-				}
-				if c, ok := blk.Term.(mir.Call); ok {
-					// Propagate callee summaries.
-					calleeName := resolvedCallee(ctx, c)
-					if calleeName != "" {
-						for i := range sums[calleeName] {
-							if i < len(c.Args) {
-								if pl, ok := mir.OperandPlace(c.Args[i]); ok {
-									if pi, isP := aliasParam(pl.Local); isP {
-										s[pi] = true
-									}
-								}
+			return true
+		},
+	}
+	return summary.Compute(ctx.Graph, prob).Summaries
+}
+
+// scanDerefParams recomputes one function's parameter-dereference summary
+// from its body, reading callee summaries through get. It always builds a
+// fresh map so fixpoint iterations never alias each other's state.
+func scanDerefParams(ctx *detect.Context, name string, get summary.Lookup[map[int]bool]) map[int]bool {
+	body := ctx.Bodies[name]
+	s := map[int]bool{}
+	if body == nil {
+		return s
+	}
+	isParam := func(l mir.LocalID) (int, bool) {
+		idx := int(l) - 1
+		if idx >= 0 && idx < body.ArgCount {
+			return idx, true
+		}
+		return 0, false
+	}
+	// Track which locals alias parameters (flow-insensitive).
+	pts := ctx.PointsTo(name)
+	aliasParam := func(l mir.LocalID) (int, bool) {
+		if i, ok := isParam(l); ok {
+			return i, true
+		}
+		for t := range pts.Targets(l) {
+			if i, ok := isParam(t); ok {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	scanPlace := func(p mir.Place) {
+		if !p.HasDeref() {
+			return
+		}
+		if i, ok := aliasParam(p.Local); ok {
+			s[i] = true
+		}
+	}
+	for _, blk := range body.Blocks {
+		for _, st := range blk.Stmts {
+			if as, ok := st.(mir.Assign); ok {
+				scanPlace(as.Place)
+				forEachRvaluePlace(as.Rvalue, scanPlace)
+			}
+		}
+		if c, ok := blk.Term.(mir.Call); ok {
+			// Propagate callee summaries.
+			calleeName := resolvedCallee(ctx, c)
+			if calleeName != "" {
+				callee, _ := get(calleeName)
+				for i := range callee {
+					if i < len(c.Args) {
+						if pl, ok := mir.OperandPlace(c.Args[i]); ok {
+							if pi, isP := aliasParam(pl.Local); isP {
+								s[pi] = true
 							}
 						}
 					}
-					// External pointer-consuming calls conservatively
-					// dereference raw-pointer arguments.
-					if calleeName == "" && c.Intrinsic == mir.IntrinsicNone {
-						for i, a := range c.Args {
-							if pl, ok := mir.OperandPlace(a); ok {
-								if _, isRaw := body.Local(pl.Local).Ty.(*types.RawPtr); isRaw {
-									if pi, isP := aliasParam(pl.Local); isP {
-										s[pi] = true
-									}
-									_ = i
-								}
+				}
+			}
+			// External pointer-consuming calls conservatively
+			// dereference raw-pointer arguments.
+			if calleeName == "" && c.Intrinsic == mir.IntrinsicNone {
+				for _, a := range c.Args {
+					if pl, ok := mir.OperandPlace(a); ok {
+						if _, isRaw := body.Local(pl.Local).Ty.(*types.RawPtr); isRaw {
+							if pi, isP := aliasParam(pl.Local); isP {
+								s[pi] = true
 							}
 						}
 					}
@@ -133,7 +158,7 @@ func buildDerefSummaries(ctx *detect.Context) map[string]map[int]bool {
 			}
 		}
 	}
-	return sums
+	return s
 }
 
 func resolvedCallee(ctx *detect.Context, c mir.Call) string {
@@ -155,6 +180,14 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 	g := cfg.New(body)
 	pts := ctx.PointsTo(name)
 	n := len(body.Locals)
+
+	// Precise mode: consult the shared path-sensitive walk. A candidate
+	// finding is dropped only when dropflow positively proves its site
+	// safe on every feasible path; missing or bailed results keep it.
+	var df *dropflow.Result
+	if d.Precise {
+		df = ctx.DropFlow(name)
+	}
 
 	// May-dead forward analysis: gen at StorageDead and at Drop of
 	// heap-owning values; kill at StorageLive and full reassignment.
@@ -231,6 +264,7 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 				continue
 			}
 			state := res.StateAt(blk.ID, i)
+			stmtIdx := i
 			check := func(p mir.Place) {
 				if !p.HasDeref() {
 					return
@@ -239,6 +273,9 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 					return
 				}
 				if dead, isDead := deadPointees(state, p.Local); isDead {
+					if df.RefutesUseDead(dropflow.SiteKey{Block: blk.ID, Stmt: stmtIdx, Local: p.Local}) {
+						return
+					}
 					report(as.Span, p.Local, dead, "")
 				}
 			}
@@ -256,6 +293,9 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 				}
 				if pl.HasDeref() && isPointer(body.Local(pl.Local).Ty) {
 					if dead, isDead := deadPointees(state, pl.Local); isDead {
+						if df.RefutesUseDead(dropflow.SiteKey{Block: blk.ID, Stmt: -1, Local: pl.Local}) {
+							continue
+						}
 						report(c.Span, pl.Local, dead, "")
 					}
 					continue
@@ -281,6 +321,9 @@ func (d *Detector) checkFunction(ctx *detect.Context, name string, sums map[stri
 					continue
 				}
 				if dead, isDead := deadPointees(state, pl.Local); isDead {
+					if df.RefutesUseDead(dropflow.SiteKey{Block: blk.ID, Stmt: -1, Local: pl.Local}) {
+						continue
+					}
 					report(c.Span, pl.Local, dead, fmt.Sprintf(" (passed to %s which dereferences it)", c.Callee))
 				}
 			}

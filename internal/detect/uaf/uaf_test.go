@@ -193,3 +193,47 @@ fn f() {
 		t.Fatalf("findings = %+v, want 1", findings)
 	}
 }
+
+// TestSummaryConvergesThroughInterlockedRecursion pins the SCC-fixpoint
+// semantics of buildDerefSummaries. The call graph below is one strongly
+// connected component whose deterministic DFS post-order is
+// [cc_c2, xx_hop, mm_c1, aa_src]: the "p is dereferenced" fact starts at
+// aa_src (last in the order) and must hop against the iteration order
+// twice (aa_src -> mm_c1 -> cc_c2) before cc_c2's summary is correct, so
+// any fixed round count below three leaves cc_c2 empty and the dangling
+// pointer passed to it in trigger goes unreported. The historical
+// implementation iterated exactly twice and provably missed this finding.
+func TestSummaryConvergesThroughInterlockedRecursion(t *testing.T) {
+	src := `
+fn aa_src(p: *const i32) {
+    unsafe { let v = *p; }
+    mm_c1(p);
+}
+fn mm_c1(p: *const i32) {
+    xx_hop(p);
+    aa_src(p);
+}
+fn xx_hop(p: *const i32) {
+    cc_c2(p);
+}
+fn cc_c2(p: *const i32) {
+    mm_c1(p);
+}
+fn trigger() {
+    let v = Vec::new();
+    let p = v.as_ptr();
+    drop(v);
+    cc_c2(p);
+}
+`
+	findings := analyze(t, src)
+	got := 0
+	for _, f := range findings {
+		if f.Kind == detect.KindUseAfterFree && f.Function == "trigger" {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("findings = %+v, want exactly 1 UAF in trigger (summary fact needs 3 propagation waves)", findings)
+	}
+}

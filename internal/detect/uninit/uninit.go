@@ -10,15 +10,23 @@ import (
 	"rustprobe/internal/cfg"
 	"rustprobe/internal/dataflow"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/dropflow"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/source"
 )
 
 // Detector finds uninitialized reads.
-type Detector struct{}
+type Detector struct {
+	// Precise drops candidate findings the shared dropflow walk proves
+	// safe on every feasible path. See internal/dropflow.
+	Precise bool
+}
 
 // New returns the detector.
 func New() *Detector { return &Detector{} }
+
+// NewPrecise returns the detector with path-sensitive refutation enabled.
+func NewPrecise() *Detector { return &Detector{Precise: true} }
 
 // Name implements detect.Detector.
 func (*Detector) Name() string { return "uninitialized-read" }
@@ -36,6 +44,10 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 func (d *Detector) check(ctx *detect.Context, name string) []detect.Finding {
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
+	var df *dropflow.Result
+	if d.Precise {
+		df = ctx.DropFlow(name)
+	}
 
 	// Bit l: local l holds a pointer to (or is a value of) uninitialized
 	// memory.
@@ -103,9 +115,12 @@ func (d *Detector) check(ctx *detect.Context, name string) []detect.Finding {
 		})
 	}
 
-	checkRead := func(state dataflow.BitSet, span source.Span) func(mir.Place) {
+	checkRead := func(state dataflow.BitSet, span source.Span, blk mir.BlockID, stmt int) func(mir.Place) {
 		return func(p mir.Place) {
 			if p.HasDeref() && state.Has(int(p.Local)) {
+				if df.RefutesUninit(dropflow.SiteKey{Block: blk, Stmt: stmt, Local: p.Local}) {
+					return
+				}
 				report(span, p.Local)
 			}
 		}
@@ -121,7 +136,7 @@ func (d *Detector) check(ctx *detect.Context, name string) []detect.Finding {
 				continue
 			}
 			state := res.StateAt(blk.ID, i)
-			check := checkRead(state, as.Span)
+			check := checkRead(state, as.Span, blk.ID, i)
 			// Only rvalue-side reads: the assigned place is a write.
 			switch rv := as.Rvalue.(type) {
 			case mir.Use:
@@ -146,7 +161,9 @@ func (d *Detector) check(ctx *detect.Context, name string) []detect.Finding {
 			state := res.StateAt(blk.ID, len(blk.Stmts))
 			if len(c.Args) > 0 {
 				if pl, ok := mir.OperandPlace(c.Args[0]); ok && pl.IsLocal() && state.Has(int(pl.Local)) {
-					report(c.Span, pl.Local)
+					if !df.RefutesUninit(dropflow.SiteKey{Block: blk.ID, Stmt: -1, Local: pl.Local}) {
+						report(c.Span, pl.Local)
+					}
 				}
 			}
 		}

@@ -29,6 +29,84 @@ func TestDifferential200Seeds(t *testing.T) {
 	}
 }
 
+// TestDifferentialPrecise200Seeds is the precise-mode tier-1 gate: with
+// the path-sensitive suite on, the same 200 seeds must additionally be
+// free of the FP-prone templates' expected false positives — every clean
+// variant, FP-prone or not, is a hard failure if reported.
+func TestDifferentialPrecise200Seeds(t *testing.T) {
+	s := RunMode(0, 200, true)
+	if !s.Precise {
+		t.Fatal("summary not marked precise")
+	}
+	for _, v := range s.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	for _, g := range s.KnownGaps {
+		t.Errorf("precise mode must not log expected false positives: %s", g)
+	}
+	if t.Failed() {
+		t.Log("\n" + s.Table())
+	}
+}
+
+// TestFPProneTemplatesSplitByMode pins the contract the three FP-shaped
+// templates exist for: the default detectors report their clean variants
+// (that is the documented imprecision), the precise detectors do not, and
+// both modes still catch the buggy variants.
+func TestFPProneTemplatesSplitByMode(t *testing.T) {
+	cleanBySeed := map[string]int64{}
+	buggyBySeed := map[string]int64{}
+	for seed := int64(0); seed < 3000 && (len(cleanBySeed) < 2 || len(buggyBySeed) < 2); seed++ {
+		p := gen.Generate(seed)
+		if !p.FPProne {
+			continue
+		}
+		if p.Buggy {
+			if _, ok := buggyBySeed[p.Template]; !ok {
+				buggyBySeed[p.Template] = seed
+			}
+		} else if _, ok := cleanBySeed[p.Template]; !ok {
+			cleanBySeed[p.Template] = seed
+		}
+	}
+	if len(cleanBySeed) == 0 {
+		t.Fatal("no FP-prone clean variants generated in 3000 seeds")
+	}
+	for tmpl, seed := range cleanBySeed {
+		p := gen.Generate(seed)
+		def := RunProgramMode(p, nil, false)
+		if def.PipelineErr != nil {
+			t.Fatalf("%s clean default: %v", tmpl, def.PipelineErr)
+		}
+		if len(def.ExpectedFPs) == 0 {
+			t.Errorf("%s clean variant (seed %d): default detectors were silent — template no longer FP-prone", tmpl, seed)
+		}
+		if len(def.FalsePositives) > 0 {
+			t.Errorf("%s clean variant (seed %d): findings routed as hard FPs in default mode: %v", tmpl, seed, def.FalsePositives)
+		}
+		prec := RunProgramMode(p, nil, true)
+		if prec.PipelineErr != nil {
+			t.Fatalf("%s clean precise: %v", tmpl, prec.PipelineErr)
+		}
+		if len(prec.FalsePositives) > 0 || len(prec.ExpectedFPs) > 0 {
+			t.Errorf("%s clean variant (seed %d): precise mode still reports: hard=%v expected=%v",
+				tmpl, seed, prec.FalsePositives, prec.ExpectedFPs)
+		}
+	}
+	for tmpl, seed := range buggyBySeed {
+		p := gen.Generate(seed)
+		for _, precise := range []bool{false, true} {
+			v := RunProgramMode(p, nil, precise)
+			if v.PipelineErr != nil {
+				t.Fatalf("%s buggy precise=%v: %v", tmpl, precise, v.PipelineErr)
+			}
+			if v.FalseNegative {
+				t.Errorf("%s buggy variant (seed %d, precise=%v): injected %s missed", tmpl, seed, precise, p.Kind)
+			}
+		}
+	}
+}
+
 // TestDifferentialExhaustive scales with DIFFTEST_SEEDS (default: skip)
 // for the long run: DIFFTEST_SEEDS=5000 go test ./internal/difftest/ -run Exhaustive
 func TestDifferentialExhaustive(t *testing.T) {

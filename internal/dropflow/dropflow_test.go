@@ -1,0 +1,398 @@
+package dropflow_test
+
+import (
+	"strings"
+	"testing"
+
+	"rustprobe/internal/callgraph"
+	"rustprobe/internal/dropflow"
+	"rustprobe/internal/lower"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/parser"
+	"rustprobe/internal/resolve"
+	"rustprobe/internal/source"
+)
+
+func build(t *testing.T, src string) map[string]*mir.Body {
+	t.Helper()
+	fset := source.NewFileSet()
+	f := fset.Add("test.rs", src)
+	diags := source.NewDiagnostics(fset)
+	crate := parser.ParseFile(f, diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags.String())
+	}
+	prog := resolve.Crates(fset, diags, crate)
+	return lower.Program(prog, diags)
+}
+
+// analyzeFn runs the full summary fixpoint and returns fn's walk result.
+func analyzeFn(t *testing.T, bodies map[string]*mir.Body, fn string) *dropflow.Result {
+	t.Helper()
+	body := bodies[fn]
+	if body == nil {
+		t.Fatalf("no body for %q", fn)
+	}
+	sums := dropflow.ComputeSummaries(bodies, callgraph.Build(bodies))
+	return dropflow.Analyze(body, dropflow.Options{Lookup: func(name string) (*dropflow.FnSummary, bool) {
+		s, ok := sums[name]
+		return s, ok
+	}})
+}
+
+// verdictFor ORs the verdicts of every site whose pointer local carries
+// the given source name, so tests don't hardcode block/statement indices.
+func verdictFor(t *testing.T, body *mir.Body, res *dropflow.Result, local string) (dropflow.Verdict, bool) {
+	t.Helper()
+	var out dropflow.Verdict
+	found := false
+	for k, v := range res.Sites {
+		if body.Local(k.Local).Name != local {
+			continue
+		}
+		found = true
+		out.MayUseDead = out.MayUseDead || v.MayUseDead
+		out.MayUninit = out.MayUninit || v.MayUninit
+		out.MayDoubleFree = out.MayDoubleFree || v.MayDoubleFree
+	}
+	return out, found
+}
+
+// The three planted §7 false-positive shapes (rust/redox/uaf_falsepos.rs).
+
+// FP cause 1: context-insensitivity — the callee dereferences its pointer
+// parameter only when its bool parameter is true, and the caller passes
+// false after the drop.
+const fpContextSrc = `
+fn maybe_deref(p: *const u8, do_it: bool) -> u8 {
+    if do_it { unsafe { *p } } else { 0 }
+}
+
+pub fn fp_context() -> u8 {
+    let v = vec![1u8];
+    let p = v.as_ptr();
+    drop(v);
+    maybe_deref(p, false)
+}
+`
+
+func TestContextSensitiveGuardRefutesCallSite(t *testing.T) {
+	bodies := build(t, fpContextSrc)
+
+	sums := dropflow.ComputeSummaries(bodies, callgraph.Build(bodies))
+	callee := sums["maybe_deref"]
+	if callee == nil || callee.Opaque {
+		t.Fatalf("maybe_deref summary missing or opaque: %v", callee)
+	}
+	guard, ok := callee.Params[0]
+	if !ok {
+		t.Fatalf("maybe_deref summary lacks a param-0 deref: %s", callee)
+	}
+	if len(guard) != 1 || len(guard[0]) != 1 || guard[0][0] != (dropflow.Cond{Param: 1, Value: "true"}) {
+		t.Fatalf("param-0 guard should be exactly [p1=true], got %s", callee)
+	}
+
+	res := analyzeFn(t, bodies, "fp_context")
+	if res.Bailed {
+		t.Fatal("walk bailed")
+	}
+	v, found := verdictFor(t, bodies["fp_context"], res, "p")
+	if !found {
+		t.Fatal("no site recorded for p at the maybe_deref call")
+	}
+	if v.MayUseDead {
+		t.Fatal("const-false guard should refute the call-site deref of the dead pointer")
+	}
+}
+
+func TestContextGuardSatisfiedKeepsFinding(t *testing.T) {
+	bodies := build(t, strings.Replace(fpContextSrc, "maybe_deref(p, false)", "maybe_deref(p, true)", 1))
+	res := analyzeFn(t, bodies, "fp_context")
+	v, found := verdictFor(t, bodies["fp_context"], res, "p")
+	if !found || !v.MayUseDead {
+		t.Fatalf("passing true must keep the use-after-free verdict (found=%v, v=%+v)", found, v)
+	}
+}
+
+// FP cause 2: flow-insensitive points-to — the pointer is retargeted
+// between the drop and the deref, so the deref never touches the freed
+// buffer.
+const fpFlowSrc = `
+pub fn fp_flow() -> u8 {
+    let a = [1u8, 2u8];
+    let mut p = a.as_ptr();
+    let b = vec![3u8];
+    p = b.as_ptr();
+    drop(b);
+    p = a.as_ptr();
+    unsafe { *p }
+}
+`
+
+func TestStrongUpdateRefutesRetargetedPointer(t *testing.T) {
+	bodies := build(t, fpFlowSrc)
+	res := analyzeFn(t, bodies, "fp_flow")
+	if res.Bailed {
+		t.Fatal("walk bailed")
+	}
+	v, found := verdictFor(t, bodies["fp_flow"], res, "p")
+	if !found {
+		t.Fatal("no deref site recorded for p")
+	}
+	if v.MayUseDead {
+		t.Fatal("strong update retargeted p before the deref; verdict must be safe")
+	}
+}
+
+func TestStrongUpdateStillCatchesRealDanglingDeref(t *testing.T) {
+	// Same shape without the final retarget: p still aims at the freed b.
+	src := strings.Replace(fpFlowSrc, "p = a.as_ptr();\n    unsafe { *p }", "unsafe { *p }", 1)
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "fp_flow")
+	v, found := verdictFor(t, bodies["fp_flow"], res, "p")
+	if !found || !v.MayUseDead {
+		t.Fatalf("deref of freed b must stay flagged (found=%v, v=%+v)", found, v)
+	}
+}
+
+// FP cause 3: path-insensitivity — the drop and the deref are guarded by
+// complementary conditions, so no execution performs both.
+const fpPathSrc = `
+pub fn fp_path(c: bool) -> u8 {
+    let v = vec![1u8];
+    let p = v.as_ptr();
+    if c {
+        drop(v);
+    }
+    if !c {
+        unsafe { *p }
+    } else {
+        0
+    }
+}
+`
+
+func TestBranchCorrelationRefutesExclusivePaths(t *testing.T) {
+	bodies := build(t, fpPathSrc)
+	res := analyzeFn(t, bodies, "fp_path")
+	if res.Bailed {
+		t.Fatal("walk bailed")
+	}
+	v, found := verdictFor(t, bodies["fp_path"], res, "p")
+	if !found {
+		t.Fatal("no deref site recorded for p")
+	}
+	if v.MayUseDead {
+		t.Fatal("drop and deref are on complementary branches; verdict must be safe")
+	}
+}
+
+func TestBranchCorrelationKeepsSameBranchBug(t *testing.T) {
+	// Drop and deref under the SAME condition: the c=true path runs both.
+	src := strings.Replace(fpPathSrc, "if !c {", "if c {", 1)
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "fp_path")
+	v, found := verdictFor(t, bodies["fp_path"], res, "p")
+	if !found || !v.MayUseDead {
+		t.Fatalf("same-branch drop+deref must stay flagged (found=%v, v=%+v)", found, v)
+	}
+}
+
+// Alias classes: ownership that escapes through into_raw survives the
+// owner's scope end, and comes back under drop's control via from_raw.
+const roundTripSrc = `
+pub fn round_trip() -> u8 {
+    let q = {
+        let b = Box::new(7u8);
+        Box::into_raw(b)
+    };
+    let y = unsafe { *q };
+    let ob = unsafe { Box::from_raw(q) };
+    drop(ob);
+    y
+}
+`
+
+func TestIntoRawEscapeSurvivesScopeEnd(t *testing.T) {
+	bodies := build(t, roundTripSrc)
+	res := analyzeFn(t, bodies, "round_trip")
+	if res.Bailed {
+		t.Fatal("walk bailed")
+	}
+	v, found := verdictFor(t, bodies["round_trip"], res, "q")
+	if !found {
+		t.Fatal("no deref site recorded for q")
+	}
+	if v.MayUseDead {
+		t.Fatal("into_raw escaped ownership: deref after the owner's scope end is safe")
+	}
+}
+
+func TestFromRawReadoptionMakesDropFatal(t *testing.T) {
+	// Move the deref after drop(ob): from_raw re-adopted the class, so
+	// dropping ob frees the allocation q still points at.
+	src := `
+pub fn round_trip() -> u8 {
+    let q = {
+        let b = Box::new(7u8);
+        Box::into_raw(b)
+    };
+    let ob = unsafe { Box::from_raw(q) };
+    drop(ob);
+    let y = unsafe { *q };
+    y
+}
+`
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "round_trip")
+	v, found := verdictFor(t, bodies["round_trip"], res, "q")
+	if !found || !v.MayUseDead {
+		t.Fatalf("deref after dropping the re-adopted owner must be flagged (found=%v, v=%+v)", found, v)
+	}
+}
+
+// Uninitialized-memory class tracking (alloc / ptr::write).
+func TestUninitClassClearedByPtrWrite(t *testing.T) {
+	src := `
+pub fn init_then_read() -> u8 {
+    let p = alloc(1) as *mut u8;
+    unsafe { ptr::write(p, 5u8); }
+    unsafe { *p }
+}
+`
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "init_then_read")
+	v, found := verdictFor(t, bodies["init_then_read"], res, "p")
+	if !found {
+		t.Fatal("no site recorded for p")
+	}
+	if v.MayUninit {
+		t.Fatal("ptr::write initialized the class before the read")
+	}
+}
+
+func TestUninitReadFlagged(t *testing.T) {
+	src := `
+pub fn read_uninit() -> u8 {
+    let p = alloc(1) as *mut u8;
+    unsafe { *p }
+}
+`
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "read_uninit")
+	v, found := verdictFor(t, bodies["read_uninit"], res, "p")
+	if !found || !v.MayUninit {
+		t.Fatalf("read of unwritten allocation must be flagged (found=%v, v=%+v)", found, v)
+	}
+}
+
+// The merge cap: a function with more distinct path states than
+// MaxStates collapses to joined semantics and stays conservative (the
+// exclusive-path refutation is lost, not wrongly kept).
+func TestMergeCapFallsBackToJoinedSemantics(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("pub fn wide(c: bool, x1: bool, x2: bool, x3: bool, x4: bool) -> u8 {\n")
+	b.WriteString("    let v = vec![1u8];\n    let p = v.as_ptr();\n")
+	b.WriteString("    if c { drop(v); }\n")
+	// Each independent branch between the correlated pair doubles the
+	// state count, overflowing MaxStates=2 and erasing the c-env fact at
+	// the collapse.
+	for i := 1; i <= 4; i++ {
+		b.WriteString("    if x")
+		b.WriteString(string(rune('0' + i)))
+		b.WriteString(" { let _s = 1; } \n")
+	}
+	b.WriteString("    if !c { unsafe { *p } } else { 0 }\n}\n")
+	bodies := build(t, b.String())
+	body := bodies["wide"]
+	if body == nil {
+		t.Fatal("no body for wide")
+	}
+	res := dropflow.Analyze(body, dropflow.Options{MaxStates: 2})
+	v, found := verdictFor(t, body, res, "p")
+	if !found {
+		t.Fatal("no deref site recorded for p")
+	}
+	if !v.MayUseDead {
+		t.Fatal("collapsed joined state must keep the conservative may-use-dead verdict")
+	}
+	// With a roomy cap the correlation survives the same CFG.
+	res = dropflow.Analyze(body, dropflow.Options{MaxStates: 64})
+	v, _ = verdictFor(t, body, res, "p")
+	if v.MayUseDead {
+		t.Fatal("with enough states the exclusive-path refutation must hold")
+	}
+}
+
+// The visit budget: pathological re-walking bails the analysis, which
+// must disable every refutation rather than claim safety.
+func TestVisitBudgetBails(t *testing.T) {
+	src := `
+pub fn loopy(n: i32) -> u8 {
+    let v = vec![1u8];
+    let p = v.as_ptr();
+    let mut i = n;
+    while i > 0 {
+        i = i - 1;
+    }
+    unsafe { *p }
+}
+`
+	bodies := build(t, src)
+	body := bodies["loopy"]
+	res := dropflow.Analyze(body, dropflow.Options{MaxVisits: 1})
+	if !res.Bailed {
+		t.Fatal("a one-visit budget on a loop must bail")
+	}
+	if res.RefutesUseDead(dropflow.SiteKey{}) {
+		t.Fatal("a bailed result must refute nothing")
+	}
+}
+
+// Double-free through a ptr::read ownership duplicate.
+func TestPtrReadDoubleDropFlagged(t *testing.T) {
+	src := `
+struct Wrap { v: Vec<u8> }
+
+pub fn dup_drop() {
+    let w = Wrap { v: Vec::new() };
+    let r = &w as *const Wrap;
+    let w2 = unsafe { ptr::read(r) };
+    drop(w2);
+}
+`
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "dup_drop")
+	v, found := verdictFor(t, bodies["dup_drop"], res, "r")
+	if !found || !v.MayDoubleFree {
+		t.Fatalf("dropping both the original and the ptr::read duplicate must flag the read site (found=%v, v=%+v)", found, v)
+	}
+}
+
+func TestPtrReadExclusivePathsRefuted(t *testing.T) {
+	src := `
+struct Wrap { v: Vec<u8> }
+
+pub fn dup_one_path(c: bool) {
+    let w = Wrap { v: Vec::new() };
+    let r = &w as *const Wrap;
+    if c {
+        let w2 = unsafe { ptr::read(r) };
+        drop(w2);
+        forget(w);
+    }
+}
+`
+	bodies := build(t, src)
+	res := analyzeFn(t, bodies, "dup_one_path")
+	if res.Bailed {
+		t.Fatal("walk bailed")
+	}
+	v, found := verdictFor(t, bodies["dup_one_path"], res, "r")
+	if !found {
+		t.Fatal("no site recorded for r")
+	}
+	if v.MayDoubleFree {
+		t.Fatal("forget neutralizes the original owner: no path frees twice")
+	}
+}

@@ -1,0 +1,215 @@
+package dropflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/callgraph"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/summary"
+)
+
+// Cond is one guard condition: "parameter Param holds constant Value".
+type Cond struct {
+	Param int
+	Value string
+}
+
+// CondSet is a conjunction of conditions under which a dereference is
+// reachable. The empty set means unconditionally reachable.
+type CondSet []Cond
+
+// Guard is a disjunction of CondSets: the parameter is dereferenced when
+// any member set is satisfied.
+type Guard []CondSet
+
+// maxGuardSites caps how many distinct guarded sites a parameter keeps
+// before collapsing to an unconditional dereference.
+const maxGuardSites = 4
+
+// FnSummary is the caller-indexed parameter-dereference summary of one
+// function: which parameters it (transitively) dereferences, under which
+// argument-value guards. Opaque marks a function the walk could not
+// reason about — callers must assume every pointer argument is
+// dereferenced unconditionally.
+type FnSummary struct {
+	Opaque bool
+	Params map[int]Guard
+}
+
+// addSite records one guarded dereference of parameter idx.
+func (f *FnSummary) addSite(idx int, conds CondSet) {
+	if f.Params == nil {
+		f.Params = map[int]Guard{}
+	}
+	guard := f.Params[idx]
+	if len(guard) == 1 && len(guard[0]) == 0 {
+		return // already unconditional
+	}
+	if len(conds) == 0 {
+		f.Params[idx] = Guard{CondSet{}}
+		return
+	}
+	key := conds.String()
+	for _, existing := range guard {
+		if existing.String() == key {
+			return
+		}
+	}
+	guard = append(guard, conds)
+	if len(guard) > maxGuardSites {
+		guard = Guard{CondSet{}}
+	}
+	f.Params[idx] = guard
+}
+
+// derefsParam reports whether parameter idx may be dereferenced at a call
+// site, evaluating each guard condition through eval (which resolves it
+// against the call's arguments). Undecidable conditions count as
+// satisfiable.
+func (f *FnSummary) derefsParam(idx int, eval func(Cond) condTruth) bool {
+	if f.Opaque {
+		return true
+	}
+	guard, ok := f.Params[idx]
+	if !ok {
+		return false
+	}
+	for _, conds := range guard {
+		satisfied := true
+		for _, c := range conds {
+			if eval(c) == condFalse {
+				satisfied = false
+				break
+			}
+		}
+		if satisfied {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize sorts the summary into canonical form so String is stable.
+func (f *FnSummary) normalize() {
+	for idx, guard := range f.Params {
+		sort.Slice(guard, func(i, j int) bool { return guard[i].String() < guard[j].String() })
+		f.Params[idx] = guard
+	}
+}
+
+func (c CondSet) String() string {
+	parts := make([]string, len(c))
+	for i, cond := range c {
+		parts[i] = fmt.Sprintf("p%d=%s", cond.Param, cond.Value)
+	}
+	return strings.Join(parts, "&")
+}
+
+// String renders the summary canonically (used as the fixpoint equality
+// check and in tests).
+func (f *FnSummary) String() string {
+	if f == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	if f.Opaque {
+		b.WriteString("opaque;")
+	}
+	idxs := make([]int, 0, len(f.Params))
+	for idx := range f.Params {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		guard := f.Params[idx]
+		parts := make([]string, len(guard))
+		for i, conds := range guard {
+			if len(conds) == 0 {
+				parts[i] = "always"
+			} else {
+				parts[i] = conds.String()
+			}
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(&b, "p%d:[%s];", idx, strings.Join(parts, "|"))
+	}
+	return b.String()
+}
+
+// Equal reports canonical equality.
+func (f *FnSummary) Equal(o *FnSummary) bool { return f.String() == o.String() }
+
+// clone deep-copies the summary (guards are shared copy-on-write through
+// addSite, so a full copy keeps fixpoint iterations independent).
+func (f *FnSummary) clone() *FnSummary {
+	out := &FnSummary{Opaque: f.Opaque}
+	if f.Params != nil {
+		out.Params = make(map[int]Guard, len(f.Params))
+		for idx, guard := range f.Params {
+			g := make(Guard, len(guard))
+			for i, conds := range guard {
+				g[i] = append(CondSet(nil), conds...)
+			}
+			out.Params[idx] = g
+		}
+	}
+	return out
+}
+
+func unionConds(a, b CondSet) CondSet {
+	seen := map[string]bool{}
+	out := CondSet{}
+	for _, c := range append(append(CondSet{}, a...), b...) {
+		k := fmt.Sprintf("p%d=%s", c.Param, c.Value)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Param != out[j].Param {
+			return out[i].Param < out[j].Param
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// ComputeSummaries runs the context-sensitive parameter-dereference
+// summary fixpoint bottom-up over the call graph's SCC condensation.
+// Functions in SCCs that hit the iteration cap, and functions whose walk
+// bailed, come back Opaque so callers stay conservative.
+func ComputeSummaries(bodies map[string]*mir.Body, g *callgraph.Graph) map[string]*FnSummary {
+	prob := &summary.Problem[*FnSummary]{
+		Bottom: func(fn string) *FnSummary { return &FnSummary{} },
+		Transfer: func(fn string, get summary.Lookup[*FnSummary]) *FnSummary {
+			body := bodies[fn]
+			if body == nil {
+				return &FnSummary{}
+			}
+			res := Analyze(body, Options{Lookup: func(callee string) (*FnSummary, bool) {
+				s, ok := get(callee)
+				if !ok || s == nil {
+					return nil, false
+				}
+				return s, true
+			}})
+			return res.Summary
+		},
+		Equal: func(a, b *FnSummary) bool { return a.Equal(b) },
+	}
+	res := summary.Compute(g, prob)
+	out := make(map[string]*FnSummary, len(res.Summaries))
+	for fn, s := range res.Summaries {
+		if res.Truncated[fn] {
+			// A sound-so-far under-approximation is the wrong direction
+			// for refutation: replace with full conservatism.
+			out[fn] = &FnSummary{Opaque: true}
+			continue
+		}
+		out[fn] = s
+	}
+	return out
+}

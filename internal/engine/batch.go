@@ -19,6 +19,10 @@ import (
 type BatchRequest struct {
 	Files     map[string]string `json:"files"`
 	Detectors []string          `json:"detectors,omitempty"`
+	// Precise selects the path-sensitive detector variants for every file
+	// in the set; like Detectors it is part of both the per-file and the
+	// set-level cache keys.
+	Precise bool `json:"precise,omitempty"`
 }
 
 // Batch error kinds, classifying per-file failures for clients deciding
@@ -97,6 +101,9 @@ func (r BatchRequest) setKey() string {
 	sort.Strings(ds)
 	for _, d := range ds {
 		fmt.Fprintf(h, "detector\x00%s\x00", d)
+	}
+	if r.Precise {
+		fmt.Fprintf(h, "precise\x00")
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -206,6 +213,7 @@ func (e *Engine) AnalyzeBatch(ctx context.Context, req BatchRequest) (*BatchResp
 			resp, err := e.Analyze(ctx, Request{
 				Files:     map[string]string{name: req.Files[name]},
 				Detectors: req.Detectors,
+				Precise:   req.Precise,
 			})
 			entries[i] = batchEntryFor(resp, err)
 		}(i, name)

@@ -73,6 +73,10 @@ type Request struct {
 	Files     map[string]string `json:"files,omitempty"`
 	Corpus    string            `json:"corpus,omitempty"`
 	Detectors []string          `json:"detectors,omitempty"`
+	// Precise selects the path-sensitive (dropflow-refuting) variants of
+	// the memory detectors. It is part of the cache key: default and
+	// precise results for the same sources are distinct entries.
+	Precise bool `json:"precise,omitempty"`
 }
 
 // Finding is a fully resolved, serializable detector report (positions
@@ -471,6 +475,7 @@ func analyzeFrontend(req Request) (*rustprobe.Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
+		res.Precise = req.Precise
 		return res, nil
 	}
 	res, err := rustprobe.AnalyzeFiles(req.Files)
@@ -480,6 +485,7 @@ func analyzeFrontend(req Request) (*rustprobe.Result, error) {
 		}
 		return nil, fmt.Errorf("engine: %w", err)
 	}
+	res.Precise = req.Precise
 	return res, nil
 }
 
@@ -530,6 +536,9 @@ func (r Request) Key() string {
 	sort.Strings(ds)
 	for _, d := range ds {
 		fmt.Fprintf(h, "detector\x00%s\x00", d)
+	}
+	if r.Precise {
+		fmt.Fprintf(h, "precise\x00")
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -64,6 +64,12 @@ type Program struct {
 	// harness skips the static-vs-dynamic cross-check for those and
 	// counts them instead of logging spurious discrepancies.
 	DynVisible bool
+	// FPProne marks templates whose clean variant is safe but reported
+	// by the default (paper-faithful) detectors anyway — the §7
+	// false-positive shapes. The differential harness treats clean-variant
+	// findings on these as expected in default mode and as hard failures
+	// in precise mode, which must refute all of them.
+	FPProne bool
 }
 
 // String summarizes the program for logs.
@@ -100,7 +106,7 @@ func build(seed int64, rng *rand.Rand, kind Kind, buggy bool) *Program {
 	tmpls := templates[kind]
 	t := tmpls[rng.Intn(len(tmpls))]
 
-	p := &Program{Seed: seed, Kind: kind, Buggy: buggy, Template: t.name, DynVisible: !t.dynInvisible}
+	p := &Program{Seed: seed, Kind: kind, Buggy: buggy, Template: t.name, DynVisible: !t.dynInvisible, FPProne: t.fpProne}
 	variant := "clean"
 	if buggy {
 		variant = "buggy"
@@ -202,6 +208,9 @@ type template struct {
 	emit func(e *emitter, p *Program, buggy bool)
 	// dynInvisible marks shapes interp cannot witness (see Program.DynVisible).
 	dynInvisible bool
+	// fpProne marks shapes whose clean variant the default detectors
+	// report anyway (see Program.FPProne).
+	fpProne bool
 }
 
 var templates = map[Kind][]template{
@@ -210,6 +219,9 @@ var templates = map[Kind][]template{
 		{name: "uaf-scratch-buffer", emit: emitUAFScratchBuffer},
 		{name: "uaf-drop-then-deref", emit: emitUAFDropThenDeref},
 		{name: "uaf-interproc-sink", emit: emitUAFInterprocSink, dynInvisible: true},
+		{name: "uaf-intoraw-roundtrip", emit: emitUAFIntoRawRoundtrip},
+		{name: "uaf-branch-correlated-free", emit: emitUAFBranchCorrelated, dynInvisible: true, fpProne: true},
+		{name: "uaf-context-split", emit: emitUAFContextSplit, dynInvisible: true, fpProne: true},
 	},
 	KindDoubleLock: {
 		{name: "dl-sequential", emit: emitDLSequential},
@@ -343,6 +355,108 @@ func emitUAFInterprocSink(e *emitter, p *Program, buggy bool) {
 		e.ln("    consume(n);")
 		e.ln("    let p = scratch.as_ptr();")
 		e.lnf("    %s(p)", sink)
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// A Box::into_raw/from_raw round-trip woven around a plain drop-then-deref.
+// The buggy variant dereferences the vec's pointer after dropping the vec
+// (dynamically visible); the clean variant's raw pointer outlives the
+// owner's scope legitimately because into_raw released ownership — the
+// alias class survives the round-trip, so neither mode may report it.
+func emitUAFIntoRawRoundtrip(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	p.FuncName = fn
+	e.lnf("pub fn %s(t: i32) {", fn)
+	e.ln("    let data = Vec::new();")
+	e.ln("    let q = data.as_ptr();")
+	e.ln("    let raw = {")
+	e.ln("        let owner = Box::new(t);")
+	e.ln("        Box::into_raw(owner)")
+	e.ln("    };")
+	if buggy {
+		p.Line = e.mark()
+		e.ln("    drop(data);")
+		e.ln("    unsafe {")
+		e.ln("        let x = *q;")
+		e.ln("        let back = Box::from_raw(raw);")
+		e.ln("        drop(back);")
+		e.ln("        consume(x);")
+		e.ln("    }")
+	} else {
+		p.Line = e.mark()
+		e.ln("    unsafe {")
+		e.ln("        let x = *q;")
+		e.ln("        let got = *raw;")
+		e.ln("        let back = Box::from_raw(raw);")
+		e.ln("        drop(back);")
+		e.ln("        consume(x);")
+		e.ln("        consume(got);")
+		e.ln("    }")
+		e.ln("    drop(data);")
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// The fp_path shape (paper FP 3): the buggy variant drops and dereferences
+// under the same condition; the clean variant drops under c and
+// dereferences under !c — exclusive paths the default detector's joined
+// dataflow cannot separate, so its clean variant is an expected default
+// false positive. interp forks both arms valuelessly and would report the
+// infeasible path, so the template is static-only.
+func emitUAFBranchCorrelated(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	p.FuncName = fn
+	e.lnf("pub fn %s(c: bool) {", fn)
+	e.ln("    let data = Vec::new();")
+	e.ln("    let p = data.as_ptr();")
+	if buggy {
+		e.ln("    if c {")
+		p.Line = e.mark()
+		e.ln("        drop(data);")
+		e.ln("        unsafe { let x = *p; }")
+		e.ln("    }")
+	} else {
+		e.ln("    if c {")
+		p.Line = e.mark()
+		e.ln("        drop(data);")
+		e.ln("    }")
+		e.ln("    if !c {")
+		e.ln("        unsafe { let x = *p; }")
+		e.ln("    }")
+	}
+	e.ln("}")
+	e.ln("")
+}
+
+// The fp_context shape (paper FP 1): a helper dereferences its pointer
+// parameter only when its flag parameter holds. The buggy variant passes
+// true with a dangling pointer; the clean one passes false, which the
+// default context-insensitive summary cannot see — an expected default
+// false positive that the precise mode's guarded summaries refute.
+func emitUAFContextSplit(e *emitter, p *Program, buggy bool) {
+	fn, helper := e.fnName(), e.fnName()
+	size := 16 << e.rng.Intn(5)
+	p.FuncName = fn
+	e.lnf("fn %s(p: *const u8, deep: bool) -> u8 {", helper)
+	e.ln("    if deep {")
+	e.ln("        unsafe { return *p; }")
+	e.ln("    }")
+	e.ln("    0")
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub fn %s(n: i32) -> u8 {", fn)
+	e.lnf("    let scratch = vec![0u8; %d];", size)
+	e.ln("    consume(n);")
+	e.ln("    let p = scratch.as_ptr();")
+	p.Line = e.mark()
+	e.ln("    drop(scratch);")
+	if buggy {
+		e.lnf("    %s(p, true)", helper)
+	} else {
+		e.lnf("    %s(p, false)", helper)
 	}
 	e.ln("}")
 	e.ln("")

@@ -301,6 +301,20 @@ func DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP int) string {
 	return b.String()
 }
 
+// DetectorPreciseSection renders the §7 precision delta: the default
+// (paper-faithful) UAF numbers next to the SafeDrop-style path-sensitive
+// mode's, measured on the same evaluation corpus.
+func DetectorPreciseSection(defTP, defFP, preTP, preFP int) string {
+	var b strings.Builder
+	b.WriteString("Section 7 precision delta (default vs precise UAF detector).\n")
+	fmt.Fprintf(&b, "  %-22s %8s %8s\n", "", "default", "precise")
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "UAF bugs found", defTP, preTP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "UAF false positives", defFP, preFP)
+	fmt.Fprintf(&b, "  expected: %d/%d default, %d/%d precise (all planted fp_ patterns refuted)\n",
+		study.UAFBugsFound, study.UAFFalsePositives, study.UAFPreciseBugsFound, study.UAFPreciseFalsePositives)
+	return b.String()
+}
+
 // InsightsSection renders the paper's insight/suggestion catalog with the
 // rustprobe component that operationalizes each.
 func InsightsSection() string {

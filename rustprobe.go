@@ -61,7 +61,7 @@ import (
 // the engine folds it (with the detector registry) into the persistent
 // store's entry version, so old entries self-invalidate instead of being
 // served.
-const AnalyzerVersion = "6"
+const AnalyzerVersion = "7"
 
 // Finding re-exports the detector finding type.
 type Finding = detect.Finding
@@ -76,6 +76,12 @@ type Result struct {
 	Bodies  map[string]*mir.Body
 	Fset    *source.FileSet
 	Diags   *source.Diagnostics
+
+	// Precise selects the SafeDrop-style path-sensitive detector variants
+	// for Detect/DetectParallel: default candidate findings that the
+	// shared dropflow analysis refutes are dropped. Off by default so the
+	// paper's §7 results stay reproducible.
+	Precise bool
 
 	ctxOnce sync.Once
 	ctx     *detect.Context
@@ -364,13 +370,18 @@ func (r *Result) Context() *detect.Context {
 // Detectors returns the built-in static detector registry in a stable
 // order. The opt-in "dynamic" detector (the bounded Miri-style explorer)
 // is not part of the default suite; select it by name in Detect.
-func Detectors() []Detector {
+func Detectors() []Detector { return detectorRegistry(false) }
+
+// detectorRegistry builds the static suite; precise selects the
+// path-sensitive (dropflow-refuting) variants of the memory detectors.
+// The lock and concurrency detectors have no precise variant.
+func detectorRegistry(precise bool) []Detector {
 	return []Detector{
-		uaf.New(),
+		&uaf.Detector{Precise: precise},
 		doublelock.New(),
 		lockorder.New(),
-		dfree.New(),
-		uninit.New(),
+		&dfree.Detector{Precise: precise},
+		&uninit.Detector{Precise: precise},
 		interiormut.New(),
 		race.New(),
 	}
@@ -381,12 +392,12 @@ func Detectors() []Detector {
 // callees, and the (always fully present) resolved program registry.
 // Incremental sessions re-run them only over the dirty callgraph closure
 // and reuse cached findings for every other root.
-func localDetectors() []Detector {
+func localDetectors(precise bool) []Detector {
 	return []Detector{
-		uaf.New(),
+		&uaf.Detector{Precise: precise},
 		doublelock.New(),
-		dfree.New(),
-		uninit.New(),
+		&dfree.Detector{Precise: precise},
+		&uninit.Detector{Precise: precise},
 	}
 }
 
@@ -422,7 +433,7 @@ func (r *Result) Detect(names ...string) []Finding {
 		want[n] = true
 	}
 	var out []Finding
-	for _, d := range Detectors() {
+	for _, d := range detectorRegistry(r.Precise) {
 		if len(want) > 0 && !want[d.Name()] {
 			continue
 		}
@@ -493,7 +504,7 @@ func (r *Result) DetectParallelTimedCtx(ctx context.Context, names ...string) ([
 	for _, n := range names {
 		want[n] = true
 	}
-	ds := Detectors()
+	ds := detectorRegistry(r.Precise)
 	if want["dynamic"] {
 		ds = append(ds, dynamic.New())
 	}

@@ -51,13 +51,14 @@ import (
 //
 // A Session is safe for concurrent use; calls serialize internally.
 type Session struct {
-	mu    sync.Mutex
-	fset  *source.FileSet
-	arts  map[string]*fileArtifact
-	res   *Result
-	src   map[string]string // last successfully analyzed content
-	local map[string][]Finding
-	last  *Update
+	mu      sync.Mutex
+	precise bool
+	fset    *source.FileSet
+	arts    map[string]*fileArtifact
+	res     *Result
+	src     map[string]string // last successfully analyzed content
+	local   map[string][]Finding
+	last    *Update
 }
 
 // Update is one Session.Analyze round: the full analysis view, the
@@ -96,6 +97,12 @@ var (
 // NewSession returns an empty incremental session.
 func NewSession() *Session {
 	return &Session{}
+}
+
+// NewPreciseSession returns a session whose rounds run the path-sensitive
+// (dropflow-refuting) variants of the memory detectors.
+func NewPreciseSession() *Session {
+	return &Session{precise: true}
 }
 
 // AnalyzeDir loads dir (see LoadDir for the walk rules) and runs an
@@ -251,7 +258,7 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 		bodies[bname] = b
 	}
 
-	res := &Result{Program: prog, Bodies: bodies, Fset: s.fset, Diags: diags}
+	res := &Result{Program: prog, Bodies: bodies, Fset: s.fset, Diags: diags, Precise: s.precise}
 
 	// Incremental detection: local detectors over the dirty callgraph
 	// closure, cached findings for every root outside it, global
@@ -306,11 +313,12 @@ func (s *Session) full(files map[string]string, reason string) (*Update, error) 
 	if err != nil {
 		return nil, err
 	}
+	res.Precise = s.precise
 
 	ctx := res.Context()
 	var findings []Finding
 	local := map[string][]Finding{}
-	for _, d := range localDetectors() {
+	for _, d := range localDetectors(s.precise) {
 		for _, f := range d.Run(ctx) {
 			findings = append(findings, f)
 			local[f.Function] = append(local[f.Function], f)
@@ -446,7 +454,7 @@ func (r *Result) DetectIncremental(changedFns []string) (local, global []Finding
 		}
 	}
 	localCtx := detect.NewContext(r.Program, restrictedBodies)
-	for _, d := range localDetectors() {
+	for _, d := range localDetectors(r.Precise) {
 		local = append(local, d.Run(localCtx)...)
 	}
 	for _, d := range globalDetectors() {
