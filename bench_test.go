@@ -24,6 +24,7 @@ import (
 	"rustprobe/internal/callgraph"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
@@ -248,6 +249,27 @@ func BenchmarkDetectRace(b *testing.B) {
 		b.StartTimer()
 		findings := race.New().Run(ctx)
 		if len(findings) != study.RaceBugsFound {
+			b.Fatalf("findings = %d", len(findings))
+		}
+	}
+}
+
+// BenchmarkDetectBlocking times the §6.1 wait-for-graph blocking-bug
+// detector (channel hold-and-wait, orphaned recv, condvar lost signal,
+// Once reentrancy) over the patterns corpus, where it must find exactly
+// the six seeded blocking bugs and stay silent on their negative pairs.
+func BenchmarkDetectBlocking(b *testing.B) {
+	prog, diags, err := corpus.Load(corpus.GroupPatterns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bodies := lower.Program(prog, diags)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ctx := detect.NewContext(prog, bodies)
+		b.StartTimer()
+		findings := blocking.New().Run(ctx)
+		if len(findings) != study.BlockingBugsFound {
 			b.Fatalf("findings = %d", len(findings))
 		}
 	}

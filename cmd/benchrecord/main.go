@@ -148,6 +148,28 @@ func main() {
 		rec.Benchmarks["corpus/"+g] = toResult(r)
 	}
 
+	// Per-detector trajectory record for the §6.1 blocking pass: time the
+	// wait-for-graph detector alone over the patterns corpus (where its six
+	// seeded bugs live). No regression gate yet — the committed number is
+	// the baseline later records compare against.
+	fmt.Fprintln(os.Stderr, "bench detect/blocking...")
+	{
+		res, err := rustprobe.AnalyzeCorpus("patterns")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(res.Detect("blocking")) == 0 {
+					b.Fatal("blocking detector found nothing on the patterns corpus")
+				}
+			}
+		})
+		rec.Benchmarks["detect/blocking"] = toResult(r)
+	}
+
 	programs := fleet(*seeds)
 
 	fmt.Fprintf(os.Stderr, "bench gen%d/cold-store...\n", *seeds)

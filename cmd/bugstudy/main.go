@@ -20,6 +20,7 @@ import (
 	"rustprobe"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/race"
 	"rustprobe/internal/detect/uaf"
@@ -89,7 +90,8 @@ func main() {
 		case "detectors":
 			uafTP, uafFP, dlTP, dlFP := measureDetectors()
 			raceTP, raceFP := measureRaceDetector()
-			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP))
+			blkTP, blkFP := measureBlockingDetector()
+			fmt.Print(report.DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP, blkTP, blkFP))
 			if *precise {
 				preTP, preFP := measurePreciseUAF()
 				fmt.Println()
@@ -249,6 +251,30 @@ func measureRaceDetector() (raceTP, raceFP int) {
 			raceFP++
 		} else {
 			raceTP++
+		}
+	}
+	return
+}
+
+// measureBlockingDetector runs the §6.1 blocking-bug detector over the
+// patterns corpus, which seeds the channel hold-and-wait, orphaned-recv,
+// condvar lost-signal, and Once-reentrancy shapes next to their fixed
+// variants; findings in *_fixed (or other clean) functions count as
+// false positives.
+func measureBlockingDetector() (blkTP, blkFP int) {
+	res, err := rustprobe.AnalyzeCorpus("patterns")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range blocking.New().Run(res.Context()) {
+		if f.Kind != detect.KindBlocking {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") || strings.Contains(f.Function, "fp_") {
+			blkFP++
+		} else {
+			blkTP++
 		}
 	}
 	return

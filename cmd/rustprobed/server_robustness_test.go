@@ -334,6 +334,7 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		"# TYPE rustprobed_queue_depth gauge",
 		"# HELP rustprobed_panics_total",
 		`rustprobed_detector_wall_ms_total{detector="use-after-free"}`,
+		`rustprobed_detector_wall_ms_total{detector="blocking"}`,
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("metrics missing %q:\n%s", series, text)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/dfree"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/interiormut"
@@ -192,6 +193,51 @@ func TestSection62RaceResults(t *testing.T) {
 	}
 }
 
+// TestSection61BlockingResults pins the §6.1 extension: the blocking
+// detector finds the six seeded non-double-lock blocking bugs in the
+// patterns corpus — two channel hold-and-wait cycles, one orphaned recv,
+// two Condvar lost signals, one Once reentrancy — and stays silent on
+// every paired fixed variant and negative control.
+func TestSection61BlockingResults(t *testing.T) {
+	ctx := loadCtx(t, GroupPatterns)
+	findings := blocking.New().Run(ctx)
+	var tps, fps int
+	for _, f := range findings {
+		if f.Kind != detect.KindBlocking {
+			continue
+		}
+		if strings.Contains(f.Function, "fixed") || strings.Contains(f.Function, "fp_") {
+			fps++
+		} else {
+			tps++
+		}
+	}
+	if tps != study.BlockingBugsFound {
+		t.Errorf("blocking true positives = %d, want %d\n%s", tps, study.BlockingBugsFound, dump(ctx, findings))
+	}
+	if fps != study.BlockingFalsePos {
+		t.Errorf("blocking false positives = %d, want %d\n%s", fps, study.BlockingFalsePos, dump(ctx, findings))
+	}
+	// One finding per seeded bug, in the expected function.
+	perFn := map[string]int{}
+	for _, f := range findings {
+		perFn[f.Function]++
+	}
+	for _, fn := range []string{"ScriptThread::sync_reflow", "Pipeline::recv_while_locked",
+		"poll_orphaned", "Miner::wait_for_seal", "Worker::wait_forever", "recursive_once"} {
+		if perFn[fn] != 1 {
+			t.Errorf("function %s flagged %d times, want 1\n%s", fn, perFn[fn], dump(ctx, findings))
+		}
+	}
+	// Negative controls must be silent.
+	for _, fn := range []string{"ScriptThread::sync_reflow_fixed", "Sealer::await_seal",
+		"WorkerFixed::wait_ready", "poll_with_sender", "config_fixed", "layered_init"} {
+		if perFn[fn] != 0 {
+			t.Errorf("negative control %s flagged\n%s", fn, dump(ctx, findings))
+		}
+	}
+}
+
 // TestPatternsFlagBuggyNotFixed runs both detectors over the figure
 // patterns: every figure's buggy function must be flagged, every fixed
 // variant must stay clean.
@@ -201,13 +247,15 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 	findings = append(findings, uaf.New().Run(ctx)...)
 	findings = append(findings, doublelock.New().Run(ctx)...)
 	findings = append(findings, race.New().Run(ctx)...)
+	findings = append(findings, blocking.New().Run(ctx)...)
 
 	flagged := map[string]bool{}
 	for _, f := range findings {
 		flagged[f.Function] = true
 	}
 	mustFlag := []string{"sign", "do_request", "RegionRegistry::broken_reload",
-		"push_work", "dispatch", "spawn_reflow", "audit_workers", "shard_counters"}
+		"push_work", "dispatch", "spawn_reflow", "audit_workers", "shard_counters",
+		"ScriptThread::sync_reflow", "Miner::wait_for_seal", "recursive_once"}
 	for _, fn := range mustFlag {
 		if !flagged[fn] {
 			t.Errorf("buggy pattern %s not flagged\n%s", fn, dump(ctx, findings))
@@ -215,7 +263,9 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 	}
 	mustNotFlag := []string{"sign_fixed", "do_request_fixed", "RegionRegistry::fixed_reload",
 		"push_work_fixed", "spawn_reflow_fixed", "guarded_update", "single_thread_alias",
-		"guard_handoff", "atomic_counter"}
+		"guard_handoff", "atomic_counter",
+		"ScriptThread::sync_reflow_fixed", "Sealer::await_seal", "WorkerFixed::wait_ready",
+		"poll_with_sender", "config_fixed", "layered_init"}
 	for _, fn := range mustNotFlag {
 		if flagged[fn] {
 			t.Errorf("fixed pattern %s flagged\n%s", fn, dump(ctx, findings))
@@ -284,6 +334,7 @@ func TestAppsGroupClean(t *testing.T) {
 	findings = append(findings, uaf.New().Run(ctx)...)
 	findings = append(findings, doublelock.New().Run(ctx)...)
 	findings = append(findings, race.New().Run(ctx)...)
+	findings = append(findings, blocking.New().Run(ctx)...)
 	if len(findings) != 0 {
 		t.Fatalf("apps group flagged:\n%s", dump(ctx, findings))
 	}
@@ -342,7 +393,7 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 	ctx := loadCtx(t, GroupPatterns)
 	var got []string
 	for _, d := range []detect.Detector{
-		uaf.New(), doublelock.New(), lockorder.New(),
+		uaf.New(), doublelock.New(), lockorder.New(), blocking.New(),
 		dfree.New(), uninit.New(), interiormut.New(), race.New(),
 	} {
 		for _, f := range d.Run(ctx) {
@@ -351,6 +402,12 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 	}
 	sort.Strings(got)
 	want := []string{
+		"blocking|Miner::wait_for_seal",                                    // condvar.rs conditional notify
+		"blocking|Pipeline::recv_while_locked",                             // blocking_patterns.rs hold-and-wait
+		"blocking|ScriptThread::sync_reflow",                               // channel_deadlock.rs recv under sender's lock
+		"blocking|Worker::wait_forever",                                    // blocking_patterns.rs missing notify
+		"blocking|poll_orphaned",                                           // channel_deadlock.rs dropped sender
+		"blocking|recursive_once",                                          // blocking_patterns.rs Once reentrancy
 		"conflicting-lock-order|Ledger::path_a",                            // lock_order.rs AB-BA
 		"data-race|audit_workers",                                          // race_metrics.rs static mut via helper
 		"data-race|dispatch",                                               // race_scheme.rs Vec push vs len

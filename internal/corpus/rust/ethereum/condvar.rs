@@ -20,12 +20,27 @@ impl Miner {
             self.cv.notify_all();
         }
     }
+}
 
-    // Fixed pair: every state change notifies.
+// Fixed pair on its own type: every state change notifies, so the waiter
+// always has a reachable signaller. Negative control for the blocking
+// detector's lost-signal rule.
+struct Sealer {
+    sealing: Mutex<bool>,
+    done: Condvar,
+}
+
+impl Sealer {
+    fn await_seal(&self) {
+        let mut g = self.sealing.lock().unwrap();
+        let g2 = self.done.wait(g);
+        consume(g2);
+    }
+
     fn finish_seal(&self) {
         let mut g = self.sealing.lock().unwrap();
         *g = true;
         drop(g);
-        self.cv.notify_all();
+        self.done.notify_all();
     }
 }

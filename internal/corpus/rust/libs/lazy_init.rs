@@ -26,6 +26,23 @@ pub fn config_fixed(once: Once) -> i32 {
     unsafe { CONFIG }
 }
 
+// Negative control for the Once-reentrancy rule: two distinct Once cells
+// layered through a helper; neither initializer re-enters its own cell.
+pub fn layered_init(first: Once, second: Once) -> i32 {
+    first.call_once(|| {
+        second_init(second);
+    });
+    unsafe { CONFIG }
+}
+
+fn second_init(second: Once) {
+    second.call_once(|| {
+        unsafe {
+            CONFIG = load_config();
+        }
+    });
+}
+
 fn load_config() -> i32 {
     42
 }

@@ -8,21 +8,33 @@ struct Worker {
 }
 
 impl Worker {
-    // Condvar bug: nobody ever calls notify; the waiter blocks forever.
+    // Condvar bug: no Worker method ever notifies self.cv; the waiter
+    // blocks forever.
     fn wait_forever(&self) {
         let mut g = self.ready.lock().unwrap();
         let g2 = self.cv.wait(g);
         consume(g2);
     }
+}
 
-    fn wait_fixed(&self) {
+// Fix shape on its own type: the producer notifies on every call, so the
+// waiter always has a reachable signaller.
+struct WorkerFixed {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl WorkerFixed {
+    fn wait_ready(&self) {
         let mut g = self.ready.lock().unwrap();
         let g2 = self.cv.wait(g);
         consume(g2);
     }
 
-    fn producer_fixed(&self) {
+    fn finish(&self) {
         let mut g = self.ready.lock().unwrap();
+        *g = true;
+        drop(g);
         self.cv.notify_all();
     }
 }
@@ -45,13 +57,16 @@ impl Pipeline {
     }
 }
 
-// Once bug: the init closure re-enters call_once on the same Once.
+// Once bug: the init closure re-enters call_once on the same Once through
+// a helper.
 fn recursive_once(once: Once) {
     once.call_once(|| {
-        helper_init();
+        helper_init(once);
     });
 }
 
-fn helper_init() {
-    do_init();
+fn helper_init(once: Once) {
+    once.call_once(|| {
+        do_init();
+    });
 }

@@ -1,6 +1,7 @@
 // Servo's channel blocking bugs (Table 3: 5 of its 13 blocking bugs are
 // channel bugs): a paint thread waiting for a message its script thread
-// can never send, and the all-ends-waiting shape.
+// can never send, the orphaned-receive shape, and the all-ends-waiting
+// shape.
 
 struct ScriptThread {
     to_paint: Sender<i32>,
@@ -28,6 +29,25 @@ impl ScriptThread {
         let layout = self.from_paint.recv().unwrap();
         apply(snapshot, layout);
     }
+}
+
+// Orphaned receive: the only sender half is dropped before the recv, so
+// the channel can never produce a message.
+fn poll_orphaned() -> i32 {
+    let (tx, rx) = mpsc::channel();
+    drop(tx);
+    let v = rx.recv().unwrap();
+    v
+}
+
+// Negative control: a spawned thread owns a live sender half.
+fn poll_with_sender() -> i32 {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        tx.send(7);
+    });
+    let v = rx.recv().unwrap();
+    v
 }
 
 // All ends waiting: both workers pull before either pushes.

@@ -1,0 +1,1005 @@
+// Package blocking implements the §6.1 blocking-bug detector for the
+// non-double-lock shapes the study attributes most blocking bugs to:
+// channel hold-and-wait deadlocks, receives whose every sender half is
+// gone, Condvar waits with no reachable (unconditional) signaller, and
+// Once initializers that re-enter their own cell.
+//
+// The detector builds a wait-for relation between blocking operations and
+// the resources that would unblock them. Nodes are canonical resource
+// paths — channel endpoints, condvars and Once cells named in the same
+// path language the lock detectors use ("self.client", "queue",
+// "static CONFIG") and qualified by impl type or owning function so
+// facts from different functions compare. Edges come from two sources:
+// the locks held at each blocking operation (reusing the double-lock
+// detector's guard tracking), and the operation's own resource. A report
+// is a cycle (the receiver holds the lock its sender needs; an
+// initializer waits on the Once it is initializing) or an orphaned wait
+// (a recv or Condvar::wait whose wake-up edge provably never fires).
+//
+// Like the race detector, per-function facts are summarized bottom-up
+// over the call graph (SCC fixpoint), so a recv buried in a helper still
+// reports against the caller that holds the lock.
+package blocking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rustprobe/internal/cfg"
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/source"
+	"rustprobe/internal/summary"
+)
+
+const (
+	maxBlockingIter = 64
+	// maxPathDepth bounds translated paths through recursive call chains.
+	maxPathDepth = 8
+)
+
+// channel constructors whose tuple result provides sender/receiver
+// provenance for the orphaned-receive rule. Mirrors the lowering's
+// intrinsic table.
+var chanCtors = map[string]bool{
+	"channel::unbounded": true,
+	"mpsc::channel":      true,
+	"mpsc::sync_channel": true,
+}
+
+// Detector is the blocking-bug detector.
+type Detector struct{}
+
+// New returns the detector with default configuration.
+func New() *Detector { return &Detector{} }
+
+// Name implements detect.Detector.
+func (*Detector) Name() string { return "blocking" }
+
+type opKind int
+
+const (
+	opRecv opKind = iota
+	opSend
+	opOnce
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRecv:
+		return "recv"
+	case opSend:
+		return "send"
+	default:
+		return "call_once"
+	}
+}
+
+// event is one blocking-relevant operation, expressed in the namespace of
+// the function whose summary holds it.
+type event struct {
+	Kind opKind
+	Res  string // canonical resource path (channel endpoint or Once cell)
+	Fn   string // function whose body literally performs the operation
+	Span source.Span
+	// Locks held at the operation (recv/send only). Shrinks under merge:
+	// a lock counts only if held on every path that reaches the op.
+	Locks map[string]doublelock.Mode
+	// LocalProv marks endpoints derived from a channel constructor that
+	// is visible in the recording function; such endpoints are excluded
+	// from the same-impl-type pairing heuristic.
+	LocalProv bool
+}
+
+func (e *event) key() string {
+	return fmt.Sprintf("%d|%s|%s|%d", e.Kind, e.Res, e.Fn, e.Span.Start)
+}
+
+func (e *event) clone() *event {
+	c := *e
+	if e.Locks != nil {
+		c.Locks = cloneLocks(e.Locks)
+	}
+	return &c
+}
+
+// resSummary maps event keys to events; the inter-procedural fixpoint
+// grows the key set and shrinks locksets, both monotone.
+type resSummary map[string]*event
+
+type waitSite struct {
+	cv   string
+	span source.Span
+}
+
+type notifySite struct {
+	cv         string
+	span       source.Span
+	guaranteed bool // the notify lies on every entry→return path
+}
+
+type onceSite struct {
+	once    string
+	closure string // closure body name passed as initializer, "" if opaque
+	span    source.Span
+}
+
+type callSite struct {
+	callee   string
+	argPaths []string
+	held     map[string]doublelock.Mode
+}
+
+// chanProv tracks one visible channel construction: which locals alias
+// its sender/receiver halves and whether any sender stays live.
+type chanProv struct {
+	span      source.Span
+	tuple     map[mir.LocalID]bool
+	senders   map[mir.LocalID]bool
+	receivers map[mir.LocalID]bool
+}
+
+type funcInfo struct {
+	name     string
+	body     *mir.Body
+	res      *resolver
+	own      []*event // recv/send/once events in this body
+	calls    []callSite
+	waits    []waitSite
+	notifies []notifySite
+	onces    []onceSite
+	chans    []*chanProv
+	captures map[string]bool
+	params   map[string]bool
+}
+
+// Run implements detect.Detector.
+func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	names := ctx.Graph.Names()
+	infos := make(map[string]*funcInfo, len(names))
+	for _, name := range names {
+		infos[name] = d.analyze(ctx, name)
+	}
+	sums := d.buildSummaries(ctx, infos)
+
+	var out []detect.Finding
+	reported := map[int]bool{}
+	emit := func(f detect.Finding) {
+		if reported[f.Span.Start] {
+			return
+		}
+		reported[f.Span.Start] = true
+		out = append(out, f)
+	}
+
+	// Orphaned receives first: "the sender is gone" is the more precise
+	// diagnosis for a recv site than any lock-cycle pairing.
+	for _, name := range names {
+		d.orphanRecvs(ctx, infos[name], emit)
+	}
+	d.channelCycles(ctx, names, infos, sums, emit)
+	d.lostSignals(ctx, names, infos, emit)
+	d.onceReentry(ctx, names, infos, sums, emit)
+
+	detect.SortFindings(out)
+	return out
+}
+
+// analyze collects the per-function blocking facts.
+func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
+	body := ctx.Bodies[name]
+	g := cfg.New(body)
+	guards := doublelock.Guards(body)
+	live := doublelock.LiveGuards(body, g, guards)
+	res := newResolver(ctx, name, body, guards)
+	info := &funcInfo{
+		name:     name,
+		body:     body,
+		res:      res,
+		captures: map[string]bool{},
+		params:   map[string]bool{},
+	}
+	for _, c := range body.Captures {
+		info.captures[c] = true
+	}
+	for _, p := range paramNames(body) {
+		if p != "" {
+			info.params[p] = true
+		}
+	}
+	closureOf := closureLocals(body)
+	info.chans = channelProvenance(body)
+	endpoint := map[mir.LocalID]bool{}
+	for _, ch := range info.chans {
+		for l := range ch.senders {
+			endpoint[l] = true
+		}
+		for l := range ch.receivers {
+			endpoint[l] = true
+		}
+	}
+	localProv := func(path string) bool {
+		l, ok := res.byName[pathRoot(path)]
+		return ok && endpoint[l]
+	}
+
+	heldAt := func(blk mir.BlockID, idx int) map[string]doublelock.Mode {
+		held := doublelock.Held(live.StateAt(blk, idx), guards)
+		canon := make(map[string]doublelock.Mode, len(held))
+		for id, m := range held {
+			canon[res.canonPath(id)] = m
+		}
+		return canon
+	}
+	valid := func(p string) bool { return p != "" && pathDepth(p) <= maxPathDepth }
+
+	for _, blk := range body.Blocks {
+		if !g.Reachable(blk.ID) {
+			continue
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok {
+			continue
+		}
+		switch c.Intrinsic {
+		case mir.IntrinsicChanRecv, mir.IntrinsicChanSend:
+			p := res.canonPath(c.RecvPath)
+			if c.RecvPath == "" || !valid(p) {
+				continue
+			}
+			kind := opRecv
+			if c.Intrinsic == mir.IntrinsicChanSend {
+				kind = opSend
+			}
+			info.own = append(info.own, &event{
+				Kind:      kind,
+				Res:       p,
+				Fn:        name,
+				Span:      c.Span,
+				Locks:     heldAt(blk.ID, len(blk.Stmts)),
+				LocalProv: localProv(p),
+			})
+			continue
+		case mir.IntrinsicCondvarWait:
+			if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
+				info.waits = append(info.waits, waitSite{cv: p, span: c.Span})
+			}
+			continue
+		case mir.IntrinsicNone:
+			switch methodName(c.Callee) {
+			case "notify_one", "notify_all":
+				if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
+					info.notifies = append(info.notifies, notifySite{
+						cv:         p,
+						span:       c.Span,
+						guaranteed: unavoidable(body, g, blk.ID),
+					})
+					continue
+				}
+			case "call_once":
+				if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
+					site := onceSite{once: p, span: c.Span}
+					for _, a := range c.Args[1:] {
+						if pl, ok := mir.OperandPlace(a); ok && pl.IsLocal() {
+							if cn, isClosure := closureOf[pl.Local]; isClosure {
+								site.closure = cn
+								break
+							}
+						}
+					}
+					info.onces = append(info.onces, site)
+					info.own = append(info.own, &event{Kind: opOnce, Res: p, Fn: name, Span: c.Span})
+					continue
+				}
+			}
+		}
+		callee := resolvedCallee(ctx, c)
+		if callee == "" {
+			continue
+		}
+		cs := callSite{callee: callee, held: heldAt(blk.ID, len(blk.Stmts))}
+		for _, a := range c.Args {
+			p := ""
+			if pl, ok := mir.OperandPlace(a); ok {
+				p = res.valuePath(pl)
+			}
+			cs.argPaths = append(cs.argPaths, p)
+		}
+		info.calls = append(info.calls, cs)
+	}
+	return info
+}
+
+// buildSummaries runs the SCC fixpoint: a function's summary is its own
+// recv/send/once events plus its callees' events translated into the
+// caller's namespace and augmented with the locks held at the call site.
+func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo) map[string]resSummary {
+	prob := &summary.Problem[resSummary]{
+		Bottom:  func(string) resSummary { return resSummary{} },
+		Equal:   summariesEqual,
+		MaxIter: maxBlockingIter,
+		Transfer: func(name string, get summary.Lookup[resSummary]) resSummary {
+			info := infos[name]
+			s := resSummary{}
+			for _, e := range info.own {
+				mergeEvent(s, e)
+			}
+			for _, cs := range info.calls {
+				calleeSum, known := get(cs.callee)
+				if !known {
+					continue
+				}
+				params := paramNames(ctx.Bodies[cs.callee])
+				for _, e := range calleeSum {
+					p := summary.TranslateRoot(e.Res, params, cs.argPaths)
+					if p == "" || pathDepth(p) > maxPathDepth {
+						continue
+					}
+					t := e.clone()
+					t.Res = p
+					if t.Kind != opOnce {
+						t.Locks = translateLocks(e.Locks, params, cs.argPaths)
+						for id, m := range cs.held {
+							if cur, ok := t.Locks[id]; !ok || m > cur {
+								t.Locks[id] = m
+							}
+						}
+					}
+					mergeEvent(s, t)
+				}
+			}
+			return s
+		},
+	}
+	return summary.Compute(ctx.Graph, prob).Summaries
+}
+
+func mergeEvent(s resSummary, e *event) {
+	k := e.key()
+	prev, ok := s[k]
+	if !ok {
+		s[k] = e.clone()
+		return
+	}
+	// Same op via two paths: only locks held on both count.
+	merged := prev.clone()
+	for id, m := range merged.Locks {
+		if em, has := e.Locks[id]; !has || em != m {
+			delete(merged.Locks, id)
+		}
+	}
+	s[k] = merged
+}
+
+func summariesEqual(a, b resSummary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av.Locks) != len(bv.Locks) {
+			return false
+		}
+		for id, m := range av.Locks {
+			if bm, has := bv.Locks[id]; !has || bm != m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// qualify renders a function-namespace path as a program-wide resource
+// id: statics stand alone, self-rooted paths attach to the impl type, and
+// everything else attaches to the owning function.
+func qualify(owner, path string) string {
+	if strings.HasPrefix(path, "static ") {
+		return path
+	}
+	path = summary.NormalizePath(path)
+	if path == "self" || strings.HasPrefix(path, "self.") || strings.HasPrefix(path, "self[") {
+		if t := implTypeOf(owner); t != "" {
+			return t + "::" + path
+		}
+	}
+	return owner + "::" + path
+}
+
+// implTypeOf extracts the impl type from a qualified function name,
+// looking through closure suffixes: "Miner::seal::closure#0" → "Miner".
+func implTypeOf(fn string) string {
+	for {
+		i := strings.LastIndex(fn, "::")
+		if i < 0 {
+			return ""
+		}
+		if strings.HasPrefix(fn[i+2:], "closure#") {
+			fn = fn[:i]
+			continue
+		}
+		return fn[:i]
+	}
+}
+
+func sortedEvents(s resSummary) []*event {
+	out := make([]*event, 0, len(s))
+	for _, e := range s {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Span.Start != out[j].Span.Start {
+			return out[i].Span.Start < out[j].Span.Start
+		}
+		if out[i].Res != out[j].Res {
+			return out[i].Res < out[j].Res
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// channelCycles is the hold-and-wait rule: a recv that blocks while
+// holding a lock some send needs first is a two-thread wait cycle —
+// the receiver waits for the message, the sender waits for the lock.
+func (d *Detector) channelCycles(ctx *detect.Context, names []string, infos map[string]*funcInfo, sums map[string]resSummary, emit func(detect.Finding)) {
+	type qsend struct {
+		chanPath string
+		owner    string
+		fn       string
+		span     source.Span
+		locks    map[string]bool
+		local    bool
+	}
+	var qsends []qsend
+	for _, name := range names {
+		for _, e := range sortedEvents(sums[name]) {
+			if e.Kind != opSend {
+				continue
+			}
+			qs := qsend{
+				chanPath: qualify(name, e.Res),
+				owner:    implTypeOf(name),
+				fn:       e.Fn,
+				span:     e.Span,
+				locks:    map[string]bool{},
+				local:    e.LocalProv,
+			}
+			for id := range e.Locks {
+				qs.locks[qualify(name, id)] = true
+			}
+			qsends = append(qsends, qs)
+		}
+	}
+
+	for _, name := range names {
+		owner := implTypeOf(name)
+		for _, e := range sortedEvents(sums[name]) {
+			if e.Kind != opRecv || len(e.Locks) == 0 {
+				continue
+			}
+			qchan := qualify(name, e.Res)
+			// qualified lock id → the recv's own spelling of it
+			qlocks := map[string]string{}
+			for id := range e.Locks {
+				qlocks[qualify(name, id)] = id
+			}
+			for _, s := range qsends {
+				if s.fn == e.Fn {
+					continue
+				}
+				// The endpoints must plausibly be the same channel:
+				// identical resource id, or two channel fields of the
+				// same type (a pipe pair like to_paint/from_paint).
+				if s.chanPath != qchan &&
+					(owner == "" || s.owner != owner || e.LocalProv || s.local) {
+					continue
+				}
+				common := ""
+				for ql := range qlocks {
+					if s.locks[ql] {
+						common = ql
+						break
+					}
+				}
+				if common == "" {
+					continue
+				}
+				emit(detect.Finding{
+					Kind:     detect.KindBlocking,
+					Severity: detect.SeverityError,
+					Function: e.Fn,
+					Span:     e.Span,
+					Message: fmt.Sprintf("blocking recv() on %q while holding %q, which %s must acquire before it can send",
+						e.Res, qlocks[common], s.fn),
+					Notes: []string{
+						fmt.Sprintf("receiver: recv at %s holding %s", ctx.Fset.Position(e.Span.Start), locksString(e.Locks)),
+						fmt.Sprintf("sender: %s sends on %q at %s only after acquiring %q", s.fn, s.chanPath, ctx.Fset.Position(s.span.Start), common),
+						"hold-and-wait cycle: with these two threads interleaved, neither the message nor the lock can ever be released",
+					},
+				})
+				break
+			}
+		}
+	}
+}
+
+// orphanRecvs is the no-live-sender rule, intra-procedural over visible
+// channel constructions: if every alias of the sender half is only ever
+// defined and dropped — never sent on, stored, captured, or passed on —
+// the paired recv can never complete.
+func (d *Detector) orphanRecvs(ctx *detect.Context, info *funcInfo, emit func(detect.Finding)) {
+	body := info.body
+	for _, ch := range info.chans {
+		live := false
+		dropped := false
+		var dropSpan source.Span
+		var recvs []source.Span
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok {
+					continue
+				}
+				if isAliasMove(as, ch) {
+					continue
+				}
+				for _, pl := range rvaluePlaces(as.Rvalue) {
+					if len(pl.Proj) == 0 && ch.senders[pl.Local] {
+						live = true
+					}
+				}
+			}
+			switch t := blk.Term.(type) {
+			case mir.Drop:
+				if len(t.Place.Proj) == 0 && ch.senders[t.Place.Local] {
+					dropped = true
+					dropSpan = t.Span
+				}
+			case mir.SwitchInt:
+				if pl, ok := mir.OperandPlace(t.Disc); ok && len(pl.Proj) == 0 && ch.senders[pl.Local] {
+					live = true
+				}
+			case mir.Call:
+				if t.Intrinsic == mir.IntrinsicChanRecv {
+					if pl, ok := firstArgPlace(t); ok && len(pl.Proj) == 0 && ch.receivers[pl.Local] {
+						recvs = append(recvs, t.Span)
+					}
+					continue
+				}
+				if t.Intrinsic == mir.IntrinsicDrop {
+					if pl, ok := firstArgPlace(t); ok && len(pl.Proj) == 0 && ch.senders[pl.Local] {
+						dropped = true
+						dropSpan = t.Span
+						continue
+					}
+				}
+				if t.Intrinsic == mir.IntrinsicClone && t.Dest.IsLocal() && ch.senders[t.Dest.Local] {
+					continue // recognized alias clone
+				}
+				for _, a := range t.Args {
+					if pl, ok := mir.OperandPlace(a); ok && len(pl.Proj) == 0 && ch.senders[pl.Local] {
+						live = true
+					}
+				}
+			}
+		}
+		if live || len(recvs) == 0 {
+			continue
+		}
+		why := "the sender half is never used and is dropped without sending"
+		notes := []string{
+			fmt.Sprintf("channel created at %s", ctx.Fset.Position(ch.span.Start)),
+		}
+		if dropped {
+			notes = append(notes, fmt.Sprintf("last sender half dropped at %s", ctx.Fset.Position(dropSpan.Start)))
+		} else {
+			why = "no sender half is ever used"
+			notes = append(notes, "no alias of the sender half is sent on, stored, or moved to another thread")
+		}
+		notes = append(notes, "recv() on a channel with no live sender blocks forever (or returns RecvError, which unwrap turns into a panic)")
+		emit(detect.Finding{
+			Kind:     detect.KindBlocking,
+			Severity: detect.SeverityError,
+			Function: info.name,
+			Span:     recvs[0],
+			Message:  fmt.Sprintf("recv() can never complete: %s", why),
+			Notes:    notes,
+		})
+	}
+}
+
+// isAliasMove reports whether an assignment only shuffles a tracked
+// endpoint between tracked aliases (tuple projection or endpoint move).
+func isAliasMove(as mir.Assign, ch *chanProv) bool {
+	if !as.Place.IsLocal() {
+		return false
+	}
+	u, ok := as.Rvalue.(mir.Use)
+	if !ok {
+		return false
+	}
+	pl, ok := mir.OperandPlace(u.X)
+	if !ok {
+		return false
+	}
+	if ch.tuple[pl.Local] {
+		return true
+	}
+	if len(pl.Proj) == 0 && (ch.senders[pl.Local] || ch.receivers[pl.Local]) {
+		dst := as.Place.Local
+		return ch.senders[dst] || ch.receivers[dst]
+	}
+	return false
+}
+
+// channelProvenance finds visible channel constructions and propagates
+// their sender/receiver halves through tuple projections, moves, and
+// clones.
+func channelProvenance(body *mir.Body) []*chanProv {
+	var chans []*chanProv
+	for _, blk := range body.Blocks {
+		c, ok := blk.Term.(mir.Call)
+		if !ok || c.Intrinsic != mir.IntrinsicNone || !chanCtors[c.Callee] || !c.Dest.IsLocal() {
+			continue
+		}
+		chans = append(chans, &chanProv{
+			span:      c.Span,
+			tuple:     map[mir.LocalID]bool{c.Dest.Local: true},
+			senders:   map[mir.LocalID]bool{},
+			receivers: map[mir.LocalID]bool{},
+		})
+	}
+	if len(chans) == 0 {
+		return nil
+	}
+	changed := true
+	for changed {
+		changed = false
+		track := func(m map[mir.LocalID]bool, l mir.LocalID) {
+			if !m[l] {
+				m[l] = true
+				changed = true
+			}
+		}
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				u, ok := as.Rvalue.(mir.Use)
+				if !ok {
+					continue
+				}
+				pl, ok := mir.OperandPlace(u.X)
+				if !ok {
+					continue
+				}
+				for _, ch := range chans {
+					if ch.tuple[pl.Local] && len(pl.Proj) == 1 {
+						if f, ok := pl.Proj[0].(mir.FieldProj); ok {
+							switch f.Name {
+							case "0":
+								track(ch.senders, as.Place.Local)
+							case "1":
+								track(ch.receivers, as.Place.Local)
+							}
+						}
+					}
+					if len(pl.Proj) == 0 {
+						if ch.tuple[pl.Local] {
+							track(ch.tuple, as.Place.Local)
+						}
+						if ch.senders[pl.Local] {
+							track(ch.senders, as.Place.Local)
+						}
+						if ch.receivers[pl.Local] {
+							track(ch.receivers, as.Place.Local)
+						}
+					}
+				}
+			}
+			c, ok := blk.Term.(mir.Call)
+			if !ok || c.Intrinsic != mir.IntrinsicClone || !c.Dest.IsLocal() {
+				continue
+			}
+			pl, ok := firstArgPlace(c)
+			if !ok || len(pl.Proj) != 0 {
+				continue
+			}
+			for _, ch := range chans {
+				if ch.senders[pl.Local] {
+					track(ch.senders, c.Dest.Local)
+				}
+				if ch.receivers[pl.Local] {
+					track(ch.receivers, c.Dest.Local)
+				}
+			}
+		}
+	}
+	return chans
+}
+
+func firstArgPlace(c mir.Call) (mir.Place, bool) {
+	if len(c.Args) == 0 {
+		return mir.Place{}, false
+	}
+	return mir.OperandPlace(c.Args[0])
+}
+
+// rvaluePlaces lists the places an rvalue reads.
+func rvaluePlaces(rv mir.Rvalue) []mir.Place {
+	var out []mir.Place
+	add := func(op mir.Operand) {
+		if pl, ok := mir.OperandPlace(op); ok {
+			out = append(out, pl)
+		}
+	}
+	switch rv := rv.(type) {
+	case mir.Use:
+		add(rv.X)
+	case mir.Ref:
+		out = append(out, rv.Place)
+	case mir.AddrOf:
+		out = append(out, rv.Place)
+	case mir.Cast:
+		add(rv.X)
+	case mir.BinaryOp:
+		add(rv.L)
+		add(rv.R)
+	case mir.UnaryOp:
+		add(rv.X)
+	case mir.Aggregate:
+		for _, op := range rv.Ops {
+			add(op)
+		}
+	case mir.Discriminant:
+		out = append(out, rv.Place)
+	}
+	return out
+}
+
+// lostSignals is the missing/conditional-notify rule: a Condvar::wait
+// whose condvar no other function unconditionally notifies can sleep
+// forever — the paper's lost-signal shape, where the only wake-up is
+// behind a condition the waiter itself controls.
+func (d *Detector) lostSignals(ctx *detect.Context, names []string, infos map[string]*funcInfo, emit func(detect.Finding)) {
+	type qnotify struct {
+		fn         string
+		span       source.Span
+		guaranteed bool
+	}
+	notifyIdx := map[string][]qnotify{}
+	for _, name := range names {
+		for _, n := range infos[name].notifies {
+			q := qualify(name, n.cv)
+			notifyIdx[q] = append(notifyIdx[q], qnotify{fn: name, span: n.span, guaranteed: n.guaranteed})
+		}
+	}
+	for _, name := range names {
+		info := infos[name]
+		for _, w := range info.waits {
+			root := pathRoot(w.cv)
+			// A condvar handed in from outside (parameter or closure
+			// capture) has unknowable notifiers; stay silent.
+			if root != "self" && (info.params[root] || info.captures[root]) {
+				continue
+			}
+			q := qualify(name, w.cv)
+			rescued := false
+			var conditional []qnotify
+			for _, n := range notifyIdx[q] {
+				if n.fn == name {
+					continue
+				}
+				if n.guaranteed {
+					rescued = true
+					break
+				}
+				conditional = append(conditional, n)
+			}
+			if rescued {
+				continue
+			}
+			notes := []string{
+				fmt.Sprintf("wait at %s blocks until %q is notified", ctx.Fset.Position(w.span.Start), q),
+			}
+			if len(conditional) > 0 {
+				n := conditional[0]
+				notes = append(notes, fmt.Sprintf("the only notify, in %s at %s, is behind a condition and can be skipped — the classic lost-signal shape", n.fn, ctx.Fset.Position(n.span.Start)))
+			} else {
+				notes = append(notes, fmt.Sprintf("no other function ever calls notify_one/notify_all on %q", q))
+			}
+			emit(detect.Finding{
+				Kind:     detect.KindBlocking,
+				Severity: detect.SeverityError,
+				Function: name,
+				Span:     w.span,
+				Message:  fmt.Sprintf("Condvar::wait on %q can block forever: no other function unconditionally notifies it", w.cv),
+				Notes:    notes,
+			})
+		}
+	}
+}
+
+// onceReentry is the self-deadlock rule for Once: call_once blocks until
+// the winning initializer finishes, so an initializer that reaches
+// call_once on its own cell (directly or through helpers) waits on
+// itself.
+func (d *Detector) onceReentry(ctx *detect.Context, names []string, infos map[string]*funcInfo, sums map[string]resSummary, emit func(detect.Finding)) {
+	for _, name := range names {
+		info := infos[name]
+		for _, oc := range info.onces {
+			if oc.closure == "" {
+				continue
+			}
+			site := summary.NormalizePath(oc.once)
+			closureInfo := infos[oc.closure]
+			for _, e := range sortedEvents(sums[oc.closure]) {
+				if e.Kind != opOnce {
+					continue
+				}
+				t := e.Res
+				root := pathRoot(t)
+				if closureInfo != nil && closureInfo.captures[root] {
+					if canon := info.res.canonName(root); canon != "" {
+						t = rewriteRoot(t, root, canon)
+					}
+				}
+				if summary.NormalizePath(t) != site {
+					continue
+				}
+				via := ""
+				if e.Fn != oc.closure {
+					via = fmt.Sprintf(" through %s", e.Fn)
+				}
+				emit(detect.Finding{
+					Kind:     detect.KindBlocking,
+					Severity: detect.SeverityError,
+					Function: name,
+					Span:     oc.span,
+					Message:  fmt.Sprintf("Once::call_once on %q re-enters call_once on the same Once from its initializer%s", oc.once, via),
+					Notes: []string{
+						fmt.Sprintf("the initializer reaches call_once on the same cell in %s at %s", e.Fn, ctx.Fset.Position(e.Span.Start)),
+						"call_once blocks until the in-flight initializer completes, so the inner call waits on its own caller forever",
+					},
+				})
+				break
+			}
+		}
+	}
+}
+
+// unavoidable reports whether every entry→return path passes through
+// block at: a notify there fires on every call.
+func unavoidable(body *mir.Body, g *cfg.Graph, at mir.BlockID) bool {
+	if len(body.Blocks) == 0 {
+		return false
+	}
+	entry := body.Blocks[0].ID
+	if entry == at {
+		return true
+	}
+	byID := make(map[mir.BlockID]*mir.Block, len(body.Blocks))
+	for _, blk := range body.Blocks {
+		byID[blk.ID] = blk
+	}
+	seen := map[mir.BlockID]bool{at: true, entry: true}
+	stack := []mir.BlockID{entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blk := byID[id]
+		if blk == nil {
+			continue
+		}
+		if _, isRet := blk.Term.(mir.Return); isRet {
+			return false
+		}
+		for _, s := range blk.Term.Successors() {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+func cloneLocks(locks map[string]doublelock.Mode) map[string]doublelock.Mode {
+	out := make(map[string]doublelock.Mode, len(locks))
+	for id, m := range locks {
+		out[id] = m
+	}
+	return out
+}
+
+func translateLocks(locks map[string]doublelock.Mode, params, argPaths []string) map[string]doublelock.Mode {
+	out := map[string]doublelock.Mode{}
+	for id, m := range locks {
+		if t := summary.TranslateRoot(id, params, argPaths); t != "" {
+			out[t] = m
+		}
+	}
+	return out
+}
+
+func locksString(locks map[string]doublelock.Mode) string {
+	if len(locks) == 0 {
+		return "no locks"
+	}
+	ids := make([]string, 0, len(locks))
+	for id := range locks {
+		ids = append(ids, fmt.Sprintf("%s(%s)", id, locks[id]))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+// closureLocals maps locals holding a closure value to the closure body
+// name, propagated through moves.
+func closureLocals(body *mir.Body) map[mir.LocalID]string {
+	out := map[mir.LocalID]string{}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				if _, done := out[as.Place.Local]; done {
+					continue
+				}
+				switch rv := as.Rvalue.(type) {
+				case mir.Aggregate:
+					if rv.Kind == mir.AggClosure {
+						out[as.Place.Local] = rv.Name
+						changed = true
+					}
+				case mir.Use:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if cn, has := out[pl.Local]; has {
+							out[as.Place.Local] = cn
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func paramNames(body *mir.Body) []string {
+	if body == nil {
+		return nil
+	}
+	out := make([]string, 0, body.ArgCount)
+	for i := 1; i <= body.ArgCount && i < len(body.Locals); i++ {
+		out = append(out, body.Locals[i].Name)
+	}
+	return out
+}
+
+func methodName(callee string) string {
+	if i := strings.LastIndex(callee, "::"); i >= 0 {
+		return callee[i+2:]
+	}
+	return callee
+}
+
+func resolvedCallee(ctx *detect.Context, c mir.Call) string {
+	if c.Def != nil {
+		if _, ok := ctx.Bodies[c.Def.Qualified]; ok {
+			return c.Def.Qualified
+		}
+	}
+	if _, ok := ctx.Bodies[c.Callee]; ok {
+		return c.Callee
+	}
+	return ""
+}

@@ -1,0 +1,238 @@
+package blocking
+
+import (
+	"strings"
+
+	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/doublelock"
+	"rustprobe/internal/mir"
+	"rustprobe/internal/pointsto"
+	"rustprobe/internal/summary"
+	"rustprobe/internal/types"
+)
+
+// resolver renders MIR places of one function as canonical source-level
+// path strings — the namespace the lock identities already use
+// ("self.client", "queue", "static COUNTER") — so channel endpoints,
+// condvars and Once cells reached through different handles compare
+// equal. It mirrors the race detector's resolver: a guard-holding local
+// resolves to its lock's path, Ref/AddrOf/Arc::clone/handle-clone aliases
+// forward symbolically, and points-to roots lend temporaries a name.
+type resolver struct {
+	body    *mir.Body
+	guards  map[mir.LocalID]doublelock.Guard
+	pts     *pointsto.Result
+	pointee map[mir.LocalID]string
+	byName  map[string]mir.LocalID
+}
+
+func newResolver(ctx *detect.Context, name string, body *mir.Body, guards map[mir.LocalID]doublelock.Guard) *resolver {
+	r := &resolver{
+		body:    body,
+		guards:  guards,
+		pts:     ctx.PointsTo(name),
+		pointee: map[mir.LocalID]string{},
+		byName:  map[string]mir.LocalID{},
+	}
+	for _, l := range body.Locals {
+		if l.Name != "" {
+			if _, dup := r.byName[l.Name]; !dup {
+				r.byName[l.Name] = l.ID
+			}
+		}
+	}
+	r.propagate()
+	return r
+}
+
+// canonName resolves a variable name to its canonical root path through
+// the alias map. Unknown names return "".
+func (r *resolver) canonName(name string) string {
+	l, ok := r.byName[name]
+	if !ok {
+		return ""
+	}
+	return r.rootPath(l)
+}
+
+// canonPath canonicalizes a source-level path (like a Call.RecvPath) by
+// rewriting its root through the alias map.
+func (r *resolver) canonPath(path string) string {
+	path = summary.NormalizePath(path)
+	root := pathRoot(path)
+	if strings.HasPrefix(root, "static ") {
+		return path
+	}
+	if canon := r.canonName(root); canon != "" && canon != root {
+		return rewriteRoot(path, root, canon)
+	}
+	return path
+}
+
+// handleLike reports whether a value of type t is a shared handle: copying
+// or cloning it yields another name for the same storage. Sender halves
+// are handles too: clone() on a Sender aliases the same channel.
+func handleLike(t types.Type) bool {
+	if types.IsPointerLike(t) {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	return ok && (n.Name == "Arc" || n.Name == "Rc" || n.Name == "Sender" || n.Name == "SyncSender")
+}
+
+// propagate fills the pointee map to a fixpoint; first assignment wins,
+// exactly like the race resolver.
+func (r *resolver) propagate() {
+	set := func(l mir.LocalID, p string) bool {
+		if p == "" {
+			return false
+		}
+		if _, ok := r.pointee[l]; ok {
+			return false
+		}
+		r.pointee[l] = p
+		return true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range r.body.Blocks {
+			for _, st := range blk.Stmts {
+				as, ok := st.(mir.Assign)
+				if !ok || !as.Place.IsLocal() {
+					continue
+				}
+				dest := as.Place.Local
+				switch rv := as.Rvalue.(type) {
+				case mir.Ref:
+					if set(dest, r.placePath(rv.Place)) {
+						changed = true
+					}
+				case mir.AddrOf:
+					if set(dest, r.placePath(rv.Place)) {
+						changed = true
+					}
+				case mir.Use:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if p, has := r.pointee[pl.Local]; has && set(dest, p) {
+							changed = true
+						}
+					}
+				case mir.Cast:
+					if pl, ok := mir.OperandPlace(rv.X); ok && pl.IsLocal() {
+						if p, has := r.pointee[pl.Local]; has && set(dest, p) {
+							changed = true
+						}
+					}
+				}
+			}
+			c, ok := blk.Term.(mir.Call)
+			if !ok || !c.Dest.IsLocal() {
+				continue
+			}
+			switch c.Intrinsic {
+			case mir.IntrinsicArcClone, mir.IntrinsicUnwrap, mir.IntrinsicCondvarWait:
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+						if set(c.Dest.Local, r.valuePath(pl)) {
+							changed = true
+						}
+					}
+				}
+			case mir.IntrinsicClone:
+				if len(c.Args) > 0 {
+					if pl, ok := mir.OperandPlace(c.Args[0]); ok {
+						if handleLike(r.localType(pl.Local)) {
+							if set(c.Dest.Local, r.valuePath(pl)) {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *resolver) localType(l mir.LocalID) types.Type {
+	if int(l) < len(r.body.Locals) {
+		return r.body.Locals[l].Ty
+	}
+	return types.UnknownType
+}
+
+// rootPath resolves the canonical path of a local's storage-or-referent.
+func (r *resolver) rootPath(l mir.LocalID) string {
+	if g, ok := r.guards[l]; ok {
+		return g.Lock
+	}
+	if p, ok := r.pointee[l]; ok {
+		return p
+	}
+	loc := r.body.Local(l)
+	if loc.Name != "" {
+		return loc.Name
+	}
+	if targets := r.pts.Targets(l); len(targets) == 1 {
+		for t := range targets {
+			if t != l && int(t) < len(r.body.Locals) && r.body.Locals[t].Name != "" {
+				return r.body.Locals[t].Name
+			}
+		}
+	}
+	return ""
+}
+
+// placePath renders a place as a canonical path; derefs are elided.
+func (r *resolver) placePath(p mir.Place) string {
+	root := r.rootPath(p.Local)
+	if root == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(root)
+	for _, pr := range p.Proj {
+		switch pr := pr.(type) {
+		case mir.FieldProj:
+			b.WriteString(".")
+			b.WriteString(pr.Name)
+		case mir.IndexProj:
+			b.WriteString("[_]")
+		}
+	}
+	return b.String()
+}
+
+// valuePath is the path denoted by the value stored at a place (paths
+// conflate a reference with its target, like the lock-id scheme).
+func (r *resolver) valuePath(p mir.Place) string {
+	return r.placePath(p)
+}
+
+// pathRoot returns the leading segment of a canonical path.
+func pathRoot(p string) string {
+	if rest, ok := strings.CutPrefix(p, "static "); ok {
+		if i := strings.IndexAny(rest, ".["); i >= 0 {
+			return "static " + rest[:i]
+		}
+		return p
+	}
+	if i := strings.IndexAny(p, ".["); i >= 0 {
+		return p[:i]
+	}
+	return p
+}
+
+// rewriteRoot replaces the root segment of path with to.
+func rewriteRoot(path, root, to string) string {
+	if path == root {
+		return to
+	}
+	return to + path[len(root):]
+}
+
+// pathDepth counts path segments, bounding translated paths through
+// recursive call chains.
+func pathDepth(p string) int {
+	return 1 + strings.Count(p, ".") + strings.Count(p, "[")
+}

@@ -32,6 +32,7 @@ const (
 	KindInteriorMut    Kind = "unsynchronized-interior-mutability"
 	KindBorrowConflict Kind = "borrow-conflict"
 	KindDataRace       Kind = "data-race"
+	KindBlocking       Kind = "blocking"
 )
 
 // Severity ranks findings.

@@ -10,10 +10,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/dfree"
+	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/uaf"
 	"rustprobe/internal/detect/uninit"
 	"rustprobe/internal/lower"
@@ -127,6 +130,80 @@ func runPreciseSuite(ctx *detect.Context) string {
 		fmt.Fprintf(&b, "%s %s %s %s\n", f.Kind, f.Function, f.Message, strings.Join(f.Notes, ";"))
 	}
 	return b.String()
+}
+
+// blockingStateSrc plants two §6.1 blocking bugs (an orphaned recv and a
+// condvar wait with no notifier) next to a double-lock, so the blocking
+// detector and the lockset machinery it borrows (doublelock.Guards /
+// LiveGuards) both have real work to do on the shared Context.
+const blockingStateSrc = `
+fn poll() -> i32 {
+    let (tx, rx) = mpsc::channel();
+    drop(tx);
+    let v = rx.recv().unwrap();
+    v
+}
+
+struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn wait(&self) {
+        let g = self.ready.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+    fn relock(&self) {
+        let a = self.ready.lock().unwrap();
+        let b = self.ready.lock().unwrap();
+    }
+}
+`
+
+func formatFindings(fs []detect.Finding) string {
+	detect.SortFindings(fs)
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s %s %s %s\n", f.Kind, f.Function, f.Message, strings.Join(f.Notes, ";"))
+	}
+	return b.String()
+}
+
+// TestBlockingDetectorPureUnderParallelFanout is the shared-state audit
+// entry for the §6.1 blocking detector: under the parallel detector
+// fan-out (concurrent blocking runs interleaved with doublelock, whose
+// guard analysis blocking reuses, all over ONE Context) every run must
+// see identical findings, and the Context's shared dropflow caches must
+// come through untouched.
+func TestBlockingDetectorPureUnderParallelFanout(t *testing.T) {
+	ctx := buildContext(t, blockingStateSrc)
+	before := snapshotDropflow(ctx)
+	baseline := formatFindings(blocking.New().Run(ctx))
+	if strings.Count(baseline, "\n") != 2 {
+		t.Fatalf("baseline blocking findings:\n%s", baseline)
+	}
+	const fanout = 8
+	results := make([]string, fanout)
+	var wg sync.WaitGroup
+	for i := 0; i < fanout; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				results[i] = formatFindings(blocking.New().Run(ctx))
+			} else {
+				doublelock.New().Run(ctx)
+				results[i] = formatFindings(blocking.New().Run(ctx))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r != baseline {
+			t.Errorf("fan-out run %d diverged:\nbaseline:\n%s\ngot:\n%s", i, baseline, r)
+		}
+	}
+	if after := snapshotDropflow(ctx); after != before {
+		t.Fatalf("blocking fan-out mutated shared dropflow state:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
 }
 
 func TestPreciseDetectorsDoNotMutateSharedDropflow(t *testing.T) {

@@ -302,6 +302,7 @@ var strictFN = map[gen.Kind]bool{
 	gen.KindUninitRead:   true,
 	gen.KindInvalidFree:  true,
 	gen.KindDoubleFree:   true,
+	gen.KindBlocking:     true,
 }
 
 // Violations renders every hard failure.

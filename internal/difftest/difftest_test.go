@@ -107,6 +107,44 @@ func TestFPProneTemplatesSplitByMode(t *testing.T) {
 	}
 }
 
+// TestBlockingTemplatesBothVariants pins the §6.1 blocking templates at
+// the verdict level: every template's buggy variant must be caught by the
+// static suite (strict — blocking is in strictFN) and every clean variant
+// must be silent, for at least one generated seed per (template, variant).
+func TestBlockingTemplatesBothVariants(t *testing.T) {
+	type combo struct {
+		template string
+		buggy    bool
+	}
+	seeds := map[combo]int64{}
+	for seed := int64(0); seed < 3000 && len(seeds) < 6; seed++ {
+		p := gen.Generate(seed)
+		if p.Kind != gen.KindBlocking {
+			continue
+		}
+		c := combo{p.Template, p.Buggy}
+		if _, ok := seeds[c]; !ok {
+			seeds[c] = seed
+		}
+	}
+	if len(seeds) < 6 {
+		t.Fatalf("only %d of 6 blocking (template, variant) combos generated in 3000 seeds: %v", len(seeds), seeds)
+	}
+	for c, seed := range seeds {
+		v := RunProgram(gen.Generate(seed), nil)
+		if v.PipelineErr != nil {
+			t.Errorf("%s buggy=%v (seed %d): %v", c.template, c.buggy, seed, v.PipelineErr)
+			continue
+		}
+		if c.buggy && v.FalseNegative {
+			t.Errorf("%s (seed %d): injected blocking bug missed", c.template, seed)
+		}
+		if !c.buggy && len(v.FalsePositives) > 0 {
+			t.Errorf("%s clean (seed %d): %v", c.template, seed, v.FalsePositives)
+		}
+	}
+}
+
 // TestDifferentialExhaustive scales with DIFFTEST_SEEDS (default: skip)
 // for the long run: DIFFTEST_SEEDS=5000 go test ./internal/difftest/ -run Exhaustive
 func TestDifferentialExhaustive(t *testing.T) {

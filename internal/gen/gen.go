@@ -36,12 +36,13 @@ const (
 	KindDataRace     Kind = "data-race"
 	KindInvalidFree  Kind = "invalid-free"
 	KindDoubleFree   Kind = "double-free"
+	KindBlocking     Kind = "blocking"
 )
 
 // Kinds is the injection menu in stable order.
 var Kinds = []Kind{
 	KindUseAfterFree, KindDoubleLock, KindLockOrder, KindUninitRead,
-	KindDataRace, KindInvalidFree, KindDoubleFree,
+	KindDataRace, KindInvalidFree, KindDoubleFree, KindBlocking,
 }
 
 // Program is one generated source with its oracle label.
@@ -247,6 +248,13 @@ var templates = map[Kind][]template{
 	},
 	KindDoubleFree: {
 		{name: "df-ptr-read-dup", emit: emitDFPtrReadDup},
+	},
+	// All blocking shapes are static-only: the single-threaded valueless
+	// explorer cannot witness a thread that blocks forever.
+	KindBlocking: {
+		{name: "blk-chan-recv-no-sender", emit: emitBlkChanOrphan, dynInvisible: true},
+		{name: "blk-condvar-lost-signal", emit: emitBlkCondvarLostSignal, dynInvisible: true},
+		{name: "blk-once-reentrant", emit: emitBlkOnceReentrant, dynInvisible: true},
 	},
 }
 
@@ -851,6 +859,94 @@ func emitDFPtrReadDup(e *emitter, p *Program, buggy bool) {
 	}
 	e.lnf("    consume(0);")
 	e.ln("    0")
+	e.ln("}")
+	e.ln("")
+}
+
+// --- blocking (§6.1) -------------------------------------------------------
+
+// The orphaned-receive shape (Servo's channel bugs): the only sender half
+// is dropped unused, so recv() can never complete. Patch: send before
+// dropping.
+func emitBlkChanOrphan(e *emitter, p *Program, buggy bool) {
+	fn := e.fnName()
+	k := e.rng.Intn(90) + 1
+	p.FuncName = fn
+	e.lnf("pub fn %s(n: i32) -> i32 {", fn)
+	e.ln("    let (tx, rx) = mpsc::channel();")
+	if buggy {
+		p.Line = e.mark()
+		e.ln("    drop(tx);")
+	} else {
+		p.Line = e.mark()
+		e.ln("    tx.send(n);")
+		e.ln("    drop(tx);")
+	}
+	e.ln("    let v = rx.recv().unwrap();")
+	e.lnf("    v + %d", k)
+	e.ln("}")
+	e.ln("")
+}
+
+// The lost-signal shape (ethereum's Condvar bugs): the waiter's only
+// wake-up is behind a condition and can be skipped. Patch: the signaller
+// notifies unconditionally after updating the state.
+func emitBlkCondvarLostSignal(e *emitter, p *Program, buggy bool) {
+	s, f, waiter, signaller := e.structName(), e.fieldName(), e.fnName(), e.fnName()
+	p.FuncName = s + "::" + waiter
+	e.lnf("struct %s {", s)
+	e.lnf("    %s: Mutex<bool>,", f)
+	e.ln("    cv: Condvar,")
+	e.ln("}")
+	e.ln("")
+	e.lnf("impl %s {", s)
+	e.lnf("    fn %s(&self) {", waiter)
+	e.lnf("        let g = self.%s.lock().unwrap();", f)
+	e.ln("        let g2 = self.cv.wait(g);")
+	e.ln("        consume_guard(g2);")
+	e.ln("    }")
+	e.ln("")
+	e.lnf("    fn %s(&self, done: bool) {", signaller)
+	if buggy {
+		e.ln("        if done {")
+		p.Line = e.mark()
+		e.ln("            self.cv.notify_all();")
+		e.ln("        }")
+	} else {
+		e.lnf("        let mut g = self.%s.lock().unwrap();", f)
+		e.ln("        *g = true;")
+		e.ln("        drop(g);")
+		p.Line = e.mark()
+		e.ln("        self.cv.notify_all();")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// The Once-reentrancy shape: the initializer re-enters call_once on its
+// own cell through a helper and waits on itself. Patch: the initializer
+// does plain work.
+func emitBlkOnceReentrant(e *emitter, p *Program, buggy bool) {
+	fn, helper := e.fnName(), e.fnName()
+	k := e.rng.Intn(90) + 1
+	p.FuncName = fn
+	e.lnf("pub fn %s(once: Once) {", fn)
+	e.ln("    once.call_once(|| {")
+	if buggy {
+		p.Line = e.mark()
+		e.lnf("        %s(once);", helper)
+	} else {
+		p.Line = e.mark()
+		e.lnf("        consume(%d);", k)
+	}
+	e.ln("    });")
+	e.ln("}")
+	e.ln("")
+	e.lnf("fn %s(once: Once) {", helper)
+	e.ln("    once.call_once(|| {")
+	e.lnf("        consume(%d);", k+1)
+	e.ln("    });")
 	e.ln("}")
 	e.ln("")
 }

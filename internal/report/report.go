@@ -287,8 +287,9 @@ func NBlkFixSection(db *study.Database) string {
 }
 
 // DetectorSection renders §7's detector results given measured counts,
-// plus the §6.2 data-race detector row measured on the patterns corpus.
-func DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP int) string {
+// plus the §6.2 data-race and §6.1 blocking detector rows measured on
+// the patterns corpus.
+func DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP, blkTP, blkFP int) string {
 	var b strings.Builder
 	b.WriteString("Section 7. Detector results (paper vs measured on corpus).\n")
 	fmt.Fprintf(&b, "  %-22s %8s %8s\n", "", "paper", "measured")
@@ -298,6 +299,8 @@ func DetectorSection(uafTP, uafFP, dlTP, dlFP, raceTP, raceFP int) string {
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "double-lock false pos", study.DoubleLockFalsePos, dlFP)
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "data races (6.2)", study.RaceBugsFound, raceTP)
 	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "data-race false pos", study.RaceFalsePos, raceFP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "blocking bugs (6.1)", study.BlockingBugsFound, blkTP)
+	fmt.Fprintf(&b, "  %-22s %8d %8d\n", "blocking false pos", study.BlockingFalsePos, blkFP)
 	return b.String()
 }
 

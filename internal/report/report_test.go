@@ -71,7 +71,7 @@ func TestSectionRenders(t *testing.T) {
 		MemFixSection(db):                 {"30", "22"},
 		BlkFixSection(db):                 {"51 / 59", "21"},
 		NBlkFixSection(db):                {"20", "10"},
-		DetectorSection(4, 3, 6, 0, 5, 0): {"paper", "measured", "4", "6", "data races (6.2)", "5"},
+		DetectorSection(4, 3, 6, 0, 5, 0, 6, 0): {"paper", "measured", "4", "6", "data races (6.2)", "5", "blocking bugs (6.1)"},
 	}
 	for out, wants := range checks {
 		for _, w := range wants {

@@ -254,6 +254,12 @@ const (
 	// project), with no reports on the synchronized fixed variants.
 	RaceBugsFound = 5
 	RaceFalsePos  = 0
+	// §6.1 extension: the non-double-lock blocking shapes (channel
+	// hold-and-wait, orphaned recv, Condvar lost signal, Once
+	// reentrancy) seeded in the patterns corpus, with no reports on the
+	// paired fixed variants or the app-scale clean modules.
+	BlockingBugsFound = 6
+	BlockingFalsePos  = 0
 )
 
 // BugsFixedAfter2016 is Figure 2's headline: 145 of the 170 studied bugs

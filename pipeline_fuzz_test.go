@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/dfree"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/interiormut"
@@ -49,7 +50,7 @@ func soup(seed int64) string {
 // dynamic explorer. Diagnostics are fine; panics are not.
 func TestPipelineNeverPanics(t *testing.T) {
 	detectors := []detect.Detector{
-		uaf.New(), doublelock.New(), lockorder.New(),
+		uaf.New(), doublelock.New(), lockorder.New(), blocking.New(),
 		dfree.New(), uninit.New(), interiormut.New(), race.New(),
 	}
 	for seed := int64(0); seed < 400; seed++ {
@@ -155,6 +156,15 @@ fn r(s: Arc<T>) {
 }
 `)
 	f.Add("fn s() { thread::spawn(move || { thread::spawn(move || { x += 1; }); }); }")
+	f.Add("fn c() { let (tx, rx) = mpsc::channel(); drop(tx); let v = rx.recv().unwrap(); }")
+	f.Add(`
+struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn w(&self) { let g = self.ready.lock().unwrap(); let h = self.cv.wait(g); }
+    fn n(&self) { self.cv.notify_all(); }
+}
+fn o(once: Once) { once.call_once(|| { o(once); }); }
+`)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {
 			t.Skip("oversized input")
@@ -167,7 +177,7 @@ fn r(s: Arc<T>) {
 		bodies := lower.Program(prog, diags)
 		ctx := detect.NewContext(prog, bodies)
 		for _, d := range []detect.Detector{
-			uaf.New(), doublelock.New(), lockorder.New(),
+			uaf.New(), doublelock.New(), lockorder.New(), blocking.New(),
 			dfree.New(), uninit.New(), interiormut.New(), race.New(),
 		} {
 			d.Run(ctx)

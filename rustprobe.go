@@ -38,6 +38,7 @@ import (
 	"rustprobe/internal/ast"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/detect/blocking"
 	"rustprobe/internal/detect/dfree"
 	"rustprobe/internal/detect/doublelock"
 	"rustprobe/internal/detect/dynamic"
@@ -61,7 +62,7 @@ import (
 // the engine folds it (with the detector registry) into the persistent
 // store's entry version, so old entries self-invalidate instead of being
 // served.
-const AnalyzerVersion = "7"
+const AnalyzerVersion = "8"
 
 // Finding re-exports the detector finding type.
 type Finding = detect.Finding
@@ -380,6 +381,7 @@ func detectorRegistry(precise bool) []Detector {
 		&uaf.Detector{Precise: precise},
 		doublelock.New(),
 		lockorder.New(),
+		blocking.New(),
 		&dfree.Detector{Precise: precise},
 		&uninit.Detector{Precise: precise},
 		interiormut.New(),
@@ -409,6 +411,7 @@ func localDetectors(precise bool) []Detector {
 func globalDetectors() []Detector {
 	return []Detector{
 		lockorder.New(),
+		blocking.New(),
 		interiormut.New(),
 		race.New(),
 	}

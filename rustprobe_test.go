@@ -132,7 +132,7 @@ func TestAnalyzeCorpusGroups(t *testing.T) {
 
 func TestDetectorRegistry(t *testing.T) {
 	names := DetectorNames()
-	want := []string{"use-after-free", "double-lock", "conflicting-lock-order", "drop-bugs", "uninitialized-read", "interior-mutability", "race", "dynamic"}
+	want := []string{"use-after-free", "double-lock", "conflicting-lock-order", "blocking", "drop-bugs", "uninitialized-read", "interior-mutability", "race", "dynamic"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

@@ -227,6 +227,94 @@ impl S {
 	}
 }
 
+// TestSessionSpawnClosureEditRerunsBlocking: blocking is a global
+// detector (its verdicts depend on every function's summaries), so a
+// body-only edit inside a spawn closure in one file must re-run it —
+// here the closure's unconditional notify turns conditional, which makes
+// the condvar wait in the SAME file lose its only guaranteed signaller —
+// while the local-detector finding in the other, untouched file is
+// replayed rather than recomputed.
+func TestSessionSpawnClosureEditRerunsBlocking(t *testing.T) {
+	hub := `struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn wait(&self) {
+        let g = self.ready.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+    fn start(&self, go: bool) {
+        thread::spawn(move || { self.cv.notify_all(); });
+    }
+}
+`
+	files := map[string]string{
+		"hub.rs": hub,
+		"util.rs": `fn stale(v: Vec<i32>) {
+    let p = v.as_ptr();
+    drop(v);
+    unsafe { let x = *p; }
+}
+`,
+	}
+	s := NewSession()
+	up, err := s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(up.Findings, "blocking"); n != 0 {
+		t.Fatalf("guaranteed closure notify should rescue the wait, got %d blocking findings", n)
+	}
+	if n := countKind(up.Findings, "use-after-free"); n != 1 {
+		t.Fatalf("baseline use-after-free findings = %d, want 1", n)
+	}
+
+	// Body-only edit inside the spawn closure: the notify moves behind a
+	// condition, so W::wait's signal is no longer guaranteed.
+	mutated := clone(files)
+	mutated["hub.rs"] = `struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn wait(&self) {
+        let g = self.ready.lock().unwrap();
+        let g2 = self.cv.wait(g);
+        consume(g2);
+    }
+    fn start(&self, go: bool) {
+        thread::spawn(move || { if go { self.cv.notify_all(); } });
+    }
+}
+`
+	up, err = s.Analyze(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Stats.Full {
+		t.Fatalf("closure body edit forced a full build: %+v", up.Stats)
+	}
+	if up.Stats.FilesReparsed != 1 {
+		t.Fatalf("FilesReparsed = %d, want 1 (only hub.rs)", up.Stats.FilesReparsed)
+	}
+	want := fullDetect(t, mutated)
+	got := sessionStrings(up)
+	if !equalStrings(got, want) {
+		t.Fatalf("spawn-closure edit diverged from full analysis\n got: %v\nwant: %v", got, want)
+	}
+	if countKind(up.Findings, "blocking") != 1 {
+		t.Fatal("blocking did not re-run after the spawn-closure body edit")
+	}
+	if countKind(up.Findings, "use-after-free") != 1 {
+		t.Fatal("local use-after-free finding in the untouched file was not replayed")
+	}
+
+	// Reverting the closure body clears the blocking finding again.
+	up, err = s.Analyze(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countKind(up.Findings, "blocking"); n != 0 {
+		t.Fatalf("stale blocking finding survived revert: %d", n)
+	}
+}
+
 // TestSessionShiftedPositionsMatchFull is the stale-span regression: an
 // edited function sits ABOVE an unrelated buggy function in the same
 // file, so the buggy function's body text is unchanged but its line
