@@ -1,115 +1,20 @@
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"rustprobe"
+	"rustprobe/internal/incrstate"
 )
 
-// incrState is the cross-run record for -incremental: enough hashes to
-// decide what changed since the previous run, and enough findings to
-// avoid re-deriving the unchanged ones. It lives next to the analyzed
-// tree (or wherever -state points) and is versioned on the analyzer
-// version plus the detector set, so upgrading either silently falls back
-// to a full run instead of replaying stale results.
-type incrState struct {
-	Version    string                   `json:"version"`
-	Files      map[string]string        `json:"files"`      // file -> content hash
-	Interfaces map[string]string        `json:"interfaces"` // file -> interface hash (bodies excised)
-	FnBodies   map[string]string        `json:"fn_bodies"`  // qualified fn -> body hash
-	FnPos      map[string]string        `json:"fn_pos"`     // qualified fn -> decl position fingerprint
-	Findings   []jsonFinding            `json:"findings"`   // merged, sorted; replayed when nothing changed
-	Local      map[string][]jsonFinding `json:"local_findings"`
-}
-
-// incrVersion ties a state file to the analyzer + detector set that
-// produced it, mirroring the daemon store's version key.
-func incrVersion() string {
-	return rustprobe.AnalyzerVersion + ":" + strings.Join(rustprobe.DetectorNames(), ",")
-}
-
-func loadIncrState(path string) *incrState {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil
-	}
-	var st incrState
-	if err := json.Unmarshal(data, &st); err != nil || st.Version != incrVersion() {
-		return nil
-	}
-	return &st
-}
-
-// saveIncrState writes atomically (temp + rename) so a crash mid-write
-// leaves either the old state or the new one, never a torn file the next
-// run would have to distrust.
-func saveIncrState(path string, st *incrState) error {
-	data, err := json.MarshalIndent(st, "", "  ")
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".rustprobe-state-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
-}
-
-func contentHashes(files map[string]string) map[string]string {
-	out := make(map[string]string, len(files))
-	for name, src := range files {
-		sum := sha256.Sum256([]byte(src))
-		out[name] = hex.EncodeToString(sum[:])
-	}
-	return out
-}
-
-func mapsEqual(a, b map[string]string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
-}
-
-func sameKeys(a, b map[string]string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if _, ok := b[k]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
-func toJSONFindings(res *rustprobe.Result, fs []rustprobe.Finding) []jsonFinding {
-	out := make([]jsonFinding, 0, len(fs))
+// toJSONFindings materializes findings in the shared resolved wire shape
+// (incrstate.Finding), which -json emits and the state file records.
+func toJSONFindings(res *rustprobe.Result, fs []rustprobe.Finding) []incrstate.Finding {
+	out := make([]incrstate.Finding, 0, len(fs))
 	for _, f := range fs {
 		pos := res.Fset.Position(f.Span.Start)
-		out = append(out, jsonFinding{
+		out = append(out, incrstate.Finding{
 			Kind:     string(f.Kind),
 			Severity: f.Severity.String(),
 			Function: f.Function,
@@ -123,146 +28,59 @@ func toJSONFindings(res *rustprobe.Result, fs []rustprobe.Finding) []jsonFinding
 	return out
 }
 
-// sortJSONFindings matches the library's resolved-position order, which
-// is what lets findings cached from an earlier process merge with fresh
-// ones deterministically.
-func sortJSONFindings(fs []jsonFinding) {
-	sort.SliceStable(fs, func(i, j int) bool {
-		a, b := fs[i], fs[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Column != b.Column {
-			return a.Column < b.Column
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		return a.Message < b.Message
-	})
-}
-
-func (jf jsonFinding) format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s:%d:%d: %s: [%s] %s (in %s)",
-		jf.File, jf.Line, jf.Column, jf.Severity, jf.Kind, jf.Message, jf.Function)
-	for _, n := range jf.Notes {
-		fmt.Fprintf(&b, "\n    note: %s", n)
-	}
-	return b.String()
-}
-
 // runIncremental is the -incremental entry point: analyze dir reusing as
 // much of the previous run (recorded in the state file) as the diff
-// allows. Three outcomes, decided by comparing hashes:
+// allows. The heavy lifting lives in rustprobe.Session — the same
+// restore path the daemon's session service uses — and the state file is
+// the shared incrstate codec, versioned on the analyzer + detector set
+// (rustprobe.StateVersion()). Three outcomes:
 //
 //   - nothing changed: replay the cached findings without analyzing;
 //   - only function bodies changed (every file's interface hash is
-//     intact): run the frontend, then re-run the local detectors only
-//     over the dirty callgraph closure and merge cached findings for
-//     every other root;
+//     intact): rebuild the frontend, then re-run the local detectors
+//     only over the dirty callgraph closure and merge cached findings
+//     for every other root;
 //   - anything else (first run, state version bump, file added/removed,
 //     interface edit): full analysis, which reseeds the state.
 //
 // Whatever the path, the returned findings equal a from-scratch
 // `rustprobe dir` of the same tree; the state file is advisory and a
 // corrupt or stale one only costs a full run.
-func runIncremental(dir, statePath string, out io.Writer) ([]jsonFinding, string, error) {
+func runIncremental(dir, statePath string, out io.Writer) ([]incrstate.Finding, string, error) {
 	files, err := rustprobe.LoadDir(dir)
 	if err != nil {
 		return nil, "", err
 	}
-	cur := contentHashes(files)
-	prev := loadIncrState(statePath)
-
-	if prev != nil && mapsEqual(prev.Files, cur) {
+	prev := incrstate.Load(statePath, rustprobe.StateVersion())
+	if prev.UnchangedFrom(files) {
 		return prev.Findings, fmt.Sprintf("unchanged: replayed %d cached finding(s), 0 functions re-analyzed", len(prev.Findings)), nil
 	}
 
-	res, err := rustprobe.AnalyzeFiles(files)
+	s := rustprobe.NewSession()
+	if prev != nil {
+		if err := s.Restore(prev); err != nil {
+			prev = nil
+		}
+	}
+	up, err := s.Analyze(files)
 	if err != nil {
 		return nil, "", err
 	}
-	ifaces := res.FileInterfaceHashes()
-	fnBodies := res.FuncBodyHashes()
-	fnPos := res.FuncDeclPositions()
-
-	// Body-only diff? Then the previous run's per-root local findings are
-	// still valid outside the dirty closure. (States from before the
-	// fn_pos field have a nil FnPos and fall back to a full run.)
-	incremental := prev != nil &&
-		sameKeys(prev.Files, cur) &&
-		mapsEqual(prev.Interfaces, ifaces) &&
-		sameKeys(prev.FnBodies, fnBodies) &&
-		sameKeys(prev.FnPos, fnPos)
-
-	// A function counts as changed when its body text changed OR its
-	// position fingerprint did: prev.Local findings carry File/Line
-	// resolved against the previous revision, so a function shifted by an
-	// edit above it in the same file must be recomputed (along with its
-	// transitive callers, whose cached notes can reference it) rather
-	// than replayed at stale positions.
-	var changed []string
-	if incremental {
-		for q, h := range fnBodies {
-			if prev.FnBodies[q] != h || prev.FnPos[q] != fnPos[q] {
-				changed = append(changed, q)
-			}
-		}
-	} else {
-		for q := range fnBodies {
-			changed = append(changed, q)
-		}
-	}
-	sort.Strings(changed)
-
-	local, global, recomputed := res.DetectIncremental(changed)
-
-	merged := toJSONFindings(res, local)
-	newLocal := map[string][]jsonFinding{}
-	for _, jf := range merged {
-		newLocal[jf.Function] = append(newLocal[jf.Function], jf)
-	}
-	reusedFindings := 0
-	if incremental {
-		for root, fs := range prev.Local {
-			if recomputed[root] {
-				continue
-			}
-			newLocal[root] = fs
-			merged = append(merged, fs...)
-			reusedFindings += len(fs)
-		}
-	}
-	merged = append(merged, toJSONFindings(res, global)...)
-	sortJSONFindings(merged)
-
-	st := &incrState{
-		Version:    incrVersion(),
-		Files:      cur,
-		Interfaces: ifaces,
-		FnBodies:   fnBodies,
-		FnPos:      fnPos,
-		Findings:   merged,
-		Local:      newLocal,
-	}
-	if err := saveIncrState(statePath, st); err != nil {
+	st := s.ExportState()
+	if err := incrstate.Save(statePath, st); err != nil {
 		fmt.Fprintf(out, "rustprobe: warning: could not save state: %v\n", err)
 	}
 
 	var note string
-	if incremental {
-		note = fmt.Sprintf("incremental: %d function(s) changed, %d of %d re-analyzed, %d finding(s) reused",
-			len(changed), len(recomputed), len(res.Bodies), reusedFindings)
-	} else {
+	if up.Stats.Full {
 		reason := "no prior state"
 		if prev != nil {
 			reason = "structure changed"
 		}
-		note = fmt.Sprintf("full analysis (%s): %d function(s)", reason, len(res.Bodies))
+		note = fmt.Sprintf("full analysis (%s): %d function(s)", reason, up.Stats.FuncsTotal)
+	} else {
+		note = fmt.Sprintf("incremental: %d function(s) changed, %d of %d re-analyzed, %d finding(s) reused",
+			up.Stats.ChangedFns, up.Stats.RootsDetected, up.Stats.FuncsTotal, up.Stats.FindingsReused)
 	}
-	return merged, note, nil
+	return st.Findings, note, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"rustprobe"
+	"rustprobe/internal/incrstate"
 )
 
 func writeTree(t *testing.T, dir string, files map[string]string) {
@@ -35,16 +37,16 @@ func oracle(t *testing.T, files map[string]string) []string {
 	}
 	var out []string
 	for _, jf := range toJSONFindings(res, res.Detect()) {
-		out = append(out, jf.format())
+		out = append(out, jf.Format())
 	}
 	sort.Strings(out)
 	return out
 }
 
-func formatted(fs []jsonFinding) []string {
+func formatted(fs []incrstate.Finding) []string {
 	var out []string
 	for _, f := range fs {
-		out = append(out, f.format())
+		out = append(out, f.Format())
 	}
 	sort.Strings(out)
 	return out
@@ -227,7 +229,7 @@ func TestRunIncrementalStaleState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tampered := strings.Replace(string(data), incrVersion(), "0:none", 1)
+	tampered := strings.Replace(string(data), rustprobe.StateVersion(), "0:none", 1)
 	if err := os.WriteFile(statePath, []byte(tampered), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -235,6 +237,54 @@ func TestRunIncrementalStaleState(t *testing.T) {
 		t.Fatal(err)
 	} else if !strings.Contains(note, "full analysis (no prior state)") {
 		t.Fatalf("version-mismatch note = %q, want full analysis", note)
+	}
+}
+
+// TestRunIncrementalLegacyStateWithoutFnPos: a state file from before
+// the fn_pos field (right version string, no position fingerprints)
+// must trigger a clean full run — replaying its findings can't be
+// position-safe.
+func TestRunIncrementalLegacyStateWithoutFnPos(t *testing.T) {
+	files := map[string]string{"a.rs": "fn f(v: Vec<i32>) {\n    let p = v.as_ptr();\n    drop(v);\n    unsafe { let z = *p; }\n}\n"}
+	dir := t.TempDir()
+	writeTree(t, dir, files)
+	statePath := filepath.Join(dir, "state.json")
+	if _, _, err := runIncremental(dir, statePath, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip the fn_pos key, keeping everything else (incl. the version)
+	// intact — the shape a pre-fn_pos binary would have written.
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	delete(raw, "fn_pos")
+	stripped, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tree changed (body edit), so the unchanged-replay path doesn't
+	// trigger; the legacy state must be discarded, not used incrementally.
+	edited := map[string]string{"a.rs": strings.Replace(files["a.rs"], "let z = *p", "let zz = *p", 1)}
+	writeTree(t, dir, edited)
+	got, note, err := runIncremental(dir, statePath, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(note, "full analysis (no prior state)") {
+		t.Fatalf("legacy-state note = %q, want full analysis", note)
+	}
+	if want := oracle(t, edited); !reflect.DeepEqual(formatted(got), want) {
+		t.Fatalf("findings after legacy fallback = %v, want %v", formatted(got), want)
 	}
 }
 

@@ -90,7 +90,7 @@ func main() {
 			}
 		} else {
 			for _, f := range findings {
-				fmt.Println(f.format())
+				fmt.Println(f.Format())
 			}
 			fmt.Printf("%d finding(s); %s\n", len(findings), note)
 		}
@@ -167,33 +167,8 @@ func main() {
 	}
 }
 
-// jsonFinding is the machine-readable finding shape.
-type jsonFinding struct {
-	Kind     string   `json:"kind"`
-	Severity string   `json:"severity"`
-	Function string   `json:"function"`
-	File     string   `json:"file"`
-	Line     int      `json:"line"`
-	Column   int      `json:"column"`
-	Message  string   `json:"message"`
-	Notes    []string `json:"notes,omitempty"`
-}
-
 func emitJSON(res *rustprobe.Result, findings []rustprobe.Finding) {
-	out := make([]jsonFinding, 0, len(findings))
-	for _, f := range findings {
-		pos := res.Fset.Position(f.Span.Start)
-		out = append(out, jsonFinding{
-			Kind:     string(f.Kind),
-			Severity: f.Severity.String(),
-			Function: f.Function,
-			File:     pos.File,
-			Line:     pos.Line,
-			Column:   pos.Column,
-			Message:  f.Message,
-			Notes:    f.Notes,
-		})
-	}
+	out := toJSONFindings(res, findings)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {

@@ -10,6 +10,11 @@
 //	POST /v1/analyze-batch  {"files": {"a.rs": "...", "b.rs": "..."}}: many named
 //	                        files analyzed independently, per-file findings and
 //	                        isolated per-file errors
+//	POST /v1/sessions/{repo}/push  repo-keyed incremental analysis: push the full
+//	                        file map ({"files": ...}) or a body-only diff
+//	                        ({"changed": ..., "removed": [...]}) against the live
+//	                        session; warm pushes re-run only the dirty callgraph
+//	                        closure and replay cached findings
 //	GET  /v1/detectors      detector registry
 //	GET  /healthz       liveness
 //	GET  /stats         engine counters (cache, queue, per-stage latency)
@@ -51,6 +56,7 @@ import (
 
 	"rustprobe/internal/difftest"
 	"rustprobe/internal/engine"
+	"rustprobe/internal/sessionpool"
 	"rustprobe/internal/store"
 )
 
@@ -64,9 +70,11 @@ func main() {
 		reject   = flag.Bool("queue-reject", true, "fail fast with 503 + Retry-After when the job queue is full (false blocks instead)")
 		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 		storeDir = flag.String("store-dir", "", "directory for the persistent content-addressed result store (empty disables; results then live only in the in-memory LRU)")
-		selftest = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
-		seeds    = flag.Int64("seeds", 200, "seed count for -selftest")
-		precise  = flag.Bool("precise", false, "force the SafeDrop-style path-sensitive precise mode for every request (clients can also opt in per request with \"precise\": true); also applies to -selftest")
+		selftest   = flag.Bool("selftest", false, "run the differential self-check through the configured engine and exit; non-zero on any violation")
+		seeds      = flag.Int64("seeds", 200, "seed count for -selftest")
+		precise    = flag.Bool("precise", false, "force the SafeDrop-style path-sensitive precise mode for every request (clients can also opt in per request with \"precise\": true); also applies to -selftest")
+		sessions   = flag.Int("sessions", sessionpool.DefaultMaxSessions, "max live incremental analysis sessions for /v1/sessions (LRU-evicted beyond this; 0 disables the endpoint)")
+		sessionTTL = flag.Duration("session-ttl", 30*time.Minute, "evict a session idle longer than this (0 disables idle eviction)")
 	)
 	flag.Parse()
 
@@ -100,9 +108,19 @@ func main() {
 		}
 		return
 	}
+	var pool *sessionpool.Pool
+	if *sessions > 0 {
+		pool = sessionpool.New(sessionpool.Config{
+			MaxSessions: *sessions,
+			IdleTTL:     *sessionTTL,
+			Store:       st,
+			Precise:     *precise,
+		})
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, serverOptions{timeout: *timeout, pprof: *pprofOn, precise: *precise}),
+		Handler:           newServer(eng, serverOptions{timeout: *timeout, pprof: *pprofOn, precise: *precise, pool: pool}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -129,6 +147,9 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(os.Stderr, "rustprobed: shutdown: %v\n", err)
 		}
+	}
+	if pool != nil {
+		pool.Close()
 	}
 	eng.Close()
 	log.Printf("rustprobed: stopped")

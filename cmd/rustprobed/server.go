@@ -15,8 +15,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"net/url"
+
 	"rustprobe"
 	"rustprobe/internal/engine"
+	"rustprobe/internal/incrstate"
+	"rustprobe/internal/sessionpool"
 )
 
 // maxBodyBytes bounds a single /v1/analyze payload (sources are text;
@@ -28,6 +32,10 @@ type serverOptions struct {
 	timeout time.Duration // per-request analysis budget; 0 = none
 	pprof   bool          // mount net/http/pprof under /debug/pprof/
 	precise bool          // force path-sensitive detectors on every request
+
+	// pool, when non-nil, serves the stateful session API under
+	// /v1/sessions/; nil (e.g. -sessions 0) leaves the route unmounted.
+	pool *sessionpool.Pool
 }
 
 // server routes the rustprobed HTTP API onto an engine.
@@ -45,6 +53,9 @@ func newServer(eng *engine.Engine, opts serverOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/analyze-batch", s.handleAnalyzeBatch)
+	if opts.pool != nil {
+		mux.HandleFunc("/v1/sessions/", s.handleSessions)
+	}
 	mux.HandleFunc("/v1/detectors", s.handleDetectors)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -251,6 +262,114 @@ func (s *server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sessionPushRequest is the wire shape of POST /v1/sessions/{repo}/push.
+// Exactly one of two forms: a full file map ("files"), or a diff
+// ("changed" and/or "removed") applied over the repo's last successfully
+// pushed tree. A diff push against a repo with no live session (first
+// contact, evicted, daemon restarted) fails with 409 — the client then
+// re-pushes the full map.
+type sessionPushRequest struct {
+	Files   map[string]string `json:"files,omitempty"`
+	Changed map[string]string `json:"changed,omitempty"`
+	Removed []string          `json:"removed,omitempty"`
+}
+
+// sessionPushResponse is one session round: resolved findings plus the
+// round's stats (dirty-closure size, replayed findings, full/incremental,
+// restore and hit flags).
+type sessionPushResponse struct {
+	Findings  []incrstate.Finding   `json:"findings"`
+	Stats     sessionpool.PushStats `json:"stats"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+}
+
+// handleSessions serves the stateful session API:
+//
+//	POST /v1/sessions/{repo}/push
+//
+// {repo} is URL-escaped and may contain slashes ("org/repo"). Unlike the
+// stateless endpoints, repeated pushes for one repo land on the same
+// live Session, so a re-push with a small diff pays one dirty-closure
+// detection instead of a per-file sweep.
+func (s *server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only", "")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	repo, ok := strings.CutSuffix(rest, "/push")
+	if !ok || repo == "" {
+		writeError(w, http.StatusNotFound, "unknown session endpoint; use POST /v1/sessions/{repo}/push", "")
+		return
+	}
+	if unescaped, err := url.PathUnescape(repo); err == nil {
+		repo = unescaped
+	}
+	if len(repo) > 512 {
+		writeError(w, http.StatusBadRequest, "repo name exceeds 512 bytes", "")
+		return
+	}
+
+	var req sessionPushRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON: %v", err), "")
+		return
+	}
+	fullPush := req.Files != nil
+	diffPush := req.Changed != nil || req.Removed != nil
+	switch {
+	case fullPush && diffPush:
+		writeError(w, http.StatusBadRequest, `push either "files" (full map) or "changed"/"removed" (diff), not both`, "")
+		return
+	case !fullPush && !diffPush:
+		writeError(w, http.StatusBadRequest, `empty push: provide "files" or "changed"/"removed"`, "")
+		return
+	case fullPush && len(req.Files) == 0:
+		writeError(w, http.StatusBadRequest, "full push with no files", "")
+		return
+	}
+
+	ctx := r.Context()
+	if s.opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	var res *sessionpool.Result
+	var err error
+	if fullPush {
+		res, err = s.opts.pool.Push(ctx, repo, req.Files)
+	} else {
+		res, err = s.opts.pool.PushDiff(ctx, repo, req.Changed, req.Removed)
+	}
+	if err != nil {
+		var synErr *rustprobe.SyntaxError
+		switch {
+		case errors.Is(err, sessionpool.ErrNoSession):
+			writeError(w, http.StatusConflict, "no live session for this repo; push the full file map", "")
+		case errors.As(err, &synErr):
+			writeError(w, http.StatusUnprocessableEntity, "sources failed to parse or resolve", synErr.Diags)
+		case errors.Is(err, sessionpool.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down", "")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "session push timed out", "")
+		case errors.Is(err, context.Canceled):
+			writeError(w, 499, "client closed request", "")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error(), "")
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionPushResponse{
+		Findings:  res.Findings,
+		Stats:     res.Stats,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
 func (s *server) handleDetectors(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
@@ -270,12 +389,25 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse embeds the engine stats (flat, wire-compatible with
+// pre-session clients) and adds the session pool's counters when the
+// session service is mounted.
+type statsResponse struct {
+	engine.Stats
+	Sessions *sessionpool.Stats `json:"sessions,omitempty"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only", "")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	resp := statsResponse{Stats: s.eng.Stats()}
+	if s.opts.pool != nil {
+		ps := s.opts.pool.Stats()
+		resp.Sessions = &ps
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders the engine counters in the Prometheus text
@@ -327,6 +459,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("rustprobed_unsafe_scan_ms_total", "counter", "Cumulative unsafe-scan wall time (ms).", st.UnsafeScanMSTotal)
 	metric("rustprobed_analyze_ms_total", "counter", "Cumulative end-to-end analysis wall time (ms).", st.AnalyzeMSTotal)
 	metric("rustprobed_uptime_seconds", "gauge", "Seconds since the daemon started.", time.Since(s.started).Seconds())
+	if s.opts.pool != nil {
+		ps := s.opts.pool.Stats()
+		metric("rustprobed_sessions_live", "gauge", "Live repo sessions in the pool.", float64(ps.Live))
+		metric("rustprobed_session_pushes_total", "counter", "Session pushes accepted (full map or diff).", float64(ps.Pushes))
+		metric("rustprobed_session_hits_total", "counter", "Pushes served by an already-live session.", float64(ps.Hits))
+		metric("rustprobed_session_misses_total", "counter", "Pushes that created a session entry.", float64(ps.Misses))
+		metric("rustprobed_session_restores_total", "counter", "Sessions seeded from persisted store state (survived a restart or eviction).", float64(ps.Restores))
+		metric("rustprobed_session_evictions_lru_total", "counter", "Sessions evicted by the LRU cap.", float64(ps.EvictionsLRU))
+		metric("rustprobed_session_evictions_ttl_total", "counter", "Sessions evicted after idling past the TTL.", float64(ps.EvictionsTTL))
+		metric("rustprobed_session_full_rounds_total", "counter", "Session rounds that ran a full from-scratch analysis.", float64(ps.FullRounds))
+		metric("rustprobed_session_incremental_rounds_total", "counter", "Session rounds that reused prior state (dirty-closure or replay).", float64(ps.IncrementalRounds))
+		metric("rustprobed_session_roots_detected_total", "counter", "Function roots re-detected across incremental session rounds (dirty-closure size).", float64(ps.RootsDetected))
+		metric("rustprobed_session_findings_replayed_total", "counter", "Cached findings replayed instead of recomputed across session rounds.", float64(ps.FindingsReplayed))
+		metric("rustprobed_session_state_save_errors_total", "counter", "Failed persists of session state to the store.", float64(ps.StateSaveErrors))
+	}
 	if len(st.DetectorMSTotal) > 0 {
 		fmt.Fprintf(&b, "# HELP rustprobed_detector_wall_ms_total Cumulative wall time per detector pass (ms).\n")
 		fmt.Fprintf(&b, "# TYPE rustprobed_detector_wall_ms_total counter\n")

@@ -1,0 +1,159 @@
+package incrstate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleState() *State {
+	return &State{
+		Version:    "v1:test",
+		Files:      ContentHashes(map[string]string{"a.rs": "fn main() {}"}),
+		Interfaces: map[string]string{"a.rs": "ih"},
+		FnBodies:   map[string]string{"main": "bh"},
+		FnPos:      map[string]string{"main": "a.rs:0:1:1"},
+		Findings: []Finding{{
+			Kind: "use_after_free", Severity: "warning", Function: "main",
+			File: "a.rs", Line: 3, Column: 5, Message: "m", Notes: []string{"n"},
+		}},
+		Local: map[string][]Finding{"main": {{Kind: "use_after_free", Function: "main", File: "a.rs", Line: 3, Column: 5}}},
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	st := sampleState()
+	if err := Save(path, st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got := Load(path, "v1:test")
+	if got == nil {
+		t.Fatal("Load returned nil for a state it just saved")
+	}
+	a, _ := json.Marshal(st)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Fatalf("roundtrip mismatch:\nsaved  %s\nloaded %s", a, b)
+	}
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Save(path, sampleState()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if got := Load(path, "v2:other"); got != nil {
+		t.Fatalf("Load accepted a state written for another version: %+v", got)
+	}
+}
+
+func TestLoadRejectsCorruptAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	if got := Load(filepath.Join(dir, "absent.json"), "v1:test"); got != nil {
+		t.Fatalf("Load of missing file returned %+v, want nil", got)
+	}
+	path := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := Load(path, "v1:test"); got != nil {
+		t.Fatalf("Load of corrupt file returned %+v, want nil", got)
+	}
+}
+
+// The version-field regression this package exists to pin: a state file
+// written before fn_pos existed (correct version string, no fn_pos key)
+// must be discarded so the caller runs a full round — replaying its
+// findings after a body edit could report stale positions.
+func TestDecodeRejectsLegacyStateWithoutFnPos(t *testing.T) {
+	st := sampleState()
+	st.FnPos = nil
+	raw, err := json.Marshal(struct {
+		Version    string               `json:"version"`
+		Files      map[string]string    `json:"files"`
+		Interfaces map[string]string    `json:"interfaces"`
+		FnBodies   map[string]string    `json:"fn_bodies"`
+		Findings   []Finding            `json:"findings"`
+		Local      map[string][]Finding `json:"local_findings"`
+	}{st.Version, st.Files, st.Interfaces, st.FnBodies, st.Findings, st.Local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(raw, "v1:test"); got != nil {
+		t.Fatalf("Decode accepted a legacy fn_pos-less state: %+v", got)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := Load(path, "v1:test"); got != nil {
+		t.Fatal("Load accepted a legacy fn_pos-less state file")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	st := sampleState()
+	data, err := Encode(st)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if got := Decode(data, "v1:test"); got == nil {
+		t.Fatal("Decode rejected bytes Encode produced")
+	}
+	if got := Decode(data, "other"); got != nil {
+		t.Fatal("Decode accepted a mismatched version")
+	}
+}
+
+func TestUnchangedFrom(t *testing.T) {
+	files := map[string]string{"a.rs": "fn main() {}", "b.rs": "fn f() {}"}
+	st := &State{Files: ContentHashes(files)}
+	if !st.UnchangedFrom(files) {
+		t.Fatal("identical tree reported as changed")
+	}
+	edited := map[string]string{"a.rs": "fn main() { }", "b.rs": "fn f() {}"}
+	if st.UnchangedFrom(edited) {
+		t.Fatal("edited tree reported as unchanged")
+	}
+	removed := map[string]string{"a.rs": "fn main() {}"}
+	if st.UnchangedFrom(removed) {
+		t.Fatal("smaller tree reported as unchanged")
+	}
+	var nilState *State
+	if nilState.UnchangedFrom(files) {
+		t.Fatal("nil state reported as unchanged")
+	}
+}
+
+func TestSortFindingsAndFormat(t *testing.T) {
+	fs := []Finding{
+		{File: "b.rs", Line: 1, Column: 1, Kind: "x"},
+		{File: "a.rs", Line: 2, Column: 1, Kind: "x"},
+		{File: "a.rs", Line: 1, Column: 9, Kind: "x"},
+		{File: "a.rs", Line: 1, Column: 1, Kind: "z", Message: "m"},
+		{File: "a.rs", Line: 1, Column: 1, Kind: "z", Message: "a"},
+		{File: "a.rs", Line: 1, Column: 1, Kind: "y"},
+	}
+	SortFindings(fs)
+	order := make([]string, len(fs))
+	for i, f := range fs {
+		order[i] = f.File + "/" + f.Kind + "/" + f.Message
+	}
+	want := []string{"a.rs/y/", "a.rs/z/a", "a.rs/z/m", "a.rs/x/", "a.rs/x/", "b.rs/x/"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("sort order[%d] = %q, want %q (full order %v)", i, order[i], want[i], order)
+		}
+	}
+
+	f := Finding{Kind: "double_lock", Severity: "warning", Function: "m::f",
+		File: "a.rs", Line: 3, Column: 7, Message: "msg", Notes: []string{"first lock here"}}
+	got := f.Format()
+	want1 := "a.rs:3:7: warning: [double_lock] msg (in m::f)"
+	if !strings.HasPrefix(got, want1) || !strings.Contains(got, "note: first lock here") {
+		t.Fatalf("Format() = %q, want prefix %q with note", got, want1)
+	}
+}

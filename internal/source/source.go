@@ -56,6 +56,30 @@ func (f *File) Position(offset int) Position {
 	}
 }
 
+// OffsetOf inverts Position: it maps a 1-based line/column pair back to
+// the local byte offset, clamped into the file. Callers that persisted a
+// resolved position across processes use this to rebuild a span against
+// a fresh registration of the same content.
+func (f *File) OffsetOf(line, col int) int {
+	if len(f.lines) == 0 {
+		return 0
+	}
+	if line < 1 {
+		line = 1
+	}
+	if line > len(f.lines) {
+		line = len(f.lines)
+	}
+	off := f.lines[line-1] + col - 1
+	if off < f.lines[line-1] {
+		off = f.lines[line-1]
+	}
+	if off > len(f.Content) {
+		off = len(f.Content)
+	}
+	return off
+}
+
 // Line returns the text of the given 1-based line without its newline.
 func (f *File) Line(n int) string {
 	if n < 1 || n > len(f.lines) {

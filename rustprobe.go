@@ -64,6 +64,26 @@ import (
 // served.
 const AnalyzerVersion = "8"
 
+// StateVersion ties persisted incremental-analysis state
+// (incrstate.State) to the analyzer + detector set that produced it.
+// The CLI's .rustprobe-state.json and the daemon's store-backed session
+// snapshots both carry this string; replaying findings across a version
+// change would resurrect results the current detectors might not
+// produce, so loaders discard mismatching state and run full.
+func StateVersion() string {
+	return AnalyzerVersion + ":" + strings.Join(DetectorNames(), ",")
+}
+
+// SyntaxError reports that submitted sources failed to lex, parse, or
+// resolve. Session rounds return it (instead of an untyped error) so
+// serving layers can map it to a client-error status with the rendered
+// diagnostics attached.
+type SyntaxError struct {
+	Diags string
+}
+
+func (e *SyntaxError) Error() string { return "rustprobe: syntax errors:\n" + e.Diags }
+
 // Finding re-exports the detector finding type.
 type Finding = detect.Finding
 

@@ -8,6 +8,7 @@ import (
 
 	"rustprobe/internal/ast"
 	"rustprobe/internal/detect"
+	"rustprobe/internal/incrstate"
 	"rustprobe/internal/lower"
 	"rustprobe/internal/mir"
 	"rustprobe/internal/resolve"
@@ -59,6 +60,14 @@ type Session struct {
 	src     map[string]string // last successfully analyzed content
 	local   map[string][]Finding
 	last    *Update
+
+	// prior is persisted state from an earlier process (Restore), armed
+	// on an otherwise empty session. The first Analyze round consumes it:
+	// the frontend runs in full (a fresh process has no ASTs or MIR to
+	// reuse), but if the tree's structure still matches the recorded
+	// hashes, detection runs only over the dirty closure and the
+	// recorded findings are replayed for every clean root.
+	prior *incrstate.State
 }
 
 // Update is one Session.Analyze round: the full analysis view, the
@@ -77,12 +86,19 @@ type UpdateStats struct {
 	Full       bool   `json:"full"`
 	FullReason string `json:"full_reason,omitempty"`
 
+	// Restored marks a round whose reuse came from persisted state
+	// (Session.Restore) rather than a live previous round: the frontend
+	// ran in full, but detection covered only the dirty closure.
+	Restored bool `json:"restored,omitempty"`
+
 	Files          int `json:"files"`
 	FilesReparsed  int `json:"files_reparsed"`
 	FuncsLowered   int `json:"funcs_lowered"`
 	BodiesReused   int `json:"bodies_reused"`
 	RootsDetected  int `json:"roots_detected"`
 	FindingsReused int `json:"findings_reused"`
+	ChangedFns     int `json:"changed_fns"`
+	FuncsTotal     int `json:"funcs_total"`
 }
 
 // FileSet compaction thresholds (vars so tests can tighten them): an
@@ -124,6 +140,9 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	defer s.mu.Unlock()
 
 	if s.res == nil {
+		if s.prior != nil {
+			return s.restoreRound(files)
+		}
 		return s.full(files, "first analysis")
 	}
 	if len(files) != len(s.src) {
@@ -171,8 +190,11 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 		newArts[name] = parseArtifact(s.fset, diags, name, files[name])
 	}
 	if diags.HasErrors() {
+		// Render before rollback: the diagnostics resolve their positions
+		// through the fset entries the rollback is about to discard.
+		msg := diags.String()
 		s.fset.Rollback(mark)
-		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+		return nil, &SyntaxError{Diags: msg}
 	}
 
 	// Anything outside a function body changed — signatures, items,
@@ -205,8 +227,11 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	}
 	prog := resolve.Crates(s.fset, diags, crates...)
 	if diags.HasErrors() {
+		// Render before rollback: the diagnostics resolve their positions
+		// through the fset entries the rollback is about to discard.
+		msg := diags.String()
 		s.fset.Rollback(mark)
-		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+		return nil, &SyntaxError{Diags: msg}
 	}
 
 	// Diff function bodies at matching declaration indexes (the index
@@ -243,8 +268,11 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	// other body is reused from the previous round.
 	lowered := lower.ProgramFiltered(prog, diags, func(q string) bool { return changedFns[q] })
 	if diags.HasErrors() {
+		// Render before rollback: the diagnostics resolve their positions
+		// through the fset entries the rollback is about to discard.
+		msg := diags.String()
 		s.fset.Rollback(mark)
-		return nil, fmt.Errorf("rustprobe: syntax errors:\n%s", diags.String())
+		return nil, &SyntaxError{Diags: msg}
 	}
 	bodies := make(map[string]*mir.Body, len(s.res.Bodies))
 	reused := 0
@@ -300,6 +328,8 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 		BodiesReused:   reused,
 		RootsDetected:  len(restricted),
 		FindingsReused: reusedFindings,
+		ChangedFns:     len(changedFns),
+		FuncsTotal:     len(res.Bodies),
 	}
 	s.last = up
 	return snapshotUpdate(up), nil
@@ -311,8 +341,19 @@ func (s *Session) full(files map[string]string, reason string) (*Update, error) 
 	diags := source.NewDiagnostics(fset)
 	res, arts, err := analyzeArtifacts(fset, diags, files)
 	if err != nil {
+		if diags.HasErrors() {
+			return nil, &SyntaxError{Diags: diags.String()}
+		}
 		return nil, err
 	}
+	return s.commitFull(files, fset, res, arts, reason), nil
+}
+
+// commitFull finishes a full round over an already-built frontend: it
+// runs every detector from scratch and reseeds the session's reuse
+// state. Shared by full() and the restore path's structural fallback
+// (which has already paid for the frontend and must not rebuild it).
+func (s *Session) commitFull(files map[string]string, fset *source.FileSet, res *Result, arts map[string]*fileArtifact, reason string) *Update {
 	res.Precise = s.precise
 
 	ctx := res.Context()
@@ -337,6 +378,7 @@ func (s *Session) full(files map[string]string, reason string) (*Update, error) 
 	for n, src := range files {
 		s.src[n] = src
 	}
+	s.prior = nil
 	up := &Update{Result: res, Findings: findings}
 	up.Stats = UpdateStats{
 		Full:          true,
@@ -345,9 +387,235 @@ func (s *Session) full(files map[string]string, reason string) (*Update, error) 
 		FilesReparsed: len(files),
 		FuncsLowered:  len(res.Bodies),
 		RootsDetected: len(res.Bodies),
+		ChangedFns:    len(res.Bodies),
+		FuncsTotal:    len(res.Bodies),
+	}
+	s.last = up
+	return snapshotUpdate(up)
+}
+
+// Restore arms an empty session with state persisted by an earlier
+// process (Session.ExportState, saved via the incrstate codec). The next
+// Analyze round rebuilds the frontend — ASTs and MIR cannot be persisted
+// — but if the tree's structural hashes still match the recorded state,
+// detection runs only over the dirty closure of the functions whose body
+// hash or declaration position changed, and the recorded findings are
+// replayed for every clean root. Callers must validate st against
+// StateVersion() (incrstate.Load/Decode do) before restoring.
+//
+// Restore fails on a session that has already analyzed: live state is
+// strictly better than persisted state, and silently replacing it would
+// discard valid MIR reuse.
+func (s *Session) Restore(st *incrstate.State) error {
+	if st == nil {
+		return fmt.Errorf("rustprobe: Restore: nil state")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.res != nil {
+		return fmt.Errorf("rustprobe: Restore: session has already analyzed")
+	}
+	if st.FnPos == nil {
+		// Legacy pre-fn_pos state cannot prove positions didn't shift.
+		return fmt.Errorf("rustprobe: Restore: state has no declaration-position fingerprints")
+	}
+	s.prior = st
+	return nil
+}
+
+// ExportState snapshots the session's last successful round in the
+// persistable incrstate form: content/interface/body/position hashes
+// plus the merged and per-root findings, fully resolved to file:line:col
+// so a later process can replay them without this FileSet. Returns nil
+// if the session has no successful round to export.
+func (s *Session) ExportState() *incrstate.State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.res == nil || s.last == nil {
+		return nil
+	}
+	st := &incrstate.State{
+		Version:    StateVersion(),
+		Files:      incrstate.ContentHashes(s.src),
+		Interfaces: s.res.FileInterfaceHashes(),
+		FnBodies:   s.res.FuncBodyHashes(),
+		FnPos:      s.res.FuncDeclPositions(),
+		Findings:   resolveFindings(s.fset, s.last.Findings),
+		Local:      make(map[string][]incrstate.Finding, len(s.local)),
+	}
+	for fn, fs := range s.local {
+		st.Local[fn] = resolveFindings(s.fset, fs)
+	}
+	return st
+}
+
+// restoreRound is the first Analyze after Restore: a full frontend
+// (nothing in-memory to reuse) followed by dirty-closure-only detection
+// against the persisted hashes. Structural drift from the recorded
+// state — different file set, any interface change, a function added or
+// removed — falls back to full detection on the same frontend. The
+// persisted state is consumed only by a successful round, so a syntax
+// error keeps it armed for the next push.
+func (s *Session) restoreRound(files map[string]string) (*Update, error) {
+	prior := s.prior
+	fset := source.NewFileSet()
+	diags := source.NewDiagnostics(fset)
+	res, arts, err := analyzeArtifacts(fset, diags, files)
+	if err != nil {
+		if diags.HasErrors() {
+			return nil, &SyntaxError{Diags: diags.String()}
+		}
+		return nil, err
+	}
+
+	ifaces := res.FileInterfaceHashes()
+	fnBodies := res.FuncBodyHashes()
+	fnPos := res.FuncDeclPositions()
+	if !sameKeysStr(prior.Files, incrstate.ContentHashes(files)) ||
+		!mapsEqualStr(prior.Interfaces, ifaces) ||
+		!sameKeysStr(prior.FnBodies, fnBodies) ||
+		!sameKeysStr(prior.FnPos, fnPos) {
+		up := s.commitFull(files, fset, res, arts, "restored state structure changed")
+		up.Stats.Restored = true
+		s.last.Stats.Restored = true
+		return up, nil
+	}
+	res.Precise = s.precise
+
+	// A function is dirty if its body text changed or its declaration
+	// moved (an edit above it shifted every recorded position in it).
+	var changed []string
+	for q, h := range fnBodies {
+		if prior.FnBodies[q] != h || prior.FnPos[q] != fnPos[q] {
+			changed = append(changed, q)
+		}
+	}
+	sort.Strings(changed)
+
+	local, global, restricted := res.DetectIncremental(changed)
+	byName := map[string]*source.File{}
+	for _, f := range fset.Files() {
+		byName[f.Name] = f
+	}
+	merged := append([]Finding(nil), local...)
+	localMap := make(map[string][]Finding, len(prior.Local))
+	for _, f := range local {
+		localMap[f.Function] = append(localMap[f.Function], f)
+	}
+	reusedFindings := 0
+	roots := make([]string, 0, len(prior.Local))
+	for root := range prior.Local {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		if restricted[root] {
+			continue
+		}
+		rfs := prior.Local[root]
+		fs := make([]Finding, 0, len(rfs))
+		for _, rf := range rfs {
+			fs = append(fs, findingFromResolved(byName, rf))
+		}
+		localMap[root] = fs
+		merged = append(merged, fs...)
+		reusedFindings += len(rfs)
+	}
+	merged = append(merged, global...)
+	sortFindingsByPosition(fset, merged)
+
+	s.fset = fset
+	s.arts = arts
+	s.res = res
+	s.local = localMap
+	s.src = make(map[string]string, len(files))
+	for n, src := range files {
+		s.src[n] = src
+	}
+	s.prior = nil
+	up := &Update{Result: res, Findings: merged}
+	up.Stats = UpdateStats{
+		Restored:       true,
+		Files:          len(files),
+		FilesReparsed:  len(files),
+		FuncsLowered:   len(res.Bodies),
+		RootsDetected:  len(restricted),
+		FindingsReused: reusedFindings,
+		ChangedFns:     len(changed),
+		FuncsTotal:     len(res.Bodies),
 	}
 	s.last = up
 	return snapshotUpdate(up), nil
+}
+
+// resolveFindings materializes findings' span starts to file:line:col in
+// the incrstate wire form.
+func resolveFindings(fset *source.FileSet, fs []Finding) []incrstate.Finding {
+	out := make([]incrstate.Finding, 0, len(fs))
+	for _, f := range fs {
+		pos := fset.Position(f.Span.Start)
+		out = append(out, incrstate.Finding{
+			Kind:     string(f.Kind),
+			Severity: f.Severity.String(),
+			Function: f.Function,
+			File:     pos.File,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  f.Message,
+			Notes:    append([]string(nil), f.Notes...),
+		})
+	}
+	return out
+}
+
+// findingFromResolved rebuilds a detector finding from its persisted
+// resolved form, re-anchoring the span into the current registration of
+// the same (byte-identical, per the content-hash precondition) file so
+// position resolution and sorting work exactly as for fresh findings.
+func findingFromResolved(byName map[string]*source.File, rf incrstate.Finding) Finding {
+	var span source.Span
+	if f := byName[rf.File]; f != nil {
+		off := f.Base + f.OffsetOf(rf.Line, rf.Column)
+		span = source.Span{Start: off, End: off}
+	}
+	sev := detect.SeverityWarning
+	if rf.Severity == detect.SeverityError.String() {
+		sev = detect.SeverityError
+	}
+	return Finding{
+		Kind:     detect.Kind(rf.Kind),
+		Severity: sev,
+		Function: rf.Function,
+		Span:     span,
+		Message:  rf.Message,
+		Notes:    append([]string(nil), rf.Notes...),
+	}
+}
+
+// sameKeysStr reports whether two maps have identical key sets.
+func sameKeysStr(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mapsEqualStr reports whether two maps are identical.
+func mapsEqualStr(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
 }
 
 // snapshotUpdate returns a caller-owned copy of an update. The session
