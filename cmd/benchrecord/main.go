@@ -309,12 +309,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchrecord: warm/cold ratio %.1fx is below the 10x floor\n", rec.WarmColdRatio)
 		os.Exit(1)
 	}
-	// Conservative floor: the warm push still re-runs the global
-	// detectors and the callgraph build over the whole program, so the
-	// win is bounded by the global/local detection split (~2x on the
-	// lock-dense patterns corpus), minus benchmark noise.
-	if *check && rec.SessionBatchRatio < 1.3 {
-		fmt.Fprintf(os.Stderr, "benchrecord: session/batch ratio %.1fx is below the 1.3x floor\n", rec.SessionBatchRatio)
+	// The warm push patches the previous round's call graph and reuses
+	// the global detectors' per-function fact caches, so a one-body edit
+	// pays frontend + detection proportional to its dirty closure, not
+	// the tree (measured ~5x over the stateless batch on the padded
+	// patterns tree; the old ~2x ceiling came from re-running the global
+	// detectors and the callgraph build from scratch every round). The
+	// floor sits below the measurement to absorb benchmark noise.
+	if *check && rec.SessionBatchRatio < 4 {
+		fmt.Fprintf(os.Stderr, "benchrecord: session/batch ratio %.1fx is below the 4x floor\n", rec.SessionBatchRatio)
 		os.Exit(1)
 	}
 }

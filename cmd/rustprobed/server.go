@@ -473,6 +473,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		metric("rustprobed_session_roots_detected_total", "counter", "Function roots re-detected across incremental session rounds (dirty-closure size).", float64(ps.RootsDetected))
 		metric("rustprobed_session_findings_replayed_total", "counter", "Cached findings replayed instead of recomputed across session rounds.", float64(ps.FindingsReplayed))
 		metric("rustprobed_session_state_save_errors_total", "counter", "Failed persists of session state to the store.", float64(ps.StateSaveErrors))
+		metric("rustprobed_session_global_facts_reused_total", "counter", "Per-function fact extractions the global detectors skipped by reusing carried caches.", float64(ps.GlobalFactsReused))
+		metric("rustprobed_session_graph_patched_total", "counter", "Session rounds whose call graph was patched from the previous round instead of rebuilt.", float64(ps.GraphPatchedRounds))
 	}
 	if len(st.DetectorMSTotal) > 0 {
 		fmt.Fprintf(&b, "# HELP rustprobed_detector_wall_ms_total Cumulative wall time per detector pass (ms).\n")

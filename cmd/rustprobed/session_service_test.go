@@ -349,10 +349,19 @@ type sweepProgram struct {
 }
 
 func (p sweepProgram) src(alt bool) string {
+	s := p.main.Source
 	if alt {
-		return p.twin.Source
+		s = p.twin.Source
 	}
-	return p.main.Source
+	// Strip the generated-header comment: it names the variant, so with
+	// it in place a variant toggle would differ outside function bodies
+	// and force a full round. Without it, toggling a body-stable twin is
+	// a body-only edit the session analyzes incrementally — the rounds
+	// the sweep's fact-reuse and graph-patch assertions exercise.
+	if i := strings.Index(s, "\n"); i >= 0 && strings.HasPrefix(s, "// generated:") {
+		s = s[i+1:]
+	}
+	return s
 }
 
 // disjointPrograms admits up to n generated programs whose declared
@@ -412,15 +421,20 @@ func sweepSeedCount(t *testing.T) int {
 // byte-identical per-file findings against /v1/analyze-batch at every
 // step. Any discrepancy reports its seed, step, and mutation op.
 func TestSessionEquivalenceSweep(t *testing.T) {
+	// Every incremental round cross-checks the patched call graph against
+	// a from-scratch rebuild (fingerprint mismatch panics the round), so
+	// the sweep's byte-identity bar also anchors the graph-patching layer.
+	t.Setenv("RUSTPROBE_GRAPH_CHECK", "1")
 	seeds := sweepSeedCount(t)
 	srv, _ := newSessionServer(t, nil)
 
-	var steps, diffPushes, incrementalRounds int
+	var steps, diffPushes, incrementalRounds, factsReused int
 	for seed := 0; seed < seeds; seed++ {
-		s, d, incr := runMutationScript(t, srv.URL, int64(seed))
+		s, d, incr, reused := runMutationScript(t, srv.URL, int64(seed))
 		steps += s
 		diffPushes += d
 		incrementalRounds += incr
+		factsReused += reused
 		if t.Failed() {
 			t.Fatalf("equivalence sweep aborted at seed %d", seed)
 		}
@@ -430,12 +444,19 @@ func TestSessionEquivalenceSweep(t *testing.T) {
 	if diffPushes == 0 || incrementalRounds == 0 {
 		t.Fatalf("sweep was degenerate: %d steps, %d diff pushes, %d incremental rounds", steps, diffPushes, incrementalRounds)
 	}
-	t.Logf("sweep: %d seeds, %d steps, %d diff pushes, %d incremental rounds — zero discrepancies", seeds, steps, diffPushes, incrementalRounds)
+	// And the incremental rounds must actually reuse global-detector
+	// facts — a sweep where every round re-extracts everything would pass
+	// the byte-identity bar while proving nothing about the caches.
+	if factsReused == 0 {
+		t.Fatalf("no global-detector facts reused across %d incremental rounds", incrementalRounds)
+	}
+	t.Logf("sweep: %d seeds, %d steps, %d diff pushes, %d incremental rounds, %d global facts reused — zero discrepancies", seeds, steps, diffPushes, incrementalRounds, factsReused)
 }
 
 // runMutationScript plays one seed's scripted history against its own
-// session, returning (steps, diff pushes, incremental rounds).
-func runMutationScript(t *testing.T, url string, seed int64) (int, int, int) {
+// session, returning (steps, diff pushes, incremental rounds, global
+// facts reused on incremental rounds).
+func runMutationScript(t *testing.T, url string, seed int64) (int, int, int, int) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	pool := disjointPrograms(seed, 5)
@@ -478,7 +499,7 @@ func runMutationScript(t *testing.T, url string, seed int64) (int, int, int) {
 	requireEquivalent(t, url, prev, res.Findings, fmt.Sprintf("seed %d step 0 (initial full push)", seed))
 
 	snapshots := []map[string]*sweepFile{snapshot()}
-	steps, diffPushes, incremental := 1, 0, 0
+	steps, diffPushes, incremental, factsReused := 1, 0, 0, 0
 	for step := 1; step <= 6 && !t.Failed(); step++ {
 		op := ""
 		switch rng.Intn(5) {
@@ -553,6 +574,14 @@ func runMutationScript(t *testing.T, url string, seed int64) (int, int, int) {
 		}
 		if !res.Stats.Full {
 			incremental++
+			// Incremental rounds that re-analyzed anything patch the
+			// previous round's call graph instead of rebuilding; the stats
+			// must say so. (Pure-replay rounds — no changed functions —
+			// never reach the detectors or the graph.)
+			if res.Stats.ChangedFns > 0 && !res.Stats.GraphPatched {
+				t.Errorf("seed %d step %d (%s): incremental round did not patch the call graph", seed, step, op)
+			}
+			factsReused += res.Stats.GlobalFactsReused
 		}
 		t.Logf("seed %d step %d: %s stats=%+v", seed, step, op, res.Stats)
 		requireEquivalent(t, url, files, res.Findings, fmt.Sprintf("seed %d step %d (%s)", seed, step, op))
@@ -560,7 +589,7 @@ func runMutationScript(t *testing.T, url string, seed int64) (int, int, int) {
 		snapshots = append(snapshots, snapshot())
 		steps++
 	}
-	return steps, diffPushes, incremental
+	return steps, diffPushes, incremental, factsReused
 }
 
 // --- restart persistence ---

@@ -4,6 +4,8 @@
 package callgraph
 
 import (
+	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"rustprobe/internal/mir"
@@ -24,40 +26,146 @@ type Graph struct {
 	Callees map[string][]Edge
 	// Callers maps a function to its incoming edges.
 	Callers map[string][]Edge
+	// Unresolved maps a function to the callee names its calls failed to
+	// resolve (no matching body). Patch uses it to decide whether an
+	// unchanged caller must be rescanned: its cached edges go stale only
+	// if one of these names has since gained a body.
+	Unresolved map[string][]string
 }
 
 // Build constructs the call graph. Only calls resolved to a known body (by
 // Def or by name match) produce edges.
 func Build(bodies map[string]*mir.Body) *Graph {
 	g := &Graph{
-		Bodies:  bodies,
-		Callees: map[string][]Edge{},
-		Callers: map[string][]Edge{},
+		Bodies:     bodies,
+		Callees:    map[string][]Edge{},
+		Callers:    map[string][]Edge{},
+		Unresolved: map[string][]string{},
 	}
 	for name, body := range bodies {
-		for _, blk := range body.Blocks {
-			c, ok := blk.Term.(mir.Call)
-			if !ok {
-				continue
+		g.scan(name, body)
+	}
+	g.invertCallers()
+	return g
+}
+
+// scan appends name's outgoing edges and unresolved callee names.
+func (g *Graph) scan(name string, body *mir.Body) {
+	for _, blk := range body.Blocks {
+		c, ok := blk.Term.(mir.Call)
+		if !ok {
+			continue
+		}
+		calleeName := ""
+		if c.Def != nil {
+			calleeName = c.Def.Qualified
+		} else if _, exists := g.Bodies[c.Callee]; exists {
+			calleeName = c.Callee
+		}
+		if calleeName == "" {
+			if c.Callee != "" {
+				g.Unresolved[name] = append(g.Unresolved[name], c.Callee)
 			}
-			calleeName := ""
-			if c.Def != nil {
-				calleeName = c.Def.Qualified
-			} else if _, exists := bodies[c.Callee]; exists {
-				calleeName = c.Callee
-			}
-			if calleeName == "" {
-				continue
-			}
-			if _, exists := bodies[calleeName]; !exists {
-				continue
-			}
-			e := Edge{Caller: name, Callee: calleeName, Site: c, Block: blk.ID}
-			g.Callees[name] = append(g.Callees[name], e)
-			g.Callers[calleeName] = append(g.Callers[calleeName], e)
+			continue
+		}
+		if _, exists := g.Bodies[calleeName]; !exists {
+			g.Unresolved[name] = append(g.Unresolved[name], calleeName)
+			continue
+		}
+		e := Edge{Caller: name, Callee: calleeName, Site: c, Block: blk.ID}
+		g.Callees[name] = append(g.Callees[name], e)
+	}
+}
+
+// invertCallers derives the incoming-edge index from Callees.
+func (g *Graph) invertCallers() {
+	g.Callers = map[string][]Edge{}
+	for _, name := range g.Names() {
+		for _, e := range g.Callees[name] {
+			g.Callers[e.Callee] = append(g.Callers[e.Callee], e)
 		}
 	}
+}
+
+// Patch builds the graph for bodies by reusing prev's per-caller edge
+// lists wherever they are provably still correct, rescanning only:
+//
+//   - functions in changed (re-lowered bodies: new call terminators);
+//   - functions whose previously unresolved callee names now have a
+//     body (a resolution that flips without the caller changing);
+//   - functions absent from prev.
+//
+// Cached edges to bodies that vanished are dropped. The result is
+// byte-equivalent to Build(bodies) — the debug cross-check in the
+// session compares fingerprints to enforce exactly that.
+func Patch(prev *Graph, bodies map[string]*mir.Body, changed map[string]bool) *Graph {
+	if prev == nil {
+		return Build(bodies)
+	}
+	g := &Graph{
+		Bodies:     bodies,
+		Callees:    map[string][]Edge{},
+		Callers:    map[string][]Edge{},
+		Unresolved: map[string][]string{},
+	}
+	for name, body := range bodies {
+		if changed[name] || prev.Bodies[name] != body {
+			g.scan(name, body)
+			continue
+		}
+		rescan := false
+		for _, u := range prev.Unresolved[name] {
+			if _, exists := bodies[u]; exists {
+				rescan = true
+				break
+			}
+		}
+		if rescan {
+			g.scan(name, body)
+			continue
+		}
+		if u := prev.Unresolved[name]; len(u) > 0 {
+			g.Unresolved[name] = u
+		}
+		cached := prev.Callees[name]
+		keep := cached
+		for i, e := range cached {
+			if _, exists := bodies[e.Callee]; !exists {
+				// Rare: copy-on-write only when an edge must go.
+				keep = make([]Edge, 0, len(cached)-1)
+				keep = append(keep, cached[:i]...)
+				for _, e2 := range cached[i+1:] {
+					if _, exists := bodies[e2.Callee]; exists {
+						keep = append(keep, e2)
+					} else {
+						g.Unresolved[name] = append(g.Unresolved[name], e2.Callee)
+					}
+				}
+				g.Unresolved[name] = append(g.Unresolved[name], e.Callee)
+				break
+			}
+		}
+		if len(keep) > 0 {
+			g.Callees[name] = keep
+		}
+	}
+	g.invertCallers()
 	return g
+}
+
+// Fingerprint renders the graph's resolved structure as a stable hash:
+// sorted callers, edges in block order with call spans. Two graphs over
+// the same bodies fingerprint equal iff their edge sets match — the
+// byte-equality oracle for Patch against Build.
+func (g *Graph) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, name := range g.Names() {
+		fmt.Fprintf(h, "%s\n", name)
+		for _, e := range g.Callees[name] {
+			fmt.Fprintf(h, "  %s>%s@%d:%d\n", e.Caller, e.Callee, e.Block, e.Site.Span.Start)
+		}
+	}
+	return h.Sum64()
 }
 
 // Names returns all function names in sorted order.

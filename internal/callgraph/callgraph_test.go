@@ -10,7 +10,7 @@ import (
 	"rustprobe/internal/source"
 )
 
-func buildGraph(t *testing.T, src string) *Graph {
+func lowerBodies(t *testing.T, src string) map[string]*mir.Body {
 	t.Helper()
 	fset := source.NewFileSet()
 	f := fset.Add("test.rs", src)
@@ -20,8 +20,12 @@ func buildGraph(t *testing.T, src string) *Graph {
 		t.Fatalf("parse errors:\n%s", diags.String())
 	}
 	prog := resolve.Crates(fset, diags, crate)
-	bodies := lower.Program(prog, diags)
-	return Build(bodies)
+	return lower.Program(prog, diags)
+}
+
+func buildGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	return Build(lowerBodies(t, src))
 }
 
 const chainSrc = `
@@ -222,5 +226,122 @@ func TestTransitiveCallers(t *testing.T) {
 	both := g.TransitiveCallers("c", "helper")
 	if !both["S::m"] || !both["a"] || !both["b"] {
 		t.Errorf("multi-start callers = %v", both)
+	}
+}
+
+// --- incremental patching ------------------------------------------------
+
+func TestPatchNilPrevIsBuild(t *testing.T) {
+	bodies := lowerBodies(t, chainSrc)
+	if Patch(nil, bodies, nil).Fingerprint() != Build(bodies).Fingerprint() {
+		t.Fatal("Patch(nil, ...) must degrade to Build")
+	}
+}
+
+// TestPatchBodyEditMatchesRebuild splices one re-lowered body into an
+// otherwise pointer-identical map — exactly what the session does — and
+// demands the patched graph fingerprint-match a from-scratch rebuild,
+// with unchanged callers' edge slices reused rather than rescanned.
+func TestPatchBodyEditMatchesRebuild(t *testing.T) {
+	const v1 = `
+fn a() { b(); }
+fn b() { c(); }
+fn c() {}
+fn d() { c(); }
+`
+	const v2 = `
+fn a() { b(); }
+fn b() { c(); d(); }
+fn c() {}
+fn d() { c(); }
+`
+	prevBodies := lowerBodies(t, v1)
+	prev := Build(prevBodies)
+
+	bodies := map[string]*mir.Body{}
+	for name, body := range prevBodies {
+		bodies[name] = body
+	}
+	bodies["b"] = lowerBodies(t, v2)["b"]
+
+	g := Patch(prev, bodies, map[string]bool{"b": true})
+	if g.Fingerprint() != Build(bodies).Fingerprint() {
+		t.Fatal("patched graph diverged from rebuild after a body edit")
+	}
+	if len(g.Callees["b"]) != 2 {
+		t.Errorf("b's rescanned callees: %+v", g.Callees["b"])
+	}
+	// The unchanged caller's edges are the cached slice, not a rescan.
+	if len(g.Callees["a"]) != 1 || &g.Callees["a"][0] != &prev.Callees["a"][0] {
+		t.Error("unchanged caller a was rescanned instead of reusing cached edges")
+	}
+}
+
+// TestPatchUnresolvedNowResolves: a caller whose callee did not exist at
+// its last scan must be rescanned when the name gains a body, even
+// though the caller itself is unchanged.
+func TestPatchUnresolvedNowResolves(t *testing.T) {
+	prevBodies := lowerBodies(t, `
+fn caller() { missing(); }
+fn other() { caller(); }
+`)
+	prev := Build(prevBodies)
+	if len(prev.Callees["caller"]) != 0 {
+		t.Fatalf("missing() should not resolve yet: %+v", prev.Callees["caller"])
+	}
+
+	bodies := map[string]*mir.Body{}
+	for name, body := range prevBodies {
+		bodies[name] = body
+	}
+	bodies["missing"] = lowerBodies(t, `fn missing() {}`)["missing"]
+
+	g := Patch(prev, bodies, map[string]bool{"missing": true})
+	if g.Fingerprint() != Build(bodies).Fingerprint() {
+		t.Fatal("patched graph diverged from rebuild after resolution flip")
+	}
+	if len(g.Callees["caller"]) != 1 || g.Callees["caller"][0].Callee != "missing" {
+		t.Errorf("caller's edge to the new body missing: %+v", g.Callees["caller"])
+	}
+}
+
+// TestPatchVanishedCalleeRoundTrip: removing a callee drops the cached
+// edge copy-on-write and re-records the name as unresolved, so a later
+// re-add rescans the caller and restores the edge.
+func TestPatchVanishedCalleeRoundTrip(t *testing.T) {
+	prevBodies := lowerBodies(t, `
+fn a() { b(); c(); }
+fn b() {}
+fn c() {}
+`)
+	prev := Build(prevBodies)
+
+	// Round 1: b vanishes; a is untouched.
+	smaller := map[string]*mir.Body{}
+	for name, body := range prevBodies {
+		if name != "b" {
+			smaller[name] = body
+		}
+	}
+	g1 := Patch(prev, smaller, nil)
+	if g1.Fingerprint() != Build(smaller).Fingerprint() {
+		t.Fatal("patched graph diverged from rebuild after callee removal")
+	}
+	if len(g1.Callees["a"]) != 1 || g1.Callees["a"][0].Callee != "c" {
+		t.Errorf("a's edges after removal: %+v", g1.Callees["a"])
+	}
+
+	// Round 2: b comes back; a must be rescanned via Unresolved.
+	restored := map[string]*mir.Body{}
+	for name, body := range smaller {
+		restored[name] = body
+	}
+	restored["b"] = lowerBodies(t, `fn b() {}`)["b"]
+	g2 := Patch(g1, restored, map[string]bool{"b": true})
+	if g2.Fingerprint() != Build(restored).Fingerprint() {
+		t.Fatal("patched graph diverged from rebuild after callee re-add")
+	}
+	if len(g2.Callees["a"]) != 2 {
+		t.Errorf("a's edges after re-add: %+v", g2.Callees["a"])
 	}
 }

@@ -194,10 +194,15 @@ func TestSection62RaceResults(t *testing.T) {
 }
 
 // TestSection61BlockingResults pins the §6.1 extension: the blocking
-// detector finds the six seeded non-double-lock blocking bugs in the
-// patterns corpus — two channel hold-and-wait cycles, one orphaned recv,
-// two Condvar lost signals, one Once reentrancy — and stays silent on
-// every paired fixed variant and negative control.
+// detector finds the nine seeded non-double-lock blocking bugs in the
+// patterns corpus — two channel hold-and-wait cycles, one all-ends-
+// waiting cycle through channel parameters, one orphaned recv, three
+// Condvar lost signals (one param-rooted), two Once reentrancies (one
+// through a closure binding passed into a helper) — and stays silent on
+// every paired fixed variant and negative control. The worker_a cycle,
+// the wait_armed param-rooted wait, and the deep_init closure binding
+// were the detector's three documented false negatives before the
+// caller-side identity propagation closed them.
 func TestSection61BlockingResults(t *testing.T) {
 	ctx := loadCtx(t, GroupPatterns)
 	findings := blocking.New().Run(ctx)
@@ -224,14 +229,18 @@ func TestSection61BlockingResults(t *testing.T) {
 		perFn[f.Function]++
 	}
 	for _, fn := range []string{"ScriptThread::sync_reflow", "Pipeline::recv_while_locked",
-		"poll_orphaned", "Miner::wait_for_seal", "Worker::wait_forever", "recursive_once"} {
+		"poll_orphaned", "Miner::wait_for_seal", "Worker::wait_forever", "recursive_once",
+		"worker_a", "wait_armed", "deep_init"} {
 		if perFn[fn] != 1 {
 			t.Errorf("function %s flagged %d times, want 1\n%s", fn, perFn[fn], dump(ctx, findings))
 		}
 	}
 	// Negative controls must be silent.
 	for _, fn := range []string{"ScriptThread::sync_reflow_fixed", "Sealer::await_seal",
-		"WorkerFixed::wait_ready", "poll_with_sender", "config_fixed", "layered_init"} {
+		"WorkerFixed::wait_ready", "poll_with_sender", "config_fixed", "layered_init",
+		"worker_c", "worker_d", "fp_seeded_pipeline",
+		"wait_armed_fixed", "RelayFixed::block_until_armed",
+		"fp_deep_init", "run_guarded"} {
 		if perFn[fn] != 0 {
 			t.Errorf("negative control %s flagged\n%s", fn, dump(ctx, findings))
 		}
@@ -255,7 +264,8 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 	}
 	mustFlag := []string{"sign", "do_request", "RegionRegistry::broken_reload",
 		"push_work", "dispatch", "spawn_reflow", "audit_workers", "shard_counters",
-		"ScriptThread::sync_reflow", "Miner::wait_for_seal", "recursive_once"}
+		"ScriptThread::sync_reflow", "Miner::wait_for_seal", "recursive_once",
+		"worker_a", "wait_armed", "deep_init"}
 	for _, fn := range mustFlag {
 		if !flagged[fn] {
 			t.Errorf("buggy pattern %s not flagged\n%s", fn, dump(ctx, findings))
@@ -265,7 +275,8 @@ func TestPatternsFlagBuggyNotFixed(t *testing.T) {
 		"push_work_fixed", "spawn_reflow_fixed", "guarded_update", "single_thread_alias",
 		"guard_handoff", "atomic_counter",
 		"ScriptThread::sync_reflow_fixed", "Sealer::await_seal", "WorkerFixed::wait_ready",
-		"poll_with_sender", "config_fixed", "layered_init"}
+		"poll_with_sender", "config_fixed", "layered_init",
+		"worker_c", "fp_seeded_pipeline", "wait_armed_fixed", "fp_deep_init"}
 	for _, fn := range mustNotFlag {
 		if flagged[fn] {
 			t.Errorf("fixed pattern %s flagged\n%s", fn, dump(ctx, findings))
@@ -406,8 +417,11 @@ func TestPatternFindingsSnapshot(t *testing.T) {
 		"blocking|Pipeline::recv_while_locked",                             // blocking_patterns.rs hold-and-wait
 		"blocking|ScriptThread::sync_reflow",                               // channel_deadlock.rs recv under sender's lock
 		"blocking|Worker::wait_forever",                                    // blocking_patterns.rs missing notify
+		"blocking|deep_init",                                               // lazy_init.rs Once reentry through closure param
 		"blocking|poll_orphaned",                                           // channel_deadlock.rs dropped sender
 		"blocking|recursive_once",                                          // blocking_patterns.rs Once reentrancy
+		"blocking|wait_armed",                                              // condvar.rs param-rooted lost signal
+		"blocking|worker_a",                                                // channel_deadlock.rs all ends waiting
 		"conflicting-lock-order|Ledger::path_a",                            // lock_order.rs AB-BA
 		"data-race|audit_workers",                                          // race_metrics.rs static mut via helper
 		"data-race|dispatch",                                               // race_scheme.rs Vec push vs len

@@ -22,6 +22,56 @@ impl Miner {
     }
 }
 
+// Param-rooted variant of the same bug: the wait lives in a free helper
+// that receives the condvar, and the only notify on the caller's condvar
+// is behind a condition. The caller-side identity propagates into the
+// helper's wait through the summary translation.
+struct Relay {
+    armed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Relay {
+    fn block_until_armed(&self) {
+        wait_armed(self.armed, self.cv);
+    }
+
+    fn maybe_wake(&self, go: bool) {
+        if go {
+            self.cv.notify_all();
+        }
+    }
+}
+
+fn wait_armed(m: Mutex<bool>, cv: Condvar) {
+    let g = m.lock().unwrap();
+    let g2 = cv.wait(g);
+    consume(g2);
+}
+
+// Negative control for the propagated pass: the same helper shape, but
+// the owner's notify is unconditional and guaranteed.
+struct RelayFixed {
+    armed: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RelayFixed {
+    fn block_until_armed(&self) {
+        wait_armed_fixed(self.armed, self.cv);
+    }
+
+    fn wake(&self) {
+        self.cv.notify_all();
+    }
+}
+
+fn wait_armed_fixed(m: Mutex<bool>, cv: Condvar) {
+    let g = m.lock().unwrap();
+    let g2 = cv.wait(g);
+    consume(g2);
+}
+
 // Fixed pair on its own type: every state change notifies, so the waiter
 // always has a reachable signaller. Negative control for the blocking
 // detector's lost-signal rule.

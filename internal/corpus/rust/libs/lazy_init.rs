@@ -26,6 +26,40 @@ pub fn config_fixed(once: Once) -> i32 {
     unsafe { CONFIG }
 }
 
+// Bug: the initializer closure is bound to a variable and handed through
+// a helper; the helper runs it under call_once on the same cell the
+// closure re-enters — a self-deadlock the closure-binding resolution
+// now follows through the parameter.
+pub fn deep_init(once: Once) -> i32 {
+    let f = || {
+        once.call_once(|| {
+            unsafe {
+                CONFIG = load_config();
+            }
+        });
+    };
+    run_guarded(once, f);
+    unsafe { CONFIG }
+}
+
+fn run_guarded(once: Once, f: F) {
+    once.call_once(f);
+}
+
+// Negative control: the closure initializes a different cell than the
+// one the helper guards, so nothing re-enters.
+pub fn fp_deep_init(first: Once, second: Once) -> i32 {
+    let f = || {
+        second.call_once(|| {
+            unsafe {
+                CONFIG = load_config();
+            }
+        });
+    };
+    run_guarded(first, f);
+    unsafe { CONFIG }
+}
+
 // Negative control for the Once-reentrancy rule: two distinct Once cells
 // layered through a helper; neither initializer re-enters its own cell.
 pub fn layered_init(first: Once, second: Once) -> i32 {

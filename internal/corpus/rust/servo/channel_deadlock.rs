@@ -50,7 +50,10 @@ fn poll_with_sender() -> i32 {
     v
 }
 
-// All ends waiting: both workers pull before either pushes.
+// All ends waiting: both workers pull before either pushes. The
+// coordinator cross-wires the channel halves, so each worker's reply is
+// stuck behind the other worker's recv and no message is ever in
+// flight.
 fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
     let job = rx.recv().unwrap();
     tx.send(job + 1);
@@ -59,4 +62,40 @@ fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
 fn worker_b(rx: Receiver<i32>, tx: Sender<i32>) {
     let job = rx.recv().unwrap();
     tx.send(job + 2);
+}
+
+fn spawn_pipeline() {
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    thread::spawn(move || {
+        worker_a(rx_a, tx_b);
+    });
+    thread::spawn(move || {
+        worker_b(rx_b, tx_a);
+    });
+}
+
+// Negative control for the all-ends-waiting rule: the coordinator seeds
+// the ring with a message before spawning, so the first recv completes
+// and the ring drains.
+fn worker_c(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+
+fn worker_d(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 2);
+}
+
+fn fp_seeded_pipeline() {
+    let (tx_c, rx_c) = mpsc::channel();
+    let (tx_d, rx_d) = mpsc::channel();
+    tx_c.send(0);
+    thread::spawn(move || {
+        worker_c(rx_c, tx_d);
+    });
+    thread::spawn(move || {
+        worker_d(rx_d, tx_c);
+    });
 }

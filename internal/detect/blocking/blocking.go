@@ -64,6 +64,8 @@ const (
 	opRecv opKind = iota
 	opSend
 	opOnce
+	opWait
+	opNotify
 )
 
 func (k opKind) String() string {
@@ -72,6 +74,10 @@ func (k opKind) String() string {
 		return "recv"
 	case opSend:
 		return "send"
+	case opWait:
+		return "wait"
+	case opNotify:
+		return "notify"
 	default:
 		return "call_once"
 	}
@@ -91,6 +97,14 @@ type event struct {
 	// is visible in the recording function; such endpoints are excluded
 	// from the same-impl-type pairing heuristic.
 	LocalProv bool
+	// Guaranteed marks an operation that executes on every entry→return
+	// path of every function on the summarized call chain down to the
+	// op. ANDs under merge.
+	Guaranteed bool
+	// After holds, for send ops, the channels whose recv must complete
+	// on every path before the send can execute — the dependency edge
+	// the all-ends-waiting rule follows. Shrinks under merge like Locks.
+	After map[string]bool
 }
 
 func (e *event) key() string {
@@ -101,6 +115,12 @@ func (e *event) clone() *event {
 	c := *e
 	if e.Locks != nil {
 		c.Locks = cloneLocks(e.Locks)
+	}
+	if e.After != nil {
+		c.After = make(map[string]bool, len(e.After))
+		for a := range e.After {
+			c.After[a] = true
+		}
 	}
 	return &c
 }
@@ -123,13 +143,30 @@ type notifySite struct {
 type onceSite struct {
 	once    string
 	closure string // closure body name passed as initializer, "" if opaque
-	span    source.Span
+	// closureParam is the parameter index the initializer came in
+	// through when it is an unresolved parameter of the enclosing
+	// function (run_init(once, f) { once.call_once(f) }), -1 otherwise.
+	// Callers resolve it against their own closure bindings.
+	closureParam int
+	span         source.Span
 }
 
 type callSite struct {
 	callee   string
 	argPaths []string
-	held     map[string]doublelock.Mode
+	// argClosures names, per argument, the locally-defined closure body
+	// the argument carries ("" if it is not a closure binding).
+	argClosures []string
+	held        map[string]doublelock.Mode
+	span        source.Span
+	// guaranteed marks a call site on every entry→return path.
+	guaranteed bool
+}
+
+// spawnSite is a thread::spawn whose closure body is resolved.
+type spawnSite struct {
+	closure string
+	span    source.Span
 }
 
 // chanProv tracks one visible channel construction: which locals alias
@@ -145,24 +182,68 @@ type funcInfo struct {
 	name     string
 	body     *mir.Body
 	res      *resolver
-	own      []*event // recv/send/once events in this body
+	own      []*event // recv/send/once/wait/notify events in this body
 	calls    []callSite
+	spawns   []spawnSite
 	waits    []waitSite
 	notifies []notifySite
 	onces    []onceSite
 	chans    []*chanProv
 	captures map[string]bool
 	params   map[string]bool
+	// orphans caches the intra-procedural orphaned-receive findings so
+	// the incremental path can replay them without rescanning the body.
+	orphans []detect.Finding
 }
+
+// carry is the detector's incremental fact cache: the per-function
+// extraction results and the summary fixpoint of the previous round.
+// Facts are revalidated by body pointer identity — the session reuses
+// body objects for unchanged functions, so a cached funcInfo is valid
+// exactly when ctx.Bodies still holds the body it was extracted from.
+type carry struct {
+	infos map[string]*funcInfo
+	sums  *summary.Result[resSummary]
+}
+
+// FactCount implements detect.FactCounter.
+func (c *carry) FactCount() int { return len(c.infos) }
 
 // Run implements detect.Detector.
 func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	out, _, _ := d.RunIncremental(ctx, nil, nil)
+	return out
+}
+
+// RunIncremental implements detect.Incremental: per-function fact
+// extraction is skipped for functions whose cached facts are still
+// valid (not dirty, same body object), the summary fixpoint warm-starts
+// from the previous round's SCC results, and only the cheap global
+// pairing phase runs over the whole program.
+func (d *Detector) RunIncremental(ctx *detect.Context, prior detect.Carry, dirty map[string]bool) ([]detect.Finding, detect.Carry, int) {
+	prev, _ := prior.(*carry)
 	names := ctx.Graph.Names()
 	infos := make(map[string]*funcInfo, len(names))
+	recompute := map[string]bool{}
+	reused := 0
 	for _, name := range names {
+		if prev != nil && !dirty[name] {
+			if old := prev.infos[name]; old != nil && old.body == ctx.Bodies[name] {
+				infos[name] = old
+				reused++
+				continue
+			}
+		}
 		infos[name] = d.analyze(ctx, name)
+		recompute[name] = true
 	}
-	sums := d.buildSummaries(ctx, infos)
+	var warm *summary.Result[resSummary]
+	if prev != nil {
+		warm = prev.sums
+	}
+	detect.CloseOverCallers(ctx.Graph, recompute)
+	sres := d.buildSummaries(ctx, infos, warm, recompute)
+	sums := sres.Summaries
 
 	var out []detect.Finding
 	reported := map[int]bool{}
@@ -177,14 +258,17 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 	// Orphaned receives first: "the sender is gone" is the more precise
 	// diagnosis for a recv site than any lock-cycle pairing.
 	for _, name := range names {
-		d.orphanRecvs(ctx, infos[name], emit)
+		for _, f := range infos[name].orphans {
+			emit(f)
+		}
 	}
 	d.channelCycles(ctx, names, infos, sums, emit)
-	d.lostSignals(ctx, names, infos, emit)
+	d.allEndsWaiting(ctx, names, infos, sums, emit)
+	d.lostSignals(ctx, names, infos, sums, emit)
 	d.onceReentry(ctx, names, infos, sums, emit)
 
 	detect.SortFindings(out)
-	return out
+	return out, &carry{infos: infos, sums: sres}, reused
 }
 
 // analyze collects the per-function blocking facts.
@@ -234,6 +318,18 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 		return canon
 	}
 	valid := func(p string) bool { return p != "" && pathDepth(p) <= maxPathDepth }
+	mustRecv := mustRecvIn(body, g, res)
+	afterAt := func(blk mir.BlockID) map[string]bool {
+		in := mustRecv[blk]
+		if len(in) == 0 {
+			return nil
+		}
+		out := make(map[string]bool, len(in))
+		for p := range in {
+			out[p] = true
+		}
+		return out
+	}
 
 	for _, blk := range body.Blocks {
 		if !g.Reachable(blk.ID) {
@@ -250,41 +346,68 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 				continue
 			}
 			kind := opRecv
+			var after map[string]bool
 			if c.Intrinsic == mir.IntrinsicChanSend {
 				kind = opSend
+				after = afterAt(blk.ID)
 			}
 			info.own = append(info.own, &event{
-				Kind:      kind,
-				Res:       p,
-				Fn:        name,
-				Span:      c.Span,
-				Locks:     heldAt(blk.ID, len(blk.Stmts)),
-				LocalProv: localProv(p),
+				Kind:       kind,
+				Res:        p,
+				Fn:         name,
+				Span:       c.Span,
+				Locks:      heldAt(blk.ID, len(blk.Stmts)),
+				LocalProv:  localProv(p),
+				Guaranteed: unavoidable(body, g, blk.ID),
+				After:      after,
 			})
 			continue
 		case mir.IntrinsicCondvarWait:
 			if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
 				info.waits = append(info.waits, waitSite{cv: p, span: c.Span})
+				info.own = append(info.own, &event{
+					Kind: opWait, Res: p, Fn: name, Span: c.Span,
+					Guaranteed: unavoidable(body, g, blk.ID),
+				})
+			}
+			continue
+		case mir.IntrinsicSpawn:
+			for _, a := range c.Args {
+				if pl, ok := mir.OperandPlace(a); ok && pl.IsLocal() && len(pl.Proj) == 0 {
+					if cn, isClosure := closureOf[pl.Local]; isClosure {
+						info.spawns = append(info.spawns, spawnSite{closure: cn, span: c.Span})
+						break
+					}
+				}
 			}
 			continue
 		case mir.IntrinsicNone:
 			switch methodName(c.Callee) {
 			case "notify_one", "notify_all":
 				if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
+					guaranteed := unavoidable(body, g, blk.ID)
 					info.notifies = append(info.notifies, notifySite{
 						cv:         p,
 						span:       c.Span,
-						guaranteed: unavoidable(body, g, blk.ID),
+						guaranteed: guaranteed,
+					})
+					info.own = append(info.own, &event{
+						Kind: opNotify, Res: p, Fn: name, Span: c.Span,
+						Guaranteed: guaranteed,
 					})
 					continue
 				}
 			case "call_once":
 				if p := res.canonPath(c.RecvPath); c.RecvPath != "" && valid(p) {
-					site := onceSite{once: p, span: c.Span}
+					site := onceSite{once: p, span: c.Span, closureParam: -1}
 					for _, a := range c.Args[1:] {
 						if pl, ok := mir.OperandPlace(a); ok && pl.IsLocal() {
 							if cn, isClosure := closureOf[pl.Local]; isClosure {
 								site.closure = cn
+								break
+							}
+							if len(pl.Proj) == 0 && int(pl.Local) >= 1 && int(pl.Local) <= body.ArgCount {
+								site.closureParam = int(pl.Local) - 1
 								break
 							}
 						}
@@ -299,23 +422,111 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 		if callee == "" {
 			continue
 		}
-		cs := callSite{callee: callee, held: heldAt(blk.ID, len(blk.Stmts))}
+		cs := callSite{
+			callee:     callee,
+			held:       heldAt(blk.ID, len(blk.Stmts)),
+			span:       c.Span,
+			guaranteed: unavoidable(body, g, blk.ID),
+		}
 		for _, a := range c.Args {
 			p := ""
+			cn := ""
 			if pl, ok := mir.OperandPlace(a); ok {
 				p = res.valuePath(pl)
+				if pl.IsLocal() && len(pl.Proj) == 0 {
+					cn = closureOf[pl.Local]
+				}
 			}
 			cs.argPaths = append(cs.argPaths, p)
+			cs.argClosures = append(cs.argClosures, cn)
 		}
 		info.calls = append(info.calls, cs)
 	}
+	d.collectOrphans(ctx, info)
 	return info
 }
 
+// mustRecvIn computes, per block, the set of canonical channel paths
+// whose recv has completed on every path reaching the block's
+// terminator — the must-precede relation behind send events' After
+// sets. Forward must-dataflow: intersection at joins, recv terminators
+// generate their resource.
+func mustRecvIn(body *mir.Body, g *cfg.Graph, res *resolver) map[mir.BlockID]map[string]bool {
+	gen := map[mir.BlockID]string{}
+	for _, blk := range body.Blocks {
+		if c, ok := blk.Term.(mir.Call); ok && c.Intrinsic == mir.IntrinsicChanRecv && c.RecvPath != "" {
+			if p := res.canonPath(c.RecvPath); p != "" && pathDepth(p) <= maxPathDepth {
+				gen[blk.ID] = p
+			}
+		}
+	}
+	in := map[mir.BlockID]map[string]bool{}
+	seen := map[mir.BlockID]bool{}
+	equal := func(a, b map[string]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if !b[k] {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < maxBlockingIter; iter++ {
+		changed := false
+		for _, id := range g.RPO {
+			var next map[string]bool
+			first := true
+			for _, p := range g.Preds[id] {
+				if !g.Reachable(p) {
+					continue
+				}
+				if !seen[p] {
+					// Unvisited pred on a back edge: treat as top
+					// (no constraint) so the intersection stays must.
+					continue
+				}
+				pout := map[string]bool{}
+				for k := range in[p] {
+					pout[k] = true
+				}
+				if gp, ok := gen[p]; ok {
+					pout[gp] = true
+				}
+				if first {
+					next = pout
+					first = false
+					continue
+				}
+				for k := range next {
+					if !pout[k] {
+						delete(next, k)
+					}
+				}
+			}
+			if next == nil {
+				next = map[string]bool{}
+			}
+			if !seen[id] || !equal(in[id], next) {
+				in[id] = next
+				seen[id] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
 // buildSummaries runs the SCC fixpoint: a function's summary is its own
-// recv/send/once events plus its callees' events translated into the
-// caller's namespace and augmented with the locks held at the call site.
-func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo) map[string]resSummary {
+// recv/send/once/wait/notify events plus its callees' events translated
+// into the caller's namespace and augmented with the locks held at the
+// call site. With a warm-start result from a prior round, only SCCs in
+// the recompute closure re-run their transfer.
+func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo, warm *summary.Result[resSummary], recompute map[string]bool) *summary.Result[resSummary] {
 	prob := &summary.Problem[resSummary]{
 		Bottom:  func(string) resSummary { return resSummary{} },
 		Equal:   summariesEqual,
@@ -339,11 +550,20 @@ func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInf
 					}
 					t := e.clone()
 					t.Res = p
-					if t.Kind != opOnce {
+					t.Guaranteed = e.Guaranteed && cs.guaranteed
+					if t.Kind == opRecv || t.Kind == opSend {
 						t.Locks = translateLocks(e.Locks, params, cs.argPaths)
 						for id, m := range cs.held {
 							if cur, ok := t.Locks[id]; !ok || m > cur {
 								t.Locks[id] = m
+							}
+						}
+					}
+					if len(e.After) > 0 {
+						t.After = map[string]bool{}
+						for a := range e.After {
+							if ta := summary.TranslateRoot(a, params, cs.argPaths); ta != "" && pathDepth(ta) <= maxPathDepth {
+								t.After[ta] = true
 							}
 						}
 					}
@@ -353,7 +573,7 @@ func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInf
 			return s
 		},
 	}
-	return summary.Compute(ctx.Graph, prob).Summaries
+	return summary.ComputeFrom(ctx.Graph, prob, warm, recompute)
 }
 
 func mergeEvent(s resSummary, e *event) {
@@ -363,11 +583,19 @@ func mergeEvent(s resSummary, e *event) {
 		s[k] = e.clone()
 		return
 	}
-	// Same op via two paths: only locks held on both count.
+	// Same op via two paths: only locks held on both count, the op is
+	// guaranteed only if both paths guarantee it, and only recvs that
+	// must precede it on both paths stay in After.
 	merged := prev.clone()
 	for id, m := range merged.Locks {
 		if em, has := e.Locks[id]; !has || em != m {
 			delete(merged.Locks, id)
+		}
+	}
+	merged.Guaranteed = merged.Guaranteed && e.Guaranteed
+	for a := range merged.After {
+		if !e.After[a] {
+			delete(merged.After, a)
 		}
 	}
 	s[k] = merged
@@ -382,8 +610,16 @@ func summariesEqual(a, b resSummary) bool {
 		if !ok || len(av.Locks) != len(bv.Locks) {
 			return false
 		}
+		if av.Guaranteed != bv.Guaranteed || len(av.After) != len(bv.After) {
+			return false
+		}
 		for id, m := range av.Locks {
 			if bm, has := bv.Locks[id]; !has || bm != m {
+				return false
+			}
+		}
+		for id := range av.After {
+			if !bv.After[id] {
 				return false
 			}
 		}
@@ -525,11 +761,13 @@ func (d *Detector) channelCycles(ctx *detect.Context, names []string, infos map[
 	}
 }
 
-// orphanRecvs is the no-live-sender rule, intra-procedural over visible
-// channel constructions: if every alias of the sender half is only ever
-// defined and dropped — never sent on, stored, captured, or passed on —
-// the paired recv can never complete.
-func (d *Detector) orphanRecvs(ctx *detect.Context, info *funcInfo, emit func(detect.Finding)) {
+// collectOrphans is the no-live-sender rule, intra-procedural over
+// visible channel constructions: if every alias of the sender half is
+// only ever defined and dropped — never sent on, stored, captured, or
+// passed on — the paired recv can never complete. Findings are cached
+// on the funcInfo so incremental rounds replay them without rescanning.
+func (d *Detector) collectOrphans(ctx *detect.Context, info *funcInfo) {
+	emit := func(f detect.Finding) { info.orphans = append(info.orphans, f) }
 	body := info.body
 	for _, ch := range info.chans {
 		live := false
@@ -764,8 +1002,12 @@ func rvaluePlaces(rv mir.Rvalue) []mir.Place {
 // lostSignals is the missing/conditional-notify rule: a Condvar::wait
 // whose condvar no other function unconditionally notifies can sleep
 // forever — the paper's lost-signal shape, where the only wake-up is
-// behind a condition the waiter itself controls.
-func (d *Detector) lostSignals(ctx *detect.Context, names []string, infos map[string]*funcInfo, emit func(detect.Finding)) {
+// behind a condition the waiter itself controls. Two passes share the
+// report logic: the direct pass over each function's own waits, and a
+// propagated pass over summary wait events whose parameter-rooted
+// condvar a caller resolved to a concrete identity (the DESIGN.md
+// caveat this detector used to skip).
+func (d *Detector) lostSignals(ctx *detect.Context, names []string, infos map[string]*funcInfo, sums map[string]resSummary, emit func(detect.Finding)) {
 	type qnotify struct {
 		fn         string
 		span       source.Span
@@ -778,48 +1020,83 @@ func (d *Detector) lostSignals(ctx *detect.Context, names []string, infos map[st
 			notifyIdx[q] = append(notifyIdx[q], qnotify{fn: name, span: n.span, guaranteed: n.guaranteed})
 		}
 	}
+	// Notifies that reached a caller's summary through translation count
+	// at the caller's identity too: a notify on a condvar parameter is
+	// a notify on whatever the caller passed in. Strictly additive over
+	// the direct entries (own events are skipped — already indexed).
+	for _, name := range names {
+		for _, e := range sortedEvents(sums[name]) {
+			if e.Kind != opNotify || e.Fn == name {
+				continue
+			}
+			root := pathRoot(e.Res)
+			info := infos[name]
+			if root != "self" && (info.params[root] || info.captures[root]) {
+				continue // still unresolved at this level
+			}
+			q := qualify(name, e.Res)
+			notifyIdx[q] = append(notifyIdx[q], qnotify{fn: e.Fn, span: e.Span, guaranteed: e.Guaranteed})
+		}
+	}
+	report := func(name, waiter, cv string, span source.Span) {
+		q := qualify(name, cv)
+		rescued := false
+		var conditional []qnotify
+		for _, n := range notifyIdx[q] {
+			if n.fn == name || n.fn == waiter {
+				continue
+			}
+			if n.guaranteed {
+				rescued = true
+				break
+			}
+			conditional = append(conditional, n)
+		}
+		if rescued {
+			return
+		}
+		notes := []string{
+			fmt.Sprintf("wait at %s blocks until %q is notified", ctx.Fset.Position(span.Start), q),
+		}
+		if len(conditional) > 0 {
+			n := conditional[0]
+			notes = append(notes, fmt.Sprintf("the only notify, in %s at %s, is behind a condition and can be skipped — the classic lost-signal shape", n.fn, ctx.Fset.Position(n.span.Start)))
+		} else {
+			notes = append(notes, fmt.Sprintf("no other function ever calls notify_one/notify_all on %q", q))
+		}
+		emit(detect.Finding{
+			Kind:     detect.KindBlocking,
+			Severity: detect.SeverityError,
+			Function: waiter,
+			Span:     span,
+			Message:  fmt.Sprintf("Condvar::wait on %q can block forever: no other function unconditionally notifies it", cv),
+			Notes:    notes,
+		})
+	}
 	for _, name := range names {
 		info := infos[name]
 		for _, w := range info.waits {
 			root := pathRoot(w.cv)
 			// A condvar handed in from outside (parameter or closure
-			// capture) has unknowable notifiers; stay silent.
+			// capture) is judged at the caller that can name it — the
+			// propagated pass below — and stays silent if no caller can.
 			if root != "self" && (info.params[root] || info.captures[root]) {
 				continue
 			}
-			q := qualify(name, w.cv)
-			rescued := false
-			var conditional []qnotify
-			for _, n := range notifyIdx[q] {
-				if n.fn == name {
-					continue
-				}
-				if n.guaranteed {
-					rescued = true
-					break
-				}
-				conditional = append(conditional, n)
-			}
-			if rescued {
+			report(name, name, w.cv, w.span)
+		}
+	}
+	for _, name := range names {
+		info := infos[name]
+		for _, e := range sortedEvents(sums[name]) {
+			if e.Kind != opWait || e.Fn == name {
 				continue
 			}
-			notes := []string{
-				fmt.Sprintf("wait at %s blocks until %q is notified", ctx.Fset.Position(w.span.Start), q),
+			root := pathRoot(e.Res)
+			if root != "self" && (info.params[root] || info.captures[root]) {
+				continue // the identity never resolved: escape = silence
 			}
-			if len(conditional) > 0 {
-				n := conditional[0]
-				notes = append(notes, fmt.Sprintf("the only notify, in %s at %s, is behind a condition and can be skipped — the classic lost-signal shape", n.fn, ctx.Fset.Position(n.span.Start)))
-			} else {
-				notes = append(notes, fmt.Sprintf("no other function ever calls notify_one/notify_all on %q", q))
-			}
-			emit(detect.Finding{
-				Kind:     detect.KindBlocking,
-				Severity: detect.SeverityError,
-				Function: name,
-				Span:     w.span,
-				Message:  fmt.Sprintf("Condvar::wait on %q can block forever: no other function unconditionally notifies it", w.cv),
-				Notes:    notes,
-			})
+			report(name, e.Fn, e.Res, e.Span)
 		}
 	}
 }
@@ -827,49 +1104,326 @@ func (d *Detector) lostSignals(ctx *detect.Context, names []string, infos map[st
 // onceReentry is the self-deadlock rule for Once: call_once blocks until
 // the winning initializer finishes, so an initializer that reaches
 // call_once on its own cell (directly or through helpers) waits on
-// itself.
+// itself. The second pass closes the closure-through-parameter gap: a
+// call_once whose initializer arrived as a parameter is resolved at
+// each caller that passes a locally-defined closure binding in.
 func (d *Detector) onceReentry(ctx *detect.Context, names []string, infos map[string]*funcInfo, sums map[string]resSummary, emit func(detect.Finding)) {
+	// reentrant finds the opOnce event inside closureName's summary that
+	// names the same cell as sitePath, with capture roots rewritten into
+	// info's (the closure-defining function's) namespace.
+	reentrant := func(info *funcInfo, closureName, sitePath string) *event {
+		site := summary.NormalizePath(sitePath)
+		closureInfo := infos[closureName]
+		for _, e := range sortedEvents(sums[closureName]) {
+			if e.Kind != opOnce {
+				continue
+			}
+			t := e.Res
+			root := pathRoot(t)
+			if closureInfo != nil && closureInfo.captures[root] {
+				if canon := info.res.canonName(root); canon != "" {
+					t = rewriteRoot(t, root, canon)
+				}
+			}
+			if summary.NormalizePath(t) == site {
+				return e
+			}
+		}
+		return nil
+	}
 	for _, name := range names {
 		info := infos[name]
 		for _, oc := range info.onces {
 			if oc.closure == "" {
 				continue
 			}
-			site := summary.NormalizePath(oc.once)
-			closureInfo := infos[oc.closure]
-			for _, e := range sortedEvents(sums[oc.closure]) {
-				if e.Kind != opOnce {
+			e := reentrant(info, oc.closure, oc.once)
+			if e == nil {
+				continue
+			}
+			via := ""
+			if e.Fn != oc.closure {
+				via = fmt.Sprintf(" through %s", e.Fn)
+			}
+			emit(detect.Finding{
+				Kind:     detect.KindBlocking,
+				Severity: detect.SeverityError,
+				Function: name,
+				Span:     oc.span,
+				Message:  fmt.Sprintf("Once::call_once on %q re-enters call_once on the same Once from its initializer%s", oc.once, via),
+				Notes: []string{
+					fmt.Sprintf("the initializer reaches call_once on the same cell in %s at %s", e.Fn, ctx.Fset.Position(e.Span.Start)),
+					"call_once blocks until the in-flight initializer completes, so the inner call waits on its own caller forever",
+				},
+			})
+		}
+	}
+	// Closure-through-parameter pass: the helper runs call_once on a
+	// cell and an initializer it both received; the caller knows which
+	// closure it passed and what the cell parameter names on its side.
+	for _, name := range names {
+		info := infos[name]
+		for _, cs := range info.calls {
+			calleeInfo := infos[cs.callee]
+			if calleeInfo == nil {
+				continue
+			}
+			params := paramNames(ctx.Bodies[cs.callee])
+			for _, oc := range calleeInfo.onces {
+				if oc.closure != "" || oc.closureParam < 0 || oc.closureParam >= len(cs.argClosures) {
 					continue
 				}
-				t := e.Res
-				root := pathRoot(t)
-				if closureInfo != nil && closureInfo.captures[root] {
-					if canon := info.res.canonName(root); canon != "" {
-						t = rewriteRoot(t, root, canon)
-					}
-				}
-				if summary.NormalizePath(t) != site {
+				cn := cs.argClosures[oc.closureParam]
+				if cn == "" {
 					continue
 				}
-				via := ""
-				if e.Fn != oc.closure {
-					via = fmt.Sprintf(" through %s", e.Fn)
+				oncePath := summary.TranslateRoot(oc.once, params, cs.argPaths)
+				if oncePath == "" || pathDepth(oncePath) > maxPathDepth {
+					continue
+				}
+				e := reentrant(info, cn, oncePath)
+				if e == nil {
+					continue
 				}
 				emit(detect.Finding{
 					Kind:     detect.KindBlocking,
 					Severity: detect.SeverityError,
 					Function: name,
-					Span:     oc.span,
-					Message:  fmt.Sprintf("Once::call_once on %q re-enters call_once on the same Once from its initializer%s", oc.once, via),
+					Span:     cs.span,
+					Message:  fmt.Sprintf("Once::call_once on %q re-enters call_once on the same Once from the initializer passed through %s", oncePath, cs.callee),
 					Notes: []string{
-						fmt.Sprintf("the initializer reaches call_once on the same cell in %s at %s", e.Fn, ctx.Fset.Position(e.Span.Start)),
+						fmt.Sprintf("%s runs the closure under call_once on %q at %s", cs.callee, oc.once, ctx.Fset.Position(oc.span.Start)),
+						fmt.Sprintf("the closure reaches call_once on the same cell in %s at %s", e.Fn, ctx.Fset.Position(e.Span.Start)),
 						"call_once blocks until the in-flight initializer completes, so the inner call waits on its own caller forever",
 					},
 				})
-				break
 			}
 		}
 	}
+}
+
+// allEndsWaiting is the every-thread-blocked rule from the study's
+// channel-deadlock taxonomy: two spawned workers each perform a
+// guaranteed recv first, and the only sends that could wake either are
+// stuck behind the other worker's recv. Channel identities come from
+// the spawner's visible constructions; worker-side params resolve
+// through the same summary translation the lock rules use.
+func (d *Detector) allEndsWaiting(ctx *detect.Context, names []string, infos map[string]*funcInfo, sums map[string]resSummary, emit func(detect.Finding)) {
+	for _, name := range names {
+		info := infos[name]
+		if len(info.spawns) < 2 || len(info.chans) == 0 {
+			continue
+		}
+		// chanOf resolves a path in the spawner's namespace (or a capture
+		// name shared with a spawned closure) to a visible channel and
+		// which half it is.
+		chanOf := func(path string) (idx int, recvHalf bool, ok bool) {
+			root := pathRoot(path)
+			if path != root {
+				return 0, false, false // projections: not a plain endpoint
+			}
+			l, has := info.res.byName[root]
+			if !has {
+				return 0, false, false
+			}
+			for i, ch := range info.chans {
+				if ch.receivers[l] {
+					return i, true, true
+				}
+				if ch.senders[l] {
+					return i, false, true
+				}
+			}
+			return 0, false, false
+		}
+		// Channels whose endpoints leave the contexts we can enumerate
+		// (unresolved calls, non-spawn closures, stores) are unanalyzable.
+		tainted := d.escapedChannels(ctx, info)
+
+		type ctxRecv struct {
+			chanIdx int
+			ev      *event
+			spawn   int
+		}
+		type ctxSend struct {
+			chanIdx int
+			after   map[int]bool
+			spawn   int // -1 for the spawner's own context
+		}
+		var recvs []ctxRecv
+		var sends []ctxSend
+		collect := func(spawnIdx int, sum resSummary, capInfo *funcInfo) {
+			for _, e := range sortedEvents(sum) {
+				if e.Kind != opRecv && e.Kind != opSend {
+					continue
+				}
+				// In a spawned context, only capture-rooted paths name
+				// the spawner's channels; closure-local channels are a
+				// different resource even under a colliding name.
+				if capInfo != nil && !capInfo.captures[pathRoot(e.Res)] {
+					continue
+				}
+				ci, recvHalf, ok := chanOf(e.Res)
+				if !ok || tainted[ci] {
+					continue
+				}
+				if e.Kind == opRecv {
+					if recvHalf && spawnIdx >= 0 && e.Guaranteed {
+						recvs = append(recvs, ctxRecv{chanIdx: ci, ev: e, spawn: spawnIdx})
+					}
+					continue
+				}
+				if recvHalf {
+					continue
+				}
+				after := map[int]bool{}
+				for a := range e.After {
+					if capInfo != nil && !capInfo.captures[pathRoot(a)] {
+						continue
+					}
+					if ai, aRecv, ok := chanOf(a); ok && aRecv {
+						after[ai] = true
+					}
+				}
+				sends = append(sends, ctxSend{chanIdx: ci, after: after, spawn: spawnIdx})
+			}
+		}
+		for si, sp := range info.spawns {
+			collect(si, sums[sp.closure], infos[sp.closure])
+		}
+		collect(-1, sums[name], nil)
+
+		// A send can wake channel c unless it is stuck behind one of the
+		// two deadlocked recvs.
+		for i := 0; i < len(recvs); i++ {
+			for j := i + 1; j < len(recvs); j++ {
+				ri, rj := recvs[i], recvs[j]
+				if ri.spawn == rj.spawn || ri.chanIdx == rj.chanIdx {
+					continue
+				}
+				crossIJ := false // a send on ri's channel in rj's context behind rj's recv
+				crossJI := false
+				rescued := false
+				for _, s := range sends {
+					switch s.chanIdx {
+					case ri.chanIdx:
+						if s.spawn == rj.spawn && s.after[rj.chanIdx] {
+							crossIJ = true
+						} else if s.spawn != ri.spawn || !s.after[ri.chanIdx] {
+							rescued = true
+						}
+					case rj.chanIdx:
+						if s.spawn == ri.spawn && s.after[ri.chanIdx] {
+							crossJI = true
+						} else if s.spawn != rj.spawn || !s.after[rj.chanIdx] {
+							rescued = true
+						}
+					}
+					if rescued {
+						break
+					}
+				}
+				if rescued || !crossIJ || !crossJI {
+					continue
+				}
+				first, second := ri, rj
+				if second.ev.Span.Start < first.ev.Span.Start {
+					first, second = second, first
+				}
+				emit(detect.Finding{
+					Kind:     detect.KindBlocking,
+					Severity: detect.SeverityError,
+					Function: first.ev.Fn,
+					Span:     first.ev.Span,
+					Message: fmt.Sprintf("all ends waiting: recv() in %s and recv() in %s each block until the other sends, and every send is behind the other recv",
+						first.ev.Fn, second.ev.Fn),
+					Notes: []string{
+						fmt.Sprintf("%s blocks on recv at %s; its reply is sent only after %s's recv at %s completes",
+							first.ev.Fn, ctx.Fset.Position(first.ev.Span.Start), second.ev.Fn, ctx.Fset.Position(second.ev.Span.Start)),
+						fmt.Sprintf("both threads are spawned by %s with the channel halves cross-wired; no third sender exists", name),
+						"every thread pulls before it pushes, so no message is ever in flight — the study's all-ends-waiting channel deadlock",
+					},
+				})
+			}
+		}
+	}
+}
+
+// escapedChannels marks visible channels whose sender or receiver half
+// flows somewhere the all-ends-waiting rule cannot enumerate: an
+// unresolved call, a closure that is never spawned here, a projected
+// store, or a non-closure aggregate.
+func (d *Detector) escapedChannels(ctx *detect.Context, info *funcInfo) map[int]bool {
+	spawned := map[string]bool{}
+	for _, sp := range info.spawns {
+		spawned[sp.closure] = true
+	}
+	endpointOf := func(l mir.LocalID) (int, bool) {
+		for i, ch := range info.chans {
+			if ch.senders[l] || ch.receivers[l] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	tainted := map[int]bool{}
+	taintOp := func(op mir.Operand) {
+		if pl, ok := mir.OperandPlace(op); ok && pl.IsLocal() && len(pl.Proj) == 0 {
+			if ci, ok := endpointOf(pl.Local); ok {
+				tainted[ci] = true
+			}
+		}
+	}
+	for _, blk := range info.body.Blocks {
+		for _, st := range blk.Stmts {
+			as, ok := st.(mir.Assign)
+			if !ok {
+				continue
+			}
+			if agg, isAgg := as.Rvalue.(mir.Aggregate); isAgg {
+				if agg.Kind == mir.AggClosure && spawned[agg.Name] {
+					continue // captures of a spawned closure are analyzed
+				}
+				for _, op := range agg.Ops {
+					taintOp(op)
+				}
+				continue
+			}
+			if len(as.Place.Proj) > 0 {
+				for _, pl := range rvaluePlaces(as.Rvalue) {
+					if len(pl.Proj) == 0 {
+						if ci, ok := endpointOf(pl.Local); ok {
+							tainted[ci] = true
+						}
+					}
+				}
+			}
+		}
+		c, ok := blk.Term.(mir.Call)
+		if !ok {
+			continue
+		}
+		switch c.Intrinsic {
+		case mir.IntrinsicChanRecv, mir.IntrinsicChanSend, mir.IntrinsicDrop, mir.IntrinsicClone:
+			continue
+		case mir.IntrinsicSpawn:
+			// The spawned closure itself was built from an aggregate the
+			// statement scan already classified.
+			continue
+		case mir.IntrinsicNone:
+			if resolvedCallee(ctx, c) != "" {
+				continue // flows into summaries we scan
+			}
+			for _, a := range c.Args {
+				taintOp(a)
+			}
+		default:
+			for _, a := range c.Args {
+				taintOp(a)
+			}
+		}
+	}
+	return tainted
 }
 
 // unavoidable reports whether every entry→return path passes through

@@ -273,13 +273,176 @@ impl W {
 	wantNone(t, fs)
 }
 
-// A condvar received as a parameter has unknowable notifiers: silent.
+// A condvar received as a parameter with no caller giving it a concrete
+// identity has unknowable notifiers: silent.
 func TestCondvarParameterSilent(t *testing.T) {
 	fs := analyze(t, `
 fn waiter(m: Mutex<bool>, cv: Condvar) {
     let g = m.lock().unwrap();
     let g2 = cv.wait(g);
     consume(g2);
+}
+`)
+	wantNone(t, fs)
+}
+
+// A param-rooted wait resolves at the caller that passes a concrete
+// condvar in: the caller-side identity is matched against program-wide
+// notifies, closing the documented parameter false negative.
+func TestCondvarParamWaitResolvedAtCaller(t *testing.T) {
+	fs := analyze(t, `
+struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn block(&self) {
+        wait_on(self.ready, self.cv);
+    }
+    fn signal(&self, go: bool) {
+        if go {
+            self.cv.notify_all();
+        }
+    }
+}
+fn wait_on(m: Mutex<bool>, cv: Condvar) {
+    let g = m.lock().unwrap();
+    let g2 = cv.wait(g);
+    consume(g2);
+}
+`)
+	wantOne(t, fs, "wait_on")
+	if !strings.Contains(fs[0].Notes[1], "behind a condition") {
+		t.Errorf("note should name the conditional notify, got %q", fs[0].Notes[1])
+	}
+}
+
+// The same propagated identity is rescued by a guaranteed notify on the
+// caller's condvar: no false positive from the new pass.
+func TestCondvarParamWaitGuaranteedNotifyRescues(t *testing.T) {
+	fs := analyze(t, `
+struct W { ready: Mutex<bool>, cv: Condvar }
+impl W {
+    fn block(&self) {
+        wait_on(self.ready, self.cv);
+    }
+    fn signal(&self) {
+        self.cv.notify_all();
+    }
+}
+fn wait_on(m: Mutex<bool>, cv: Condvar) {
+    let g = m.lock().unwrap();
+    let g2 = cv.wait(g);
+    consume(g2);
+}
+`)
+	wantNone(t, fs)
+}
+
+// A wait whose condvar stays parameter-rooted through the whole call
+// chain never resolves: escape = silence, not a false positive.
+func TestCondvarParamChainNeverResolvesSilent(t *testing.T) {
+	fs := analyze(t, `
+fn outer(m: Mutex<bool>, cv: Condvar) {
+    wait_on(m, cv);
+}
+fn wait_on(m: Mutex<bool>, cv: Condvar) {
+    let g = m.lock().unwrap();
+    let g2 = cv.wait(g);
+    consume(g2);
+}
+`)
+	wantNone(t, fs)
+}
+
+// --- Rule: all ends waiting --------------------------------------------------
+
+// Two spawned workers with cross-wired channel parameters each pull
+// before pushing: no message is ever in flight.
+func TestAllEndsWaitingCrossWiredWorkers(t *testing.T) {
+	fs := analyze(t, `
+fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+fn worker_b(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 2);
+}
+fn pipeline() {
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    thread::spawn(move || { worker_a(rx_a, tx_b); });
+    thread::spawn(move || { worker_b(rx_b, tx_a); });
+}
+`)
+	wantOne(t, fs, "worker_a")
+	if !strings.Contains(fs[0].Message, "all ends waiting") {
+		t.Errorf("message should name the shape, got %q", fs[0].Message)
+	}
+}
+
+// Seeding the ring with a message before spawning rescues the cycle:
+// the spawner's own send has no recv dependency.
+func TestAllEndsWaitingSeededSendRescues(t *testing.T) {
+	fs := analyze(t, `
+fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+fn worker_b(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 2);
+}
+fn pipeline() {
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    tx_a.send(0);
+    thread::spawn(move || { worker_a(rx_a, tx_b); });
+    thread::spawn(move || { worker_b(rx_b, tx_a); });
+}
+`)
+	wantNone(t, fs)
+}
+
+// A worker that pushes before it pulls keeps the ring live: no cycle.
+func TestAllEndsWaitingSendFirstWorkerRescues(t *testing.T) {
+	fs := analyze(t, `
+fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+fn worker_push(rx: Receiver<i32>, tx: Sender<i32>) {
+    tx.send(0);
+    let job = rx.recv().unwrap();
+    consume(job);
+}
+fn pipeline() {
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    thread::spawn(move || { worker_a(rx_a, tx_b); });
+    thread::spawn(move || { worker_push(rx_b, tx_a); });
+}
+`)
+	wantNone(t, fs)
+}
+
+// An endpoint escaping to an unresolvable callee taints the channel:
+// silence rather than a guess.
+func TestAllEndsWaitingEscapedEndpointSilent(t *testing.T) {
+	fs := analyze(t, `
+fn worker_a(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 1);
+}
+fn worker_b(rx: Receiver<i32>, tx: Sender<i32>) {
+    let job = rx.recv().unwrap();
+    tx.send(job + 2);
+}
+fn pipeline() {
+    let (tx_a, rx_a) = mpsc::channel();
+    let (tx_b, rx_b) = mpsc::channel();
+    let tx_extra = tx_a.clone();
+    mystery::stash(tx_extra);
+    thread::spawn(move || { worker_a(rx_a, tx_b); });
+    thread::spawn(move || { worker_b(rx_b, tx_a); });
 }
 `)
 	wantNone(t, fs)
@@ -341,6 +504,56 @@ fn inner(second: Once) {
 }
 `)
 	wantNone(t, fs)
+}
+
+// The initializer closure is handed through a helper parameter; the
+// caller resolves both the closure binding and the cell identity.
+func TestOnceReentrantClosureThroughParam(t *testing.T) {
+	fs := analyze(t, `
+fn run_init(once: Once, f: F) {
+    once.call_once(f);
+}
+fn init(once: Once) {
+    let f = || {
+        once.call_once(|| { work(); });
+    };
+    run_init(once, f);
+}
+`)
+	wantOne(t, fs, "init")
+	if !strings.Contains(fs[0].Message, "run_init") {
+		t.Errorf("message should name the helper, got %q", fs[0].Message)
+	}
+}
+
+// Distinct cells through the same helper shape: no re-entry.
+func TestOnceDistinctCellsThroughParamClean(t *testing.T) {
+	fs := analyze(t, `
+fn run_init(once: Once, f: F) {
+    once.call_once(f);
+}
+fn init(first: Once, second: Once) {
+    let f = || {
+        second.call_once(|| { work(); });
+    };
+    run_init(first, f);
+}
+`)
+	wantNone(t, fs)
+}
+
+// A locally-bound closure (let f = || …; cell.call_once(f)) resolves
+// through the binding, including a move binding.
+func TestOnceReentrantClosureByVariable(t *testing.T) {
+	fs := analyze(t, `
+fn init(once: Once) {
+    let f = move || {
+        once.call_once(|| { work(); });
+    };
+    once.call_once(f);
+}
+`)
+	wantOne(t, fs, "init")
 }
 
 func TestOncePlainInitClean(t *testing.T) {

@@ -93,10 +93,18 @@ type Context struct {
 
 // NewContext builds a Context, precomputing the call graph.
 func NewContext(prog *hir.Program, bodies map[string]*mir.Body) *Context {
+	return NewContextWithGraph(prog, bodies, callgraph.Build(bodies))
+}
+
+// NewContextWithGraph builds a Context around a caller-supplied call
+// graph — the incremental session path, where the graph is patched
+// in place per round instead of rebuilt from the full body set. The
+// graph must describe exactly the given bodies.
+func NewContextWithGraph(prog *hir.Program, bodies map[string]*mir.Body, g *callgraph.Graph) *Context {
 	return &Context{
 		Program: prog,
 		Bodies:  bodies,
-		Graph:   callgraph.Build(bodies),
+		Graph:   g,
 		Fset:    prog.Fset,
 		pts:     map[string]*pointsto.Result{},
 		dropRes: map[string]*dropflow.Result{},
@@ -169,6 +177,60 @@ func (c *Context) DropFlow(fn string) *dropflow.Result {
 type Detector interface {
 	Name() string
 	Run(*Context) []Finding
+}
+
+// Carry is a detector's opaque incremental fact cache, threaded between
+// rounds by the session. Carries hold per-function extraction results
+// keyed by body identity; they are process-local and never serialized.
+type Carry interface{}
+
+// Incremental is a detector whose whole-program pass splits into
+// per-function fact extraction (cacheable) and a cheap global pairing
+// phase. RunIncremental re-extracts facts only for functions in dirty
+// (or whose cached body no longer matches), warm-starts any summary
+// fixpoints from the carry, and re-runs pairing over the full fact set.
+//
+// The contract is byte-identity: RunIncremental(ctx, carry, dirty) must
+// return exactly the findings Run(ctx) would, for any carry produced by
+// a prior round whose unchanged functions kept their body objects. A
+// nil carry (or nil dirty) degrades to a full extraction and seeds a
+// fresh carry. The int is the number of functions whose cached facts
+// were reused, for serving-layer stats.
+//
+// Callers must not thread a carry across a round that changed the set
+// of function names or anything outside function bodies: cached facts
+// embed call resolution, which such changes can flip without touching
+// the caller's body. The session enforces this by rebuilding from
+// scratch (dropping carries) on any interface or file-set change.
+type Incremental interface {
+	Detector
+	RunIncremental(ctx *Context, carry Carry, dirty map[string]bool) ([]Finding, Carry, int)
+}
+
+// FactCounter is the optional sizing interface a Carry may implement;
+// the session's exported-state manifest records the counts so operators
+// can see how much process-local cache a restart will cost.
+type FactCounter interface {
+	FactCount() int
+}
+
+// CloseOverCallers expands a recompute set in place with the transitive
+// callers of its members — the closure summary.ComputeFrom requires
+// before a warm-started fixpoint may reuse an SCC: a clean function must
+// have no recomputed transitive callee, or its cached summary could be
+// stale. Fact extraction stays per-function; only the summary phase
+// widens to this closure.
+func CloseOverCallers(g *callgraph.Graph, recompute map[string]bool) {
+	if len(recompute) == 0 {
+		return
+	}
+	seeds := make([]string, 0, len(recompute))
+	for n := range recompute {
+		seeds = append(seeds, n)
+	}
+	for n := range g.TransitiveCallers(seeds...) {
+		recompute[n] = true
+	}
 }
 
 // SortFindings orders findings by position then kind for stable output.

@@ -33,25 +33,81 @@ func New() *Detector { return &Detector{} }
 // Name implements detect.Detector.
 func (*Detector) Name() string { return "interior-mutability" }
 
+// funcInfo is the cached per-function extraction: the &self-method
+// shape facts the global pairing needs, plus the two per-function
+// checks' findings computed unconditionally — the sharable() filter
+// (which depends on the round's impl set, not the body) is applied at
+// emission time so a cached entry never goes stale when only impls
+// change.
+type funcInfo struct {
+	body     *mir.Body
+	selfRef  bool // &self method with a known receiver type
+	selfType string
+	escaper  bool // returns a reference into self
+	mutator  bool // writes self's storage through a pointer
+	perFn    []detect.Finding
+}
+
+// carry is the detector's cross-round state; see detect.Incremental.
+type carry struct {
+	infos map[string]*funcInfo
+}
+
+// FactCount implements detect.FactCounter.
+func (c *carry) FactCount() int { return len(c.infos) }
+
 // Run implements detect.Detector.
 func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	out, _, _ := d.RunIncremental(ctx, nil, nil)
+	return out
+}
+
+// RunIncremental implements detect.Incremental: the per-function checks
+// and escape/mutation facts are reused for clean functions (validated by
+// body identity); the impl audit and the cross-method pairing — both
+// cheap and global — re-run in full every round.
+func (d *Detector) RunIncremental(ctx *detect.Context, prior detect.Carry, dirty map[string]bool) ([]detect.Finding, detect.Carry, int) {
+	prev, _ := prior.(*carry)
+	infos := map[string]*funcInfo{}
+	reused := 0
+	for _, name := range ctx.Graph.Names() {
+		if prev != nil && !dirty[name] {
+			if old := prev.infos[name]; old != nil && old.body == ctx.Bodies[name] {
+				infos[name] = old
+				reused++
+				continue
+			}
+		}
+		infos[name] = d.extract(ctx, name)
+	}
 	var out []detect.Finding
 	for _, name := range ctx.Graph.Names() {
-		body := ctx.Bodies[name]
-		fd := body.Func
-		if fd == nil || fd.SelfKind != ast.SelfRef || fd.SelfType == "" {
-			continue
+		info := infos[name]
+		if info.selfRef && sharable(ctx, info.selfType) {
+			out = append(out, info.perFn...)
 		}
-		if !sharable(ctx, fd.SelfType) {
-			continue
-		}
-		out = append(out, d.checkCheckThenAct(ctx, name)...)
-		out = append(out, d.checkRawWrite(ctx, name)...)
 	}
 	out = append(out, d.checkUnsafeImplWithRawFields(ctx)...)
-	out = append(out, d.checkEscapingRefWithInteriorMut(ctx)...)
+	out = append(out, d.checkEscapingRefWithInteriorMut(ctx, infos)...)
 	detect.SortFindings(out)
-	return out
+	return out, &carry{infos: infos}, reused
+}
+
+// extract computes one function's cached facts.
+func (d *Detector) extract(ctx *detect.Context, name string) *funcInfo {
+	body := ctx.Bodies[name]
+	info := &funcInfo{body: body}
+	fd := body.Func
+	if fd == nil || fd.SelfKind != ast.SelfRef || fd.SelfType == "" {
+		return info
+	}
+	info.selfRef = true
+	info.selfType = fd.SelfType
+	info.escaper = returnsReference(fd.Ret)
+	info.mutator = mutatesSelfInterior(ctx, name)
+	info.perFn = append(info.perFn, d.checkCheckThenAct(ctx, name)...)
+	info.perFn = append(info.perFn, d.checkRawWrite(ctx, name)...)
+	return info
 }
 
 // checkEscapingRefWithInteriorMut implements the paper's Suggestion 4 on
@@ -61,21 +117,20 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 // the conflict because both methods borrow immutably; the reference can
 // dangle. This applies to any type, Sync or not — Figure 5's queue is a
 // single-threaded memory-safety issue.
-func (d *Detector) checkEscapingRefWithInteriorMut(ctx *detect.Context) []detect.Finding {
+func (d *Detector) checkEscapingRefWithInteriorMut(ctx *detect.Context, infos map[string]*funcInfo) []detect.Finding {
 	// Group &self methods by type.
 	escapers := map[string][]string{} // type -> methods returning refs into self
 	mutators := map[string][]*mir.Body{}
 	for _, name := range ctx.Graph.Names() {
-		body := ctx.Bodies[name]
-		fd := body.Func
-		if fd == nil || fd.SelfKind != ast.SelfRef || fd.SelfType == "" {
+		info := infos[name]
+		if !info.selfRef {
 			continue
 		}
-		if returnsReference(fd.Ret) {
-			escapers[fd.SelfType] = append(escapers[fd.SelfType], fd.Qualified)
+		if info.escaper {
+			escapers[info.selfType] = append(escapers[info.selfType], info.body.Func.Qualified)
 		}
-		if mutatesSelfInterior(ctx, name) {
-			mutators[fd.SelfType] = append(mutators[fd.SelfType], body)
+		if info.mutator {
+			mutators[info.selfType] = append(mutators[info.selfType], info.body)
 		}
 	}
 	var out []detect.Finding

@@ -41,15 +41,94 @@ type acquisition struct {
 	span          source.Span
 }
 
+// heldCall is a resolved call site executed while locks are held — the
+// summary-independent half of the inter-procedural check. The held set
+// is expanded against the callee's acquisition summary at pairing time.
+type heldCall struct {
+	callee string
+	recv   string // receiver path for summary.Translate
+	span   source.Span
+	held   []string
+}
+
+// funcInfo is the cached per-function extraction: direct AB pairs and
+// held call sites, both derived from the body alone (plus which callee
+// names resolved, so a cached entry can be revalidated when the body
+// set changes).
+type funcInfo struct {
+	body   *mir.Body
+	direct []acquisition
+	calls  []heldCall
+}
+
+// carry is the detector's cross-round state; see detect.Incremental.
+type carry struct {
+	infos map[string]*funcInfo
+	sums  *summary.Result[map[string]bool]
+}
+
+// FactCount implements detect.FactCounter.
+func (c *carry) FactCount() int { return len(c.infos) }
+
 // Run implements detect.Detector.
 func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	out, _, _ := d.RunIncremental(ctx, nil, nil)
+	return out
+}
+
+// RunIncremental implements detect.Incremental: direct-pair and
+// held-call extraction is reused for clean functions (validated by body
+// identity), the acquisition summaries warm-start from the prior SCC
+// fixpoint, and the AB-BA index pairing — the cheap global phase —
+// re-runs in full.
+func (d *Detector) RunIncremental(ctx *detect.Context, prior detect.Carry, dirty map[string]bool) ([]detect.Finding, detect.Carry, int) {
+	prev, _ := prior.(*carry)
+	infos := map[string]*funcInfo{}
+	recompute := map[string]bool{}
+	reused := 0
+	var warm *summary.Result[map[string]bool]
+	if prev != nil {
+		warm = prev.sums
+	}
+	for _, name := range ctx.Graph.Names() {
+		if prev != nil && !dirty[name] {
+			if old := prev.infos[name]; old != nil && old.body == ctx.Bodies[name] {
+				infos[name] = old
+				reused++
+				continue
+			}
+		}
+		infos[name] = extract(ctx, name)
+		recompute[name] = true
+	}
+	var sres *summary.Result[map[string]bool]
 	var sums map[string]map[string]bool
 	if !d.IntraOnly {
-		sums = buildSummaries(ctx)
+		detect.CloseOverCallers(ctx.Graph, recompute)
+		sres = buildSummaries(ctx, warm, recompute)
+		sums = sres.Summaries
 	}
 	var acqs []acquisition
 	for _, name := range ctx.Graph.Names() {
-		acqs = append(acqs, collect(ctx, name, sums)...)
+		info := infos[name]
+		acqs = append(acqs, info.direct...)
+		for _, hc := range info.calls {
+			if sums == nil {
+				continue
+			}
+			for id := range sums[hc.callee] {
+				tid := summary.Translate(id, hc.recv)
+				if tid == "" {
+					continue
+				}
+				for _, h := range hc.held {
+					if h == tid {
+						continue // same lock twice: the double-lock detector's case
+					}
+					acqs = append(acqs, acquisition{first: h, second: tid, fn: name, span: hc.span})
+				}
+			}
+		}
 	}
 
 	// Normalize lock ids across functions: methods of the same type refer
@@ -101,14 +180,15 @@ func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
 		})
 	}
 	detect.SortFindings(out)
-	return out
+	return out, &carry{infos: infos, sums: sres}, reused
 }
 
 // buildSummaries computes, bottom-up, the set of lock ids each function
 // may (transitively) acquire, in its own namespace; shares the SCC
 // fixpoint engine with the double-lock detector so cyclic call graphs
 // converge instead of being cut off after a bounded number of rounds.
-func buildSummaries(ctx *detect.Context) map[string]map[string]bool {
+// SCCs outside the recompute closure reuse warm's fixpoint unchanged.
+func buildSummaries(ctx *detect.Context, warm *summary.Result[map[string]bool], recompute map[string]bool) *summary.Result[map[string]bool] {
 	prob := &summary.Problem[map[string]bool]{
 		Bottom: func(string) map[string]bool { return map[string]bool{} },
 		Equal: func(a, b map[string]bool) bool {
@@ -158,7 +238,7 @@ func buildSummaries(ctx *detect.Context) map[string]map[string]bool {
 			return s
 		},
 	}
-	return summary.Compute(ctx.Graph, prob).Summaries
+	return summary.ComputeFrom(ctx.Graph, prob, warm, recompute)
 }
 
 func resolvedCallee(ctx *detect.Context, c mir.Call) string {
@@ -173,11 +253,11 @@ func resolvedCallee(ctx *detect.Context, c mir.Call) string {
 	return ""
 }
 
-// collect finds (held, acquired) pairs in one function: direct
-// acquisitions made while another guard is live, plus — through sums —
-// calls made while a guard is live to functions that transitively
-// acquire other locks.
-func collect(ctx *detect.Context, name string, sums map[string]map[string]bool) []acquisition {
+// extract finds the summary-independent facts of one function: direct
+// (held, acquired) pairs, plus resolved calls made while a guard is live
+// — the latter expanded against callee acquisition summaries at pairing
+// time.
+func extract(ctx *detect.Context, name string) *funcInfo {
 	body := ctx.Bodies[name]
 	g := cfg.New(body)
 
@@ -287,7 +367,7 @@ func collect(ctx *detect.Context, name string, sums map[string]map[string]bool) 
 	}
 	res := dataflow.Forward(g, prob)
 
-	var out []acquisition
+	info := &funcInfo{body: body}
 	for _, blk := range body.Blocks {
 		if !g.Reachable(blk.ID) {
 			continue
@@ -315,28 +395,22 @@ func collect(ctx *detect.Context, name string, sums map[string]map[string]bool) 
 				if id == c.RecvPath {
 					continue
 				}
-				out = append(out, acquisition{first: id, second: c.RecvPath, fn: name, span: c.Span})
+				info.direct = append(info.direct, acquisition{first: id, second: c.RecvPath, fn: name, span: c.Span})
 			}
 		default:
 			// Inter-procedural: a call made while a guard is live orders
 			// the held lock before everything the callee may acquire.
 			calleeName := resolvedCallee(ctx, c)
-			if calleeName == "" || sums == nil {
+			if calleeName == "" {
 				continue
 			}
-			for id := range sums[calleeName] {
-				tid := summary.Translate(id, c.RecvPath)
-				if tid == "" {
-					continue
-				}
-				for h := range held {
-					if h == tid {
-						continue // same lock twice: the double-lock detector's case
-					}
-					out = append(out, acquisition{first: h, second: tid, fn: name, span: c.Span})
-				}
+			hc := heldCall{callee: calleeName, recv: c.RecvPath, span: c.Span}
+			for id := range held {
+				hc.held = append(hc.held, id)
 			}
+			sort.Strings(hc.held)
+			info.calls = append(info.calls, hc)
 		}
 	}
-	return out
+	return info
 }

@@ -114,21 +114,58 @@ type funcInfo struct {
 	spawns []spawnSite
 }
 
+// carry is the detector's cached cross-round state: per-function facts
+// keyed by body identity plus the last summary fixpoint for the SCC warm
+// start. See detect.Incremental for the reuse contract.
+type carry struct {
+	infos map[string]*funcInfo
+	sums  *summary.Result[accSummary]
+}
+
+// FactCount implements detect.FactCounter.
+func (c *carry) FactCount() int { return len(c.infos) }
+
 // Run implements detect.Detector.
 func (d *Detector) Run(ctx *detect.Context) []detect.Finding {
+	out, _, _ := d.RunIncremental(ctx, nil, nil)
+	return out
+}
+
+// RunIncremental implements detect.Incremental: per-function fact
+// extraction is skipped for clean functions whose cached facts were
+// derived from the exact body object in ctx.Bodies, and the summary
+// fixpoint warm-starts from the prior round. The pairing phase always
+// re-runs in full — it is the cheap, global part.
+func (d *Detector) RunIncremental(ctx *detect.Context, prior detect.Carry, dirty map[string]bool) ([]detect.Finding, detect.Carry, int) {
+	prev, _ := prior.(*carry)
 	infos := map[string]*funcInfo{}
-	for _, name := range ctx.Graph.Names() {
-		infos[name] = d.analyze(ctx, name)
+	recompute := map[string]bool{}
+	reused := 0
+	var warm *summary.Result[accSummary]
+	if prev != nil {
+		warm = prev.sums
 	}
-	sums := d.buildSummaries(ctx, infos)
+	for _, name := range ctx.Graph.Names() {
+		if prev != nil && !dirty[name] {
+			if old := prev.infos[name]; old != nil && old.body == ctx.Bodies[name] {
+				infos[name] = old
+				reused++
+				continue
+			}
+		}
+		infos[name] = d.analyze(ctx, name)
+		recompute[name] = true
+	}
+	detect.CloseOverCallers(ctx.Graph, recompute)
+	sums := d.buildSummaries(ctx, infos, warm, recompute)
 
 	var out []detect.Finding
 	seen := map[string]bool{}
 	for _, name := range ctx.Graph.Names() {
-		out = append(out, d.pair(ctx, infos, sums, name, seen)...)
+		out = append(out, d.pair(ctx, infos, sums.Summaries, name, seen)...)
 	}
 	detect.SortFindings(out)
-	return out
+	return out, &carry{infos: infos, sums: sums}, reused
 }
 
 // analyze collects the intra-procedural facts of one function: its own
@@ -263,8 +300,9 @@ func (d *Detector) analyze(ctx *detect.Context, name string) *funcInfo {
 // each function's summary is its own accesses plus its callees' summaries
 // translated through the call-site argument paths, with the caller's held
 // locks added to inherited accesses. Same-site duplicates intersect their
-// locksets, keeping the transfer monotone.
-func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo) map[string]accSummary {
+// locksets, keeping the transfer monotone. With a warm prior result, SCCs
+// outside the recompute closure reuse their fixpoint unchanged.
+func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInfo, warm *summary.Result[accSummary], recompute map[string]bool) *summary.Result[accSummary] {
 	prob := &summary.Problem[accSummary]{
 		Bottom: func(string) accSummary { return accSummary{} },
 		Equal:  summariesEqual,
@@ -300,7 +338,7 @@ func (d *Detector) buildSummaries(ctx *detect.Context, infos map[string]*funcInf
 			return s
 		},
 	}
-	return summary.Compute(ctx.Graph, prob).Summaries
+	return summary.ComputeFrom(ctx.Graph, prob, warm, recompute)
 }
 
 // mergeAccess inserts a into s, intersecting locksets on key collision

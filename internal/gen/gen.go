@@ -255,6 +255,9 @@ var templates = map[Kind][]template{
 		{name: "blk-chan-recv-no-sender", emit: emitBlkChanOrphan, dynInvisible: true},
 		{name: "blk-condvar-lost-signal", emit: emitBlkCondvarLostSignal, dynInvisible: true},
 		{name: "blk-once-reentrant", emit: emitBlkOnceReentrant, dynInvisible: true},
+		{name: "blk-all-ends-waiting", emit: emitBlkAllEndsWaiting, dynInvisible: true},
+		{name: "blk-condvar-param-wait", emit: emitBlkCondvarParamWait, dynInvisible: true},
+		{name: "blk-once-closure-param", emit: emitBlkOnceClosureParam, dynInvisible: true},
 	},
 }
 
@@ -920,6 +923,117 @@ func emitBlkCondvarLostSignal(e *emitter, p *Program, buggy bool) {
 		e.ln("        self.cv.notify_all();")
 	}
 	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+}
+
+// The all-ends-waiting shape (Servo's cross-wired pipeline): both
+// spawned workers pull before either pushes, and the coordinator
+// cross-wires the channel halves, so no message is ever in flight.
+// Patch: the coordinator seeds the ring before spawning, so the first
+// recv completes and the ring drains.
+func emitBlkAllEndsWaiting(e *emitter, p *Program, buggy bool) {
+	w1, w2, coord := e.fnName(), e.fnName(), e.fnName()
+	inc := e.rng.Intn(9) + 2
+	seed := e.rng.Intn(90)
+	p.FuncName = w1
+	e.lnf("fn %s(rx: Receiver<i32>, tx: Sender<i32>) {", w1)
+	if buggy {
+		p.Line = e.mark()
+	}
+	e.ln("    let job = rx.recv().unwrap();")
+	e.ln("    tx.send(job + 1);")
+	e.ln("}")
+	e.ln("")
+	e.lnf("fn %s(rx: Receiver<i32>, tx: Sender<i32>) {", w2)
+	e.ln("    let job = rx.recv().unwrap();")
+	e.lnf("    tx.send(job + %d);", inc)
+	e.ln("}")
+	e.ln("")
+	e.lnf("pub fn %s() {", coord)
+	e.ln("    let (tx_a, rx_a) = mpsc::channel();")
+	e.ln("    let (tx_b, rx_b) = mpsc::channel();")
+	if !buggy {
+		p.Line = e.mark()
+		e.lnf("    tx_a.send(%d);", seed)
+	}
+	e.ln("    thread::spawn(move || {")
+	e.lnf("        %s(rx_a, tx_b);", w1)
+	e.ln("    });")
+	e.ln("    thread::spawn(move || {")
+	e.lnf("        %s(rx_b, tx_a);", w2)
+	e.ln("    });")
+	e.ln("}")
+	e.ln("")
+}
+
+// The param-rooted lost-signal shape (ethereum's Relay): the wait lives
+// in a free helper that receives the condvar from its caller, and the
+// owner's only notify is behind a condition. Patch: the owner notifies
+// unconditionally.
+func emitBlkCondvarParamWait(e *emitter, p *Program, buggy bool) {
+	s, f, block, wake, helper := e.structName(), e.fieldName(), e.fnName(), e.fnName(), e.fnName()
+	p.FuncName = helper
+	e.lnf("struct %s {", s)
+	e.lnf("    %s: Mutex<bool>,", f)
+	e.ln("    cv: Condvar,")
+	e.ln("}")
+	e.ln("")
+	e.lnf("impl %s {", s)
+	e.lnf("    fn %s(&self) {", block)
+	e.lnf("        %s(self.%s, self.cv);", helper, f)
+	e.ln("    }")
+	e.ln("")
+	// Both variants keep the same signature so a variant toggle is a
+	// body-only edit (the session sweep flips twins incrementally).
+	e.lnf("    fn %s(&self, go: bool) {", wake)
+	if buggy {
+		e.ln("        if go {")
+		p.Line = e.mark()
+		e.ln("            self.cv.notify_all();")
+		e.ln("        }")
+	} else {
+		e.ln("        consume(go);")
+		p.Line = e.mark()
+		e.ln("        self.cv.notify_all();")
+	}
+	e.ln("    }")
+	e.ln("}")
+	e.ln("")
+	e.lnf("fn %s(m: Mutex<bool>, cv: Condvar) {", helper)
+	e.ln("    let g = m.lock().unwrap();")
+	e.ln("    let g2 = cv.wait(g);")
+	e.ln("    consume_guard(g2);")
+	e.ln("}")
+	e.ln("")
+}
+
+// The closure-through-parameter Once shape (lazy_static's deep init):
+// the initializer closure is bound to a variable and handed through a
+// helper that runs it under call_once on the same cell the closure
+// re-enters. Patch: the closure initializes a second, distinct cell.
+func emitBlkOnceClosureParam(e *emitter, p *Program, buggy bool) {
+	fn, helper := e.fnName(), e.fnName()
+	k := e.rng.Intn(90) + 1
+	p.FuncName = fn
+	// Both variants share the two-cell signature so a variant toggle is a
+	// body-only edit: the bug is which cell the closure re-enters.
+	e.lnf("pub fn %s(first: Once, second: Once) {", fn)
+	e.ln("    let f = || {")
+	p.Line = e.mark()
+	if buggy {
+		e.ln("        first.call_once(|| {")
+	} else {
+		e.ln("        second.call_once(|| {")
+	}
+	e.lnf("            consume(%d);", k)
+	e.ln("        });")
+	e.ln("    };")
+	e.lnf("    %s(first, f);", helper)
+	e.ln("}")
+	e.ln("")
+	e.lnf("fn %s(once: Once, f: F) {", helper)
+	e.ln("    once.call_once(f);")
 	e.ln("}")
 	e.ln("")
 }

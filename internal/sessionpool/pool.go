@@ -89,6 +89,13 @@ type Stats struct {
 	RootsDetected     uint64 `json:"roots_detected"`
 	FindingsReplayed  uint64 `json:"findings_replayed"`
 	StateSaveErrors   uint64 `json:"state_save_errors"`
+
+	// GlobalFactsReused sums, over all rounds, the per-function fact
+	// extractions the global detectors skipped by reusing carried
+	// caches; GraphPatchedRounds counts rounds whose call graph was
+	// patched from the previous round instead of rebuilt.
+	GlobalFactsReused  uint64 `json:"global_facts_reused"`
+	GraphPatchedRounds uint64 `json:"graph_patched_rounds"`
 }
 
 // PushStats is the per-round stat block a push returns: the session's
@@ -132,17 +139,19 @@ type Pool struct {
 	entries map[string]*entry
 	closed  bool
 
-	pushes            atomic.Uint64
-	hits              atomic.Uint64
-	misses            atomic.Uint64
-	restores          atomic.Uint64
-	evictionsLRU      atomic.Uint64
-	evictionsTTL      atomic.Uint64
-	fullRounds        atomic.Uint64
-	incrementalRounds atomic.Uint64
-	rootsDetected     atomic.Uint64
-	findingsReplayed  atomic.Uint64
-	stateSaveErrors   atomic.Uint64
+	pushes             atomic.Uint64
+	hits               atomic.Uint64
+	misses             atomic.Uint64
+	restores           atomic.Uint64
+	evictionsLRU       atomic.Uint64
+	evictionsTTL       atomic.Uint64
+	fullRounds         atomic.Uint64
+	incrementalRounds  atomic.Uint64
+	rootsDetected      atomic.Uint64
+	findingsReplayed   atomic.Uint64
+	stateSaveErrors    atomic.Uint64
+	globalFactsReused  atomic.Uint64
+	graphPatchedRounds atomic.Uint64
 }
 
 // New builds a pool from cfg.
@@ -299,6 +308,10 @@ func (p *Pool) round(ctx context.Context, e *entry, mkFiles func(*entry) (map[st
 	}
 	p.rootsDetected.Add(uint64(up.Stats.RootsDetected))
 	p.findingsReplayed.Add(uint64(up.Stats.FindingsReused))
+	p.globalFactsReused.Add(uint64(up.Stats.GlobalFactsReused))
+	if up.Stats.GraphPatched {
+		p.graphPatchedRounds.Add(1)
+	}
 
 	// Persist synchronously: once the push returns, a restart can
 	// restore this round. An unsaveable state only degrades the next
@@ -376,18 +389,20 @@ func (p *Pool) Stats() Stats {
 	live := len(p.entries)
 	p.mu.Unlock()
 	return Stats{
-		Live:              live,
-		Pushes:            p.pushes.Load(),
-		Hits:              p.hits.Load(),
-		Misses:            p.misses.Load(),
-		Restores:          p.restores.Load(),
-		EvictionsLRU:      p.evictionsLRU.Load(),
-		EvictionsTTL:      p.evictionsTTL.Load(),
-		FullRounds:        p.fullRounds.Load(),
-		IncrementalRounds: p.incrementalRounds.Load(),
-		RootsDetected:     p.rootsDetected.Load(),
-		FindingsReplayed:  p.findingsReplayed.Load(),
-		StateSaveErrors:   p.stateSaveErrors.Load(),
+		Live:               live,
+		Pushes:             p.pushes.Load(),
+		Hits:               p.hits.Load(),
+		Misses:             p.misses.Load(),
+		Restores:           p.restores.Load(),
+		EvictionsLRU:       p.evictionsLRU.Load(),
+		EvictionsTTL:       p.evictionsTTL.Load(),
+		FullRounds:         p.fullRounds.Load(),
+		IncrementalRounds:  p.incrementalRounds.Load(),
+		RootsDetected:      p.rootsDetected.Load(),
+		FindingsReplayed:   p.findingsReplayed.Load(),
+		StateSaveErrors:    p.stateSaveErrors.Load(),
+		GlobalFactsReused:  p.globalFactsReused.Load(),
+		GraphPatchedRounds: p.graphPatchedRounds.Load(),
 	}
 }
 

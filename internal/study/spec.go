@@ -255,10 +255,12 @@ const (
 	RaceBugsFound = 5
 	RaceFalsePos  = 0
 	// §6.1 extension: the non-double-lock blocking shapes (channel
-	// hold-and-wait, orphaned recv, Condvar lost signal, Once
-	// reentrancy) seeded in the patterns corpus, with no reports on the
-	// paired fixed variants or the app-scale clean modules.
-	BlockingBugsFound = 6
+	// hold-and-wait, all-ends-waiting through channel parameters,
+	// orphaned recv, Condvar lost signal — including the param-rooted
+	// wait variant — and Once reentrancy through closure bindings)
+	// seeded in the patterns corpus, with no reports on the paired
+	// fixed variants or the app-scale clean modules.
+	BlockingBugsFound = 9
 	BlockingFalsePos  = 0
 )
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"rustprobe/internal/ast"
+	"rustprobe/internal/callgraph"
 	"rustprobe/internal/corpus"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/detect/blocking"
@@ -62,7 +63,7 @@ import (
 // the engine folds it (with the detector registry) into the persistent
 // store's entry version, so old entries self-invalidate instead of being
 // served.
-const AnalyzerVersion = "8"
+const AnalyzerVersion = "9"
 
 // StateVersion ties persisted incremental-analysis state
 // (incrstate.State) to the analyzer + detector set that produced it.
@@ -103,6 +104,11 @@ type Result struct {
 	// shared dropflow analysis refutes are dropped. Off by default so the
 	// paper's §7 results stay reproducible.
 	Precise bool
+
+	// graph, when set before the first Context() call, supplies a
+	// pre-built call graph (the session's incrementally patched one)
+	// instead of building from scratch. It must describe exactly Bodies.
+	graph *callgraph.Graph
 
 	ctxOnce sync.Once
 	ctx     *detect.Context
@@ -380,10 +386,15 @@ func AnalyzeCorpus(group string) (*Result, error) {
 
 // Context returns (building lazily) the shared detector context. The
 // context is built exactly once and is safe to hand to concurrent
-// detector runs.
+// detector runs. A session-supplied patched call graph is used when
+// present; otherwise the graph is built from scratch.
 func (r *Result) Context() *detect.Context {
 	r.ctxOnce.Do(func() {
-		r.ctx = detect.NewContext(r.Program, r.Bodies)
+		if r.graph != nil {
+			r.ctx = detect.NewContextWithGraph(r.Program, r.Bodies, r.graph)
+		} else {
+			r.ctx = detect.NewContext(r.Program, r.Bodies)
+		}
 	})
 	return r.ctx
 }

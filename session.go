@@ -2,11 +2,13 @@ package rustprobe
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 
 	"rustprobe/internal/ast"
+	"rustprobe/internal/callgraph"
 	"rustprobe/internal/detect"
 	"rustprobe/internal/incrstate"
 	"rustprobe/internal/lower"
@@ -61,6 +63,13 @@ type Session struct {
 	local   map[string][]Finding
 	last    *Update
 
+	// carries holds each incremental global detector's opaque fact
+	// cache (per-function extractions plus summary fixpoints), keyed by
+	// detector name. Seeded by every full round, threaded through
+	// incremental rounds, and process-local: persisted state (Restore)
+	// starts with an empty map whose first round reseeds it.
+	carries map[string]detect.Carry
+
 	// prior is persisted state from an earlier process (Restore), armed
 	// on an otherwise empty session. The first Analyze round consumes it:
 	// the frontend runs in full (a fresh process has no ASTs or MIR to
@@ -99,7 +108,24 @@ type UpdateStats struct {
 	FindingsReused int `json:"findings_reused"`
 	ChangedFns     int `json:"changed_fns"`
 	FuncsTotal     int `json:"funcs_total"`
+
+	// GlobalFactsReused counts per-function fact extractions the global
+	// detectors (lock-order, blocking, interior-mutability, data-race)
+	// skipped this round by reusing their carried caches, summed across
+	// detectors. GraphPatched marks a round whose call graph was patched
+	// from the previous round's instead of rebuilt from scratch.
+	GlobalFactsReused int  `json:"global_facts_reused,omitempty"`
+	GraphPatched      bool `json:"graph_patched,omitempty"`
 }
+
+// graphCrossCheckEnabled reports whether the debug byte-equality anchor
+// is on: every patched call graph is compared (by fingerprint) against a
+// from-scratch rebuild of the same bodies, and a mismatch panics — the
+// patch is wrong, and silently continuing would poison every downstream
+// detector. Checked per round so tests can flip RUSTPROBE_GRAPH_CHECK in
+// the environment; the equivalence sweeps set it so CI exercises the
+// anchor on every mutation round.
+func graphCrossCheckEnabled() bool { return os.Getenv("RUSTPROBE_GRAPH_CHECK") != "" }
 
 // FileSet compaction thresholds (vars so tests can tighten them): an
 // incremental round falls back to a full rebuild once the session's
@@ -288,14 +314,34 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 
 	res := &Result{Program: prog, Bodies: bodies, Fset: s.fset, Diags: diags, Precise: s.precise}
 
+	// Patch the previous round's call graph instead of rebuilding:
+	// only re-lowered bodies are rescanned for edges (plus callers whose
+	// unresolved callee names could have flipped, which body-only edits
+	// cannot cause). The from-scratch rebuild remains the correctness
+	// anchor — structural changes take the full() path above, and the
+	// debug cross-check compares fingerprints on every patched round.
+	relowered := make(map[string]bool, len(lowered))
+	for bname := range lowered {
+		relowered[bname] = true
+	}
+	prevGraph := s.res.Context().Graph
+	graph := callgraph.Patch(prevGraph, bodies, relowered)
+	if graphCrossCheckEnabled() {
+		if want := callgraph.Build(bodies).Fingerprint(); graph.Fingerprint() != want {
+			panic(fmt.Sprintf("rustprobe: patched call graph diverged from rebuild (patched %x, rebuilt %x)",
+				graph.Fingerprint(), want))
+		}
+	}
+	res.graph = graph
+
 	// Incremental detection: local detectors over the dirty callgraph
 	// closure, cached findings for every root outside it, global
-	// detectors over the whole program.
+	// detectors incrementally over their carried fact caches.
 	changedList := make([]string, 0, len(changedFns))
 	for q := range changedFns {
 		changedList = append(changedList, q)
 	}
-	fresh, global, restricted := res.DetectIncremental(changedList)
+	fresh, global, restricted, globalReused := res.detectIncremental(changedList, s.carries)
 	merged := append([]Finding(nil), fresh...)
 	reusedFindings := 0
 	local := make(map[string][]Finding, len(s.local))
@@ -322,14 +368,16 @@ func (s *Session) Analyze(files map[string]string) (*Update, error) {
 	s.local = local
 	up := &Update{Result: res, Findings: merged}
 	up.Stats = UpdateStats{
-		Files:          len(files),
-		FilesReparsed:  len(changed),
-		FuncsLowered:   len(lowered),
-		BodiesReused:   reused,
-		RootsDetected:  len(restricted),
-		FindingsReused: reusedFindings,
-		ChangedFns:     len(changedFns),
-		FuncsTotal:     len(res.Bodies),
+		Files:             len(files),
+		FilesReparsed:     len(changed),
+		FuncsLowered:      len(lowered),
+		BodiesReused:      reused,
+		RootsDetected:     len(restricted),
+		FindingsReused:    reusedFindings,
+		ChangedFns:        len(changedFns),
+		FuncsTotal:        len(res.Bodies),
+		GlobalFactsReused: globalReused,
+		GraphPatched:      true,
 	}
 	s.last = up
 	return snapshotUpdate(up), nil
@@ -365,7 +413,16 @@ func (s *Session) commitFull(files map[string]string, fset *source.FileSet, res 
 			local[f.Function] = append(local[f.Function], f)
 		}
 	}
+	// A full round runs the global detectors from scratch but still seeds
+	// their carries, so the very next incremental round reuses facts.
+	s.carries = map[string]detect.Carry{}
 	for _, d := range globalDetectors() {
+		if inc, ok := d.(detect.Incremental); ok {
+			fs, nc, _ := inc.RunIncremental(ctx, nil, nil)
+			findings = append(findings, fs...)
+			s.carries[d.Name()] = nc
+			continue
+		}
 		findings = append(findings, d.Run(ctx)...)
 	}
 	sortFindingsByPosition(fset, findings)
@@ -446,6 +503,16 @@ func (s *Session) ExportState() *incrstate.State {
 	for fn, fs := range s.local {
 		st.Local[fn] = resolveFindings(s.fset, fs)
 	}
+	// Manifest only: the fact caches hold pointers into live MIR and
+	// cannot survive the process; record their sizes for observability.
+	for name, c := range s.carries {
+		if fc, ok := c.(detect.FactCounter); ok {
+			if st.GlobalFacts == nil {
+				st.GlobalFacts = map[string]int{}
+			}
+			st.GlobalFacts[name] = fc.FactCount()
+		}
+	}
 	return st
 }
 
@@ -492,7 +559,11 @@ func (s *Session) restoreRound(files map[string]string) (*Update, error) {
 	}
 	sort.Strings(changed)
 
-	local, global, restricted := res.DetectIncremental(changed)
+	// Restored carries do not exist — fact caches are process-local — so
+	// the first round's global detectors extract from scratch and seed
+	// the map for every later round.
+	s.carries = map[string]detect.Carry{}
+	local, global, restricted, _ := res.detectIncremental(changed, s.carries)
 	byName := map[string]*source.File{}
 	for _, f := range fset.Files() {
 		byName[f.Name] = f
@@ -670,6 +741,17 @@ func commonPrefixLen(a, b string) int {
 // makes stays in-set), closed over closure families (a closure body
 // changes exactly when its owner's body text does).
 func (r *Result) DetectIncremental(changedFns []string) (local, global []Finding, recomputed map[string]bool) {
+	local, global, recomputed, _ = r.detectIncremental(changedFns, nil)
+	return local, global, recomputed
+}
+
+// detectIncremental is DetectIncremental threading the global detectors'
+// fact caches: carries maps detector name to the carry its last run
+// returned (missing or nil entries degrade to full extraction) and is
+// updated in place. globalReused sums the per-function fact extractions
+// skipped across all global detectors. A nil carries map runs every
+// global detector from scratch without caching.
+func (r *Result) detectIncremental(changedFns []string, carries map[string]detect.Carry) (local, global []Finding, recomputed map[string]bool, globalReused int) {
 	changed := make(map[string]bool, len(changedFns))
 	for _, q := range changedFns {
 		changed[q] = true
@@ -725,10 +807,26 @@ func (r *Result) DetectIncremental(changedFns []string) (local, global []Finding
 	for _, d := range localDetectors(r.Precise) {
 		local = append(local, d.Run(localCtx)...)
 	}
-	for _, d := range globalDetectors() {
-		global = append(global, d.Run(ctx)...)
+	// The dirty set handed to the global detectors is the re-lowered
+	// body set (the seeds, closures included) — facts of any other
+	// function are derived from an unchanged body object. The detectors
+	// widen their summary recomputation to the caller closure themselves.
+	dirty := make(map[string]bool, len(seeds))
+	for _, bname := range seeds {
+		dirty[bname] = true
 	}
-	return local, global, recomputed
+	for _, d := range globalDetectors() {
+		inc, ok := d.(detect.Incremental)
+		if !ok || carries == nil {
+			global = append(global, d.Run(ctx)...)
+			continue
+		}
+		fs, nc, n := inc.RunIncremental(ctx, carries[d.Name()], dirty)
+		carries[d.Name()] = nc
+		globalReused += n
+		global = append(global, fs...)
+	}
+	return local, global, recomputed, globalReused
 }
 
 // closureBase strips the "::closure#N..." suffix lowering appends, naming
